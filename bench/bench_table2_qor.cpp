@@ -1,0 +1,115 @@
+// Reproduces Table II: post-synthesis area and delay for every benchmark
+// circuit under {Original, DRiLLS, abcRL, BOiLS, FlowTune, Ours}, with the
+// arithmetic mean, geometric mean, and per-method ratio rows.
+//
+//   ./bench_table2_qor                    quick subset (seconds/method)
+//   ./bench_table2_qor --full             all 31 circuits (long)
+//   ./bench_table2_qor --circuits ctrl,c17 --budget 24 --dataset 150
+//   Output: console table + table2_qor.csv
+
+#include <cstdio>
+#include <sstream>
+
+#include "clo/util/cli.hpp"
+#include "clo/util/csv.hpp"
+#include "clo/util/stats.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace clo;
+
+std::vector<std::string> split_csv_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(tok);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  bench::ExperimentScale scale;
+  scale.baseline_budget = args.get_int("budget", 16);
+  scale.dataset_size = args.get_int("dataset", 200);
+  scale.diffusion_steps = args.get_int("steps", 60);
+  scale.restarts = args.get_int("restarts", 8);
+  scale.surrogate = args.get("surrogate", "cnn");
+  scale.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  std::vector<std::string> names = bench::circuit_selection(args.has("full"));
+  if (args.has("circuits")) names = split_csv_list(args.get("circuits", ""));
+
+  const std::vector<std::string> methods = {"Original", "DRiLLS", "abcRL",
+                                            "BOiLS", "FlowTune", "Ours"};
+  // results[m] = per-circuit (area, delay).
+  std::vector<std::vector<double>> area(methods.size()), delay(methods.size());
+
+  ConsoleTable table({"Circuit", "Orig A", "Orig D", "DRiLLS A", "DRiLLS D",
+                      "abcRL A", "abcRL D", "BOiLS A", "BOiLS D", "FlowT A",
+                      "FlowT D", "Ours A", "Ours D"});
+  CsvWriter csv({"circuit", "method", "area_um2", "delay_ps",
+                 "algo_seconds", "training_seconds"});
+
+  for (const auto& name : names) {
+    std::fprintf(stderr, "[table2] %s ...\n", name.c_str());
+    const aig::Aig circuit = circuits::make_benchmark(name);
+    std::vector<bench::MethodResult> row;
+    {
+      core::QorEvaluator ev(circuit);
+      const auto q = ev.original();
+      row.push_back({"Original", q.area_um2, q.delay_ps, 0.0, 0.0});
+    }
+    for (const char* m : {"drills", "abcrl", "boils", "flowtune"}) {
+      row.push_back(bench::run_baseline_method(m, circuit, scale));
+    }
+    row.push_back(bench::run_ours(circuit, scale));
+
+    std::vector<std::string> cells{name};
+    for (std::size_t m = 0; m < row.size(); ++m) {
+      area[m].push_back(row[m].area);
+      delay[m].push_back(row[m].delay);
+      cells.push_back(fmt_double(row[m].area, 2));
+      cells.push_back(fmt_double(row[m].delay, 2));
+      csv.add_row({name, methods[m], fmt_double(row[m].area, 4),
+                   fmt_double(row[m].delay, 4),
+                   fmt_double(row[m].algorithm_seconds, 4),
+                   fmt_double(row[m].training_seconds, 4)});
+    }
+    table.add_row(cells);
+  }
+
+  // Summary rows (mean / geomean / ratios vs Ours), like the paper.
+  table.add_separator();
+  auto add_summary = [&](const std::string& label, auto reduce) {
+    std::vector<std::string> cells{label};
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      cells.push_back(fmt_double(reduce(area[m]), 2));
+      cells.push_back(fmt_double(reduce(delay[m]), 2));
+    }
+    table.add_row(cells);
+  };
+  add_summary("Mean", [](const std::vector<double>& v) { return mean(v); });
+  add_summary("Geomean", [](const std::vector<double>& v) { return geomean(v); });
+  {
+    std::vector<std::string> cells{"Ratio(geo)"};
+    const double ga = geomean(area.back());
+    const double gd = geomean(delay.back());
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      cells.push_back(fmt_double(geomean(area[m]) / ga, 3));
+      cells.push_back(fmt_double(geomean(delay[m]) / gd, 3));
+    }
+    table.add_row(cells);
+  }
+
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nPaper's Table II shape to check: Ours has the lowest "
+              "geomean area and delay (all ratios >= 1.000).\n");
+  const std::string out = args.get("out", "table2_qor.csv");
+  if (csv.write(out)) std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

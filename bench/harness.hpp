@@ -1,0 +1,164 @@
+#pragma once
+// Shared experiment harness for the paper-reproduction benches: runs each
+// method (4 baselines + ours) on a circuit with consistent budgets and the
+// paper's accounting (best-of-restarts QoR, algorithm-only runtime).
+
+#include <string>
+#include <vector>
+
+#include "clo/baselines/baseline.hpp"
+#include "clo/circuits/generators.hpp"
+#include "clo/core/pipeline.hpp"
+#include "clo/util/log.hpp"
+
+namespace clo::bench {
+
+struct MethodResult {
+  std::string method;
+  double area = 0.0;    ///< best area found (um^2)
+  double delay = 0.0;   ///< best delay found (ps)
+  double algorithm_seconds = 0.0;
+  double training_seconds = 0.0;  ///< ours only (one-time effort)
+};
+
+struct ExperimentScale {
+  int seq_len = 20;
+  int baseline_budget = 16;   ///< synthesis evaluations per baseline run
+  int dataset_size = 200;     ///< ours: training sequences (paper: 20000)
+  int diffusion_steps = 60;   ///< ours: T (paper: 500)
+  int diffusion_iters = 500;
+  int restarts = 8;           ///< per objective weighting (3x total; paper: 30)
+  int surrogate_epochs = 80;
+  double omega = 4.0;         ///< guidance strength
+  std::string surrogate = "cnn";
+  std::uint64_t seed = 1;
+};
+
+/// Run one baseline. Multi-objective methods (DRiLLS, BOiLS) optimize the
+/// weighted objective once; single-objective methods (abcRL, FlowTune) run
+/// twice (area-only, delay-only) and report each metric's best, exactly as
+/// the paper evaluates them.
+inline MethodResult run_baseline_method(const std::string& name,
+                                        const aig::Aig& circuit,
+                                        const ExperimentScale& scale) {
+  auto optimizer = baselines::make_baseline(name);
+  MethodResult result;
+  result.method = optimizer->name();
+  const bool multi_objective = (name == "drills" || name == "boils");
+  if (multi_objective) {
+    core::QorEvaluator ev(circuit);
+    clo::Rng rng(scale.seed);
+    baselines::BaselineParams params;
+    params.seq_len = scale.seq_len;
+    params.eval_budget = scale.baseline_budget;
+    const auto r = optimizer->optimize(ev, params, rng);
+    result.area = r.best_qor.area_um2;
+    result.delay = r.best_qor.delay_ps;
+    result.algorithm_seconds = r.algorithm_seconds;
+  } else {
+    // Area-only run.
+    {
+      core::QorEvaluator ev(circuit);
+      clo::Rng rng(scale.seed);
+      baselines::BaselineParams params;
+      params.seq_len = scale.seq_len;
+      params.eval_budget = scale.baseline_budget / 2;
+      params.weight_area = 1.0;
+      params.weight_delay = 0.0;
+      const auto r = optimizer->optimize(ev, params, rng);
+      result.area = r.best_qor.area_um2;
+      result.algorithm_seconds += r.algorithm_seconds;
+    }
+    // Delay-only run.
+    {
+      core::QorEvaluator ev(circuit);
+      clo::Rng rng(scale.seed + 1);
+      baselines::BaselineParams params;
+      params.seq_len = scale.seq_len;
+      params.eval_budget = scale.baseline_budget / 2;
+      params.weight_area = 0.0;
+      params.weight_delay = 1.0;
+      const auto r = optimizer->optimize(ev, params, rng);
+      result.delay = r.best_qor.delay_ps;
+      result.algorithm_seconds += r.algorithm_seconds;
+    }
+  }
+  return result;
+}
+
+inline core::PipelineConfig pipeline_config_for(const ExperimentScale& scale) {
+  core::PipelineConfig cfg;
+  cfg.seq_len = scale.seq_len;
+  cfg.dataset_size = scale.dataset_size;
+  cfg.diffusion_steps = scale.diffusion_steps;
+  cfg.diffusion_iters = scale.diffusion_iters;
+  cfg.restarts = scale.restarts;
+  cfg.surrogate = scale.surrogate;
+  cfg.surrogate_train.epochs = scale.surrogate_epochs;
+  cfg.optimize.omega = scale.omega;
+  cfg.seed = scale.seed;
+  return cfg;
+}
+
+/// Run the proposed continuous optimization. Returns best area/delay over
+/// restarts; algorithm time is the latent-space optimization only
+/// (training is one-time and reported separately), matching Fig. 5.
+///
+/// Restarts are split across objective weightings (balanced via the
+/// pipeline, then area-weighted and delay-weighted reruns with the same
+/// trained models) and the best sequence per metric is kept — the same
+/// best-of-30-repeats protocol the paper evaluates with.
+inline MethodResult run_ours(const aig::Aig& circuit,
+                             const ExperimentScale& scale,
+                             core::PipelineResult* out_result = nullptr) {
+  core::QorEvaluator ev(circuit);
+  core::CloPipeline pipeline(pipeline_config_for(scale));
+  const auto result = pipeline.run(ev);
+  MethodResult mr;
+  mr.method = "Ours";
+  mr.area = result.best.area_um2;
+  mr.delay = result.best.delay_ps;
+  for (const auto& q : result.restart_qor) {
+    mr.area = std::min(mr.area, q.area_um2);
+    mr.delay = std::min(mr.delay, q.delay_ps);
+  }
+  mr.algorithm_seconds = result.optimize_seconds;
+  mr.training_seconds = result.dataset_seconds +
+                        result.surrogate_train_seconds +
+                        result.diffusion_train_seconds;
+  // Objective-specialized restarts reusing the already-trained models.
+  clo::Rng rng(scale.seed + 77);
+  for (const bool area_run : {true, false}) {
+    core::OptimizeParams params;
+    params.omega = scale.omega;
+    params.weight_area = area_run ? 1.0 : 0.0;
+    params.weight_delay = area_run ? 0.0 : 1.0;
+    core::ContinuousOptimizer optimizer(*pipeline.surrogate(),
+                                        *pipeline.diffusion(),
+                                        *pipeline.embedding(), params);
+    for (int r = 0; r < scale.restarts; ++r) {
+      const auto run = optimizer.run(rng);
+      mr.algorithm_seconds += run.seconds;
+      const auto q = ev.evaluate(run.sequence);  // validation, not counted
+      mr.area = std::min(mr.area, q.area_um2);
+      mr.delay = std::min(mr.delay, q.delay_ps);
+    }
+  }
+  if (out_result) *out_result = result;
+  return mr;
+}
+
+/// The quick-mode circuit subset (small enough for seconds-per-method) and
+/// the full Table II list behind --full.
+inline std::vector<std::string> circuit_selection(bool full) {
+  if (full) {
+    std::vector<std::string> all;
+    for (const auto& info : circuits::benchmark_catalog()) {
+      all.push_back(info.name);
+    }
+    return all;
+  }
+  return {"ctrl", "int2float", "router", "cavlc", "c17", "c432", "c880"};
+}
+
+}  // namespace clo::bench

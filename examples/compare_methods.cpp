@@ -1,0 +1,56 @@
+// Ours vs the four baselines on a single circuit — a miniature of the
+// paper's Table II row plus the Fig. 5 runtime accounting.
+//
+//   ./examples/compare_methods [--circuit router] [--budget 40]
+
+#include <cstdio>
+
+#include "clo/baselines/baseline.hpp"
+#include "clo/circuits/generators.hpp"
+#include "clo/core/pipeline.hpp"
+#include "clo/util/cli.hpp"
+
+int main(int argc, char** argv) {
+  clo::CliArgs args(argc, argv);
+  const std::string name = args.get("circuit", "router");
+  const int budget = args.get_int("budget", 40);
+
+  clo::aig::Aig circuit = clo::circuits::make_benchmark(name);
+  std::printf("circuit %s: %zu ANDs, depth %d\n", name.c_str(),
+              circuit.num_ands(), circuit.depth());
+
+  clo::baselines::BaselineParams bparams;
+  bparams.eval_budget = budget;
+  std::printf("%-10s %12s %12s %14s %12s\n", "method", "area(um^2)",
+              "delay(ps)", "algo time(s)", "synth runs");
+
+  {
+    clo::core::QorEvaluator evaluator(circuit);
+    const auto q = evaluator.original();
+    std::printf("%-10s %12.2f %12.2f %14s %12s\n", "original", q.area_um2,
+                q.delay_ps, "-", "-");
+  }
+  for (const char* method : {"drills", "abcrl", "boils", "flowtune"}) {
+    clo::core::QorEvaluator evaluator(circuit);
+    clo::Rng rng(7);
+    auto optimizer = clo::baselines::make_baseline(method);
+    const auto r = optimizer->optimize(evaluator, bparams, rng);
+    std::printf("%-10s %12.2f %12.2f %14.3f %12zu\n",
+                optimizer->name().c_str(), r.best_qor.area_um2,
+                r.best_qor.delay_ps, r.algorithm_seconds, r.synthesis_runs);
+  }
+  {
+    clo::core::QorEvaluator evaluator(circuit);
+    clo::core::PipelineConfig config;
+    config.dataset_size = std::max(80, budget * 2);
+    config.restarts = 3;
+    config.diffusion_steps = 80;
+    clo::core::CloPipeline pipeline(config);
+    const auto r = pipeline.run(evaluator);
+    std::printf("%-10s %12.2f %12.2f %14.3f %12s  (training one-time: %.1fs)\n",
+                "Ours", r.best.area_um2, r.best.delay_ps, r.optimize_seconds,
+                "-", r.surrogate_train_seconds + r.diffusion_train_seconds +
+                r.dataset_seconds);
+  }
+  return 0;
+}

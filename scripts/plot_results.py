@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Plot the CSVs the bench binaries emit (matplotlib, optional dependency).
+
+Usage:
+    python3 scripts/plot_results.py <csv...>          # auto-detect by header
+    python3 scripts/plot_results.py fig7_tsne.csv     # Fig. 7 scatter
+    python3 scripts/plot_results.py fig5_runtime.csv  # Fig. 5 bars (log)
+
+Each bench already prints its table to stdout; these plots mirror the
+paper's figures for visual comparison.
+"""
+import csv
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    with open(path, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    return rows
+
+
+def plot_tsne(rows, path, plt):
+    groups = defaultdict(lambda: ([], []))
+    for r in rows:
+        groups[r["label"]][0].append(float(r["x"]))
+        groups[r["label"]][1].append(float(r["y"]))
+    fig, ax = plt.subplots(figsize=(6, 5))
+    for label, (xs, ys) in sorted(groups.items()):
+        if label.startswith("embed_"):
+            ax.scatter(xs, ys, s=18, alpha=0.6, label=label)
+        elif "without" in label:
+            ax.scatter(xs, ys, s=60, marker="x", c="red", label=label)
+        else:
+            ax.scatter(xs, ys, s=60, marker="*", c="black", label=label)
+    ax.set_title("t-SNE of latents vs feasible embeddings (Fig. 7)")
+    ax.legend(fontsize=6)
+    out = path.replace(".csv", ".png")
+    fig.savefig(out, dpi=150, bbox_inches="tight")
+    print("wrote", out)
+
+
+def plot_runtime(rows, path, plt):
+    circuits = sorted({r["circuit"] for r in rows})
+    methods = [m for m in ("DRiLLS", "abcRL", "BOiLS", "FlowTune", "Ours")]
+    col = ("total_query_seconds"
+           if "total_query_seconds" in rows[0] else "algorithm_seconds")
+    fig, ax = plt.subplots(figsize=(7, 4))
+    width = 0.15
+    for mi, method in enumerate(methods):
+        xs, ys = [], []
+        for ci, circuit in enumerate(circuits):
+            for r in rows:
+                if r["circuit"] == circuit and r["method"] == method:
+                    xs.append(ci + (mi - 2) * width)
+                    ys.append(max(float(r[col]), 1e-4))
+        ax.bar(xs, ys, width=width, label=method)
+    ax.set_yscale("log")
+    ax.set_xticks(range(len(circuits)))
+    ax.set_xticklabels(circuits)
+    ax.set_ylabel("seconds (log)")
+    ax.set_title("Per-query optimization time (Fig. 5)")
+    ax.legend(fontsize=7)
+    out = path.replace(".csv", ".png")
+    fig.savefig(out, dpi=150, bbox_inches="tight")
+    print("wrote", out)
+
+
+def plot_table2(rows, path, plt):
+    circuits = sorted({r["circuit"] for r in rows})
+    methods = ["Original", "DRiLLS", "abcRL", "BOiLS", "FlowTune", "Ours"]
+    fig, axes = plt.subplots(1, 2, figsize=(11, 4))
+    for ax, metric in zip(axes, ("area_um2", "delay_ps")):
+        width = 0.13
+        for mi, method in enumerate(methods):
+            xs, ys = [], []
+            for ci, circuit in enumerate(circuits):
+                for r in rows:
+                    if r["circuit"] == circuit and r["method"] == method:
+                        xs.append(ci + (mi - 2.5) * width)
+                        ys.append(float(r[metric]))
+            ax.bar(xs, ys, width=width, label=method)
+        ax.set_xticks(range(len(circuits)))
+        ax.set_xticklabels(circuits, rotation=30)
+        ax.set_title(metric)
+    axes[0].legend(fontsize=6)
+    out = path.replace(".csv", ".png")
+    fig.savefig(out, dpi=150, bbox_inches="tight")
+    print("wrote", out)
+
+
+def plot_generic_sweep(rows, path, plt, xkey, ykey="best_score"):
+    groups = defaultdict(lambda: ([], []))
+    for r in rows:
+        groups[r["sweep"]][0].append(r[xkey])
+        groups[r["sweep"]][1].append(float(r[ykey]))
+    fig, axes = plt.subplots(1, len(groups), figsize=(3 * len(groups), 3))
+    if len(groups) == 1:
+        axes = [axes]
+    for ax, (sweep, (xs, ys)) in zip(axes, sorted(groups.items())):
+        ax.plot(range(len(xs)), ys, marker="o")
+        ax.set_xticks(range(len(xs)))
+        ax.set_xticklabels(xs)
+        ax.set_title(sweep)
+    out = path.replace(".csv", ".png")
+    fig.savefig(out, dpi=150, bbox_inches="tight")
+    print("wrote", out)
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 1
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not installed; the CSVs are plain text — any "
+              "plotting tool works.")
+        return 1
+    for path in sys.argv[1:]:
+        rows = load(path)
+        if not rows:
+            print(path, ": empty")
+            continue
+        header = set(rows[0])
+        if {"label", "x", "y"} <= header:
+            plot_tsne(rows, path, plt)
+        elif "total_query_seconds" in header or "algorithm_seconds" in header:
+            if "area_um2" in header:
+                plot_table2(rows, path, plt)
+            else:
+                plot_runtime(rows, path, plt)
+        elif {"sweep", "value"} <= header:
+            plot_generic_sweep(rows, path, plt, "value")
+        elif {"surrogate", "diffusion"} <= header:
+            # fig6: grouped bars with/without diffusion
+            fig, ax = plt.subplots(figsize=(6, 4))
+            kinds = sorted({r["surrogate"] for r in rows})
+            for di, diff in enumerate(("yes", "no")):
+                xs, ys = [], []
+                for ki, kind in enumerate(kinds):
+                    for r in rows:
+                        if r["surrogate"] == kind and r["diffusion"] == diff:
+                            xs.append(ki + (di - 0.5) * 0.3)
+                            ys.append(float(r["area_um2"]))
+                ax.bar(xs, ys, width=0.3,
+                       label=f"diffusion={diff}")
+            ax.set_xticks(range(len(kinds)))
+            ax.set_xticklabels(kinds)
+            ax.set_ylabel("area um^2")
+            ax.set_title("with vs without diffusion (Fig. 6)")
+            ax.legend()
+            out = path.replace(".csv", ".png")
+            fig.savefig(out, dpi=150, bbox_inches="tight")
+            print("wrote", out)
+        else:
+            print(path, ": unrecognized header", sorted(header))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+#include "clo/aig/cuts.hpp"
+
+#include <algorithm>
+
+namespace clo::aig {
+
+bool Cut::dominates(const Cut& o) const {
+  if (leaves.size() > o.leaves.size()) return false;
+  return std::includes(o.leaves.begin(), o.leaves.end(), leaves.begin(),
+                       leaves.end());
+}
+
+bool merge_cuts(const Cut& a, const Cut& b, int k, Cut& out) {
+  out.leaves.clear();
+  std::size_t i = 0, j = 0;
+  while (i < a.leaves.size() || j < b.leaves.size()) {
+    std::uint32_t next;
+    if (j >= b.leaves.size() ||
+        (i < a.leaves.size() && a.leaves[i] <= b.leaves[j])) {
+      next = a.leaves[i++];
+      if (j < b.leaves.size() && b.leaves[j] == next) ++j;
+    } else {
+      next = b.leaves[j++];
+    }
+    out.leaves.push_back(next);
+    if (static_cast<int>(out.leaves.size()) > k) return false;
+  }
+  return true;
+}
+
+CutSet::CutSet(const Aig& g, const CutParams& params) {
+  cuts_.resize(g.num_slots());
+  // Constant node and PIs: trivial cut only.
+  cuts_[0].push_back(Cut{{0}});
+  for (std::size_t i = 0; i < g.num_pis(); ++i) {
+    cuts_[g.pi_node(i)].push_back(Cut{{g.pi_node(i)}});
+  }
+  for (std::uint32_t n : g.topo_order()) {
+    const auto& c0 = cuts_[lit_node(g.fanin0(n))];
+    const auto& c1 = cuts_[lit_node(g.fanin1(n))];
+    std::vector<Cut> result;
+    Cut merged;
+    for (const Cut& a : c0) {
+      for (const Cut& b : c1) {
+        if (!merge_cuts(a, b, params.max_leaves, merged)) continue;
+        // Drop if dominated by an existing cut; drop existing dominated.
+        bool dominated = false;
+        for (const Cut& c : result) {
+          if (c.dominates(merged)) {
+            dominated = true;
+            break;
+          }
+        }
+        if (dominated) continue;
+        std::erase_if(result, [&](const Cut& c) { return merged.dominates(c); });
+        result.push_back(merged);
+      }
+    }
+    // Priority: prefer fewer leaves (cheaper to match / rewrite).
+    std::sort(result.begin(), result.end(),
+              [](const Cut& a, const Cut& b) {
+                return a.leaves.size() < b.leaves.size();
+              });
+    if (static_cast<int>(result.size()) > params.max_cuts) {
+      result.resize(params.max_cuts);
+    }
+    if (params.keep_trivial) result.push_back(Cut{{n}});
+    cuts_[n] = std::move(result);
+  }
+}
+
+}  // namespace clo::aig

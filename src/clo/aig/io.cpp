@@ -1,0 +1,387 @@
+#include "clo/aig/io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace clo::aig {
+namespace {
+
+// Maps our internal node ids to dense AIGER variable numbers:
+// 0 = const, 1..I = PIs, I+1.. = ANDs in topological order.
+struct AigerIndex {
+  std::vector<std::uint32_t> var_of;  // node -> aiger variable
+  std::vector<std::uint32_t> and_nodes;
+};
+
+AigerIndex build_index(const Aig& g) {
+  AigerIndex idx;
+  idx.var_of.assign(g.num_slots(), 0);
+  std::uint32_t var = 1;
+  for (std::size_t i = 0; i < g.num_pis(); ++i) {
+    idx.var_of[g.pi_node(i)] = var++;
+  }
+  idx.and_nodes = g.topo_order();
+  for (std::uint32_t n : idx.and_nodes) idx.var_of[n] = var++;
+  return idx;
+}
+
+std::uint32_t aiger_lit(const AigerIndex& idx, Lit l) {
+  return idx.var_of[lit_node(l)] * 2 + (lit_is_compl(l) ? 1 : 0);
+}
+
+void write_symbol_table(const Aig& g, std::ostream& os) {
+  for (std::size_t i = 0; i < g.num_pis(); ++i) {
+    os << 'i' << i << ' ' << g.pi_name(i) << '\n';
+  }
+  for (std::size_t i = 0; i < g.num_pos(); ++i) {
+    os << 'o' << i << ' ' << g.po_name(i) << '\n';
+  }
+  os << "c\n" << g.name() << '\n';
+}
+
+}  // namespace
+
+void write_aiger_ascii(const Aig& g, std::ostream& os) {
+  const AigerIndex idx = build_index(g);
+  const std::size_t m = g.num_pis() + idx.and_nodes.size();
+  os << "aag " << m << ' ' << g.num_pis() << " 0 " << g.num_pos() << ' '
+     << idx.and_nodes.size() << '\n';
+  for (std::size_t i = 0; i < g.num_pis(); ++i) {
+    os << aiger_lit(idx, g.pi(i)) << '\n';
+  }
+  for (std::size_t i = 0; i < g.num_pos(); ++i) {
+    os << aiger_lit(idx, g.po(i)) << '\n';
+  }
+  for (std::uint32_t n : idx.and_nodes) {
+    std::uint32_t lhs = idx.var_of[n] * 2;
+    std::uint32_t rhs0 = aiger_lit(idx, g.fanin0(n));
+    std::uint32_t rhs1 = aiger_lit(idx, g.fanin1(n));
+    if (rhs0 < rhs1) std::swap(rhs0, rhs1);
+    os << lhs << ' ' << rhs0 << ' ' << rhs1 << '\n';
+  }
+  write_symbol_table(g, os);
+}
+
+bool write_aiger_ascii(const Aig& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_aiger_ascii(g, out);
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+void put_delta(std::ostream& os, std::uint32_t delta) {
+  while (delta >= 0x80) {
+    os.put(static_cast<char>(0x80 | (delta & 0x7f)));
+    delta >>= 7;
+  }
+  os.put(static_cast<char>(delta));
+}
+
+std::uint32_t get_delta(std::istream& is) {
+  std::uint32_t value = 0;
+  int shift = 0;
+  while (true) {
+    const int c = is.get();
+    if (c == EOF) throw std::runtime_error("AIGER: truncated delta code");
+    value |= static_cast<std::uint32_t>(c & 0x7f) << shift;
+    if (!(c & 0x80)) break;
+    shift += 7;
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_aiger_binary(const Aig& g, std::ostream& os) {
+  const AigerIndex idx = build_index(g);
+  const std::size_t m = g.num_pis() + idx.and_nodes.size();
+  os << "aig " << m << ' ' << g.num_pis() << " 0 " << g.num_pos() << ' '
+     << idx.and_nodes.size() << '\n';
+  for (std::size_t i = 0; i < g.num_pos(); ++i) {
+    os << aiger_lit(idx, g.po(i)) << '\n';
+  }
+  for (std::uint32_t n : idx.and_nodes) {
+    const std::uint32_t lhs = idx.var_of[n] * 2;
+    std::uint32_t rhs0 = aiger_lit(idx, g.fanin0(n));
+    std::uint32_t rhs1 = aiger_lit(idx, g.fanin1(n));
+    if (rhs0 < rhs1) std::swap(rhs0, rhs1);
+    put_delta(os, lhs - rhs0);
+    put_delta(os, rhs0 - rhs1);
+  }
+  write_symbol_table(g, os);
+}
+
+bool write_aiger_binary(const Aig& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  write_aiger_binary(g, out);
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+void read_symbols(std::istream& is, Aig& /*g*/) {
+  // Symbols and comments are tolerated but names are kept as defaults;
+  // the benchmark generators give canonical names already.
+  std::string line;
+  while (std::getline(is, line)) {
+  }
+}
+
+}  // namespace
+
+Aig read_aiger(std::istream& is) {
+  std::string header;
+  is >> header;
+  if (header != "aag" && header != "aig") {
+    throw std::runtime_error("AIGER: bad magic '" + header + "'");
+  }
+  std::size_t m = 0, num_in = 0, num_latch = 0, num_out = 0, num_and = 0;
+  is >> m >> num_in >> num_latch >> num_out >> num_and;
+  if (!is) throw std::runtime_error("AIGER: bad header counts");
+  if (num_latch != 0) {
+    throw std::runtime_error("AIGER: latches unsupported (combinational only)");
+  }
+  Aig g;
+  // lit mapping: aiger literal -> our literal.
+  std::vector<Lit> of_var(m + 1, kLitNull);
+  of_var[0] = kLitFalse;
+  auto to_lit = [&](std::uint32_t aiger_literal) {
+    const std::uint32_t var = aiger_literal / 2;
+    if (var >= of_var.size() || of_var[var] == kLitNull) {
+      throw std::runtime_error("AIGER: literal references undefined variable");
+    }
+    return lit_notc(of_var[var], aiger_literal & 1);
+  };
+
+  if (header == "aag") {
+    for (std::size_t i = 0; i < num_in; ++i) {
+      std::uint32_t l = 0;
+      is >> l;
+      if (l % 2 != 0 || l / 2 > m) throw std::runtime_error("AIGER: bad input");
+      of_var[l / 2] = g.add_pi();
+    }
+    std::vector<std::uint32_t> out_lits(num_out);
+    for (auto& l : out_lits) is >> l;
+    struct AndDef {
+      std::uint32_t lhs, rhs0, rhs1;
+    };
+    std::vector<AndDef> ands(num_and);
+    for (auto& a : ands) is >> a.lhs >> a.rhs0 >> a.rhs1;
+    if (!is) throw std::runtime_error("AIGER: truncated body");
+    // Definitions may be in any order in aag; resolve iteratively.
+    std::size_t remaining = ands.size();
+    bool progress = true;
+    std::vector<bool> done(ands.size(), false);
+    while (remaining > 0 && progress) {
+      progress = false;
+      for (std::size_t i = 0; i < ands.size(); ++i) {
+        if (done[i]) continue;
+        const auto& a = ands[i];
+        const std::uint32_t v0 = a.rhs0 / 2, v1 = a.rhs1 / 2;
+        if (v0 >= of_var.size() || v1 >= of_var.size()) {
+          throw std::runtime_error("AIGER: and rhs out of range");
+        }
+        if (of_var[v0] == kLitNull || of_var[v1] == kLitNull) continue;
+        of_var[a.lhs / 2] = g.and_of(to_lit(a.rhs0), to_lit(a.rhs1));
+        done[i] = true;
+        --remaining;
+        progress = true;
+      }
+    }
+    if (remaining > 0) throw std::runtime_error("AIGER: cyclic definitions");
+    for (std::uint32_t l : out_lits) g.add_po(to_lit(l));
+  } else {
+    for (std::size_t i = 0; i < num_in; ++i) of_var[i + 1] = g.add_pi();
+    std::vector<std::uint32_t> out_lits(num_out);
+    for (auto& l : out_lits) is >> l;
+    is.ignore(1);  // newline before binary section
+    for (std::size_t i = 0; i < num_and; ++i) {
+      const std::uint32_t lhs = static_cast<std::uint32_t>(num_in + 1 + i) * 2;
+      const std::uint32_t d0 = get_delta(is);
+      const std::uint32_t d1 = get_delta(is);
+      const std::uint32_t rhs0 = lhs - d0;
+      const std::uint32_t rhs1 = rhs0 - d1;
+      of_var[lhs / 2] = g.and_of(to_lit(rhs0), to_lit(rhs1));
+    }
+    for (std::uint32_t l : out_lits) g.add_po(to_lit(l));
+  }
+  read_symbols(is, g);
+  return g;
+}
+
+Aig read_aiger_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_aiger(in);
+}
+
+Aig read_bench(std::istream& is) {
+  Aig g;
+  struct Gate {
+    std::string type;
+    std::vector<std::string> inputs;
+  };
+  std::map<std::string, Gate> gates;
+  std::map<std::string, Lit> sig;
+  std::vector<std::string> outputs;
+  std::string line;
+  while (std::getline(is, line)) {
+    // strip comments and whitespace
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::string compact;
+    for (char c : line) {
+      if (!std::isspace(static_cast<unsigned char>(c))) compact += c;
+    }
+    if (compact.empty()) continue;
+    auto paren = compact.find('(');
+    if (compact.rfind("INPUT", 0) == 0) {
+      const std::string name =
+          compact.substr(6, compact.size() - 7);  // INPUT(name)
+      sig[name] = g.add_pi(name);
+      continue;
+    }
+    if (compact.rfind("OUTPUT", 0) == 0) {
+      outputs.push_back(compact.substr(7, compact.size() - 8));
+      continue;
+    }
+    const auto eq = compact.find('=');
+    if (eq == std::string::npos || paren == std::string::npos) {
+      throw std::runtime_error("BENCH: cannot parse line: " + line);
+    }
+    Gate gate;
+    gate.type = compact.substr(eq + 1, paren - eq - 1);
+    std::string args = compact.substr(paren + 1, compact.size() - paren - 2);
+    std::stringstream ss(args);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) gate.inputs.push_back(tok);
+    gates[compact.substr(0, eq)] = std::move(gate);
+  }
+
+  // Recursive elaboration with memoization.
+  std::vector<std::string> stack;
+  std::function<Lit(const std::string&)> elaborate =
+      [&](const std::string& name) -> Lit {
+    auto it = sig.find(name);
+    if (it != sig.end()) return it->second;
+    auto git = gates.find(name);
+    if (git == gates.end()) {
+      throw std::runtime_error("BENCH: undefined signal " + name);
+    }
+    if (std::find(stack.begin(), stack.end(), name) != stack.end()) {
+      throw std::runtime_error("BENCH: combinational cycle at " + name);
+    }
+    stack.push_back(name);
+    std::vector<Lit> ins;
+    for (const auto& in : git->second.inputs) ins.push_back(elaborate(in));
+    stack.pop_back();
+    const std::string& t = git->second.type;
+    auto fold = [&](auto op, Lit unit) {
+      Lit acc = unit;
+      for (Lit l : ins) acc = op(acc, l);
+      return acc;
+    };
+    Lit out;
+    if (t == "AND") {
+      out = fold([&](Lit a, Lit b) { return g.and_of(a, b); }, kLitTrue);
+    } else if (t == "NAND") {
+      out = lit_not(fold([&](Lit a, Lit b) { return g.and_of(a, b); }, kLitTrue));
+    } else if (t == "OR") {
+      out = fold([&](Lit a, Lit b) { return g.or_of(a, b); }, kLitFalse);
+    } else if (t == "NOR") {
+      out = lit_not(fold([&](Lit a, Lit b) { return g.or_of(a, b); }, kLitFalse));
+    } else if (t == "XOR") {
+      out = fold([&](Lit a, Lit b) { return g.xor_of(a, b); }, kLitFalse);
+    } else if (t == "XNOR") {
+      out = lit_not(fold([&](Lit a, Lit b) { return g.xor_of(a, b); }, kLitFalse));
+    } else if (t == "NOT" || t == "INV") {
+      out = lit_not(ins.at(0));
+    } else if (t == "BUF" || t == "BUFF") {
+      out = ins.at(0);
+    } else {
+      throw std::runtime_error("BENCH: unsupported gate type " + t);
+    }
+    sig[name] = out;
+    return out;
+  };
+  for (const auto& o : outputs) g.add_po(elaborate(o), o);
+  return g;
+}
+
+Aig read_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_bench(in);
+}
+
+void write_bench(const Aig& g, std::ostream& os) {
+  os << "# " << g.name() << " (written by clo)\n";
+  for (std::size_t i = 0; i < g.num_pis(); ++i) {
+    os << "INPUT(" << g.pi_name(i) << ")\n";
+  }
+  for (std::size_t i = 0; i < g.num_pos(); ++i) {
+    os << "OUTPUT(" << g.po_name(i) << ")\n";
+  }
+  auto signal = [&](Lit l) -> std::string {
+    if (l == kLitFalse) return "const0";
+    if (l == kLitTrue) return "const1";
+    std::string base;
+    const std::uint32_t n = lit_node(l);
+    if (g.is_pi(n)) {
+      for (std::size_t i = 0; i < g.num_pis(); ++i) {
+        if (g.pi_node(i) == n) base = g.pi_name(i);
+      }
+    } else {
+      base = "n" + std::to_string(n);
+    }
+    return lit_is_compl(l) ? base + "_bar" : base;
+  };
+  bool uses_const = false;
+  std::vector<bool> need_inv(g.num_slots(), false);
+  const auto order = g.topo_order();
+  for (std::uint32_t n : order) {
+    for (Lit f : {g.fanin0(n), g.fanin1(n)}) {
+      if (lit_node(f) == 0) uses_const = true;
+      else if (lit_is_compl(f)) need_inv[lit_node(f)] = true;
+    }
+  }
+  for (std::size_t i = 0; i < g.num_pos(); ++i) {
+    const Lit f = g.po(i);
+    if (lit_node(f) == 0) uses_const = true;
+    else if (lit_is_compl(f)) need_inv[lit_node(f)] = true;
+  }
+  if (uses_const) {
+    // const0 = AND(x, NOT x) over the first PI, or a 0-input workaround.
+    if (g.num_pis() > 0) {
+      os << "const0_inv = NOT(" << g.pi_name(0) << ")\n";
+      os << "const0 = AND(" << g.pi_name(0) << ", const0_inv)\n";
+      os << "const1 = NOT(const0)\n";
+    }
+  }
+  auto emit_inv = [&](std::uint32_t n) {
+    if (need_inv[n]) {
+      os << signal(make_lit(n, true)) << " = NOT(" << signal(make_lit(n))
+         << ")\n";
+    }
+  };
+  for (std::size_t i = 0; i < g.num_pis(); ++i) emit_inv(g.pi_node(i));
+  for (std::uint32_t n : order) {
+    os << signal(make_lit(n)) << " = AND(" << signal(g.fanin0(n)) << ", "
+       << signal(g.fanin1(n)) << ")\n";
+    emit_inv(n);
+  }
+  for (std::size_t i = 0; i < g.num_pos(); ++i) {
+    os << g.po_name(i) << " = BUF(" << signal(g.po(i)) << ")\n";
+  }
+}
+
+}  // namespace clo::aig

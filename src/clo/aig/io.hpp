@@ -1,0 +1,34 @@
+#pragma once
+// AIGER (ASCII "aag" and binary "aig") and ISCAS/BENCH readers + writers,
+// so the library interoperates with ABC, Yosys, and the public benchmark
+// distributions (combinational subset: latches are rejected).
+
+#include <iosfwd>
+#include <string>
+
+#include "clo/aig/aig.hpp"
+
+namespace clo::aig {
+
+/// Write ASCII AIGER ("aag" header).
+void write_aiger_ascii(const Aig& g, std::ostream& os);
+bool write_aiger_ascii(const Aig& g, const std::string& path);
+
+/// Write binary AIGER ("aig" header, delta-encoded ANDs).
+void write_aiger_binary(const Aig& g, std::ostream& os);
+bool write_aiger_binary(const Aig& g, const std::string& path);
+
+/// Read either AIGER format (auto-detected from the header).
+/// Throws std::runtime_error on malformed input or latches.
+Aig read_aiger(std::istream& is);
+Aig read_aiger_file(const std::string& path);
+
+/// Read an ISCAS-style BENCH netlist (INPUT/OUTPUT/AND/NAND/OR/NOR/
+/// XOR/XNOR/NOT/BUF/DFF-free). Throws std::runtime_error on errors.
+Aig read_bench(std::istream& is);
+Aig read_bench_file(const std::string& path);
+
+/// Write a BENCH netlist (AND/NOT decomposition of the AIG).
+void write_bench(const Aig& g, std::ostream& os);
+
+}  // namespace clo::aig

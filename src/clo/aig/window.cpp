@@ -1,0 +1,130 @@
+#include "clo/aig/window.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace clo::aig {
+
+std::vector<std::uint32_t> reconvergence_cut(const Aig& g, std::uint32_t root,
+                                             int max_leaves) {
+  std::vector<std::uint32_t> leaves;
+  std::unordered_set<std::uint32_t> in_leaves;
+  auto add_leaf = [&](std::uint32_t n) {
+    if (in_leaves.insert(n).second) leaves.push_back(n);
+  };
+  if (!g.is_and(root)) return {root};
+  add_leaf(lit_node(g.fanin0(root)));
+  add_leaf(lit_node(g.fanin1(root)));
+
+  // Cost of expanding leaf n = how many leaves the set grows by.
+  auto expansion_cost = [&](std::uint32_t n) {
+    int cost = -1;  // the leaf itself disappears
+    const std::uint32_t c0 = lit_node(g.fanin0(n));
+    const std::uint32_t c1 = lit_node(g.fanin1(n));
+    if (!in_leaves.count(c0)) ++cost;
+    if (c1 != c0 && !in_leaves.count(c1)) ++cost;
+    return cost;
+  };
+
+  while (true) {
+    int best_cost = 1000;
+    int best_index = -1;
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      const std::uint32_t n = leaves[i];
+      if (!g.is_and(n) || n == root) continue;
+      const int cost = expansion_cost(n);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_index = static_cast<int>(i);
+      }
+    }
+    if (best_index < 0) break;
+    if (static_cast<int>(leaves.size()) + best_cost > max_leaves) break;
+    const std::uint32_t n = leaves[best_index];
+    leaves.erase(leaves.begin() + best_index);
+    in_leaves.erase(n);
+    add_leaf(lit_node(g.fanin0(n)));
+    add_leaf(lit_node(g.fanin1(n)));
+  }
+  std::sort(leaves.begin(), leaves.end());
+  return leaves;
+}
+
+std::vector<std::uint32_t> cone_nodes(const Aig& g, std::uint32_t root,
+                                      const std::vector<std::uint32_t>& leaves) {
+  std::unordered_set<std::uint32_t> leaf_set(leaves.begin(), leaves.end());
+  std::vector<std::uint32_t> order;
+  std::unordered_set<std::uint32_t> visited;
+  std::vector<std::pair<std::uint32_t, int>> stack{{root, 0}};
+  while (!stack.empty()) {
+    auto [n, phase] = stack.back();
+    stack.pop_back();
+    if (phase == 0) {
+      if (visited.count(n) || leaf_set.count(n) || !g.is_and(n)) continue;
+      visited.insert(n);
+      stack.emplace_back(n, 1);
+      stack.emplace_back(lit_node(g.fanin0(n)), 0);
+      stack.emplace_back(lit_node(g.fanin1(n)), 0);
+    } else {
+      order.push_back(n);
+    }
+  }
+  return order;
+}
+
+std::optional<TruthTable> try_cone_truth_table(
+    const Aig& g, Lit root_lit, const std::vector<std::uint32_t>& leaves,
+    int max_nodes) {
+  const int k = static_cast<int>(leaves.size());
+  if (k > 16) return std::nullopt;
+  std::unordered_map<std::uint32_t, TruthTable> value;
+  for (int i = 0; i < k; ++i) value.emplace(leaves[i], TruthTable::variable(k, i));
+  int internal = 0;
+  std::vector<std::pair<std::uint32_t, int>> stack{{lit_node(root_lit), 0}};
+  while (!stack.empty()) {
+    auto [n, phase] = stack.back();
+    stack.pop_back();
+    if (phase == 0) {
+      if (value.count(n)) continue;
+      if (n == 0) {
+        value.emplace(n, TruthTable::constant(k, false));
+        continue;
+      }
+      if (g.is_pi(n) || g.is_dead(n)) return std::nullopt;  // escaped the cut
+      if (++internal > max_nodes) return std::nullopt;
+      stack.emplace_back(n, 1);
+      stack.emplace_back(lit_node(g.fanin0(n)), 0);
+      stack.emplace_back(lit_node(g.fanin1(n)), 0);
+    } else {
+      auto val_of = [&](Lit l) {
+        const TruthTable& t = value.at(lit_node(l));
+        return lit_is_compl(l) ? ~t : t;
+      };
+      value.emplace(n, val_of(g.fanin0(n)) & val_of(g.fanin1(n)));
+    }
+  }
+  const TruthTable& t = value.at(lit_node(root_lit));
+  return lit_is_compl(root_lit) ? ~t : t;
+}
+
+std::vector<std::uint32_t> collect_divisors(
+    Aig& g, std::uint32_t root, const std::vector<std::uint32_t>& leaves,
+    int max_divisors) {
+  const auto inside = cone_nodes(g, root, leaves);
+  const auto mffc = g.mffc_nodes(root);
+  std::unordered_set<std::uint32_t> excluded(mffc.begin(), mffc.end());
+  std::vector<std::uint32_t> divisors;
+  // Leaves first (cheapest divisors: no new structure below them).
+  for (std::uint32_t l : leaves) {
+    if (g.is_const0(l)) continue;
+    divisors.push_back(l);
+  }
+  for (std::uint32_t n : inside) {
+    if (n == root || excluded.count(n)) continue;
+    divisors.push_back(n);
+    if (static_cast<int>(divisors.size()) >= max_divisors) break;
+  }
+  return divisors;
+}
+
+}  // namespace clo::aig

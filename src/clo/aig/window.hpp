@@ -1,0 +1,42 @@
+#pragma once
+// Reconvergence-driven cut computation (Mishchenko-style): grows a cut of
+// bounded width around a root node by greedily expanding the leaf whose
+// expansion increases the leaf count the least. Used by refactoring (cone
+// collapse) and resubstitution (windowing + divisor collection).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "clo/aig/aig.hpp"
+#include "clo/aig/truth.hpp"
+
+namespace clo::aig {
+
+/// Reconvergence-driven cut of at most `max_leaves` leaves for `root`.
+/// Leaves are node indices (PIs or internal nodes); every path from root
+/// to the PIs crosses a leaf.
+std::vector<std::uint32_t> reconvergence_cut(const Aig& g, std::uint32_t root,
+                                             int max_leaves);
+
+/// All nodes strictly inside the cone of `root` bounded by `leaves`
+/// (excluding the leaves, including `root`), in topological order.
+std::vector<std::uint32_t> cone_nodes(const Aig& g, std::uint32_t root,
+                                      const std::vector<std::uint32_t>& leaves);
+
+/// Bounded cone function extraction: truth table of `root_lit` over
+/// `leaves`, or nullopt if the cone escapes the leaves (reaches a PI or
+/// const outside them — possible after unrelated graph edits) or visits
+/// more than `max_nodes` internal nodes.
+std::optional<TruthTable> try_cone_truth_table(
+    const Aig& g, Lit root_lit, const std::vector<std::uint32_t>& leaves,
+    int max_nodes);
+
+/// Divisor candidates for resubstituting `root`: nodes in the TFI cone of
+/// `leaves` side-branches that (a) are not in the MFFC of root and (b) are
+/// not root itself. Returned in topological order, capped at `max_divisors`.
+std::vector<std::uint32_t> collect_divisors(
+    Aig& g, std::uint32_t root, const std::vector<std::uint32_t>& leaves,
+    int max_divisors);
+
+}  // namespace clo::aig

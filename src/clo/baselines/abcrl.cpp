@@ -1,0 +1,117 @@
+// abcRL [6]: REINFORCE policy-gradient agent whose state is extracted by a
+// graph neural network over the *current* AIG — rebuilt after every applied
+// transformation. That per-step graph extraction is what makes abcRL the
+// slowest method in the paper's Fig. 5, and it is faithfully reproduced
+// here (the GNN forward counts as algorithm time, not synthesis time).
+
+#include <cmath>
+
+#include "clo/baselines/baseline.hpp"
+#include "clo/models/surrogate.hpp"
+#include "clo/nn/modules.hpp"
+#include "clo/nn/optim.hpp"
+#include "clo/util/timer.hpp"
+
+namespace clo::baselines {
+namespace {
+
+using nn::Tensor;
+
+class AbcRlOptimizer final : public SequenceOptimizer {
+ public:
+  const std::string& name() const override { return name_; }
+
+  BaselineResult optimize(core::QorEvaluator& evaluator,
+                          const BaselineParams& params,
+                          clo::Rng& rng) override {
+    Stopwatch total;
+    total.start();
+    const double synth_before = evaluator.synthesis_seconds();
+    const std::size_t runs_before = evaluator.num_synthesis_runs();
+
+    const int kGraphDim = 16;
+    const int kFeatures = kGraphDim + 2;
+    nn::Mlp policy(kFeatures, 32, opt::kNumTransforms, rng);
+    nn::Adam optimizer(policy.parameters(), 5e-3f);
+
+    const core::Qor original = evaluator.original();
+    Stopwatch local_synth;
+
+    BaselineResult result;
+    result.objective = 1e300;
+    const int episodes = std::max(1, params.eval_budget);
+    for (int ep = 0; ep < episodes; ++ep) {
+      aig::Aig g = evaluator.circuit();
+      opt::Sequence seq;
+      std::vector<Tensor> log_probs;
+      clo::Rng enc_rng(0xABC0 + ep);  // fresh encoder weights are fine here
+      for (int step = 0; step < params.seq_len; ++step) {
+        // The expensive part: build a graph encoder over the current AIG
+        // and run message passing to get the state embedding.
+        models::AigEncoder encoder(g, kGraphDim, 2048, enc_rng);
+        Tensor graph_emb = encoder.forward();  // [1, kGraphDim]
+        Tensor state = Tensor::zeros({1, kFeatures});
+        for (int i = 0; i < kGraphDim; ++i) {
+          state.data()[i] = graph_emb.data()[i];
+        }
+        state.data()[kGraphDim] =
+            static_cast<float>(step) / static_cast<float>(params.seq_len);
+        state.data()[kGraphDim + 1] = 1.0f;
+        Tensor probs = nn::softmax_rows(policy.forward(state));
+        const double u = rng.next_double();
+        double acc = 0.0;
+        int action = opt::kNumTransforms - 1;
+        for (int a = 0; a < opt::kNumTransforms; ++a) {
+          acc += probs.data()[a];
+          if (u < acc) {
+            action = a;
+            break;
+          }
+        }
+        log_probs.push_back(nn::slice_cols(probs, action, action + 1));
+        {
+          ScopedTimer st(local_synth);
+          opt::apply_transform(g, static_cast<opt::Transform>(action));
+        }
+        seq.push_back(static_cast<opt::Transform>(action));
+      }
+      const core::Qor q = evaluator.evaluate(seq);
+      const double objective = relative_objective(q, original, params);
+      if (objective < result.objective) {
+        result.objective = objective;
+        result.best_qor = q;
+        result.best_sequence = seq;
+      }
+      // REINFORCE with the terminal reward only.
+      const double reward = 1.0 - objective;
+      Tensor loss = Tensor::scalar(0.0f);
+      for (auto& lp : log_probs) {
+        const float p_now = std::max(1e-6f, lp.item());
+        loss = nn::add(
+            loss, nn::reshape(
+                      nn::scale(lp, static_cast<float>(-reward) / p_now), {1}));
+      }
+      nn::backward(loss);
+      optimizer.step();
+    }
+
+    total.stop();
+    result.total_seconds = total.seconds();
+    const double synth_delta =
+        (evaluator.synthesis_seconds() - synth_before) + local_synth.seconds();
+    result.algorithm_seconds = std::max(0.0, result.total_seconds - synth_delta);
+    result.synthesis_runs = evaluator.num_synthesis_runs() - runs_before;
+    return result;
+  }
+
+ private:
+  std::string name_ = "abcRL";
+};
+
+}  // namespace
+
+std::unique_ptr<SequenceOptimizer> make_abcrl() {
+  return std::make_unique<AbcRlOptimizer>();
+}
+
+}  // namespace clo::baselines

@@ -1,0 +1,23 @@
+#include "clo/baselines/baseline.hpp"
+
+#include <stdexcept>
+
+namespace clo::baselines {
+
+double relative_objective(const core::Qor& q, const core::Qor& original,
+                          const BaselineParams& params) {
+  const double area_ref = original.area_um2 > 0 ? original.area_um2 : 1.0;
+  const double delay_ref = original.delay_ps > 0 ? original.delay_ps : 1.0;
+  return params.weight_area * q.area_um2 / area_ref +
+         params.weight_delay * q.delay_ps / delay_ref;
+}
+
+std::unique_ptr<SequenceOptimizer> make_baseline(const std::string& name) {
+  if (name == "drills") return make_drills();
+  if (name == "abcrl") return make_abcrl();
+  if (name == "boils") return make_boils();
+  if (name == "flowtune") return make_flowtune();
+  throw std::invalid_argument("unknown baseline: " + name);
+}
+
+}  // namespace clo::baselines

@@ -1,0 +1,57 @@
+#pragma once
+// Common interface for the four prior-work sequence optimizers the paper
+// compares against (Table II / Fig. 5): DRiLLS [5], abcRL [6], BOiLS [9],
+// and FlowTune [8]. Each reports both total wall time and algorithm-only
+// time (synthesis/mapping time subtracted, matching the paper's Fig. 5
+// accounting).
+
+#include <memory>
+#include <string>
+
+#include "clo/core/evaluator.hpp"
+#include "clo/opt/transform.hpp"
+#include "clo/util/rng.hpp"
+
+namespace clo::baselines {
+
+struct BaselineParams {
+  int seq_len = 20;
+  /// Budget in real synthesis evaluations (the expensive resource).
+  int eval_budget = 60;
+  /// Objective weights over (area, delay) relative to the original QoR.
+  double weight_area = 0.5;
+  double weight_delay = 0.5;
+};
+
+struct BaselineResult {
+  opt::Sequence best_sequence;
+  core::Qor best_qor;
+  double objective = 0.0;          ///< weighted relative score (lower=better)
+  double total_seconds = 0.0;
+  double algorithm_seconds = 0.0;  ///< total minus synthesis time
+  std::size_t synthesis_runs = 0;
+};
+
+class SequenceOptimizer {
+ public:
+  virtual ~SequenceOptimizer() = default;
+  virtual const std::string& name() const = 0;
+  virtual BaselineResult optimize(core::QorEvaluator& evaluator,
+                                  const BaselineParams& params,
+                                  clo::Rng& rng) = 0;
+};
+
+std::unique_ptr<SequenceOptimizer> make_drills();
+std::unique_ptr<SequenceOptimizer> make_abcrl();
+std::unique_ptr<SequenceOptimizer> make_boils();
+std::unique_ptr<SequenceOptimizer> make_flowtune();
+
+/// By name: "drills" | "abcrl" | "boils" | "flowtune".
+std::unique_ptr<SequenceOptimizer> make_baseline(const std::string& name);
+
+/// Weighted relative objective used by every baseline:
+/// wa * area/orig_area + wd * delay/orig_delay (lower is better).
+double relative_objective(const core::Qor& q, const core::Qor& original,
+                          const BaselineParams& params);
+
+}  // namespace clo::baselines

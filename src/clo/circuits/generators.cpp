@@ -1,0 +1,638 @@
+#include "clo/circuits/generators.hpp"
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+#include "clo/circuits/wordlevel.hpp"
+#include "clo/util/rng.hpp"
+
+namespace clo::circuits {
+
+using aig::Aig;
+using aig::Lit;
+using aig::lit_not;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+/// Deterministic random two-level control logic: each output is an OR of
+/// `cubes` random cubes over a random subset of the inputs. Used for the
+/// irregular control benchmarks (cavlc/ctrl/i2c/...) whose exact netlists
+/// are not reconstructible from the paper — the optimization landscape only
+/// needs "messy multi-output control logic" of the right size.
+Bus random_logic(CircuitBuilder& cb, const Bus& in, int num_outputs,
+                 int cubes, int cube_width, clo::Rng& rng) {
+  Bus out;
+  out.reserve(num_outputs);
+  for (int o = 0; o < num_outputs; ++o) {
+    Lit acc = aig::kLitFalse;
+    for (int c = 0; c < cubes; ++c) {
+      Lit term = aig::kLitTrue;
+      for (int l = 0; l < cube_width; ++l) {
+        const Lit x = in[rng.next_below(in.size())];
+        term = cb.graph().and_of(term, rng.next_bool() ? x : lit_not(x));
+      }
+      acc = cb.graph().or_of(acc, term);
+    }
+    out.push_back(acc);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// EPFL arithmetic benchmarks (reduced widths)
+// ---------------------------------------------------------------------------
+
+Aig gen_adder() {
+  CircuitBuilder cb("adder");
+  const Bus a = cb.input_bus("a", 32);
+  const Bus b = cb.input_bus("b", 32);
+  auto [sum, carry] = cb.add(a, b);
+  cb.output_bus("sum", sum);
+  cb.output("cout", carry);
+  return cb.take();
+}
+
+Aig gen_bar() {
+  CircuitBuilder cb("bar");
+  const Bus data = cb.input_bus("data", 32);
+  const Bus shift = cb.input_bus("shift", 5);
+  cb.output_bus("out", cb.rotate_left(data, shift));
+  return cb.take();
+}
+
+Aig gen_div() {
+  CircuitBuilder cb("div");
+  const Bus a = cb.input_bus("a", 8);
+  const Bus b = cb.input_bus("b", 8);
+  auto [q, r] = cb.divmod(a, b);
+  cb.output_bus("quot", q);
+  cb.output_bus("rem", r);
+  return cb.take();
+}
+
+Aig gen_hyp() {
+  CircuitBuilder cb("hyp");
+  const Bus x = cb.input_bus("x", 6);
+  const Bus y = cb.input_bus("y", 6);
+  const Bus x2 = cb.square(x);
+  const Bus y2 = cb.square(y);
+  Bus sum = cb.add(x2, y2).first;
+  sum.push_back(aig::kLitFalse);  // widen to 13 bits for the carry
+  cb.output_bus("hyp", cb.isqrt(sum));
+  return cb.take();
+}
+
+Aig gen_log2() {
+  CircuitBuilder cb("log2");
+  const Bus x = cb.input_bus("x", 16);
+  auto [exp, any] = cb.leading_one(x);
+  // Normalize: shift the leading one to the top, take the fraction bits.
+  const Bus left = cb.sub(cb.constant(4, 15), exp).first;
+  const Bus norm = cb.shift_left(x, left);
+  Bus frac(norm.begin() + 8, norm.begin() + 15);  // bits below the lead one
+  // Quadratic correction: frac - frac^2/2 approximates log2(1+f).
+  const Bus f2 = cb.mul(frac, frac);     // 14 bits
+  Bus corr(f2.begin() + 7, f2.end());    // top 7 bits of frac^2 (/2)
+  corr.push_back(aig::kLitFalse);        // widen to 8
+  Bus fr(frac);
+  fr.push_back(aig::kLitFalse);          // widen to 8
+  const Bus mant = cb.sub(fr, corr).first;
+  cb.output_bus("exp", exp);
+  cb.output_bus("mant", mant);
+  cb.output("valid", any);
+  return cb.take();
+}
+
+Aig gen_max() {
+  CircuitBuilder cb("max");
+  const Bus a = cb.input_bus("a", 16);
+  const Bus b = cb.input_bus("b", 16);
+  const Bus c = cb.input_bus("c", 16);
+  const Bus d = cb.input_bus("d", 16);
+  const Bus m = cb.max_of(cb.max_of(a, b), cb.max_of(c, d));
+  cb.output_bus("max", m);
+  return cb.take();
+}
+
+Aig gen_multiplier() {
+  CircuitBuilder cb("multiplier");
+  const Bus a = cb.input_bus("a", 8);
+  const Bus b = cb.input_bus("b", 8);
+  cb.output_bus("prod", cb.mul(a, b));
+  return cb.take();
+}
+
+Aig gen_sin() {
+  CircuitBuilder cb("sin");
+  // CORDIC rotation mode, 10 iterations at 12-bit precision.
+  const Bus angle_in = cb.input_bus("angle", 12);
+  static const int kAtan[10] = {1608, 949, 501, 254, 127, 63, 31, 15, 7, 3};
+  Bus x = cb.constant(12, 1243);  // CORDIC gain-compensated start value
+  Bus y = cb.constant(12, 0);
+  Bus z = angle_in;
+  for (int k = 0; k < 10; ++k) {
+    const Lit sign = z[11];  // z < 0 (two's complement sign bit)
+    // Arithmetic shift right by k (sign extension of x/y, treated signed).
+    auto asr = [&](const Bus& v) {
+      Bus s(v.size());
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        s[i] = (i + k < v.size()) ? v[i + k] : v[v.size() - 1];
+      }
+      return s;
+    };
+    const Bus xs = asr(x);
+    const Bus ys = asr(y);
+    const Bus at = cb.constant(12, static_cast<std::uint64_t>(kAtan[k]) & 0xfff);
+    // sign==0 (z >= 0): x -= y>>k, y += x>>k, z -= atan
+    // sign==1 (z <  0): x += y>>k, y -= x>>k, z += atan
+    const Bus x_minus = cb.sub(x, ys).first;
+    const Bus x_plus = cb.add(x, ys).first;
+    const Bus y_plus = cb.add(y, xs).first;
+    const Bus y_minus = cb.sub(y, xs).first;
+    const Bus z_minus = cb.sub(z, at).first;
+    const Bus z_plus = cb.add(z, at).first;
+    x = cb.mux_bus(sign, x_plus, x_minus);
+    y = cb.mux_bus(sign, y_minus, y_plus);
+    z = cb.mux_bus(sign, z_plus, z_minus);
+  }
+  cb.output_bus("sin", y);
+  return cb.take();
+}
+
+Aig gen_sqrt() {
+  CircuitBuilder cb("sqrt");
+  const Bus x = cb.input_bus("x", 16);
+  cb.output_bus("root", cb.isqrt(x));
+  return cb.take();
+}
+
+Aig gen_square() {
+  CircuitBuilder cb("square");
+  const Bus x = cb.input_bus("x", 8);
+  cb.output_bus("sq", cb.square(x));
+  return cb.take();
+}
+
+// ---------------------------------------------------------------------------
+// EPFL random/control benchmarks
+// ---------------------------------------------------------------------------
+
+Aig gen_arbiter() {
+  CircuitBuilder cb("arbiter");
+  const Bus req = cb.input_bus("req", 16);
+  const Bus ptr = cb.input_bus("ptr", 4);
+  // Round-robin: rotate requests by the pointer, fixed-priority arbitrate,
+  // rotate the one-hot grant back.
+  const Bus neg = cb.sub(cb.constant(4, 0), ptr).first;  // 16 - ptr mod 16
+  const Bus rotated = cb.rotate_left(req, neg);
+  Bus grant_rot(16);
+  Lit taken = aig::kLitFalse;
+  for (int i = 0; i < 16; ++i) {
+    grant_rot[i] = cb.graph().and_of(rotated[i], lit_not(taken));
+    taken = cb.graph().or_of(taken, rotated[i]);
+  }
+  const Bus grant = cb.rotate_left(grant_rot, ptr);
+  cb.output_bus("grant", grant);
+  cb.output("busy", taken);
+  return cb.take();
+}
+
+Aig gen_cavlc() {
+  CircuitBuilder cb("cavlc");
+  clo::Rng rng(0xCA71C);
+  const Bus in = cb.input_bus("in", 10);
+  // Coefficient-token decode flavor: a 4-bit field selects among random
+  // code tables applied to the remaining bits.
+  const Bus sel(in.begin(), in.begin() + 4);
+  const Bus rest(in.begin() + 4, in.end());
+  const Bus dec = cb.decode(Bus(sel.begin(), sel.begin() + 3));
+  Bus table = random_logic(cb, in, 11, 6, 4, rng);
+  Bus gated(table.size());
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    gated[i] = cb.graph().and_of(table[i], dec[i % dec.size()]);
+  }
+  const Lit parity = cb.reduce_xor(rest);
+  for (auto& l : gated) l = cb.graph().xor_of(l, parity);
+  cb.output_bus("out", gated);
+  return cb.take();
+}
+
+Aig gen_ctrl() {
+  CircuitBuilder cb("ctrl");
+  clo::Rng rng(0xC781);
+  const Bus in = cb.input_bus("in", 7);
+  cb.output_bus("out", random_logic(cb, in, 25, 4, 3, rng));
+  return cb.take();
+}
+
+Aig gen_dec() {
+  CircuitBuilder cb("dec");
+  const Bus sel = cb.input_bus("sel", 6);
+  cb.output_bus("out", cb.decode(sel));
+  return cb.take();
+}
+
+Aig gen_i2c() {
+  CircuitBuilder cb("i2c");
+  clo::Rng rng(0x12C);
+  const Bus state = cb.input_bus("state", 5);
+  const Bus count = cb.input_bus("count", 4);
+  const Bus flags = cb.input_bus("flags", 8);
+  // Next-state logic: compare the counter, decode the state, mix flags.
+  const Bus st_dec = cb.decode(state);
+  const Lit cnt_done = cb.equal(count, cb.constant(4, 8));
+  Bus all(flags);
+  all.insert(all.end(), state.begin(), state.end());
+  all.push_back(cnt_done);
+  Bus next = random_logic(cb, all, 18, 5, 4, rng);
+  for (std::size_t i = 0; i < next.size(); ++i) {
+    next[i] = cb.graph().and_of(next[i], lit_not(st_dec[i % 32]));
+  }
+  cb.output_bus("out", next);
+  return cb.take();
+}
+
+Aig gen_int2float() {
+  CircuitBuilder cb("int2float");
+  const Bus x = cb.input_bus("x", 8);
+  auto [exp, any] = cb.leading_one(x);
+  const Bus left = cb.sub(cb.constant(3, 7), exp).first;
+  const Bus norm = cb.shift_left(x, left);
+  Bus mant(norm.begin() + 4, norm.begin() + 7);  // 3 bits below the lead one
+  cb.output_bus("exp", exp);
+  cb.output_bus("mant", mant);
+  cb.output("nonzero", any);
+  return cb.take();
+}
+
+Aig gen_mem_ctrl() {
+  CircuitBuilder cb("mem_ctrl");
+  clo::Rng rng(0x3E3);
+  const Bus addr = cb.input_bus("addr", 12);
+  const Bus cmd = cb.input_bus("cmd", 3);
+  const Bus bank_state = cb.input_bus("bank_state", 8);
+  const Bus timer = cb.input_bus("timer", 6);
+  // Bank/row decode.
+  const Bus bank = cb.decode(Bus(addr.begin() + 9, addr.end()));
+  const Bus row(addr.begin(), addr.begin() + 9);
+  const Bus cmd_dec = cb.decode(cmd);
+  const Lit timer_zero = cb.equal(timer, cb.constant(6, 0));
+  const Lit row_match = cb.equal(Bus(row.begin(), row.begin() + 8), bank_state);
+  // Per-bank command enables.
+  Bus enables(8);
+  for (int i = 0; i < 8; ++i) {
+    const Lit act = cb.graph().and_of(cmd_dec[1], lit_not(row_match));
+    const Lit rw = cb.graph().and_of(cmd_dec[2], row_match);
+    const Lit pre = cb.graph().and_of(cmd_dec[3], timer_zero);
+    const Lit any = cb.graph().or_of(act, cb.graph().or_of(rw, pre));
+    enables[i] = cb.graph().and_of(any, bank[i]);
+  }
+  cb.output_bus("en", enables);
+  Bus all(addr);
+  all.insert(all.end(), bank_state.begin(), bank_state.end());
+  all.insert(all.end(), timer.begin(), timer.end());
+  all.push_back(row_match);
+  all.push_back(timer_zero);
+  cb.output_bus("ctl", random_logic(cb, all, 24, 6, 5, rng));
+  // Refresh counter compare chain.
+  auto [inc, carry] = cb.add(timer, cb.constant(6, 1));
+  cb.output_bus("timer_next", inc);
+  cb.output("timer_wrap", carry);
+  return cb.take();
+}
+
+Aig gen_priority() {
+  CircuitBuilder cb("priority");
+  const Bus req = cb.input_bus("req", 32);
+  auto [index, any] = cb.priority_encode(req);
+  cb.output_bus("index", index);
+  cb.output("valid", any);
+  // Daisy-chain grant outputs (what makes EPFL's priority deep).
+  Bus grant(32);
+  Lit blocked = aig::kLitFalse;
+  for (int i = 0; i < 32; ++i) {
+    grant[i] = cb.graph().and_of(req[i], lit_not(blocked));
+    blocked = cb.graph().or_of(blocked, req[i]);
+  }
+  cb.output_bus("grant", grant);
+  return cb.take();
+}
+
+Aig gen_router() {
+  CircuitBuilder cb("router");
+  clo::Rng rng(0x7013);
+  const Bus dest = cb.input_bus("dest", 8);
+  const Bus local = cb.input_bus("local", 8);
+  const Bus credits = cb.input_bus("credits", 4);
+  const Lit is_local = cb.equal(dest, local);
+  const Lit go_x = cb.less_than(Bus(dest.begin(), dest.begin() + 4),
+                                Bus(local.begin(), local.begin() + 4));
+  const Lit go_y = cb.less_than(Bus(dest.begin() + 4, dest.end()),
+                                Bus(local.begin() + 4, local.end()));
+  Bus port(4);
+  port[0] = is_local;
+  port[1] = cb.graph().and_of(lit_not(is_local), go_x);
+  port[2] = cb.graph().and_of(lit_not(is_local),
+                              cb.graph().and_of(lit_not(go_x), go_y));
+  port[3] = cb.graph().and_of(lit_not(is_local),
+                              cb.graph().and_of(lit_not(go_x), lit_not(go_y)));
+  Bus gated(4);
+  for (int i = 0; i < 4; ++i) gated[i] = cb.graph().and_of(port[i], credits[i]);
+  cb.output_bus("port", gated);
+  Bus all(dest);
+  all.insert(all.end(), credits.begin(), credits.end());
+  cb.output_bus("misc", random_logic(cb, all, 6, 4, 4, rng));
+  return cb.take();
+}
+
+Aig gen_voter() {
+  CircuitBuilder cb("voter");
+  const Bus votes = cb.input_bus("v", 31);
+  cb.output("maj", cb.majority(votes));
+  return cb.take();
+}
+
+// ---------------------------------------------------------------------------
+// ISCAS85
+// ---------------------------------------------------------------------------
+
+Aig gen_c17() {
+  // The classic 6-NAND netlist, exactly.
+  CircuitBuilder cb("c17");
+  Aig& g = cb.graph();
+  const Lit n1 = cb.input("1");
+  const Lit n2 = cb.input("2");
+  const Lit n3 = cb.input("3");
+  const Lit n6 = cb.input("6");
+  const Lit n7 = cb.input("7");
+  const Lit g10 = g.nand_of(n1, n3);
+  const Lit g11 = g.nand_of(n3, n6);
+  const Lit g16 = g.nand_of(n2, g11);
+  const Lit g19 = g.nand_of(g11, n7);
+  const Lit g22 = g.nand_of(g10, g16);
+  const Lit g23 = g.nand_of(g16, g19);
+  cb.output("22", g22);
+  cb.output("23", g23);
+  return cb.take();
+}
+
+Aig gen_c432() {
+  // 27-channel interrupt controller flavor: 3 groups of 9 requests with
+  // per-group enables and cross-group priority.
+  CircuitBuilder cb("c432");
+  const Bus a = cb.input_bus("a", 9);
+  const Bus b = cb.input_bus("b", 9);
+  const Bus c = cb.input_bus("c", 9);
+  const Bus en = cb.input_bus("en", 9);
+  const Bus ga = cb.bitwise_and(a, en);
+  const Lit any_a = cb.reduce_or(ga);
+  const Bus gb = cb.bitwise_and(b, en);
+  const Lit any_b = cb.reduce_or(gb);
+  const Bus gc = cb.bitwise_and(c, en);
+  const Lit any_c = cb.reduce_or(gc);
+  // Priority a > b > c; selected channel index within winning group.
+  Bus sel = cb.mux_bus(any_a, ga, cb.mux_bus(any_b, gb, gc));
+  auto [index, any] = cb.priority_encode(sel);
+  cb.output("pa", any_a);
+  cb.output("pb", cb.graph().and_of(any_b, lit_not(any_a)));
+  cb.output("pc", cb.graph().and_of(
+                      any_c, lit_not(cb.graph().or_of(any_a, any_b))));
+  cb.output_bus("chan", index);
+  cb.output("any", any);
+  return cb.take();
+}
+
+/// Hamming-style single-error-corrector used for the c499/c1355/c1908 family.
+Aig gen_ecc(const std::string& name, int data_bits, int extra_mix) {
+  CircuitBuilder cb(name);
+  int check_bits = 0;
+  while ((1 << check_bits) < data_bits + check_bits + 1) ++check_bits;
+  const Bus data = cb.input_bus("d", data_bits);
+  const Bus check = cb.input_bus("c", check_bits);
+  // Syndrome: parity groups by (position+1) bit masks.
+  Bus syndrome(check_bits);
+  for (int s = 0; s < check_bits; ++s) {
+    Lit acc = check[s];
+    for (int i = 0; i < data_bits; ++i) {
+      if (((i + 1) >> s) & 1) acc = cb.graph().xor_of(acc, data[i]);
+    }
+    syndrome[s] = acc;
+  }
+  // Correct: flip data bit whose (index+1) matches the syndrome.
+  Bus corrected(data_bits);
+  for (int i = 0; i < data_bits; ++i) {
+    const Lit hit = cb.equal(
+        syndrome, cb.constant(check_bits, static_cast<std::uint64_t>(i + 1)));
+    corrected[i] = cb.graph().xor_of(data[i], hit);
+  }
+  for (int m = 0; m < extra_mix; ++m) {
+    // Extra parity planes (c1355 expands c499 logic; we widen similarly).
+    Bus rot(corrected.size());
+    for (std::size_t i = 0; i < corrected.size(); ++i) {
+      rot[i] = corrected[(i + 5 * (m + 1)) % corrected.size()];
+    }
+    corrected = cb.bitwise_xor(corrected, rot);
+  }
+  cb.output_bus("out", corrected);
+  cb.output("err", cb.reduce_or(syndrome));
+  return cb.take();
+}
+
+/// Small ALU used for the c880/c2670/c3540/c5315 family.
+Bus alu_core(CircuitBuilder& cb, const Bus& a, const Bus& b, const Bus& op) {
+  const Bus dec = cb.decode(op);
+  const Bus sum = cb.add(a, b).first;
+  const Bus diff = cb.sub(a, b).first;
+  const Bus andv = cb.bitwise_and(a, b);
+  const Bus orv = cb.bitwise_or(a, b);
+  const Bus xorv = cb.bitwise_xor(a, b);
+  Bus shl(a.size(), aig::kLitFalse);
+  for (std::size_t i = 1; i < a.size(); ++i) shl[i] = a[i - 1];
+  Bus result(a.size(), aig::kLitFalse);
+  auto merge = [&](const Bus& v, Lit sel) {
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      result[i] = cb.graph().or_of(result[i], cb.graph().and_of(v[i], sel));
+    }
+  };
+  merge(sum, dec[0]);
+  merge(diff, dec[1]);
+  merge(andv, dec[2]);
+  merge(orv, dec[3]);
+  merge(xorv, dec[4]);
+  merge(shl, dec[5]);
+  merge(a, dec[6]);
+  merge(cb.bitwise_not(a), dec[7]);
+  return result;
+}
+
+Aig gen_c880() {
+  CircuitBuilder cb("c880");
+  const Bus a = cb.input_bus("a", 8);
+  const Bus b = cb.input_bus("b", 8);
+  const Bus op = cb.input_bus("op", 3);
+  const Bus r = alu_core(cb, a, b, op);
+  cb.output_bus("r", r);
+  cb.output("zero", cb.equal(r, cb.constant(8, 0)));
+  cb.output("ovf", cb.add(a, b).second);
+  return cb.take();
+}
+
+Aig gen_c1908() { return gen_ecc("c1908", 16, 2); }
+Aig gen_c499() { return gen_ecc("c499", 32, 0); }
+Aig gen_c1355() { return gen_ecc("c1355", 32, 1); }
+
+Aig gen_c2670() {
+  CircuitBuilder cb("c2670");
+  clo::Rng rng(0x2670);
+  const Bus a = cb.input_bus("a", 12);
+  const Bus b = cb.input_bus("b", 12);
+  const Bus op = cb.input_bus("op", 3);
+  const Bus r = alu_core(cb, a, b, op);
+  cb.output_bus("r", r);
+  cb.output("lt", cb.less_than(a, b));
+  cb.output("eq", cb.equal(a, b));
+  Bus all(a);
+  all.insert(all.end(), b.begin(), b.end());
+  cb.output_bus("ctl", random_logic(cb, all, 10, 4, 5, rng));
+  return cb.take();
+}
+
+Aig gen_c3540() {
+  CircuitBuilder cb("c3540");
+  const Bus a = cb.input_bus("a", 8);
+  const Bus b = cb.input_bus("b", 8);
+  const Bus op = cb.input_bus("op", 3);
+  const Bus sh = cb.input_bus("sh", 3);
+  const Bus r = alu_core(cb, a, b, op);
+  const Bus shifted = cb.shift_left(r, sh);
+  const Bus rotated = cb.rotate_left(a, sh);
+  const Bus mixed = cb.bitwise_xor(shifted, rotated);
+  cb.output_bus("r", mixed);
+  cb.output("parity", cb.reduce_xor(mixed));
+  cb.output("zero", cb.equal(mixed, cb.constant(8, 0)));
+  return cb.take();
+}
+
+Aig gen_c5315() {
+  CircuitBuilder cb("c5315");
+  const Bus a = cb.input_bus("a", 9);
+  const Bus b = cb.input_bus("b", 9);
+  const Bus c = cb.input_bus("c", 9);
+  const Bus op = cb.input_bus("op", 3);
+  const Bus r1 = alu_core(cb, a, b, op);
+  const Bus r2 = alu_core(cb, b, c, op);
+  const Lit sel = cb.less_than(a, c);
+  const Bus r = cb.mux_bus(sel, r1, r2);
+  cb.output_bus("r", r);
+  cb.output_bus("min", cb.min_of(cb.min_of(a, b), c));
+  cb.output("par", cb.reduce_xor(r));
+  return cb.take();
+}
+
+Aig gen_c6288() {
+  CircuitBuilder cb("c6288");
+  const Bus a = cb.input_bus("a", 10);
+  const Bus b = cb.input_bus("b", 10);
+  cb.output_bus("prod", cb.mul(a, b));
+  return cb.take();
+}
+
+Aig gen_c7552() {
+  CircuitBuilder cb("c7552");
+  const Bus a = cb.input_bus("a", 16);
+  const Bus b = cb.input_bus("b", 16);
+  const Bus c = cb.input_bus("c", 16);
+  auto [sum, cout] = cb.add(a, b);
+  cb.output_bus("sum", sum);
+  cb.output("cout", cout);
+  cb.output("eq", cb.equal(sum, c));
+  cb.output("lt", cb.less_than(sum, c));
+  cb.output("par_a", cb.reduce_xor(a));
+  cb.output("par_b", cb.reduce_xor(b));
+  cb.output_bus("max", cb.max_of(sum, c));
+  return cb.take();
+}
+
+using Generator = std::function<Aig()>;
+
+const std::map<std::string, Generator>& generator_map() {
+  static const std::map<std::string, Generator> kMap = {
+      {"adder", gen_adder},         {"arbiter", gen_arbiter},
+      {"bar", gen_bar},             {"cavlc", gen_cavlc},
+      {"ctrl", gen_ctrl},           {"dec", gen_dec},
+      {"div", gen_div},             {"hyp", gen_hyp},
+      {"i2c", gen_i2c},             {"int2float", gen_int2float},
+      {"log2", gen_log2},           {"max", gen_max},
+      {"mem_ctrl", gen_mem_ctrl},   {"multiplier", gen_multiplier},
+      {"priority", gen_priority},   {"router", gen_router},
+      {"sin", gen_sin},             {"sqrt", gen_sqrt},
+      {"square", gen_square},       {"voter", gen_voter},
+      {"c17", gen_c17},             {"c432", gen_c432},
+      {"c499", gen_c499},           {"c880", gen_c880},
+      {"c1355", gen_c1355},         {"c1908", gen_c1908},
+      {"c2670", gen_c2670},         {"c3540", gen_c3540},
+      {"c5315", gen_c5315},         {"c6288", gen_c6288},
+      {"c7552", gen_c7552},
+  };
+  return kMap;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkInfo>& benchmark_catalog() {
+  static const std::vector<BenchmarkInfo> kCatalog = {
+      {"adder", "epfl", "32-bit ripple-carry adder"},
+      {"arbiter", "epfl", "16-way round-robin arbiter"},
+      {"bar", "epfl", "32-bit barrel rotator"},
+      {"cavlc", "epfl", "coefficient-token decode control"},
+      {"ctrl", "epfl", "small random control decode"},
+      {"dec", "epfl", "6-to-64 decoder"},
+      {"div", "epfl", "8-bit restoring divider"},
+      {"hyp", "epfl", "6-bit hypotenuse sqrt(x^2+y^2)"},
+      {"i2c", "epfl", "bus-controller next-state logic"},
+      {"int2float", "epfl", "8-bit int to mini-float converter"},
+      {"log2", "epfl", "16-bit log2 with quadratic correction"},
+      {"max", "epfl", "max of four 16-bit words"},
+      {"mem_ctrl", "epfl", "DRAM command/decode control"},
+      {"multiplier", "epfl", "8x8 array multiplier"},
+      {"priority", "epfl", "32-bit priority encoder + daisy chain"},
+      {"router", "epfl", "XY route computation"},
+      {"sin", "epfl", "12-bit CORDIC sine"},
+      {"sqrt", "epfl", "16-bit restoring square root"},
+      {"square", "epfl", "8-bit squarer"},
+      {"voter", "epfl", "31-input majority voter"},
+      {"c17", "iscas85", "classic 6-NAND netlist (exact)"},
+      {"c432", "iscas85", "27-channel interrupt controller"},
+      {"c499", "iscas85", "32-bit SEC circuit"},
+      {"c880", "iscas85", "8-bit ALU"},
+      {"c1355", "iscas85", "32-bit SEC circuit (expanded)"},
+      {"c1908", "iscas85", "16-bit SEC with extra parity planes"},
+      {"c2670", "iscas85", "12-bit ALU + comparator + control"},
+      {"c3540", "iscas85", "8-bit ALU with shifter"},
+      {"c5315", "iscas85", "dual 9-bit ALU selector"},
+      {"c6288", "iscas85", "10x10 array multiplier"},
+      {"c7552", "iscas85", "16-bit adder/comparator"},
+  };
+  return kCatalog;
+}
+
+bool has_benchmark(const std::string& name) {
+  return generator_map().count(name) > 0;
+}
+
+Aig make_benchmark(const std::string& name) {
+  auto it = generator_map().find(name);
+  if (it == generator_map().end()) {
+    throw std::invalid_argument("unknown benchmark: " + name);
+  }
+  Aig g = it->second();
+  g.cleanup();  // drop any construction leftovers; canonical node count
+  return g;
+}
+
+}  // namespace clo::circuits

@@ -1,0 +1,30 @@
+#pragma once
+// Generators for the paper's benchmark suite: structural equivalents of the
+// 20 EPFL combinational benchmarks and 11 ISCAS85 netlists, built with the
+// word-level builder at reduced bit-widths (see DESIGN.md for the
+// substitution rationale). Every generator is deterministic.
+
+#include <string>
+#include <vector>
+
+#include "clo/aig/aig.hpp"
+
+namespace clo::circuits {
+
+struct BenchmarkInfo {
+  std::string name;
+  std::string suite;        ///< "epfl" or "iscas85"
+  std::string description;
+};
+
+/// All 31 benchmark names in the paper's Table II order.
+const std::vector<BenchmarkInfo>& benchmark_catalog();
+
+/// True if `name` is in the catalog.
+bool has_benchmark(const std::string& name);
+
+/// Build a benchmark circuit by name. Throws std::invalid_argument for
+/// unknown names.
+aig::Aig make_benchmark(const std::string& name);
+
+}  // namespace clo::circuits

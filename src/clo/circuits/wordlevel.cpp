@@ -1,0 +1,297 @@
+#include "clo/circuits/wordlevel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace clo::circuits {
+
+using aig::Lit;
+using aig::lit_not;
+
+Bus CircuitBuilder::input_bus(const std::string& name, int width) {
+  Bus bus(width);
+  for (int i = 0; i < width; ++i) {
+    bus[i] = g_.add_pi(name + "[" + std::to_string(i) + "]");
+  }
+  return bus;
+}
+
+void CircuitBuilder::output_bus(const std::string& name, const Bus& bus) {
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    g_.add_po(bus[i], name + "[" + std::to_string(i) + "]");
+  }
+}
+
+Bus CircuitBuilder::constant(int width, std::uint64_t value) const {
+  Bus bus(width);
+  for (int i = 0; i < width; ++i) {
+    bus[i] = ((value >> i) & 1) ? aig::kLitTrue : aig::kLitFalse;
+  }
+  return bus;
+}
+
+Bus CircuitBuilder::bitwise_not(const Bus& a) const {
+  Bus r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = lit_not(a[i]);
+  return r;
+}
+
+Bus CircuitBuilder::bitwise_and(const Bus& a, const Bus& b) {
+  Bus r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = g_.and_of(a[i], b[i]);
+  return r;
+}
+
+Bus CircuitBuilder::bitwise_or(const Bus& a, const Bus& b) {
+  Bus r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = g_.or_of(a[i], b[i]);
+  return r;
+}
+
+Bus CircuitBuilder::bitwise_xor(const Bus& a, const Bus& b) {
+  Bus r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = g_.xor_of(a[i], b[i]);
+  return r;
+}
+
+Lit CircuitBuilder::reduce_and(const Bus& a) {
+  Lit acc = aig::kLitTrue;
+  for (Lit l : a) acc = g_.and_of(acc, l);
+  return acc;
+}
+
+Lit CircuitBuilder::reduce_or(const Bus& a) {
+  Lit acc = aig::kLitFalse;
+  for (Lit l : a) acc = g_.or_of(acc, l);
+  return acc;
+}
+
+Lit CircuitBuilder::reduce_xor(const Bus& a) {
+  Lit acc = aig::kLitFalse;
+  for (Lit l : a) acc = g_.xor_of(acc, l);
+  return acc;
+}
+
+Bus CircuitBuilder::mux_bus(Lit sel, const Bus& t, const Bus& e) {
+  if (t.size() != e.size()) throw std::invalid_argument("mux width mismatch");
+  Bus r(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    r[i] = g_.mux_of(sel, t[i], e[i]);
+  }
+  return r;
+}
+
+std::pair<Bus, Lit> CircuitBuilder::add(const Bus& a, const Bus& b,
+                                        Lit carry_in) {
+  if (a.size() != b.size()) throw std::invalid_argument("add width mismatch");
+  Bus sum(a.size());
+  Lit carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Lit axb = g_.xor_of(a[i], b[i]);
+    sum[i] = g_.xor_of(axb, carry);
+    carry = g_.maj_of(a[i], b[i], carry);
+  }
+  return {sum, carry};
+}
+
+std::pair<Bus, Lit> CircuitBuilder::sub(const Bus& a, const Bus& b) {
+  return add(a, bitwise_not(b), aig::kLitTrue);
+}
+
+Bus CircuitBuilder::mul(const Bus& a, const Bus& b) {
+  const int wa = static_cast<int>(a.size());
+  const int wb = static_cast<int>(b.size());
+  Bus acc = constant(wa + wb, 0);
+  for (int j = 0; j < wb; ++j) {
+    Bus partial = constant(wa + wb, 0);
+    for (int i = 0; i < wa; ++i) partial[i + j] = g_.and_of(a[i], b[j]);
+    acc = add(acc, partial).first;
+  }
+  return acc;
+}
+
+std::pair<Bus, Bus> CircuitBuilder::divmod(const Bus& a, const Bus& b) {
+  const int w = static_cast<int>(a.size());
+  if (b.size() != a.size()) throw std::invalid_argument("divmod width");
+  // Restoring division, MSB first. Remainder register one bit wider than b.
+  Bus rem = constant(w + 1, 0);
+  Bus div(b);
+  div.push_back(aig::kLitFalse);
+  Bus quot(w, aig::kLitFalse);
+  for (int i = w - 1; i >= 0; --i) {
+    // rem = (rem << 1) | a[i]
+    for (int k = w; k > 0; --k) rem[k] = rem[k - 1];
+    rem[0] = a[i];
+    auto [diff, no_borrow] = sub(rem, div);
+    quot[i] = no_borrow;  // rem >= div
+    rem = mux_bus(no_borrow, diff, rem);
+  }
+  rem.pop_back();
+  return {quot, rem};
+}
+
+Bus CircuitBuilder::isqrt(const Bus& a) {
+  const int w = static_cast<int>(a.size());
+  const int rw = (w + 1) / 2;
+  // Restoring square root: process two input bits per iteration.
+  Bus rem = constant(w + 2, 0);
+  Bus root = constant(rw, 0);
+  for (int i = rw - 1; i >= 0; --i) {
+    // rem = (rem << 2) | a[2i+1..2i]
+    for (int k = w + 1; k > 1; --k) rem[k] = rem[k - 2];
+    rem[1] = (2 * i + 1 < w) ? a[2 * i + 1] : aig::kLitFalse;
+    rem[0] = a[2 * i];
+    // trial = (root << 2) | 01
+    Bus trial = constant(w + 2, 0);
+    trial[0] = aig::kLitTrue;
+    for (int k = 0; k < rw; ++k) {
+      if (k + 2 < w + 2) trial[k + 2] = root[k];
+    }
+    auto [diff, no_borrow] = sub(rem, trial);
+    rem = mux_bus(no_borrow, diff, rem);
+    // root = (root << 1) | no_borrow
+    for (int k = rw - 1; k > 0; --k) root[k] = root[k - 1];
+    root[0] = no_borrow;
+  }
+  return root;
+}
+
+Lit CircuitBuilder::equal(const Bus& a, const Bus& b) {
+  Bus x = bitwise_xor(a, b);
+  return lit_not(reduce_or(x));
+}
+
+Lit CircuitBuilder::less_than(const Bus& a, const Bus& b) {
+  // a < b  <=>  borrow out of a - b.
+  return lit_not(sub(a, b).second);
+}
+
+Bus CircuitBuilder::max_of(const Bus& a, const Bus& b) {
+  return mux_bus(less_than(a, b), b, a);
+}
+
+Bus CircuitBuilder::min_of(const Bus& a, const Bus& b) {
+  return mux_bus(less_than(a, b), a, b);
+}
+
+Bus CircuitBuilder::shift_left(const Bus& a, const Bus& sh) {
+  Bus cur(a);
+  const int w = static_cast<int>(a.size());
+  for (std::size_t s = 0; s < sh.size(); ++s) {
+    const int amount = 1 << s;
+    Bus shifted = constant(w, 0);
+    for (int i = 0; i < w; ++i) {
+      if (i - amount >= 0) shifted[i] = cur[i - amount];
+    }
+    cur = mux_bus(sh[s], shifted, cur);
+  }
+  return cur;
+}
+
+Bus CircuitBuilder::shift_right(const Bus& a, const Bus& sh) {
+  Bus cur(a);
+  const int w = static_cast<int>(a.size());
+  for (std::size_t s = 0; s < sh.size(); ++s) {
+    const int amount = 1 << s;
+    Bus shifted = constant(w, 0);
+    for (int i = 0; i < w; ++i) {
+      if (i + amount < w) shifted[i] = cur[i + amount];
+    }
+    cur = mux_bus(sh[s], shifted, cur);
+  }
+  return cur;
+}
+
+Bus CircuitBuilder::rotate_left(const Bus& a, const Bus& sh) {
+  Bus cur(a);
+  const int w = static_cast<int>(a.size());
+  for (std::size_t s = 0; s < sh.size(); ++s) {
+    const int amount = (1 << s) % w;
+    Bus rotated(w);
+    for (int i = 0; i < w; ++i) rotated[i] = cur[((i - amount) % w + w) % w];
+    cur = mux_bus(sh[s], rotated, cur);
+  }
+  return cur;
+}
+
+Bus CircuitBuilder::decode(const Bus& sel) {
+  const int k = static_cast<int>(sel.size());
+  Bus out(std::size_t{1} << k);
+  for (std::size_t m = 0; m < out.size(); ++m) {
+    Lit acc = aig::kLitTrue;
+    for (int i = 0; i < k; ++i) {
+      acc = g_.and_of(acc, ((m >> i) & 1) ? sel[i] : lit_not(sel[i]));
+    }
+    out[m] = acc;
+  }
+  return out;
+}
+
+std::pair<Bus, Lit> CircuitBuilder::priority_encode(const Bus& req) {
+  const int n = static_cast<int>(req.size());
+  int bits = 0;
+  while ((1 << bits) < n) ++bits;
+  Bus index = constant(std::max(bits, 1), 0);
+  Lit found = aig::kLitFalse;
+  // LSB priority: scan from high index down so lower indices override.
+  for (int i = n - 1; i >= 0; --i) {
+    const Bus value = constant(index.size(), static_cast<std::uint64_t>(i));
+    index = mux_bus(req[i], value, index);
+    found = g_.or_of(found, req[i]);
+  }
+  return {index, found};
+}
+
+Bus CircuitBuilder::popcount(const Bus& a) {
+  // Tree of bit-serial adders over growing widths.
+  std::vector<Bus> terms;
+  for (Lit l : a) terms.push_back(Bus{l});
+  while (terms.size() > 1) {
+    std::vector<Bus> next;
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      Bus x = terms[i];
+      Bus y = terms[i + 1];
+      const std::size_t w = std::max(x.size(), y.size());
+      x.resize(w, aig::kLitFalse);
+      y.resize(w, aig::kLitFalse);
+      auto [sum, carry] = add(x, y);
+      sum.push_back(carry);
+      next.push_back(std::move(sum));
+    }
+    if (terms.size() % 2) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  if (terms.empty()) return Bus{};
+  // Truncate to the promised ceil(log2(n+1)) width: the count is at most
+  // |a|, so higher carry bits are provably zero.
+  Bus result = std::move(terms[0]);
+  int needed = 1;
+  while ((std::size_t{1} << needed) <= a.size()) ++needed;
+  if (static_cast<int>(result.size()) > needed) result.resize(needed);
+  return result;
+}
+
+Lit CircuitBuilder::majority(const Bus& a) {
+  if (a.size() % 2 == 0) throw std::invalid_argument("majority needs odd width");
+  Bus count = popcount(a);
+  const Bus threshold = constant(static_cast<int>(count.size()),
+                                 a.size() / 2);  // count > floor(n/2)
+  return lit_not(sub(threshold, count).second);  // threshold < count
+}
+
+std::pair<Bus, Lit> CircuitBuilder::leading_one(const Bus& a) {
+  const int n = static_cast<int>(a.size());
+  int bits = 0;
+  while ((1 << bits) < n) ++bits;
+  Bus index = constant(std::max(bits, 1), 0);
+  Lit found = aig::kLitFalse;
+  // MSB priority: scan from low index up so higher indices override.
+  for (int i = 0; i < n; ++i) {
+    const Bus value = constant(index.size(), static_cast<std::uint64_t>(i));
+    index = mux_bus(a[i], value, index);
+    found = g_.or_of(found, a[i]);
+  }
+  return {index, found};
+}
+
+}  // namespace clo::circuits

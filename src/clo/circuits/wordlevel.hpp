@@ -1,0 +1,90 @@
+#pragma once
+// Word-level circuit construction on top of the AIG: buses, adders,
+// multipliers, dividers, shifters, comparators, encoders — the building
+// blocks the benchmark generators use to produce EPFL/ISCAS-class designs.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "clo/aig/aig.hpp"
+
+namespace clo::circuits {
+
+/// A little-endian bus of literals (index 0 = LSB).
+using Bus = std::vector<aig::Lit>;
+
+class CircuitBuilder {
+ public:
+  explicit CircuitBuilder(std::string name) { g_.set_name(std::move(name)); }
+
+  aig::Aig& graph() { return g_; }
+  aig::Aig take() { return std::move(g_); }
+
+  // ---- I/O ----------------------------------------------------------------
+  aig::Lit input(const std::string& name) { return g_.add_pi(name); }
+  Bus input_bus(const std::string& name, int width);
+  void output(const std::string& name, aig::Lit l) { g_.add_po(l, name); }
+  void output_bus(const std::string& name, const Bus& bus);
+
+  // ---- Constants & bitwise ops ---------------------------------------------
+  Bus constant(int width, std::uint64_t value) const;
+  Bus bitwise_not(const Bus& a) const;
+  Bus bitwise_and(const Bus& a, const Bus& b);
+  Bus bitwise_or(const Bus& a, const Bus& b);
+  Bus bitwise_xor(const Bus& a, const Bus& b);
+  aig::Lit reduce_and(const Bus& a);
+  aig::Lit reduce_or(const Bus& a);
+  aig::Lit reduce_xor(const Bus& a);
+
+  // ---- Selection ------------------------------------------------------------
+  /// Per-bit mux: sel ? t : e (buses must have equal width).
+  Bus mux_bus(aig::Lit sel, const Bus& t, const Bus& e);
+
+  // ---- Arithmetic -----------------------------------------------------------
+  /// Ripple-carry addition; returns (sum, carry_out).
+  std::pair<Bus, aig::Lit> add(const Bus& a, const Bus& b,
+                               aig::Lit carry_in = aig::kLitFalse);
+  /// a - b (two's complement); returns (difference, borrow_free flag =
+  /// carry_out, i.e. 1 when a >= b for unsigned operands).
+  std::pair<Bus, aig::Lit> sub(const Bus& a, const Bus& b);
+  /// Unsigned array multiplier; result width = |a| + |b|.
+  Bus mul(const Bus& a, const Bus& b);
+  /// Unsigned squarer (mul(a, a) with shared partial products).
+  Bus square(const Bus& a) { return mul(a, a); }
+  /// Unsigned restoring division; returns (quotient, remainder).
+  std::pair<Bus, Bus> divmod(const Bus& a, const Bus& b);
+  /// Unsigned integer square root (restoring); result width = ceil(|a|/2).
+  Bus isqrt(const Bus& a);
+
+  // ---- Comparison -----------------------------------------------------------
+  aig::Lit equal(const Bus& a, const Bus& b);
+  aig::Lit less_than(const Bus& a, const Bus& b);   ///< unsigned a < b
+  Bus max_of(const Bus& a, const Bus& b);
+  Bus min_of(const Bus& a, const Bus& b);
+
+  // ---- Shifting -------------------------------------------------------------
+  /// Barrel shifter: a << sh (variable shift, zeros shifted in).
+  Bus shift_left(const Bus& a, const Bus& sh);
+  Bus shift_right(const Bus& a, const Bus& sh);
+  /// Left rotation by a variable amount.
+  Bus rotate_left(const Bus& a, const Bus& sh);
+
+  // ---- Encoding -------------------------------------------------------------
+  /// One-hot decoder: width 2^|sel| outputs.
+  Bus decode(const Bus& sel);
+  /// Priority encoder over `req` (LSB wins); returns (index, any).
+  std::pair<Bus, aig::Lit> priority_encode(const Bus& req);
+  /// Count of set bits; result width = ceil(log2(|a|+1)).
+  Bus popcount(const Bus& a);
+  /// Majority over all bits (true when > half are set; |a| must be odd).
+  aig::Lit majority(const Bus& a);
+  /// Leading-one detector: index of the highest set bit, plus "none" flag.
+  std::pair<Bus, aig::Lit> leading_one(const Bus& a);
+
+ private:
+  aig::Aig g_;
+};
+
+}  // namespace clo::circuits

@@ -1,0 +1,36 @@
+#include "clo/core/dataset.hpp"
+
+#include <cmath>
+
+namespace clo::core {
+
+Dataset generate_dataset(QorEvaluator& evaluator, int n, int length,
+                         clo::Rng& rng) {
+  Dataset ds;
+  ds.sequences.reserve(n);
+  ds.qor.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    opt::Sequence seq = opt::random_sequence(length, rng);
+    ds.qor.push_back(evaluator.evaluate(seq));
+    ds.sequences.push_back(std::move(seq));
+  }
+  double am = 0.0, dm = 0.0;
+  for (const auto& q : ds.qor) {
+    am += q.area_um2;
+    dm += q.delay_ps;
+  }
+  am /= n;
+  dm /= n;
+  double av = 0.0, dv = 0.0;
+  for (const auto& q : ds.qor) {
+    av += (q.area_um2 - am) * (q.area_um2 - am);
+    dv += (q.delay_ps - dm) * (q.delay_ps - dm);
+  }
+  ds.area_mean = am;
+  ds.delay_mean = dm;
+  ds.area_std = std::max(1e-9, std::sqrt(av / n));
+  ds.delay_std = std::max(1e-9, std::sqrt(dv / n));
+  return ds;
+}
+
+}  // namespace clo::core

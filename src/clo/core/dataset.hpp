@@ -1,0 +1,37 @@
+#pragma once
+// Training data for the surrogate + diffusion models: randomly generated
+// sequences labeled by real synthesis (the paper uses 20000 random
+// ABC-synthesized sequences per circuit; the count here is a scale knob).
+
+#include <vector>
+
+#include "clo/core/evaluator.hpp"
+#include "clo/opt/transform.hpp"
+#include "clo/util/rng.hpp"
+
+namespace clo::core {
+
+struct Dataset {
+  std::vector<opt::Sequence> sequences;
+  std::vector<Qor> qor;
+  // z-normalization constants for the labels.
+  double area_mean = 0.0, area_std = 1.0;
+  double delay_mean = 0.0, delay_std = 1.0;
+
+  std::size_t size() const { return sequences.size(); }
+  float norm_area(std::size_t i) const {
+    return static_cast<float>((qor[i].area_um2 - area_mean) / area_std);
+  }
+  float norm_delay(std::size_t i) const {
+    return static_cast<float>((qor[i].delay_ps - delay_mean) / delay_std);
+  }
+  /// Invert normalization (for reporting predicted QoR).
+  double denorm_area(double v) const { return v * area_std + area_mean; }
+  double denorm_delay(double v) const { return v * delay_std + delay_mean; }
+};
+
+/// Sample `n` random length-`length` sequences and label them.
+Dataset generate_dataset(QorEvaluator& evaluator, int n, int length,
+                         clo::Rng& rng);
+
+}  // namespace clo::core

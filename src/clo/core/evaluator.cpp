@@ -1,0 +1,36 @@
+#include "clo/core/evaluator.hpp"
+
+namespace clo::core {
+
+QorEvaluator::QorEvaluator(aig::Aig circuit, techmap::MapParams map_params)
+    : circuit_(std::move(circuit)), lib_(techmap::CellLibrary::asap7()),
+      map_params_(map_params) {}
+
+Qor QorEvaluator::evaluate(const opt::Sequence& seq) {
+  ++num_queries_;
+  const std::string key = opt::sequence_to_string(seq);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  ScopedTimer timer(synth_watch_);
+  ++num_runs_;
+  aig::Aig g = circuit_;
+  opt::run_sequence(g, seq);
+  // Report the Pareto endpoints, like ABC's map + area recovery: the area
+  // of an area-oriented cover and the delay of a delay-oriented cover.
+  techmap::MapParams area_params = map_params_;
+  area_params.objective = techmap::MapParams::Objective::kArea;
+  techmap::MapParams delay_params = map_params_;
+  delay_params.objective = techmap::MapParams::Objective::kDelay;
+  const auto area_mapped = techmap::tech_map(g, lib_, area_params);
+  const auto delay_mapped = techmap::tech_map(g, lib_, delay_params);
+  // Keep the better cover per metric: area flow is a heuristic, so either
+  // objective can occasionally win on the other's metric.
+  const Qor qor{std::min(area_mapped.area_um2, delay_mapped.area_um2),
+                std::min(area_mapped.delay_ps, delay_mapped.delay_ps)};
+  cache_.emplace(key, qor);
+  return qor;
+}
+
+Qor QorEvaluator::original() { return evaluate({}); }
+
+}  // namespace clo::core

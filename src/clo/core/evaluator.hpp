@@ -1,0 +1,54 @@
+#pragma once
+// QoR evaluation service: applies a synthesis sequence to (a copy of) the
+// target circuit, technology-maps it, and returns area/delay — the role
+// ABC + ASAP7 plays in the paper. Tracks synthesis wall time and call
+// counts separately so optimizers can report algorithm-only runtime the
+// way the paper's Fig. 5 does (ABC time subtracted).
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "clo/aig/aig.hpp"
+#include "clo/opt/transform.hpp"
+#include "clo/techmap/tech_map.hpp"
+#include "clo/util/timer.hpp"
+
+namespace clo::core {
+
+struct Qor {
+  double area_um2 = 0.0;
+  double delay_ps = 0.0;
+};
+
+class QorEvaluator {
+ public:
+  explicit QorEvaluator(aig::Aig circuit,
+                        techmap::MapParams map_params = {});
+
+  /// Synthesize with `seq` and map; memoized per distinct sequence.
+  Qor evaluate(const opt::Sequence& seq);
+
+  /// QoR of the unoptimized circuit (empty sequence).
+  Qor original();
+
+  const aig::Aig& circuit() const { return circuit_; }
+
+  /// Wall time spent inside synthesis+mapping (the "ABC time" bucket).
+  double synthesis_seconds() const { return synth_watch_.seconds(); }
+  /// Number of non-memoized synthesis runs.
+  std::size_t num_synthesis_runs() const { return num_runs_; }
+  /// Number of evaluate() calls including cache hits.
+  std::size_t num_queries() const { return num_queries_; }
+
+ private:
+  aig::Aig circuit_;
+  techmap::CellLibrary lib_;
+  techmap::MapParams map_params_;
+  std::map<std::string, Qor> cache_;
+  Stopwatch synth_watch_;
+  std::size_t num_runs_ = 0;
+  std::size_t num_queries_ = 0;
+};
+
+}  // namespace clo::core

@@ -1,0 +1,115 @@
+#include "clo/core/optimizer.hpp"
+
+#include <cmath>
+
+#include "clo/nn/ops.hpp"
+#include "clo/util/timer.hpp"
+
+namespace clo::core {
+
+using nn::Tensor;
+
+ContinuousOptimizer::ContinuousOptimizer(
+    models::SurrogateModel& surrogate, models::DiffusionModel& diffusion,
+    const models::TransformEmbedding& embedding, OptimizeParams params)
+    : surrogate_(surrogate), diffusion_(diffusion), embedding_(embedding),
+      params_(params) {}
+
+double ContinuousOptimizer::objective_and_grad(const std::vector<float>& x,
+                                               std::vector<float>* grad) {
+  Tensor input = Tensor::from_data(
+      {1, static_cast<int>(x.size())}, x, /*requires_grad=*/true);
+  auto out = surrogate_.forward(input);
+  Tensor objective =
+      nn::add(nn::scale(out.area, static_cast<float>(params_.weight_area)),
+              nn::scale(out.delay, static_cast<float>(params_.weight_delay)));
+  if (grad != nullptr) {
+    nn::backward(objective);
+    *grad = input.grad();
+    // Clip to keep the guidance term well-scaled vs the noise term.
+    double norm2 = 0.0;
+    for (float g : *grad) norm2 += static_cast<double>(g) * g;
+    const double norm = std::sqrt(norm2);
+    if (norm > params_.grad_clip && norm > 0.0) {
+      const float s = static_cast<float>(params_.grad_clip / norm);
+      for (auto& g : *grad) g *= s;
+    }
+  }
+  return objective.item();
+}
+
+OptimizeResult ContinuousOptimizer::run(clo::Rng& rng) {
+  Stopwatch watch;
+  watch.start();
+  const auto& cfg = diffusion_.config();
+  const int L = cfg.seq_len, d = cfg.embed_dim;
+  const auto& sched = diffusion_.schedule();
+  const int T = sched.num_steps();
+
+  OptimizeResult result;
+  std::vector<float> x(static_cast<std::size_t>(L) * d);
+  for (auto& v : x) v = static_cast<float>(rng.next_gaussian());
+
+  if (!params_.use_diffusion) {
+    // Eq. 14: gradient-only continuous optimization (ablation).
+    std::vector<float> grad;
+    for (int t = T - 1; t >= 0; --t) {
+      const double obj = objective_and_grad(x, &grad);
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] -= static_cast<float>(params_.ablation_step *
+                                   params_.omega) * grad[i];
+      }
+      if (t % std::max(1, T / 16) == 0) {
+        result.trace.push_back(
+            {t, embedding_.discrepancy(x, L), obj});
+      }
+    }
+  } else {
+    // Eq. 13: denoise + guided gradient at the reparameterized x̂_t.
+    std::vector<float> grad;
+    for (int t = T - 1; t >= 0; --t) {
+      const auto eps = diffusion_.predict_noise(x, t);
+      const float ab = sched.alpha_bar(t);
+      const float sqrt_ab = std::sqrt(ab);
+      const float sqrt_1mab = std::sqrt(1.0f - ab);
+      // Eq. 12: noise-free reconstruction x̂_t.
+      std::vector<float> x_hat(x.size());
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        x_hat[i] = (x[i] - sqrt_1mab * eps[i]) / sqrt_ab;
+      }
+      const double obj = objective_and_grad(x_hat, &grad);
+      // Guided noise: eps~ = eps + ω sqrt(1-ᾱ_t) ∇F̂(x̂_t) (Eq. 13 with the
+      // DDPM constants folded into η), then an x̂0-clipped posterior step —
+      // the clamp keeps denoiser error from compounding over the schedule.
+      const float c0 = sched.coef_x0(t);
+      const float ct = sched.coef_xt(t);
+      const double omega_t =
+          params_.guidance_ramp
+              ? params_.omega * (1.0 - static_cast<double>(t) / T)
+              : params_.omega;
+      const float guide = static_cast<float>(omega_t) * sqrt_1mab;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        const float eps_tilde = eps[i] + guide * grad[i];
+        float x0 = (x[i] - sqrt_1mab * eps_tilde) / sqrt_ab;
+        x0 = std::min(3.0f, std::max(-3.0f, x0));  // data coords lie in [-sqrt(d), sqrt(d)]
+        x[i] = c0 * x0 + ct * x[i];
+        if (t > 0) {
+          x[i] += sched.sigma(t) * static_cast<float>(rng.next_gaussian());
+        }
+      }
+      if (t % std::max(1, T / 16) == 0 || t == 0) {
+        result.trace.push_back({t, embedding_.discrepancy(x, L), obj});
+      }
+    }
+  }
+
+  result.latent = x;
+  result.sequence = embedding_.retrieve(x, L);
+  result.discrepancy = embedding_.discrepancy(x, L);
+  result.predicted_objective = objective_and_grad(x, nullptr);
+  watch.stop();
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace clo::core

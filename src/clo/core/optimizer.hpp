@@ -1,0 +1,75 @@
+#pragma once
+// The paper's contribution (Algorithm 2): continuous logic optimization in
+// the embedding latent space. Starting from x_T ~ N(0, I), each step
+// subtracts the diffusion model's predicted noise (pulling the latent onto
+// the feasible-embedding manifold, minimizing H(x)) and the surrogate's
+// QoR gradient evaluated at the noise-free reparameterization x̂_t
+// (Eq. 12/13). On t = 0 the sequence is retrieved instantly by nearest-
+// embedding decode. The ablation mode (Eq. 14) drops the diffusion term.
+
+#include <memory>
+#include <vector>
+
+#include "clo/models/diffusion.hpp"
+#include "clo/models/embedding.hpp"
+#include "clo/models/surrogate.hpp"
+#include "clo/opt/transform.hpp"
+#include "clo/util/rng.hpp"
+
+namespace clo::core {
+
+struct OptimizeParams {
+  /// Objective weights over normalized QoR: F̂ = wa*area + wd*delay.
+  double weight_area = 0.5;
+  double weight_delay = 0.5;
+  /// Guidance strength ω (Eq. 13).
+  double omega = 2.0;
+  /// Ramp the guidance in over the schedule (ω_t = ω (1 - t/T)): early
+  /// steps denoise freely (x̂_t is unreliable there), late steps follow the
+  /// surrogate hard. Disable to apply constant ω at every step.
+  bool guidance_ramp = true;
+  /// Clip the per-step QoR gradient to this L2 norm (stability).
+  double grad_clip = 1.0;
+  /// Eq. 14 ablation: optimize with the surrogate gradient only.
+  bool use_diffusion = true;
+  /// Step size for the no-diffusion ablation (Eq. 14).
+  double ablation_step = 0.05;
+};
+
+struct OptimizeTracePoint {
+  int t = 0;
+  double discrepancy = 0.0;       ///< mean distance to nearest embedding
+  double predicted_objective = 0.0;
+};
+
+struct OptimizeResult {
+  opt::Sequence sequence;
+  std::vector<float> latent;        ///< final x_0, flattened [L*d]
+  double discrepancy = 0.0;
+  double predicted_objective = 0.0; ///< F̂ at the final latent
+  std::vector<OptimizeTracePoint> trace;
+  double seconds = 0.0;             ///< pure optimization time (no synthesis)
+};
+
+class ContinuousOptimizer {
+ public:
+  ContinuousOptimizer(models::SurrogateModel& surrogate,
+                      models::DiffusionModel& diffusion,
+                      const models::TransformEmbedding& embedding,
+                      OptimizeParams params = {});
+
+  /// One full run of Algorithm 2 from a fresh Gaussian latent.
+  OptimizeResult run(clo::Rng& rng);
+
+  /// Surrogate objective and its gradient at a flattened latent.
+  double objective_and_grad(const std::vector<float>& x,
+                            std::vector<float>* grad);
+
+ private:
+  models::SurrogateModel& surrogate_;
+  models::DiffusionModel& diffusion_;
+  const models::TransformEmbedding& embedding_;
+  OptimizeParams params_;
+};
+
+}  // namespace clo::core

@@ -1,0 +1,98 @@
+#include "clo/core/pipeline.hpp"
+
+#include "clo/util/log.hpp"
+#include "clo/util/timer.hpp"
+
+namespace clo::core {
+
+PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
+  PipelineResult result;
+  clo::Rng rng(config_.seed);
+  result.original = evaluator.original();
+
+  // ---- One-time pretraining (upper half of Fig. 1) -----------------------
+  embedding_ = std::make_unique<models::TransformEmbedding>(
+      config_.embed_dim, rng);
+  {
+    Stopwatch w;
+    ScopedTimer st(w);
+    dataset_ = generate_dataset(evaluator, config_.dataset_size,
+                                config_.seq_len, rng);
+    result.dataset_seconds = w.seconds();
+  }
+  models::SurrogateConfig scfg;
+  scfg.seq_len = config_.seq_len;
+  scfg.embed_dim = config_.embed_dim;
+  surrogate_ = models::make_surrogate(config_.surrogate, evaluator.circuit(),
+                                      scfg, rng);
+  {
+    Stopwatch w;
+    ScopedTimer st(w);
+    result.surrogate_report = train_surrogate(
+        *surrogate_, *embedding_, dataset_, config_.surrogate_train, rng);
+    result.surrogate_train_seconds = w.seconds();
+  }
+  CLO_LOG_INFO << evaluator.circuit().name() << ": surrogate '"
+               << config_.surrogate << "' holdout mse "
+               << result.surrogate_report.holdout_mse << ", spearman(area) "
+               << result.surrogate_report.spearman_area;
+
+  models::DiffusionConfig dcfg;
+  dcfg.seq_len = config_.seq_len;
+  dcfg.embed_dim = config_.embed_dim;
+  dcfg.num_steps = config_.diffusion_steps;
+  diffusion_ = std::make_unique<models::DiffusionModel>(dcfg, rng);
+  {
+    Stopwatch w;
+    ScopedTimer st(w);
+    std::vector<std::vector<float>> data;
+    data.reserve(dataset_.size());
+    for (const auto& seq : dataset_.sequences) {
+      data.push_back(embedding_->embed(seq));
+    }
+    const auto ts = diffusion_->train(data, config_.diffusion_iters,
+                                      config_.diffusion_batch,
+                                      config_.diffusion_lr, rng);
+    result.diffusion_train_seconds = w.seconds();
+    CLO_LOG_INFO << evaluator.circuit().name() << ": diffusion loss "
+                 << ts.final_loss << " after " << ts.iterations << " iters";
+  }
+
+  // ---- Continuous optimization (lower half of Fig. 1) --------------------
+  ContinuousOptimizer optimizer(*surrogate_, *diffusion_, *embedding_,
+                                config_.optimize);
+  {
+    Stopwatch w;
+    ScopedTimer st(w);
+    for (int r = 0; r < config_.restarts; ++r) {
+      result.restarts.push_back(optimizer.run(rng));
+    }
+    result.optimize_seconds = w.seconds();
+  }
+
+  // ---- Validation with real synthesis (outside the optimization loop) ----
+  {
+    Stopwatch w;
+    ScopedTimer st(w);
+    double best_score = 1e300;
+    for (const auto& restart : result.restarts) {
+      const Qor q = evaluator.evaluate(restart.sequence);
+      result.restart_qor.push_back(q);
+      const double score =
+          config_.optimize.weight_area *
+              (q.area_um2 - dataset_.area_mean) / dataset_.area_std +
+          config_.optimize.weight_delay *
+              (q.delay_ps - dataset_.delay_mean) / dataset_.delay_std;
+      if (score < best_score) {
+        best_score = score;
+        result.best = q;
+        result.best_sequence = restart.sequence;
+        result.best_discrepancy = restart.discrepancy;
+      }
+    }
+    result.validate_seconds = w.seconds();
+  }
+  return result;
+}
+
+}  // namespace clo::core

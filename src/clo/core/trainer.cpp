@@ -1,0 +1,95 @@
+#include "clo/core/trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "clo/nn/optim.hpp"
+#include "clo/util/stats.hpp"
+#include "clo/util/timer.hpp"
+
+namespace clo::core {
+
+using nn::Tensor;
+
+TrainReport train_surrogate(models::SurrogateModel& model,
+                            const models::TransformEmbedding& embedding,
+                            const Dataset& dataset, const TrainConfig& config,
+                            clo::Rng& rng) {
+  Stopwatch watch;
+  watch.start();
+  const int n = static_cast<int>(dataset.size());
+  const int L = model.config().seq_len;
+  const int d = model.config().embed_dim;
+  std::vector<int> indices(n);
+  std::iota(indices.begin(), indices.end(), 0);
+  rng.shuffle(indices);
+  const int holdout = std::min(
+      n / 2, static_cast<int>(n * config.holdout_fraction));
+  std::vector<int> test(indices.begin(), indices.begin() + holdout);
+  std::vector<int> train(indices.begin() + holdout, indices.end());
+
+  auto make_batch = [&](const std::vector<int>& ids, std::size_t begin,
+                        std::size_t count, Tensor& x, Tensor& ya, Tensor& yd) {
+    const int B = static_cast<int>(count);
+    x = Tensor::zeros({B, L * d});
+    ya = Tensor::zeros({B, 1});
+    yd = Tensor::zeros({B, 1});
+    for (int b = 0; b < B; ++b) {
+      const int i = ids[begin + b];
+      const auto emb = embedding.embed(dataset.sequences[i]);
+      std::copy(emb.begin(), emb.end(), x.data().begin() + b * L * d);
+      ya.data()[b] = dataset.norm_area(i);
+      yd.data()[b] = dataset.norm_delay(i);
+    }
+  };
+
+  nn::Adam opt(model.parameters(), config.lr);
+  TrainReport report;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(train);
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (std::size_t begin = 0; begin < train.size();
+         begin += config.batch_size) {
+      const std::size_t count =
+          std::min<std::size_t>(config.batch_size, train.size() - begin);
+      Tensor x, ya, yd;
+      make_batch(train, begin, count, x, ya, yd);
+      auto out = model.forward(x);
+      Tensor loss =
+          nn::add(nn::mse_loss(out.area, ya), nn::mse_loss(out.delay, yd));
+      nn::backward(loss);
+      opt.step();
+      epoch_loss += loss.item();
+      ++batches;
+    }
+    report.train_mse = epoch_loss / std::max(1, batches) / 2.0;
+  }
+
+  // Holdout fidelity.
+  if (!test.empty()) {
+    Tensor x, ya, yd;
+    make_batch(test, 0, test.size(), x, ya, yd);
+    auto out = model.forward(x);
+    std::vector<double> pa, pd, ta, td;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      pa.push_back(out.area.data()[i]);
+      pd.push_back(out.delay.data()[i]);
+      ta.push_back(ya.data()[i]);
+      td.push_back(yd.data()[i]);
+    }
+    double mse = 0.0;
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      mse += (pa[i] - ta[i]) * (pa[i] - ta[i]) +
+             (pd[i] - td[i]) * (pd[i] - td[i]);
+    }
+    report.holdout_mse = mse / (2.0 * pa.size());
+    report.spearman_area = clo::spearman(pa, ta);
+    report.spearman_delay = clo::spearman(pd, td);
+  }
+  watch.stop();
+  report.seconds = watch.seconds();
+  return report;
+}
+
+}  // namespace clo::core

@@ -1,0 +1,33 @@
+#pragma once
+// Surrogate training (Eq. 2): minimize MSE between predicted and measured
+// normalized QoR on the dataset, with a held-out split for fidelity
+// reporting (Spearman rank correlation is what actually matters for
+// optimization quality).
+
+#include "clo/core/dataset.hpp"
+#include "clo/models/embedding.hpp"
+#include "clo/models/surrogate.hpp"
+
+namespace clo::core {
+
+struct TrainConfig {
+  int epochs = 60;
+  int batch_size = 32;
+  float lr = 2e-3f;
+  double holdout_fraction = 0.15;
+};
+
+struct TrainReport {
+  double train_mse = 0.0;
+  double holdout_mse = 0.0;
+  double spearman_area = 0.0;
+  double spearman_delay = 0.0;
+  double seconds = 0.0;
+};
+
+TrainReport train_surrogate(models::SurrogateModel& model,
+                            const models::TransformEmbedding& embedding,
+                            const Dataset& dataset, const TrainConfig& config,
+                            clo::Rng& rng);
+
+}  // namespace clo::core

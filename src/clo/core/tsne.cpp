@@ -1,0 +1,129 @@
+#include "clo/core/tsne.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace clo::core {
+namespace {
+
+/// Binary-search the Gaussian bandwidth for one row to hit the target
+/// perplexity; returns the row of conditional probabilities p_{j|i}.
+std::vector<double> conditional_probs(const std::vector<double>& d2_row,
+                                      std::size_t self, double perplexity) {
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0, beta_min = 0.0, beta_max = 1e12;
+  std::vector<double> p(d2_row.size(), 0.0);
+  for (int iter = 0; iter < 64; ++iter) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < d2_row.size(); ++j) {
+      p[j] = (j == self) ? 0.0 : std::exp(-beta * d2_row[j]);
+      sum += p[j];
+    }
+    if (sum <= 0.0) sum = 1e-12;
+    double entropy = 0.0;
+    for (std::size_t j = 0; j < d2_row.size(); ++j) {
+      p[j] /= sum;
+      if (p[j] > 1e-12) entropy -= p[j] * std::log(p[j]);
+    }
+    const double diff = entropy - target_entropy;
+    if (std::abs(diff) < 1e-5) break;
+    if (diff > 0) {
+      beta_min = beta;
+      beta = (beta_max > 1e11) ? beta * 2 : 0.5 * (beta + beta_max);
+    } else {
+      beta_max = beta;
+      beta = 0.5 * (beta + beta_min);
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<std::pair<double, double>> tsne(
+    const std::vector<std::vector<float>>& points, const TsneParams& params,
+    clo::Rng& rng) {
+  const std::size_t n = points.size();
+  if (n < 3) throw std::invalid_argument("tsne: need at least 3 points");
+  const std::size_t dim = points[0].size();
+  // Pairwise squared distances.
+  std::vector<std::vector<double>> d2(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < dim; ++k) {
+        const double d = points[i][k] - points[j][k];
+        s += d * d;
+      }
+      d2[i][j] = d2[j][i] = s;
+    }
+  }
+  // Symmetrized joint probabilities.
+  const double perplexity =
+      std::min(params.perplexity, static_cast<double>(n - 1) / 3.0);
+  std::vector<std::vector<double>> p(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = conditional_probs(d2[i], i, perplexity);
+    for (std::size_t j = 0; j < n; ++j) p[i][j] = row[j];
+  }
+  double psum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      p[i][j] = 0.5 * (p[i][j] + p[j][i]);
+      psum += p[i][j];
+    }
+  }
+  for (auto& row : p) {
+    for (auto& v : row) v = std::max(v / psum, 1e-12);
+  }
+
+  // Gradient descent on the 2-D embedding.
+  std::vector<std::array<double, 2>> y(n), vel(n, {0.0, 0.0});
+  for (auto& yi : y) {
+    yi = {rng.next_gaussian() * 1e-2, rng.next_gaussian() * 1e-2};
+  }
+  std::vector<std::vector<double>> q(n, std::vector<double>(n, 0.0));
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    const double exaggeration =
+        iter < params.exaggeration_iters ? params.early_exaggeration : 1.0;
+    const double momentum =
+        iter < params.exaggeration_iters ? params.momentum
+                                         : params.final_momentum;
+    // Student-t similarities.
+    double qsum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double dx = y[i][0] - y[j][0];
+        const double dy = y[i][1] - y[j][1];
+        const double w = 1.0 / (1.0 + dx * dx + dy * dy);
+        q[i][j] = q[j][i] = w;
+        qsum += 2.0 * w;
+      }
+    }
+    // Gradient step.
+    for (std::size_t i = 0; i < n; ++i) {
+      double gx = 0.0, gy = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double qij = std::max(q[i][j] / qsum, 1e-12);
+        const double mult =
+            (exaggeration * p[i][j] - qij) * q[i][j];  // (p-q) * w
+        gx += 4.0 * mult * (y[i][0] - y[j][0]);
+        gy += 4.0 * mult * (y[i][1] - y[j][1]);
+      }
+      vel[i][0] = momentum * vel[i][0] - params.learning_rate * gx;
+      vel[i][1] = momentum * vel[i][1] - params.learning_rate * gy;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i][0] += vel[i][0];
+      y[i][1] += vel[i][1];
+    }
+  }
+  std::vector<std::pair<double, double>> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = {y[i][0], y[i][1]};
+  return out;
+}
+
+}  // namespace clo::core

@@ -1,0 +1,28 @@
+#pragma once
+// Barnes-Hut-free exact t-SNE (van der Maaten & Hinton, 2008) for the
+// paper's latent-space visualizations (Figs. 2 and 7). Exact pairwise
+// computation is fine at the scale used there (tens to hundreds of points).
+
+#include <vector>
+
+#include "clo/util/rng.hpp"
+
+namespace clo::core {
+
+struct TsneParams {
+  double perplexity = 12.0;
+  int iterations = 400;
+  double learning_rate = 100.0;
+  double early_exaggeration = 4.0;
+  int exaggeration_iters = 100;
+  double momentum = 0.5;
+  double final_momentum = 0.8;
+};
+
+/// Project `points` (each a vector of equal dimension) to 2-D.
+/// Returns one (x, y) pair per input point.
+std::vector<std::pair<double, double>> tsne(
+    const std::vector<std::vector<float>>& points, const TsneParams& params,
+    clo::Rng& rng);
+
+}  // namespace clo::core

@@ -1,0 +1,209 @@
+#include "clo/models/diffusion.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "clo/nn/optim.hpp"
+
+namespace clo::models {
+
+using nn::Tensor;
+
+DdpmSchedule::DdpmSchedule(int num_steps, float beta_start, float beta_end)
+    : T_(num_steps) {
+  if (num_steps < 2) throw std::invalid_argument("DdpmSchedule: T too small");
+  beta_.resize(T_);
+  alpha_.resize(T_);
+  alpha_bar_.resize(T_);
+  sigma_.resize(T_);
+  // The reference beta range is tuned for T = 1000 (Ho et al.); rescale so
+  // the cumulative noise at t = T matches regardless of T (otherwise short
+  // schedules never reach pure Gaussian and x_T ~ N(0, I) is off-manifold).
+  // Cap the largest beta at 0.25: beyond that the 1/sqrt(alpha) factor in
+  // the reverse update amplifies denoiser error too aggressively for the
+  // small networks used here.
+  const float scale =
+      std::min(1000.0f / static_cast<float>(T_), 0.25f / beta_end);
+  float bar = 1.0f;
+  for (int t = 0; t < T_; ++t) {
+    beta_[t] = scale * (beta_start +
+                        (beta_end - beta_start) * static_cast<float>(t) /
+                            static_cast<float>(T_ - 1));
+    alpha_[t] = 1.0f - beta_[t];
+    bar *= alpha_[t];
+    alpha_bar_[t] = bar;
+  }
+  for (int t = 0; t < T_; ++t) {
+    // beta~_t = (1 - abar_{t-1}) / (1 - abar_t) * beta_t.
+    const float abar_prev = t == 0 ? 1.0f : alpha_bar_[t - 1];
+    sigma_[t] = std::sqrt((1.0f - abar_prev) / (1.0f - alpha_bar_[t]) *
+                          beta_[t]);
+  }
+}
+
+DiffusionUNet::DiffusionUNet(const DiffusionConfig& cfg, clo::Rng& rng)
+    : cfg_(cfg) {
+  if (cfg.seq_len % 4 != 0) {
+    throw std::invalid_argument("U-Net needs seq_len divisible by 4");
+  }
+  const int C = cfg.channels;
+  time1_ = std::make_unique<nn::Linear>(cfg.time_dim, cfg.time_dim, rng);
+  time2_ = std::make_unique<nn::Linear>(cfg.time_dim, cfg.time_dim, rng);
+  film_in_ = std::make_unique<nn::Linear>(cfg.time_dim, C, rng);
+  film_mid_ = std::make_unique<nn::Linear>(cfg.time_dim, 2 * C, rng);
+  in_conv_ = std::make_unique<nn::Conv1dLayer>(cfg.embed_dim, C, 3, rng);
+  down1_ = std::make_unique<nn::Conv1dLayer>(C, 2 * C, 3, rng);
+  down2_ = std::make_unique<nn::Conv1dLayer>(2 * C, 2 * C, 3, rng);
+  mid_ = std::make_unique<nn::Conv1dLayer>(2 * C, 2 * C, 3, rng);
+  up1_ = std::make_unique<nn::Conv1dLayer>(4 * C, C, 3, rng);
+  up2_ = std::make_unique<nn::Conv1dLayer>(2 * C, C, 3, rng);
+  out_conv_ = std::make_unique<nn::Conv1dLayer>(C, cfg.embed_dim, 3, rng);
+}
+
+Tensor DiffusionUNet::forward(const Tensor& x, const std::vector<int>& t) {
+  if (x.ndim() != 3 || x.dim(0) != static_cast<int>(t.size())) {
+    throw std::invalid_argument("DiffusionUNet: bad input");
+  }
+  Tensor temb = nn::timestep_embedding(t, cfg_.time_dim);
+  temb = nn::silu(time1_->forward(temb));
+  temb = nn::silu(time2_->forward(temb));
+
+  // Encoder.
+  Tensor h0 = nn::silu(nn::add_channel_bias(in_conv_->forward(x),
+                                            film_in_->forward(temb)));  // [B,C,L]
+  Tensor h1 = nn::silu(down1_->forward(nn::avg_pool1d(h0)));            // [B,2C,L/2]
+  Tensor h2 = nn::silu(nn::add_channel_bias(
+      down2_->forward(nn::avg_pool1d(h1)), film_mid_->forward(temb)));  // [B,2C,L/4]
+  // Bottleneck.
+  Tensor m = nn::silu(mid_->forward(h2));                               // [B,2C,L/4]
+  // Decoder with skip connections.
+  Tensor u1 = nn::silu(up1_->forward(
+      nn::concat_channels(nn::upsample1d(m), h1)));                     // [B,C,L/2]
+  Tensor u2 = nn::silu(up2_->forward(
+      nn::concat_channels(nn::upsample1d(u1), h0)));                    // [B,C,L]
+  return out_conv_->forward(u2);                                       // [B,d,L]
+}
+
+std::vector<Tensor> DiffusionUNet::parameters() {
+  std::vector<Tensor> p;
+  auto push = [&](nn::Module& m) {
+    auto q = m.parameters();
+    p.insert(p.end(), q.begin(), q.end());
+  };
+  push(*time1_);
+  push(*time2_);
+  push(*film_in_);
+  push(*film_mid_);
+  push(*in_conv_);
+  push(*down1_);
+  push(*down2_);
+  push(*mid_);
+  push(*up1_);
+  push(*up2_);
+  push(*out_conv_);
+  return p;
+}
+
+std::vector<float> to_channel_layout(const std::vector<float>& flat, int L,
+                                     int d) {
+  std::vector<float> out(flat.size());
+  for (int t = 0; t < L; ++t) {
+    for (int c = 0; c < d; ++c) {
+      out[static_cast<std::size_t>(c) * L + t] =
+          flat[static_cast<std::size_t>(t) * d + c];
+    }
+  }
+  return out;
+}
+
+std::vector<float> from_channel_layout(const std::vector<float>& chan, int L,
+                                       int d) {
+  std::vector<float> out(chan.size());
+  for (int t = 0; t < L; ++t) {
+    for (int c = 0; c < d; ++c) {
+      out[static_cast<std::size_t>(t) * d + c] =
+          chan[static_cast<std::size_t>(c) * L + t];
+    }
+  }
+  return out;
+}
+
+DiffusionModel::DiffusionModel(const DiffusionConfig& cfg, clo::Rng& rng)
+    : cfg_(cfg), schedule_(cfg.num_steps),
+      unet_(std::make_unique<DiffusionUNet>(cfg, rng)) {}
+
+DiffusionModel::TrainStats DiffusionModel::train(
+    const std::vector<std::vector<float>>& data, int iterations,
+    int batch_size, float lr, clo::Rng& rng) {
+  if (data.empty()) throw std::invalid_argument("diffusion train: no data");
+  const int L = cfg_.seq_len, d = cfg_.embed_dim;
+  nn::Adam opt(unet_->parameters(), lr);
+  TrainStats stats;
+  double loss_avg = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    const int B = batch_size;
+    Tensor x = Tensor::zeros({B, d, L});
+    Tensor eps = Tensor::zeros({B, d, L});
+    std::vector<int> ts(B);
+    for (int b = 0; b < B; ++b) {
+      const auto& x0 =
+          data[rng.next_below(data.size())];           // j ~ Random(1, N)
+      const int t = static_cast<int>(rng.next_below(
+          static_cast<std::uint64_t>(schedule_.num_steps())));  // t ~ Random
+      ts[b] = t;
+      const float sa = std::sqrt(schedule_.alpha_bar(t));
+      const float sb = std::sqrt(1.0f - schedule_.alpha_bar(t));
+      const auto chan = to_channel_layout(x0, L, d);
+      for (int i = 0; i < d * L; ++i) {
+        const float e = static_cast<float>(rng.next_gaussian());
+        eps.data()[b * d * L + i] = e;
+        x.data()[b * d * L + i] = sa * chan[i] + sb * e;  // Eq. (10) inner
+      }
+    }
+    Tensor pred = unet_->forward(x, ts);
+    Tensor loss = nn::mse_loss(pred, eps);
+    nn::backward(loss);
+    opt.step();
+    loss_avg = 0.95 * loss_avg + 0.05 * loss.item();
+    stats.iterations = it + 1;
+    stats.final_loss = loss_avg;
+  }
+  return stats;
+}
+
+std::vector<float> DiffusionModel::sample(clo::Rng& rng) {
+  const int L = cfg_.seq_len, d = cfg_.embed_dim;
+  std::vector<float> x(static_cast<std::size_t>(L) * d);
+  for (auto& v : x) v = static_cast<float>(rng.next_gaussian());
+  for (int t = schedule_.num_steps() - 1; t >= 0; --t) {
+    const auto eps = predict_noise(x, t);
+    // x0-parameterized posterior step with clipping: reconstruct x̂0,
+    // clamp it to the data range, and sample q(x_{t-1} | x_t, x̂0). The
+    // clamp keeps small-model denoiser error from compounding across the
+    // short schedule (standard "clip_denoised" practice).
+    const float ab = schedule_.alpha_bar(t);
+    const float sqrt_ab = std::sqrt(ab);
+    const float sqrt_1mab = std::sqrt(1.0f - ab);
+    const float c0 = schedule_.coef_x0(t);
+    const float ct = schedule_.coef_xt(t);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      float x0 = (x[i] - sqrt_1mab * eps[i]) / sqrt_ab;
+      x0 = std::min(3.0f, std::max(-3.0f, x0));  // data coords lie in [-sqrt(d), sqrt(d)]
+      x[i] = c0 * x0 + ct * x[i];
+      if (t > 0) {
+        x[i] += schedule_.sigma(t) * static_cast<float>(rng.next_gaussian());
+      }
+    }
+  }
+  return x;
+}
+
+std::vector<float> DiffusionModel::predict_noise(
+    const std::vector<float>& x_flat, int t) {
+  const int L = cfg_.seq_len, d = cfg_.embed_dim;
+  Tensor x = Tensor::from_data({1, d, L}, to_channel_layout(x_flat, L, d));
+  Tensor eps = unet_->forward(x, {t});
+  return from_channel_layout(eps.data(), L, d);
+}
+
+}  // namespace clo::models

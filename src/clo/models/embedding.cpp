@@ -1,0 +1,97 @@
+#include "clo/models/embedding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace clo::models {
+
+TransformEmbedding::TransformEmbedding(int dim, clo::Rng& rng) : dim_(dim) {
+  if (dim < opt::kNumTransforms) {
+    throw std::invalid_argument(
+        "embedding dim must be >= number of transformations");
+  }
+  // Gram-Schmidt over random Gaussian vectors -> orthonormal, well
+  // separated (pairwise distance sqrt(2)); keeps retrieval unambiguous.
+  table_.assign(opt::kNumTransforms, std::vector<float>(dim, 0.0f));
+  for (int t = 0; t < opt::kNumTransforms; ++t) {
+    auto& v = table_[t];
+    for (auto& x : v) x = static_cast<float>(rng.next_gaussian());
+    for (int u = 0; u < t; ++u) {
+      float dot = 0.0f;
+      for (int i = 0; i < dim; ++i) dot += v[i] * table_[u][i];
+      for (int i = 0; i < dim; ++i) v[i] -= dot * table_[u][i];
+    }
+    float norm = 0.0f;
+    for (float x : v) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm < 1e-6f) {
+      throw std::runtime_error("degenerate embedding init");
+    }
+    for (auto& x : v) x /= norm;  // unit rows while orthogonalizing
+  }
+  // Scale rows to norm sqrt(dim) so each latent coordinate has ~unit
+  // variance — matching the N(0, I) reference of the diffusion process
+  // (the same reason latent-diffusion pipelines standardize latents).
+  const float target = std::sqrt(static_cast<float>(dim));
+  for (auto& v : table_) {
+    for (auto& x : v) x *= target;
+  }
+}
+
+std::vector<float> TransformEmbedding::embed(const opt::Sequence& seq) const {
+  std::vector<float> out;
+  out.reserve(seq.size() * dim_);
+  for (opt::Transform t : seq) {
+    const auto& v = of(t);
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+opt::Transform TransformEmbedding::nearest(const float* point) const {
+  int best = 0;
+  float best_d2 = 1e30f;
+  for (int t = 0; t < opt::kNumTransforms; ++t) {
+    float d2 = 0.0f;
+    for (int i = 0; i < dim_; ++i) {
+      const float d = point[i] - table_[t][i];
+      d2 += d * d;
+    }
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = t;
+    }
+  }
+  return static_cast<opt::Transform>(best);
+}
+
+opt::Sequence TransformEmbedding::retrieve(const std::vector<float>& latent,
+                                           int length) const {
+  opt::Sequence seq(length);
+  for (int p = 0; p < length; ++p) {
+    seq[p] = nearest(latent.data() + static_cast<std::size_t>(p) * dim_);
+  }
+  return seq;
+}
+
+double TransformEmbedding::discrepancy(const std::vector<float>& latent,
+                                       int length) const {
+  double total = 0.0;
+  for (int p = 0; p < length; ++p) {
+    const float* point = latent.data() + static_cast<std::size_t>(p) * dim_;
+    float best_d2 = 1e30f;
+    for (int t = 0; t < opt::kNumTransforms; ++t) {
+      float d2 = 0.0f;
+      for (int i = 0; i < dim_; ++i) {
+        const float d = point[i] - table_[t][i];
+        d2 += d * d;
+      }
+      best_d2 = std::min(best_d2, d2);
+    }
+    total += std::sqrt(static_cast<double>(best_d2));
+  }
+  return total / length;
+}
+
+}  // namespace clo::models

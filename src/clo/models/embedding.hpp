@@ -1,0 +1,51 @@
+#pragma once
+// The sequence embedding g(.) of the paper: each transformation in S maps
+// to a point in R^d. The diffusion model learns the distribution of
+// sequences of these points; retrieval maps optimized latents back to the
+// nearest transformation per position (Section III-D — instant because the
+// denoising process keeps latents on the embedding manifold).
+
+#include <vector>
+
+#include "clo/opt/transform.hpp"
+#include "clo/util/rng.hpp"
+
+namespace clo::models {
+
+class TransformEmbedding {
+ public:
+  /// Fixed, well-separated embeddings: random Gaussian directions that are
+  /// orthogonalized (d >= |S| = 7) then scaled to norm sqrt(dim), giving
+  /// each latent coordinate ~unit variance (diffusion-friendly).
+  TransformEmbedding(int dim, clo::Rng& rng);
+
+  int dim() const { return dim_; }
+
+  /// Embedding vector of one transformation.
+  const std::vector<float>& of(opt::Transform t) const {
+    return table_[static_cast<int>(t)];
+  }
+
+  /// Flattened [L * dim] embedding of a sequence.
+  std::vector<float> embed(const opt::Sequence& seq) const;
+
+  /// Nearest-transformation decode of one position.
+  opt::Transform nearest(const float* point) const;
+
+  /// Decode a flattened [L * dim] latent back to a sequence.
+  opt::Sequence retrieve(const std::vector<float>& latent, int length) const;
+
+  /// Mean Euclidean distance from each position of `latent` to its nearest
+  /// feasible embedding — the paper's discrepancy H(x) proxy, reported in
+  /// the Fig. 7 experiment.
+  double discrepancy(const std::vector<float>& latent, int length) const;
+
+  /// All 7 embedding rows (for t-SNE plots).
+  const std::vector<std::vector<float>>& table() const { return table_; }
+
+ private:
+  int dim_;
+  std::vector<std::vector<float>> table_;
+};
+
+}  // namespace clo::models

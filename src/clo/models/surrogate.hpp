@@ -1,0 +1,78 @@
+#pragma once
+// QoR surrogate models F̂(x): predict normalized (area, delay) after
+// synthesis from a sequence embedding x. Three architectures matching the
+// paper's ablation (Fig. 6):
+//  * MtlSurrogate  — MTL-based model of [22] (ASAP): GNN circuit encoder +
+//                    LSTM over the sequence + two attention heads.
+//  * LostinSurrogate — hybrid graph/temporal model of [21]: GNN + LSTM
+//                    final state, MLP heads.
+//  * CnnSurrogate  — CNN model of [4]: 1-D convolutions over the sequence.
+// All are differentiable w.r.t. the input embedding, which is what enables
+// the continuous optimization (Eq. 3).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clo/aig/aig.hpp"
+#include "clo/nn/modules.hpp"
+#include "clo/util/rng.hpp"
+
+namespace clo::models {
+
+struct SurrogateConfig {
+  int seq_len = 20;       ///< L
+  int embed_dim = 8;      ///< d
+  int hidden = 32;
+  int circuit_hidden = 16;
+  int max_gnn_nodes = 512;  ///< subsample cap for very large AIGs
+};
+
+/// Differentiable two-headed QoR predictor over [B, L*d] embeddings.
+class SurrogateModel : public nn::Module {
+ public:
+  struct Output {
+    nn::Tensor area;   ///< [B, 1], normalized
+    nn::Tensor delay;  ///< [B, 1], normalized
+  };
+
+  virtual Output forward(const nn::Tensor& x) = 0;
+  virtual const std::string& name() const = 0;
+  const SurrogateConfig& config() const { return config_; }
+
+ protected:
+  explicit SurrogateModel(const SurrogateConfig& config) : config_(config) {}
+  SurrogateConfig config_;
+};
+
+/// Shared GNN encoder over the (fixed) target AIG: message passing over
+/// fanin edges, mean-pooled to one circuit embedding.
+class AigEncoder : public nn::Module {
+ public:
+  AigEncoder(const aig::Aig& g, int hidden, int max_nodes, clo::Rng& rng);
+  /// Circuit embedding [1, hidden] (recomputed so gradients reach the
+  /// GNN weights; the input features are fixed).
+  nn::Tensor forward();
+  std::vector<nn::Tensor> parameters() override;
+
+ private:
+  nn::Tensor features_;         // [n, f] fixed node features
+  std::vector<int> fanin0_, fanin1_;
+  std::unique_ptr<nn::Linear> self1_, in1_, self2_, in2_;
+};
+
+std::unique_ptr<SurrogateModel> make_mtl_surrogate(const aig::Aig& g,
+                                                   const SurrogateConfig& cfg,
+                                                   clo::Rng& rng);
+std::unique_ptr<SurrogateModel> make_lostin_surrogate(
+    const aig::Aig& g, const SurrogateConfig& cfg, clo::Rng& rng);
+std::unique_ptr<SurrogateModel> make_cnn_surrogate(const aig::Aig& g,
+                                                   const SurrogateConfig& cfg,
+                                                   clo::Rng& rng);
+
+std::unique_ptr<SurrogateModel> make_surrogate(const std::string& kind,
+                                               const aig::Aig& g,
+                                               const SurrogateConfig& cfg,
+                                               clo::Rng& rng);
+
+}  // namespace clo::models

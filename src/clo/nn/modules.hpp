@@ -1,0 +1,97 @@
+#pragma once
+// Neural-network building blocks composed from ops.hpp: dense layers, an
+// LSTM, additive attention pooling, and 1-D conv blocks. These are the
+// pieces the surrogate models (MTL / LOSTIN / CNN) and the diffusion U-Net
+// are assembled from.
+
+#include <memory>
+#include <vector>
+
+#include "clo/nn/ops.hpp"
+#include "clo/nn/tensor.hpp"
+
+namespace clo::nn {
+
+/// Base class exposing trainable parameters to an optimizer.
+class Module {
+ public:
+  virtual ~Module() = default;
+  virtual std::vector<Tensor> parameters() = 0;
+
+  std::size_t num_parameters() {
+    std::size_t n = 0;
+    for (auto& p : parameters()) n += p.numel();
+    return n;
+  }
+};
+
+/// Fully connected layer y = x W + b  (x: [batch, in]).
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, clo::Rng& rng);
+  Tensor forward(const Tensor& x);
+  std::vector<Tensor> parameters() override { return {weight_, bias_}; }
+
+ private:
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out]
+};
+
+/// Two-layer MLP with ReLU.
+class Mlp : public Module {
+ public:
+  Mlp(int in_features, int hidden, int out_features, clo::Rng& rng);
+  Tensor forward(const Tensor& x);
+  std::vector<Tensor> parameters() override;
+
+ private:
+  Linear fc1_, fc2_;
+};
+
+/// Single-layer LSTM unrolled over a sequence of [batch, in] tensors;
+/// returns per-step hidden states [batch, hidden].
+class Lstm : public Module {
+ public:
+  Lstm(int in_features, int hidden, clo::Rng& rng);
+  std::vector<Tensor> forward(const std::vector<Tensor>& steps);
+  int hidden_size() const { return hidden_; }
+  std::vector<Tensor> parameters() override { return {wx_, wh_, bias_}; }
+
+ private:
+  int hidden_;
+  Tensor wx_;    // [in, 4h]
+  Tensor wh_;    // [h, 4h]
+  Tensor bias_;  // [4h]
+};
+
+/// Additive attention pooling over step outputs: softmax(v . tanh(W h_t))
+/// weighted sum. A light stand-in for the paper's 2-layer attention heads.
+class AttentionPool : public Module {
+ public:
+  AttentionPool(int features, int attn_dim, clo::Rng& rng);
+  /// steps: T tensors of [batch, features]; returns [batch, features].
+  Tensor forward(const std::vector<Tensor>& steps);
+  std::vector<Tensor> parameters() override { return {w_, v_, b_}; }
+
+ private:
+  Tensor w_;  // [features, attn_dim]
+  Tensor v_;  // [attn_dim, 1]
+  Tensor b_;  // [attn_dim]
+};
+
+/// Conv1d layer with weights (same padding, odd kernel).
+class Conv1dLayer : public Module {
+ public:
+  Conv1dLayer(int in_channels, int out_channels, int kernel, clo::Rng& rng);
+  Tensor forward(const Tensor& x);
+  std::vector<Tensor> parameters() override { return {weight_, bias_}; }
+
+ private:
+  Tensor weight_;  // [Co, Ci, K]
+  Tensor bias_;    // [Co]
+};
+
+/// Sinusoidal timestep embedding (DDPM-style), not trainable.
+Tensor timestep_embedding(const std::vector<int>& t, int dim);
+
+}  // namespace clo::nn

@@ -1,0 +1,698 @@
+#include "clo/nn/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace clo::nn {
+namespace {
+
+Tensor make_result(std::vector<int> shape,
+                   std::vector<std::shared_ptr<TensorImpl>> parents,
+                   std::function<void(TensorImpl&)> backward_fn) {
+  Tensor out = Tensor::zeros(std::move(shape));
+  bool any_grad = false;
+  for (const auto& p : parents) any_grad = any_grad || p->requires_grad;
+  out.impl()->requires_grad = any_grad;
+  if (any_grad) {
+    out.impl()->parents = std::move(parents);
+    out.impl()->backward_fn = std::move(backward_fn);
+  }
+  return out;
+}
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                a.shape_str() + " vs " + b.shape_str());
+  }
+}
+
+void accumulate(const std::shared_ptr<TensorImpl>& p,
+                const std::vector<float>& grad_piece) {
+  if (!p->requires_grad && !p->backward_fn) {
+    // Still accumulate: interior nodes carry grads even if their leaves do.
+  }
+  p->ensure_grad();
+  for (std::size_t i = 0; i < grad_piece.size(); ++i) {
+    p->grad[i] += grad_piece[i];
+  }
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  auto pa = a.impl();
+  auto pb = b.impl();
+  Tensor out = make_result(a.shape(), {pa, pb}, [pa, pb](TensorImpl& self) {
+    accumulate(pa, self.grad);
+    accumulate(pb, self.grad);
+  });
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    out.data()[i] = pa->data[i] + pb->data[i];
+  }
+  return out;
+}
+
+Tensor add_bias(const Tensor& a, const Tensor& b) {
+  if (a.ndim() != 2 || b.ndim() != 1 || a.dim(1) != b.dim(0)) {
+    throw std::invalid_argument("add_bias: need [r,c] + [c]");
+  }
+  auto pa = a.impl();
+  auto pb = b.impl();
+  const int rows = a.dim(0), cols = a.dim(1);
+  Tensor out = make_result(a.shape(), {pa, pb},
+                           [pa, pb, rows, cols](TensorImpl& self) {
+    accumulate(pa, self.grad);
+    pb->ensure_grad();
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) pb->grad[c] += self.grad[r * cols + c];
+    }
+  });
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      out.data()[r * cols + c] = pa->data[r * cols + c] + pb->data[c];
+    }
+  }
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  auto pa = a.impl();
+  auto pb = b.impl();
+  Tensor out = make_result(a.shape(), {pa, pb}, [pa, pb](TensorImpl& self) {
+    accumulate(pa, self.grad);
+    pb->ensure_grad();
+    for (std::size_t i = 0; i < self.grad.size(); ++i) {
+      pb->grad[i] -= self.grad[i];
+    }
+  });
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    out.data()[i] = pa->data[i] - pb->data[i];
+  }
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  auto pa = a.impl();
+  auto pb = b.impl();
+  Tensor out = make_result(a.shape(), {pa, pb}, [pa, pb](TensorImpl& self) {
+    pa->ensure_grad();
+    pb->ensure_grad();
+    for (std::size_t i = 0; i < self.grad.size(); ++i) {
+      pa->grad[i] += self.grad[i] * pb->data[i];
+      pb->grad[i] += self.grad[i] * pa->data[i];
+    }
+  });
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    out.data()[i] = pa->data[i] * pb->data[i];
+  }
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  auto pa = a.impl();
+  Tensor out = make_result(a.shape(), {pa}, [pa, s](TensorImpl& self) {
+    pa->ensure_grad();
+    for (std::size_t i = 0; i < self.grad.size(); ++i) {
+      pa->grad[i] += self.grad[i] * s;
+    }
+  });
+  for (std::size_t i = 0; i < out.numel(); ++i) out.data()[i] = pa->data[i] * s;
+  return out;
+}
+
+Tensor neg(const Tensor& a) { return scale(a, -1.0f); }
+
+namespace {
+
+template <typename Fwd, typename Dfn>
+Tensor unary_op(const Tensor& a, Fwd fwd, Dfn dydx_from_y) {
+  auto pa = a.impl();
+  Tensor out = Tensor::zeros(a.shape());
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    out.data()[i] = fwd(pa->data[i]);
+  }
+  auto po = out.impl();
+  bool needs = pa->requires_grad || pa->backward_fn != nullptr;
+  // Mirror make_result wiring but capture the output data for the backward.
+  if (needs || pa->requires_grad) {
+    out.impl()->requires_grad = true;
+    out.impl()->parents = {pa};
+    std::vector<float> y = out.data();
+    out.impl()->backward_fn = [pa, y = std::move(y),
+                               dydx_from_y](TensorImpl& self) {
+      pa->ensure_grad();
+      for (std::size_t i = 0; i < self.grad.size(); ++i) {
+        pa->grad[i] += self.grad[i] * dydx_from_y(y[i]);
+      }
+    };
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor relu(const Tensor& a) {
+  return unary_op(
+      a, [](float x) { return x > 0 ? x : 0.0f; },
+      [](float y) { return y > 0 ? 1.0f : 0.0f; });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return unary_op(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float y) { return y * (1.0f - y); });
+}
+
+Tensor tanh_op(const Tensor& a) {
+  return unary_op(
+      a, [](float x) { return std::tanh(x); },
+      [](float y) { return 1.0f - y * y; });
+}
+
+Tensor silu(const Tensor& a) {
+  // silu(x) = x * sigmoid(x); derivative needs x, so capture input.
+  auto pa = a.impl();
+  Tensor out = Tensor::zeros(a.shape());
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    const float x = pa->data[i];
+    out.data()[i] = x / (1.0f + std::exp(-x));
+  }
+  if (pa->requires_grad || pa->backward_fn) {
+    out.impl()->requires_grad = true;
+    out.impl()->parents = {pa};
+    out.impl()->backward_fn = [pa](TensorImpl& self) {
+      pa->ensure_grad();
+      for (std::size_t i = 0; i < self.grad.size(); ++i) {
+        const float x = pa->data[i];
+        const float s = 1.0f / (1.0f + std::exp(-x));
+        pa->grad[i] += self.grad[i] * (s + x * s * (1.0f - s));
+      }
+    };
+  }
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, bool transpose_b) {
+  if (a.ndim() != 2 || b.ndim() != 2) {
+    throw std::invalid_argument("matmul: need 2-D tensors");
+  }
+  const int m = a.dim(0);
+  const int k = a.dim(1);
+  const int n = transpose_b ? b.dim(0) : b.dim(1);
+  const int bk = transpose_b ? b.dim(1) : b.dim(0);
+  if (k != bk) {
+    throw std::invalid_argument("matmul: inner dims mismatch " +
+                                a.shape_str() + " x " + b.shape_str());
+  }
+  auto pa = a.impl();
+  auto pb = b.impl();
+  Tensor out = make_result(
+      {m, n}, {pa, pb}, [pa, pb, m, k, n, transpose_b](TensorImpl& self) {
+        pa->ensure_grad();
+        pb->ensure_grad();
+        // dA = dY * B^T (or dY * B when b was transposed)
+        for (int i = 0; i < m; ++i) {
+          for (int j = 0; j < n; ++j) {
+            const float gy = self.grad[i * n + j];
+            if (gy == 0.0f) continue;
+            for (int l = 0; l < k; ++l) {
+              const float bv =
+                  transpose_b ? pb->data[j * k + l] : pb->data[l * n + j];
+              pa->grad[i * k + l] += gy * bv;
+              if (transpose_b) {
+                pb->grad[j * k + l] += gy * pa->data[i * k + l];
+              } else {
+                pb->grad[l * n + j] += gy * pa->data[i * k + l];
+              }
+            }
+          }
+        }
+      });
+  for (int i = 0; i < m; ++i) {
+    for (int l = 0; l < k; ++l) {
+      const float av = pa->data[i * k + l];
+      if (av == 0.0f) continue;
+      for (int j = 0; j < n; ++j) {
+        const float bv = transpose_b ? pb->data[j * k + l] : pb->data[l * n + j];
+        out.data()[i * n + j] += av * bv;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor sum_all(const Tensor& a) {
+  auto pa = a.impl();
+  Tensor out = make_result({1}, {pa}, [pa](TensorImpl& self) {
+    pa->ensure_grad();
+    for (auto& g : pa->grad) g += self.grad[0];
+  });
+  float s = 0.0f;
+  for (float v : pa->data) s += v;
+  out.data()[0] = s;
+  return out;
+}
+
+Tensor mean_all(const Tensor& a) {
+  return scale(sum_all(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor mean_rows(const Tensor& a) {
+  if (a.ndim() != 2) throw std::invalid_argument("mean_rows: need 2-D");
+  const int rows = a.dim(0), cols = a.dim(1);
+  auto pa = a.impl();
+  Tensor out = make_result({1, cols}, {pa}, [pa, rows, cols](TensorImpl& self) {
+    pa->ensure_grad();
+    const float inv = 1.0f / static_cast<float>(rows);
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        pa->grad[r * cols + c] += self.grad[c] * inv;
+      }
+    }
+  });
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) out.data()[c] += pa->data[r * cols + c];
+  }
+  for (int c = 0; c < cols; ++c) out.data()[c] /= static_cast<float>(rows);
+  return out;
+}
+
+Tensor mse_loss(const Tensor& pred, const Tensor& target) {
+  check_same_shape(pred, target, "mse_loss");
+  auto pa = pred.impl();
+  auto pb = target.impl();
+  const float inv = 1.0f / static_cast<float>(pred.numel());
+  Tensor out = make_result({1}, {pa, pb}, [pa, pb, inv](TensorImpl& self) {
+    pa->ensure_grad();
+    pb->ensure_grad();
+    const float g = self.grad[0];
+    for (std::size_t i = 0; i < pa->data.size(); ++i) {
+      const float d = 2.0f * (pa->data[i] - pb->data[i]) * inv * g;
+      pa->grad[i] += d;
+      pb->grad[i] -= d;
+    }
+  });
+  float s = 0.0f;
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const float d = pa->data[i] - pb->data[i];
+    s += d * d;
+  }
+  out.data()[0] = s * inv;
+  return out;
+}
+
+Tensor reshape(const Tensor& a, std::vector<int> shape) {
+  std::size_t n = 1;
+  for (int d : shape) n *= static_cast<std::size_t>(d);
+  if (n != a.numel()) throw std::invalid_argument("reshape: numel mismatch");
+  auto pa = a.impl();
+  Tensor out = make_result(std::move(shape), {pa}, [pa](TensorImpl& self) {
+    accumulate(pa, self.grad);
+  });
+  out.data() = pa->data;
+  return out;
+}
+
+Tensor concat_cols(const Tensor& a, const Tensor& b) {
+  if (a.ndim() != 2 || b.ndim() != 2 || a.dim(0) != b.dim(0)) {
+    throw std::invalid_argument("concat_cols: need [r,ca],[r,cb]");
+  }
+  const int rows = a.dim(0), ca = a.dim(1), cb = b.dim(1);
+  auto pa = a.impl();
+  auto pb = b.impl();
+  Tensor out = make_result({rows, ca + cb}, {pa, pb},
+                           [pa, pb, rows, ca, cb](TensorImpl& self) {
+    pa->ensure_grad();
+    pb->ensure_grad();
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < ca; ++c) {
+        pa->grad[r * ca + c] += self.grad[r * (ca + cb) + c];
+      }
+      for (int c = 0; c < cb; ++c) {
+        pb->grad[r * cb + c] += self.grad[r * (ca + cb) + ca + c];
+      }
+    }
+  });
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < ca; ++c) {
+      out.data()[r * (ca + cb) + c] = pa->data[r * ca + c];
+    }
+    for (int c = 0; c < cb; ++c) {
+      out.data()[r * (ca + cb) + ca + c] = pb->data[r * cb + c];
+    }
+  }
+  return out;
+}
+
+Tensor slice_cols(const Tensor& a, int begin, int end) {
+  if (a.ndim() != 2 || begin < 0 || end > a.dim(1) || begin >= end) {
+    throw std::invalid_argument("slice_cols: bad range");
+  }
+  const int rows = a.dim(0), cols = a.dim(1), w = end - begin;
+  auto pa = a.impl();
+  Tensor out = make_result({rows, w}, {pa},
+                           [pa, rows, cols, begin, w](TensorImpl& self) {
+    pa->ensure_grad();
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < w; ++c) {
+        pa->grad[r * cols + begin + c] += self.grad[r * w + c];
+      }
+    }
+  });
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < w; ++c) {
+      out.data()[r * w + c] = pa->data[r * cols + begin + c];
+    }
+  }
+  return out;
+}
+
+Tensor gather_rows(const Tensor& a, const std::vector<int>& rows) {
+  if (a.ndim() != 2) throw std::invalid_argument("gather_rows: need 2-D");
+  const int cols = a.dim(1);
+  auto pa = a.impl();
+  auto idx = rows;  // captured copy
+  Tensor out = make_result({static_cast<int>(rows.size()), cols}, {pa},
+                           [pa, idx, cols](TensorImpl& self) {
+    pa->ensure_grad();
+    for (std::size_t r = 0; r < idx.size(); ++r) {
+      for (int c = 0; c < cols; ++c) {
+        pa->grad[static_cast<std::size_t>(idx[r]) * cols + c] +=
+            self.grad[r * cols + c];
+      }
+    }
+  });
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (int c = 0; c < cols; ++c) {
+      out.data()[r * cols + c] =
+          pa->data[static_cast<std::size_t>(rows[r]) * cols + c];
+    }
+  }
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& a) {
+  if (a.ndim() != 2) throw std::invalid_argument("softmax_rows: need 2-D");
+  const int rows = a.dim(0), cols = a.dim(1);
+  auto pa = a.impl();
+  Tensor out = Tensor::zeros(a.shape());
+  for (int r = 0; r < rows; ++r) {
+    float mx = pa->data[r * cols];
+    for (int c = 1; c < cols; ++c) mx = std::max(mx, pa->data[r * cols + c]);
+    float z = 0.0f;
+    for (int c = 0; c < cols; ++c) {
+      const float e = std::exp(pa->data[r * cols + c] - mx);
+      out.data()[r * cols + c] = e;
+      z += e;
+    }
+    for (int c = 0; c < cols; ++c) out.data()[r * cols + c] /= z;
+  }
+  if (pa->requires_grad || pa->backward_fn) {
+    out.impl()->requires_grad = true;
+    out.impl()->parents = {pa};
+    std::vector<float> y = out.data();
+    out.impl()->backward_fn = [pa, y = std::move(y), rows,
+                               cols](TensorImpl& self) {
+      pa->ensure_grad();
+      for (int r = 0; r < rows; ++r) {
+        float dot = 0.0f;
+        for (int c = 0; c < cols; ++c) {
+          dot += self.grad[r * cols + c] * y[r * cols + c];
+        }
+        for (int c = 0; c < cols; ++c) {
+          pa->grad[r * cols + c] +=
+              y[r * cols + c] * (self.grad[r * cols + c] - dot);
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor layer_norm(const Tensor& a, const Tensor& gain, const Tensor& bias,
+                  float eps) {
+  if (a.ndim() != 2 || gain.ndim() != 1 || bias.ndim() != 1 ||
+      gain.dim(0) != a.dim(1) || bias.dim(0) != a.dim(1)) {
+    throw std::invalid_argument("layer_norm: need [r,c], [c], [c]");
+  }
+  const int rows = a.dim(0), cols = a.dim(1);
+  auto pa = a.impl();
+  auto pg = gain.impl();
+  auto pb = bias.impl();
+  Tensor out = Tensor::zeros(a.shape());
+  std::vector<float> xhat(a.numel());
+  std::vector<float> inv_std(rows);
+  for (int r = 0; r < rows; ++r) {
+    float mean = 0.0f;
+    for (int c = 0; c < cols; ++c) mean += pa->data[r * cols + c];
+    mean /= static_cast<float>(cols);
+    float var = 0.0f;
+    for (int c = 0; c < cols; ++c) {
+      const float d = pa->data[r * cols + c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(cols);
+    inv_std[r] = 1.0f / std::sqrt(var + eps);
+    for (int c = 0; c < cols; ++c) {
+      const float xh = (pa->data[r * cols + c] - mean) * inv_std[r];
+      xhat[r * cols + c] = xh;
+      out.data()[r * cols + c] = xh * pg->data[c] + pb->data[c];
+    }
+  }
+  const bool needs = pa->requires_grad || pa->backward_fn ||
+                     pg->requires_grad || pb->requires_grad;
+  if (needs) {
+    out.impl()->requires_grad = true;
+    out.impl()->parents = {pa, pg, pb};
+    out.impl()->backward_fn = [pa, pg, pb, xhat = std::move(xhat),
+                               inv_std = std::move(inv_std), rows,
+                               cols](TensorImpl& self) {
+      pa->ensure_grad();
+      pg->ensure_grad();
+      pb->ensure_grad();
+      for (int r = 0; r < rows; ++r) {
+        float sum_dy = 0.0f, sum_dy_xhat = 0.0f;
+        for (int c = 0; c < cols; ++c) {
+          const float dy = self.grad[r * cols + c] * pg->data[c];
+          sum_dy += dy;
+          sum_dy_xhat += dy * xhat[r * cols + c];
+          pg->grad[c] += self.grad[r * cols + c] * xhat[r * cols + c];
+          pb->grad[c] += self.grad[r * cols + c];
+        }
+        const float invn = 1.0f / static_cast<float>(cols);
+        for (int c = 0; c < cols; ++c) {
+          const float dy = self.grad[r * cols + c] * pg->data[c];
+          pa->grad[r * cols + c] +=
+              inv_std[r] *
+              (dy - invn * sum_dy - xhat[r * cols + c] * invn * sum_dy_xhat);
+        }
+      }
+    };
+  }
+  return out;
+}
+
+// ---- conv1d stack -----------------------------------------------------------
+
+Tensor conv1d(const Tensor& x, const Tensor& weight, const Tensor& bias) {
+  if (x.ndim() != 3 || weight.ndim() != 3 || bias.ndim() != 1) {
+    throw std::invalid_argument("conv1d: need [B,C,L], [Co,Ci,K], [Co]");
+  }
+  const int B = x.dim(0), Ci = x.dim(1), L = x.dim(2);
+  const int Co = weight.dim(0), K = weight.dim(2);
+  if (weight.dim(1) != Ci || bias.dim(0) != Co || K % 2 == 0) {
+    throw std::invalid_argument("conv1d: shape mismatch");
+  }
+  const int pad = K / 2;
+  auto px = x.impl();
+  auto pw = weight.impl();
+  auto pb = bias.impl();
+  Tensor out = make_result(
+      {B, Co, L}, {px, pw, pb},
+      [px, pw, pb, B, Ci, L, Co, K, pad](TensorImpl& self) {
+        px->ensure_grad();
+        pw->ensure_grad();
+        pb->ensure_grad();
+        for (int b = 0; b < B; ++b) {
+          for (int co = 0; co < Co; ++co) {
+            for (int l = 0; l < L; ++l) {
+              const float gy = self.grad[(b * Co + co) * L + l];
+              if (gy == 0.0f) continue;
+              pb->grad[co] += gy;
+              for (int ci = 0; ci < Ci; ++ci) {
+                for (int k = 0; k < K; ++k) {
+                  const int li = l + k - pad;
+                  if (li < 0 || li >= L) continue;
+                  pw->grad[(co * Ci + ci) * K + k] +=
+                      gy * px->data[(b * Ci + ci) * L + li];
+                  px->grad[(b * Ci + ci) * L + li] +=
+                      gy * pw->data[(co * Ci + ci) * K + k];
+                }
+              }
+            }
+          }
+        }
+      });
+  for (int b = 0; b < B; ++b) {
+    for (int co = 0; co < Co; ++co) {
+      for (int l = 0; l < L; ++l) {
+        float acc = pb->data[co];
+        for (int ci = 0; ci < Ci; ++ci) {
+          for (int k = 0; k < K; ++k) {
+            const int li = l + k - pad;
+            if (li < 0 || li >= L) continue;
+            acc += px->data[(b * Ci + ci) * L + li] *
+                   pw->data[(co * Ci + ci) * K + k];
+          }
+        }
+        out.data()[(b * Co + co) * L + l] = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor avg_pool1d(const Tensor& x) {
+  if (x.ndim() != 3 || x.dim(2) % 2 != 0) {
+    throw std::invalid_argument("avg_pool1d: need [B,C,even L]");
+  }
+  const int B = x.dim(0), C = x.dim(1), L = x.dim(2), Lo = L / 2;
+  auto px = x.impl();
+  Tensor out = make_result({B, C, Lo}, {px}, [px, B, C, L, Lo](TensorImpl& self) {
+    px->ensure_grad();
+    for (int b = 0; b < B; ++b) {
+      for (int c = 0; c < C; ++c) {
+        for (int l = 0; l < Lo; ++l) {
+          const float g = 0.5f * self.grad[(b * C + c) * Lo + l];
+          px->grad[(b * C + c) * L + 2 * l] += g;
+          px->grad[(b * C + c) * L + 2 * l + 1] += g;
+        }
+      }
+    }
+  });
+  for (int b = 0; b < B; ++b) {
+    for (int c = 0; c < C; ++c) {
+      for (int l = 0; l < Lo; ++l) {
+        out.data()[(b * C + c) * Lo + l] =
+            0.5f * (px->data[(b * C + c) * L + 2 * l] +
+                    px->data[(b * C + c) * L + 2 * l + 1]);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor upsample1d(const Tensor& x) {
+  if (x.ndim() != 3) throw std::invalid_argument("upsample1d: need [B,C,L]");
+  const int B = x.dim(0), C = x.dim(1), L = x.dim(2), Lo = L * 2;
+  auto px = x.impl();
+  Tensor out = make_result({B, C, Lo}, {px}, [px, B, C, L, Lo](TensorImpl& self) {
+    px->ensure_grad();
+    for (int b = 0; b < B; ++b) {
+      for (int c = 0; c < C; ++c) {
+        for (int l = 0; l < L; ++l) {
+          px->grad[(b * C + c) * L + l] +=
+              self.grad[(b * C + c) * Lo + 2 * l] +
+              self.grad[(b * C + c) * Lo + 2 * l + 1];
+        }
+      }
+    }
+  });
+  for (int b = 0; b < B; ++b) {
+    for (int c = 0; c < C; ++c) {
+      for (int l = 0; l < L; ++l) {
+        const float v = px->data[(b * C + c) * L + l];
+        out.data()[(b * C + c) * Lo + 2 * l] = v;
+        out.data()[(b * C + c) * Lo + 2 * l + 1] = v;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor concat_channels(const Tensor& a, const Tensor& b) {
+  if (a.ndim() != 3 || b.ndim() != 3 || a.dim(0) != b.dim(0) ||
+      a.dim(2) != b.dim(2)) {
+    throw std::invalid_argument("concat_channels: shape mismatch");
+  }
+  const int B = a.dim(0), Ca = a.dim(1), Cb = b.dim(1), L = a.dim(2);
+  auto pa = a.impl();
+  auto pb = b.impl();
+  Tensor out = make_result({B, Ca + Cb, L}, {pa, pb},
+                           [pa, pb, B, Ca, Cb, L](TensorImpl& self) {
+    pa->ensure_grad();
+    pb->ensure_grad();
+    for (int bt = 0; bt < B; ++bt) {
+      for (int c = 0; c < Ca; ++c) {
+        for (int l = 0; l < L; ++l) {
+          pa->grad[(bt * Ca + c) * L + l] +=
+              self.grad[(bt * (Ca + Cb) + c) * L + l];
+        }
+      }
+      for (int c = 0; c < Cb; ++c) {
+        for (int l = 0; l < L; ++l) {
+          pb->grad[(bt * Cb + c) * L + l] +=
+              self.grad[(bt * (Ca + Cb) + Ca + c) * L + l];
+        }
+      }
+    }
+  });
+  for (int bt = 0; bt < B; ++bt) {
+    for (int c = 0; c < Ca; ++c) {
+      for (int l = 0; l < L; ++l) {
+        out.data()[(bt * (Ca + Cb) + c) * L + l] = pa->data[(bt * Ca + c) * L + l];
+      }
+    }
+    for (int c = 0; c < Cb; ++c) {
+      for (int l = 0; l < L; ++l) {
+        out.data()[(bt * (Ca + Cb) + Ca + c) * L + l] =
+            pb->data[(bt * Cb + c) * L + l];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor add_channel_bias(const Tensor& x, const Tensor& b) {
+  if (x.ndim() != 3) throw std::invalid_argument("add_channel_bias: [B,C,L]");
+  const int B = x.dim(0), C = x.dim(1), L = x.dim(2);
+  const bool batched = b.ndim() == 2;
+  if ((batched && (b.dim(0) != B || b.dim(1) != C)) ||
+      (!batched && b.dim(0) != C)) {
+    throw std::invalid_argument("add_channel_bias: bias shape");
+  }
+  auto px = x.impl();
+  auto pb = b.impl();
+  Tensor out = make_result({B, C, L}, {px, pb},
+                           [px, pb, B, C, L, batched](TensorImpl& self) {
+    px->ensure_grad();
+    pb->ensure_grad();
+    for (int bt = 0; bt < B; ++bt) {
+      for (int c = 0; c < C; ++c) {
+        float s = 0.0f;
+        for (int l = 0; l < L; ++l) {
+          const float g = self.grad[(bt * C + c) * L + l];
+          px->grad[(bt * C + c) * L + l] += g;
+          s += g;
+        }
+        pb->grad[batched ? bt * C + c : c] += s;
+      }
+    }
+  });
+  for (int bt = 0; bt < B; ++bt) {
+    for (int c = 0; c < C; ++c) {
+      const float bias = pb->data[batched ? bt * C + c : c];
+      for (int l = 0; l < L; ++l) {
+        out.data()[(bt * C + c) * L + l] = px->data[(bt * C + c) * L + l] + bias;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace clo::nn

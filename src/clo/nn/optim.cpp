@@ -1,0 +1,60 @@
+#include "clo/nn/optim.hpp"
+
+#include <cmath>
+
+namespace clo::nn {
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {
+  for (auto& p : params_) {
+    m_.emplace_back(p.numel(), 0.0f);
+    v_.emplace_back(p.numel(), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++step_count_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    auto& g = p.grad();
+    for (std::size_t j = 0; j < p.numel(); ++j) {
+      m_[i][j] = beta1_ * m_[i][j] + (1.0f - beta1_) * g[j];
+      v_[i][j] = beta2_ * v_[i][j] + (1.0f - beta2_) * g[j] * g[j];
+      const float mhat = m_[i][j] / bc1;
+      const float vhat = v_[i][j] / bc2;
+      p.data()[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+  zero_grad();
+}
+
+void Adam::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
+    : params_(std::move(params)), lr_(lr), momentum_(momentum) {
+  for (auto& p : params_) velocity_.emplace_back(p.numel(), 0.0f);
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    auto& g = p.grad();
+    for (std::size_t j = 0; j < p.numel(); ++j) {
+      velocity_[i][j] = momentum_ * velocity_[i][j] - lr_ * g[j];
+      p.data()[j] += velocity_[i][j];
+    }
+  }
+  zero_grad();
+}
+
+void Sgd::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+}  // namespace clo::nn

@@ -1,0 +1,41 @@
+#pragma once
+// Optimizers. Adam is what the paper's models train with.
+
+#include <vector>
+
+#include "clo/nn/tensor.hpp"
+
+namespace clo::nn {
+
+class Adam {
+ public:
+  explicit Adam(std::vector<Tensor> params, float lr = 1e-3f,
+                float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
+
+  /// Apply one update from accumulated grads, then zero them.
+  void step();
+  void zero_grad();
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<std::vector<float>> m_, v_;
+  float lr_, beta1_, beta2_, eps_;
+  long step_count_ = 0;
+};
+
+class Sgd {
+ public:
+  explicit Sgd(std::vector<Tensor> params, float lr = 1e-2f,
+               float momentum = 0.0f);
+  void step();
+  void zero_grad();
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<std::vector<float>> velocity_;
+  float lr_, momentum_;
+};
+
+}  // namespace clo::nn

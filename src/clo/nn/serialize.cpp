@@ -1,0 +1,74 @@
+#include "clo/nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace clo::nn {
+namespace {
+
+constexpr char kMagic[6] = {'C', 'L', 'O', 'N', 'N', '1'};
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::istream& is, T& value) {
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+bool save_parameters(const std::vector<Tensor>& params,
+                     const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, static_cast<std::uint32_t>(params.size()));
+  for (const Tensor& p : params) {
+    write_pod(os, static_cast<std::uint32_t>(p.shape().size()));
+    for (int d : p.shape()) write_pod(os, static_cast<std::int32_t>(d));
+    os.write(reinterpret_cast<const char*>(p.data().data()),
+             static_cast<std::streamsize>(p.numel() * sizeof(float)));
+  }
+  return static_cast<bool>(os);
+}
+
+bool load_parameters(std::vector<Tensor>& params, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  char magic[6];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+  std::uint32_t count = 0;
+  if (!read_pod(is, count) || count != params.size()) return false;
+  for (Tensor& p : params) {
+    std::uint32_t ndims = 0;
+    if (!read_pod(is, ndims) ||
+        ndims != static_cast<std::uint32_t>(p.ndim())) {
+      return false;
+    }
+    for (int i = 0; i < p.ndim(); ++i) {
+      std::int32_t d = 0;
+      if (!read_pod(is, d) || d != p.dim(i)) return false;
+    }
+    is.read(reinterpret_cast<char*>(p.data().data()),
+            static_cast<std::streamsize>(p.numel() * sizeof(float)));
+    if (!is) return false;
+  }
+  return true;
+}
+
+bool save_module(Module& module, const std::string& path) {
+  return save_parameters(module.parameters(), path);
+}
+
+bool load_module(Module& module, const std::string& path) {
+  auto params = module.parameters();
+  return load_parameters(params, path);
+}
+
+}  // namespace clo::nn

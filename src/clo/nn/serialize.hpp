@@ -1,0 +1,27 @@
+#pragma once
+// Parameter (de)serialization: the paper treats model training as a
+// one-time effort per circuit, which only pays off if the trained weights
+// can be kept around. Format: little-endian binary, "CLONN1" magic, tensor
+// count, then (ndims, dims..., float32 data) per tensor.
+
+#include <string>
+#include <vector>
+
+#include "clo/nn/modules.hpp"
+#include "clo/nn/tensor.hpp"
+
+namespace clo::nn {
+
+/// Write all tensors to `path`. Returns false on I/O failure.
+bool save_parameters(const std::vector<Tensor>& params,
+                     const std::string& path);
+
+/// Read tensors from `path` into `params` (shapes must match exactly).
+/// Returns false on I/O failure or shape mismatch.
+bool load_parameters(std::vector<Tensor>& params, const std::string& path);
+
+/// Convenience wrappers for whole modules.
+bool save_module(Module& module, const std::string& path);
+bool load_module(Module& module, const std::string& path);
+
+}  // namespace clo::nn

@@ -1,0 +1,88 @@
+#pragma once
+// Minimal dense float tensor with reverse-mode automatic differentiation —
+// the training substrate for the surrogate and diffusion models (the paper
+// trains small PyTorch models; everything here is CPU float32).
+//
+// Semantics: Tensor is a cheap shared handle to a node in a dynamically
+// built compute graph. Ops (see ops.hpp) allocate fresh output tensors and
+// record a backward closure. `backward(root)` runs reverse topological
+// accumulation from a scalar root.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clo/util/rng.hpp"
+
+namespace clo::nn {
+
+class Tensor;
+
+struct TensorImpl {
+  std::vector<int> shape;
+  std::vector<float> data;
+  std::vector<float> grad;   ///< same size as data once touched
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::function<void(TensorImpl&)> backward_fn;  ///< pushes grad to parents
+
+  std::size_t numel() const { return data.size(); }
+  void ensure_grad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+  /// Uninitialized-to-zero tensor of `shape`.
+  static Tensor zeros(std::vector<int> shape, bool requires_grad = false);
+  static Tensor full(std::vector<int> shape, float value,
+                     bool requires_grad = false);
+  /// Gaussian init scaled by `stddev`.
+  static Tensor randn(std::vector<int> shape, clo::Rng& rng, float stddev,
+                      bool requires_grad = false);
+  static Tensor from_data(std::vector<int> shape, std::vector<float> data,
+                          bool requires_grad = false);
+  static Tensor scalar(float value, bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+  const std::vector<int>& shape() const { return impl_->shape; }
+  int dim(int i) const { return impl_->shape[i]; }
+  int ndim() const { return static_cast<int>(impl_->shape.size()); }
+  std::size_t numel() const { return impl_->numel(); }
+
+  std::vector<float>& data() { return impl_->data; }
+  const std::vector<float>& data() const { return impl_->data; }
+  std::vector<float>& grad() { impl_->ensure_grad(); return impl_->grad; }
+
+  float item() const { return impl_->data.at(0); }
+
+  bool requires_grad() const { return impl_->requires_grad; }
+  void set_requires_grad(bool v) { impl_->requires_grad = v; }
+
+  void zero_grad() {
+    impl_->grad.assign(impl_->data.size(), 0.0f);
+  }
+
+  std::shared_ptr<TensorImpl> impl() const { return impl_; }
+
+  std::string shape_str() const;
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+/// Reverse-mode accumulation from a scalar `root` (numel() == 1).
+/// Grad buffers of reachable requires_grad tensors are accumulated into
+/// (callers zero them between steps via the optimizer).
+void backward(const Tensor& root);
+
+/// Detached copy: same data, no graph history.
+Tensor detach(const Tensor& t);
+
+}  // namespace clo::nn

@@ -1,0 +1,113 @@
+#include <algorithm>
+#include <functional>
+#include <queue>
+
+#include "clo/opt/passes.hpp"
+#include "clo/util/timer.hpp"
+
+namespace clo::opt {
+
+using aig::Aig;
+using aig::Lit;
+
+// Depth-oriented rebalancing: collapse single-fanout AND chains into
+// multi-input conjunctions, then rebuild each as a level-balanced tree
+// (greedily pairing the two shallowest operands, Huffman-style).
+PassStats balance(Aig& g) {
+  clo::Stopwatch watch;
+  watch.start();
+  PassStats stats;
+  stats.name = "b";
+  stats.nodes_before = g.num_ands();
+  stats.depth_before = g.depth();
+
+  Aig fresh;
+  fresh.set_name(g.name());
+  std::vector<Lit> pi_map(g.num_slots(), aig::kLitNull);
+  for (std::size_t i = 0; i < g.num_pis(); ++i) {
+    pi_map[g.pi_node(i)] = fresh.add_pi(g.pi_name(i));
+  }
+  std::vector<int> level(fresh.num_slots(), 0);  // per fresh node
+  auto level_of = [&](Lit l) { return level[aig::lit_node(l)]; };
+  auto add_and = [&](Lit a, Lit b) {
+    const Lit r = fresh.and_of(a, b);
+    const std::uint32_t n = aig::lit_node(r);
+    if (n >= level.size()) {
+      level.resize(fresh.num_slots(), 0);
+      level[n] = 1 + std::max(level_of(a), level_of(b));
+    }
+    return r;
+  };
+
+  std::vector<Lit> memo(g.num_slots(), aig::kLitNull);
+  std::function<Lit(std::uint32_t)> map_node = [&](std::uint32_t n) -> Lit {
+    if (n == 0) return aig::kLitFalse;
+    if (g.is_pi(n)) {
+      level.resize(fresh.num_slots(), 0);
+      return pi_map[n];
+    }
+    if (memo[n] != aig::kLitNull) return memo[n];
+    // Collect the multi-input conjunction rooted at n: descend through
+    // non-complemented, single-fanout AND fanins.
+    std::vector<Lit> conj;
+    std::vector<Lit> stack{g.fanin0(n), g.fanin1(n)};
+    while (!stack.empty()) {
+      const Lit l = stack.back();
+      stack.pop_back();
+      const std::uint32_t m = aig::lit_node(l);
+      if (!aig::lit_is_compl(l) && g.is_and(m) && g.nrefs(m) == 1) {
+        stack.push_back(g.fanin0(m));
+        stack.push_back(g.fanin1(m));
+      } else {
+        conj.push_back(l);
+      }
+    }
+    // Map operands into the fresh graph.
+    std::vector<Lit> mapped;
+    mapped.reserve(conj.size());
+    for (Lit l : conj) {
+      mapped.push_back(
+          aig::lit_notc(map_node(aig::lit_node(l)), aig::lit_is_compl(l)));
+    }
+    // Constant folding across the whole conjunction.
+    std::sort(mapped.begin(), mapped.end());
+    mapped.erase(std::unique(mapped.begin(), mapped.end()), mapped.end());
+    for (Lit l : mapped) {
+      if (l == aig::kLitFalse ||
+          std::binary_search(mapped.begin(), mapped.end(), aig::lit_not(l))) {
+        return memo[n] = aig::kLitFalse;
+      }
+    }
+    std::erase(mapped, aig::kLitTrue);
+    if (mapped.empty()) return memo[n] = aig::kLitTrue;
+    // Huffman-style pairing by level for minimum tree depth.
+    using Entry = std::pair<int, Lit>;  // (level, literal)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    for (Lit l : mapped) heap.emplace(level_of(l), l);
+    while (heap.size() > 1) {
+      const auto [la, a] = heap.top();
+      heap.pop();
+      const auto [lb, b] = heap.top();
+      heap.pop();
+      const Lit r = add_and(a, b);
+      heap.emplace(level_of(r), r);
+    }
+    return memo[n] = heap.top().second;
+  };
+
+  for (std::size_t i = 0; i < g.num_pos(); ++i) {
+    const Lit po = g.po(i);
+    const Lit mapped =
+        aig::lit_notc(map_node(aig::lit_node(po)), aig::lit_is_compl(po));
+    fresh.add_po(mapped, g.po_name(i));
+  }
+  g = std::move(fresh);
+  stats.accepted_moves = 1;
+  stats.nodes_after = g.num_ands();
+  stats.depth_after = g.depth();
+  watch.stop();
+  stats.seconds = watch.seconds();
+  return stats;
+}
+
+}  // namespace clo::opt

@@ -1,0 +1,34 @@
+#include "clo/opt/flows.hpp"
+
+#include <stdexcept>
+
+namespace clo::opt {
+
+const std::vector<NamedFlow>& preset_flows() {
+  // Translations of ABC's scripts onto S = {rw,rwz,rf,rfz,rs,rsz,b}
+  // (ABC's resyn: "b; rw; rwz; b; rwz; b", resyn2:
+  // "b; rw; rf; b; rw; rwz; b; rfz; rwz; b").
+  static const std::vector<NamedFlow> kFlows = {
+      {"resyn", parse_sequence("b;rw;rwz;b;rwz;b"),
+       "light rewriting script (ABC resyn)"},
+      {"resyn2", parse_sequence("b;rw;rf;b;rw;rwz;b;rfz;rwz;b"),
+       "the classic workhorse script (ABC resyn2)"},
+      {"resyn2rs", parse_sequence("b;rs;rw;rf;rs;b;rs;rw;rs;rfz;rsz;b"),
+       "resyn2 with resubstitution interleaved"},
+      {"compress", parse_sequence("b;rw;rwz;b;rwz;b"),
+       "area compression script"},
+      {"compress2", parse_sequence("b;rw;rf;b;rw;rwz;b;rfz;rwz;b"),
+       "deeper area compression script"},
+      {"quick", parse_sequence("b;rw;b"), "fast cleanup"},
+  };
+  return kFlows;
+}
+
+const Sequence& preset_flow(const std::string& name) {
+  for (const auto& flow : preset_flows()) {
+    if (flow.name == name) return flow.sequence;
+  }
+  throw std::invalid_argument("unknown preset flow: " + name);
+}
+
+}  // namespace clo::opt

@@ -1,0 +1,25 @@
+#pragma once
+// Named preset flows over S — equivalents of the classic ABC recipes
+// (resyn, resyn2, compress2). Useful as strong fixed baselines and as the
+// sub-flow arms FlowTune-style optimizers draw from.
+
+#include <string>
+#include <vector>
+
+#include "clo/opt/transform.hpp"
+
+namespace clo::opt {
+
+struct NamedFlow {
+  std::string name;
+  Sequence sequence;
+  std::string description;
+};
+
+/// All built-in preset flows.
+const std::vector<NamedFlow>& preset_flows();
+
+/// Look up a preset by name; throws std::invalid_argument if unknown.
+const Sequence& preset_flow(const std::string& name);
+
+}  // namespace clo::opt

@@ -1,0 +1,74 @@
+#include "clo/opt/mini_aig.hpp"
+
+#include <algorithm>
+
+namespace clo::opt {
+
+using aig::Lit;
+using aig::lit_is_compl;
+using aig::lit_node;
+using aig::lit_notc;
+using aig::make_lit;
+
+Lit MiniAig::and_of(Lit a, Lit b) {
+  if (a > b) std::swap(a, b);
+  if (a == aig::kLitFalse) return aig::kLitFalse;
+  if (a == aig::kLitTrue) return b;
+  if (a == b) return a;
+  if (a == aig::lit_not(b)) return aig::kLitFalse;
+  const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+  auto it = strash_.find(key);
+  if (it != strash_.end()) return it->second;
+  nodes_.push_back(Node{a, b});
+  const Lit result =
+      make_lit(static_cast<std::uint32_t>(num_leaves_ + nodes_.size()));
+  strash_.emplace(key, result);
+  return result;
+}
+
+int MiniAig::cone_size(Lit root) const {
+  std::vector<bool> visited(nodes_.size(), false);
+  std::vector<std::uint32_t> stack{lit_node(root)};
+  int count = 0;
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (n <= static_cast<std::uint32_t>(num_leaves_)) continue;
+    const std::size_t idx = n - num_leaves_ - 1;
+    if (visited[idx]) continue;
+    visited[idx] = true;
+    ++count;
+    stack.push_back(lit_node(nodes_[idx].a));
+    stack.push_back(lit_node(nodes_[idx].b));
+  }
+  return count;
+}
+
+Lit MiniAig::replay(aig::Aig& g, Lit root,
+                    const std::vector<aig::Lit>& leaf_lits) const {
+  std::vector<Lit> map(num_leaves_ + 1 + nodes_.size(), aig::kLitNull);
+  map[0] = aig::kLitFalse;
+  for (int i = 0; i < num_leaves_; ++i) map[1 + i] = leaf_lits[i];
+  auto mapped = [&](Lit l) { return lit_notc(map[lit_node(l)], lit_is_compl(l)); };
+  // Nodes were created bottom-up, so a forward pass is topological;
+  // only build the cone of root.
+  std::vector<bool> needed(nodes_.size(), false);
+  std::vector<std::uint32_t> stack{lit_node(root)};
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (n <= static_cast<std::uint32_t>(num_leaves_)) continue;
+    const std::size_t idx = n - num_leaves_ - 1;
+    if (needed[idx]) continue;
+    needed[idx] = true;
+    stack.push_back(lit_node(nodes_[idx].a));
+    stack.push_back(lit_node(nodes_[idx].b));
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!needed[i]) continue;
+    map[num_leaves_ + 1 + i] = g.and_of(mapped(nodes_[i].a), mapped(nodes_[i].b));
+  }
+  return mapped(root);
+}
+
+}  // namespace clo::opt

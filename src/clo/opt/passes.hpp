@@ -1,0 +1,60 @@
+#pragma once
+// The logic optimization passes forming the paper's transformation set
+// S = {rw, rwz, rf, rfz, rs, rsz, b} — from-scratch equivalents of ABC's
+// rewrite / refactor / resub / balance commands. Every pass preserves the
+// circuit function (validated by the test suite's equivalence checks) and
+// ends with Aig::cleanup() so reported node counts are exact.
+
+#include <cstddef>
+#include <string>
+
+#include "clo/aig/aig.hpp"
+
+namespace clo::opt {
+
+/// Before/after metrics of one pass application.
+struct PassStats {
+  std::string name;
+  std::size_t nodes_before = 0;
+  std::size_t nodes_after = 0;
+  int depth_before = 0;
+  int depth_after = 0;
+  int accepted_moves = 0;
+  double seconds = 0.0;
+};
+
+struct RewriteParams {
+  bool zero_cost = false;  ///< accept gain == 0 moves (ABC's -z)
+  int cut_leaves = 4;
+  int max_cuts_per_node = 8;
+};
+
+struct RefactorParams {
+  bool zero_cost = false;
+  int max_cone_leaves = 8;
+  int max_cone_nodes = 400;
+};
+
+struct ResubParams {
+  bool zero_cost = false;
+  int max_window_leaves = 8;
+  int max_divisors = 40;
+  /// Also attempt 2-resub (n = d1 op (d2 op d3)), bounded to the first
+  /// `max_two_level_divisors` divisors. Needs MFFC >= 3 to gain.
+  bool two_level = true;
+  int max_two_level_divisors = 16;
+};
+
+/// Depth-oriented AND-tree rebalancing (ABC's `balance`).
+PassStats balance(aig::Aig& g);
+
+/// DAG-aware cut rewriting (ABC's `rewrite` / `rewrite -z`).
+PassStats rewrite(aig::Aig& g, const RewriteParams& params = {});
+
+/// Reconvergence-cone collapse + resynthesis (ABC's `refactor` / `-z`).
+PassStats refactor(aig::Aig& g, const RefactorParams& params = {});
+
+/// Windowed resubstitution (ABC's `resub` / `-z`).
+PassStats resub(aig::Aig& g, const ResubParams& params = {});
+
+}  // namespace clo::opt

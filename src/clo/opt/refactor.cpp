@@ -1,0 +1,64 @@
+#include "clo/aig/window.hpp"
+#include "clo/opt/passes.hpp"
+#include "clo/opt/synthesize.hpp"
+#include "clo/util/timer.hpp"
+
+namespace clo::opt {
+
+using aig::Aig;
+using aig::Lit;
+
+PassStats refactor(Aig& g, const RefactorParams& params) {
+  clo::Stopwatch watch;
+  watch.start();
+  PassStats stats;
+  stats.name = params.zero_cost ? "rfz" : "rf";
+  stats.nodes_before = g.num_ands();
+  stats.depth_before = g.depth();
+
+  const auto order = g.topo_order();
+  for (std::uint32_t n : order) {
+    if (!g.is_and(n)) continue;
+    const int mffc = g.mffc_size(n);
+    if (mffc < 2 && !params.zero_cost) continue;  // nothing to collapse
+    const auto leaves = aig::reconvergence_cut(g, n, params.max_cone_leaves);
+    if (leaves.size() < 3) continue;
+    bool leaves_ok = true;
+    for (std::uint32_t leaf : leaves) {
+      if (g.is_dead(leaf)) {
+        leaves_ok = false;
+        break;
+      }
+    }
+    if (!leaves_ok) continue;
+    const auto tt = aig::try_cone_truth_table(g, aig::make_lit(n), leaves,
+                                              params.max_cone_nodes);
+    if (!tt) continue;
+    std::vector<Lit> leaf_lits;
+    leaf_lits.reserve(leaves.size());
+    for (std::uint32_t leaf : leaves) leaf_lits.push_back(aig::make_lit(leaf));
+    const auto cand = synthesize_into(g, *tt, leaf_lits);
+    // Recompute MFFC after building so strash reuse of soon-to-die nodes
+    // cannot inflate the gain (the candidate now references them).
+    const int gain = g.mffc_size(n) - cand.added_nodes;
+    const bool identity = aig::lit_node(cand.lit) == n;
+    const bool cyclic = !identity && g.reaches(cand.lit, n, leaves);
+    const bool accept =
+        !identity && !cyclic &&
+        (gain > 0 || (params.zero_cost && gain == 0));
+    if (accept) {
+      g.replace(n, cand.lit);
+      ++stats.accepted_moves;
+    } else {
+      g.sweep(cand.lit);
+    }
+  }
+  g.cleanup();
+  stats.nodes_after = g.num_ands();
+  stats.depth_after = g.depth();
+  watch.stop();
+  stats.seconds = watch.seconds();
+  return stats;
+}
+
+}  // namespace clo::opt

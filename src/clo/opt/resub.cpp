@@ -1,0 +1,184 @@
+#include <algorithm>
+#include <unordered_map>
+
+#include "clo/aig/window.hpp"
+#include "clo/opt/passes.hpp"
+#include "clo/util/timer.hpp"
+
+namespace clo::opt {
+
+using aig::Aig;
+using aig::Lit;
+using aig::TruthTable;
+
+namespace {
+
+/// Truth tables of the root, the leaves, and every divisor over the cut
+/// leaves, computed from the current structure.
+struct WindowFunctions {
+  bool valid = false;
+  TruthTable root_tt;
+  std::vector<std::pair<std::uint32_t, TruthTable>> divisor_tts;
+};
+
+WindowFunctions compute_window(Aig& g, std::uint32_t root,
+                               const std::vector<std::uint32_t>& leaves,
+                               const std::vector<std::uint32_t>& divisors,
+                               int max_nodes) {
+  WindowFunctions w;
+  const auto root_tt =
+      aig::try_cone_truth_table(g, aig::make_lit(root), leaves, max_nodes);
+  if (!root_tt) return w;
+  w.root_tt = *root_tt;
+  const int k = static_cast<int>(leaves.size());
+  for (std::uint32_t d : divisors) {
+    // Leaves are their own variables; inner divisors are cone functions.
+    auto it = std::find(leaves.begin(), leaves.end(), d);
+    if (it != leaves.end()) {
+      w.divisor_tts.emplace_back(
+          d, TruthTable::variable(k, static_cast<int>(it - leaves.begin())));
+      continue;
+    }
+    const auto tt =
+        aig::try_cone_truth_table(g, aig::make_lit(d), leaves, max_nodes);
+    if (tt) w.divisor_tts.emplace_back(d, *tt);
+  }
+  w.valid = true;
+  return w;
+}
+
+}  // namespace
+
+PassStats resub(Aig& g, const ResubParams& params) {
+  clo::Stopwatch watch;
+  watch.start();
+  PassStats stats;
+  stats.name = params.zero_cost ? "rsz" : "rs";
+  stats.nodes_before = g.num_ands();
+  stats.depth_before = g.depth();
+
+  const auto order = g.topo_order();
+  for (std::uint32_t n : order) {
+    if (!g.is_and(n)) continue;
+    const int mffc = g.mffc_size(n);
+    const int min_gain = params.zero_cost ? 0 : 1;
+    const auto leaves = aig::reconvergence_cut(g, n, params.max_window_leaves);
+    if (leaves.empty()) continue;
+    bool leaves_ok = true;
+    for (std::uint32_t leaf : leaves) {
+      if (g.is_dead(leaf)) {
+        leaves_ok = false;
+        break;
+      }
+    }
+    if (!leaves_ok) continue;
+    const auto divisors = aig::collect_divisors(g, n, leaves, params.max_divisors);
+    const auto window = compute_window(g, n, leaves, divisors, 400);
+    if (!window.valid) continue;
+    const TruthTable& target = window.root_tt;
+
+    bool replaced = false;
+    // --- 0-resub: an existing node already computes the function. -------
+    for (const auto& [d, tt] : window.divisor_tts) {
+      if (d == n) continue;
+      Lit with = aig::kLitNull;
+      if (tt == target) with = aig::make_lit(d);
+      else if (tt == ~target) with = aig::make_lit(d, true);
+      if (with == aig::kLitNull) continue;
+      if (mffc < std::max(min_gain, 1)) break;  // gain = mffc
+      g.replace(n, with);
+      ++stats.accepted_moves;
+      replaced = true;
+      break;
+    }
+    if (replaced) continue;
+
+    // --- 1-resub: AND/OR of two divisors (any polarities). --------------
+    const auto& dv = window.divisor_tts;
+    for (std::size_t i = 0; i < dv.size() && !replaced; ++i) {
+      for (std::size_t j = i + 1; j < dv.size() && !replaced; ++j) {
+        for (int pol = 0; pol < 4 && !replaced; ++pol) {
+          const TruthTable a = (pol & 1) ? ~dv[i].second : dv[i].second;
+          const TruthTable b = (pol & 2) ? ~dv[j].second : dv[j].second;
+          const TruthTable conj = a & b;
+          bool out_compl;
+          if (conj == target) out_compl = false;
+          else if (conj == ~target) out_compl = true;
+          else continue;
+          const Lit la = aig::make_lit(dv[i].first, (pol & 1) != 0);
+          const Lit lb = aig::make_lit(dv[j].first, (pol & 2) != 0);
+          const int added = g.probe_and(la, lb) ? 0 : 1;
+          if (mffc - added < min_gain) continue;  // cheap upper bound
+          const Lit new_lit = aig::lit_notc(g.and_of(la, lb), out_compl);
+          if (aig::lit_node(new_lit) == n) continue;
+          // Exact gain: the new node references the divisors, so any
+          // divisor inside the old MFFC no longer counts as freed.
+          const int gain = g.mffc_size(n) - added;
+          if (gain < min_gain) {
+            g.sweep(aig::lit_regular(new_lit));
+            continue;
+          }
+          g.replace(n, new_lit);
+          ++stats.accepted_moves;
+          replaced = true;
+        }
+      }
+    }
+    if (replaced || !params.two_level) continue;
+
+    // --- 2-resub: n = da & (db | dc), all polarities, output maybe
+    // complemented. Adds up to 2 nodes, so only worthwhile for MFFC >= 3
+    // (or >= 2 in zero-cost mode).
+    const int need = params.zero_cost ? 2 : 3;
+    if (mffc < need) continue;
+    const std::size_t limit =
+        std::min<std::size_t>(dv.size(), params.max_two_level_divisors);
+    for (std::size_t a = 0; a < limit && !replaced; ++a) {
+      for (std::size_t b = 0; b < limit && !replaced; ++b) {
+        if (b == a) continue;
+        for (std::size_t c = b + 1; c < limit && !replaced; ++c) {
+          if (c == a) continue;
+          for (int pol = 0; pol < 8 && !replaced; ++pol) {
+            const TruthTable ta = (pol & 1) ? ~dv[a].second : dv[a].second;
+            const TruthTable tb = (pol & 2) ? ~dv[b].second : dv[b].second;
+            const TruthTable tc = (pol & 4) ? ~dv[c].second : dv[c].second;
+            const TruthTable f = ta & (tb | tc);
+            bool out_compl;
+            if (f == target) out_compl = false;
+            else if (f == ~target) out_compl = true;
+            else continue;
+            const Lit la = aig::make_lit(dv[a].first, (pol & 1) != 0);
+            const Lit lb = aig::make_lit(dv[b].first, (pol & 2) != 0);
+            const Lit lc = aig::make_lit(dv[c].first, (pol & 4) != 0);
+            const std::size_t ands_before = g.num_ands();
+            const Lit inner = g.or_of(lb, lc);
+            const Lit top = g.and_of(la, inner);
+            const int added = static_cast<int>(g.num_ands() - ands_before);
+            if (aig::lit_node(top) == n || aig::lit_node(inner) == n) {
+              g.sweep(top);
+              continue;
+            }
+            // Exact gain: the new structure pins any reused divisors, so
+            // the recomputed MFFC counts only what replace() will free.
+            const int gain = g.mffc_size(n) - added;
+            if (gain < min_gain) {
+              g.sweep(top);
+              continue;
+            }
+            g.replace(n, aig::lit_notc(top, out_compl));
+            ++stats.accepted_moves;
+            replaced = true;
+          }
+        }
+      }
+    }
+  }
+  g.cleanup();
+  stats.nodes_after = g.num_ands();
+  stats.depth_after = g.depth();
+  watch.stop();
+  stats.seconds = watch.seconds();
+  return stats;
+}
+
+}  // namespace clo::opt

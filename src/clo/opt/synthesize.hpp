@@ -1,0 +1,35 @@
+#pragma once
+// Resynthesis of a cut/cone function back into AIG structure. Two
+// strategies are costed in a scratch MiniAig and the cheaper one wins:
+//  * recursive Shannon/AND/XOR decomposition (BDD-flavored, memoized),
+//  * ISOP covers of the function and its complement (SOP-flavored).
+// Used by rewriting (k = 4 cuts) and refactoring (reconvergence cones).
+
+#include <vector>
+
+#include "clo/aig/aig.hpp"
+#include "clo/aig/truth.hpp"
+#include "clo/opt/mini_aig.hpp"
+
+namespace clo::opt {
+
+/// Build `tt` over `mini.leaf(i)` inputs; returns the output literal.
+/// Tries decomposition and both-polarity SOP, keeps the smaller.
+aig::Lit build_function(MiniAig& mini, const aig::TruthTable& tt);
+
+/// Result of synthesizing a candidate directly into a real AIG.
+struct SynthesizedCandidate {
+  aig::Lit lit = aig::kLitNull;
+  int added_nodes = 0;  ///< AND nodes newly created in the target graph
+};
+
+/// Synthesize `tt` over `leaf_lits` into `g` (with global strash sharing)
+/// and report exactly how many new nodes were created.
+SynthesizedCandidate synthesize_into(aig::Aig& g, const aig::TruthTable& tt,
+                                     const std::vector<aig::Lit>& leaf_lits);
+
+/// Lower-bound estimate of the structure cost (MiniAig nodes) without
+/// touching the target graph — cheap pre-screen for rewriting.
+int estimate_cost(const aig::TruthTable& tt);
+
+}  // namespace clo::opt

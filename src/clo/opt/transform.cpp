@@ -1,0 +1,92 @@
+#include "clo/opt/transform.hpp"
+
+#include <stdexcept>
+
+namespace clo::opt {
+
+const char* transform_name(Transform t) {
+  switch (t) {
+    case Transform::kRw: return "rw";
+    case Transform::kRwz: return "rwz";
+    case Transform::kRf: return "rf";
+    case Transform::kRfz: return "rfz";
+    case Transform::kRs: return "rs";
+    case Transform::kRsz: return "rsz";
+    case Transform::kB: return "b";
+  }
+  return "?";
+}
+
+Transform transform_from_name(const std::string& name) {
+  for (Transform t : all_transforms()) {
+    if (name == transform_name(t)) return t;
+  }
+  throw std::invalid_argument("unknown transformation: " + name);
+}
+
+const std::vector<Transform>& all_transforms() {
+  static const std::vector<Transform> kAll = {
+      Transform::kRw, Transform::kRwz, Transform::kRf, Transform::kRfz,
+      Transform::kRs, Transform::kRsz, Transform::kB};
+  return kAll;
+}
+
+Sequence parse_sequence(const std::string& text) {
+  Sequence seq;
+  std::string token;
+  auto flush = [&] {
+    if (!token.empty()) {
+      seq.push_back(transform_from_name(token));
+      token.clear();
+    }
+  };
+  for (char c : text) {
+    if (c == ';' || c == ',' || c == ' ' || c == '\t' || c == '\n') {
+      flush();
+    } else {
+      token += c;
+    }
+  }
+  flush();
+  return seq;
+}
+
+std::string sequence_to_string(const Sequence& seq) {
+  std::string s;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (i) s += ';';
+    s += transform_name(seq[i]);
+  }
+  return s;
+}
+
+Sequence random_sequence(int length, clo::Rng& rng) {
+  Sequence seq(length);
+  for (auto& t : seq) {
+    t = static_cast<Transform>(rng.next_int(0, kNumTransforms - 1));
+  }
+  return seq;
+}
+
+PassStats apply_transform(aig::Aig& g, Transform t) {
+  switch (t) {
+    case Transform::kRw: return rewrite(g, RewriteParams{});
+    case Transform::kRwz: return rewrite(g, RewriteParams{.zero_cost = true});
+    case Transform::kRf: return refactor(g, RefactorParams{});
+    case Transform::kRfz:
+      return refactor(g, RefactorParams{.zero_cost = true});
+    case Transform::kRs: return resub(g, ResubParams{});
+    case Transform::kRsz: return resub(g, ResubParams{.zero_cost = true});
+    case Transform::kB: return balance(g);
+  }
+  throw std::logic_error("unreachable transform");
+}
+
+std::vector<PassStats> run_sequence(aig::Aig& g, const Sequence& seq) {
+  std::vector<PassStats> stats;
+  stats.reserve(seq.size());
+  for (Transform t : seq) stats.push_back(apply_transform(g, t));
+  return stats;
+}
+
+}  // namespace clo::opt

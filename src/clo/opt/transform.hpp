@@ -1,0 +1,51 @@
+#pragma once
+// The paper's transformation alphabet S = {rw, rwz, rf, rfz, rs, rsz, b}
+// and the synthesis-sequence runner (the "ABC call" of this project).
+
+#include <string>
+#include <vector>
+
+#include "clo/aig/aig.hpp"
+#include "clo/opt/passes.hpp"
+#include "clo/util/rng.hpp"
+
+namespace clo::opt {
+
+enum class Transform : int {
+  kRw = 0,   ///< rewrite
+  kRwz = 1,  ///< rewrite -z (zero-cost accepted)
+  kRf = 2,   ///< refactor
+  kRfz = 3,  ///< refactor -z
+  kRs = 4,   ///< resub
+  kRsz = 5,  ///< resub -z
+  kB = 6,    ///< balance
+};
+
+inline constexpr int kNumTransforms = 7;
+
+/// Short ABC-style name ("rw", "rwz", ...).
+const char* transform_name(Transform t);
+
+/// Parse one name; throws std::invalid_argument on unknown names.
+Transform transform_from_name(const std::string& name);
+
+/// All seven transformations in enum order.
+const std::vector<Transform>& all_transforms();
+
+/// A synthesis sequence (the optimization variable of the whole project).
+using Sequence = std::vector<Transform>;
+
+/// Parse "rw;rwz;b" (also accepts ',' or whitespace separators).
+Sequence parse_sequence(const std::string& text);
+std::string sequence_to_string(const Sequence& seq);
+
+/// Uniformly random sequence of the given length.
+Sequence random_sequence(int length, clo::Rng& rng);
+
+/// Apply one transformation in place.
+PassStats apply_transform(aig::Aig& g, Transform t);
+
+/// Apply a whole sequence in place; returns per-step stats.
+std::vector<PassStats> run_sequence(aig::Aig& g, const Sequence& seq);
+
+}  // namespace clo::opt

@@ -1,0 +1,291 @@
+#include "clo/shell/shell.hpp"
+
+#include <fstream>
+#include <functional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "clo/aig/io.hpp"
+#include "clo/aig/simulate.hpp"
+#include "clo/circuits/generators.hpp"
+#include "clo/core/pipeline.hpp"
+#include "clo/opt/transform.hpp"
+#include "clo/techmap/tech_map.hpp"
+#include "clo/util/rng.hpp"
+
+namespace clo::shell {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::stringstream ss(line);
+  std::string tok;
+  while (ss >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+struct Shell::Command {
+  std::string name;
+  std::string help;
+  /// Returns false to quit the shell; throws on errors.
+  std::function<bool(Shell&, const std::vector<std::string>&, std::ostream&)>
+      run;
+};
+
+Shell::Shell() : library_(techmap::CellLibrary::asap7()) {
+  register_commands();
+}
+
+Shell::~Shell() = default;
+
+aig::Aig& Shell::need_design() {
+  if (!design_) {
+    throw std::runtime_error("no design loaded (use `read` or `gen`)");
+  }
+  return *design_;
+}
+
+void Shell::register_commands() {
+  auto stats_line = [](const aig::Aig& g) {
+    std::ostringstream os;
+    os << g.name() << ": i/o = " << g.num_pis() << "/" << g.num_pos()
+       << "  and = " << g.num_ands() << "  lev = " << g.depth();
+    return os.str();
+  };
+
+  commands_.push_back({"help", "help — list commands",
+                       [](Shell& sh, const auto&, std::ostream& out) {
+                         for (const auto& c : sh.commands_) {
+                           out << "  " << c.help << "\n";
+                         }
+                         return true;
+                       }});
+  commands_.push_back(
+      {"gen", "gen <benchmark> — build a named benchmark circuit",
+       [stats_line](Shell& sh, const auto& args, std::ostream& out) {
+         if (args.size() != 2) throw std::runtime_error("usage: gen <name>");
+         sh.design_ = circuits::make_benchmark(args[1]);
+         out << stats_line(*sh.design_) << "\n";
+         return true;
+       }});
+  commands_.push_back(
+      {"list", "list — list available benchmark circuits",
+       [](Shell&, const auto&, std::ostream& out) {
+         for (const auto& info : circuits::benchmark_catalog()) {
+           out << "  " << info.name << " (" << info.suite << "): "
+               << info.description << "\n";
+         }
+         return true;
+       }});
+  commands_.push_back(
+      {"read", "read <file.aag|file.aig|file.bench> — load a netlist",
+       [stats_line](Shell& sh, const auto& args, std::ostream& out) {
+         if (args.size() != 2) throw std::runtime_error("usage: read <file>");
+         if (ends_with(args[1], ".bench")) {
+           sh.design_ = aig::read_bench_file(args[1]);
+         } else {
+           sh.design_ = aig::read_aiger_file(args[1]);
+         }
+         out << stats_line(*sh.design_) << "\n";
+         return true;
+       }});
+  commands_.push_back(
+      {"write", "write <file.aag|file.aig|file.bench|file.v> — save design",
+       [](Shell& sh, const auto& args, std::ostream& out) {
+         if (args.size() != 2) throw std::runtime_error("usage: write <file>");
+         aig::Aig& g = sh.need_design();
+         bool ok = true;
+         if (ends_with(args[1], ".aag")) {
+           ok = aig::write_aiger_ascii(g, args[1]);
+         } else if (ends_with(args[1], ".bench")) {
+           std::ofstream f(args[1]);
+           ok = static_cast<bool>(f);
+           if (ok) aig::write_bench(g, f);
+         } else if (ends_with(args[1], ".v")) {
+           std::ofstream f(args[1]);
+           ok = static_cast<bool>(f);
+           if (ok) {
+             techmap::MapParams params;
+             params.keep_netlist = true;
+             const auto mapped = techmap::tech_map(g, sh.library_, params);
+             techmap::write_verilog(mapped, sh.library_, g, f);
+           }
+         } else {
+           ok = aig::write_aiger_binary(g, args[1]);
+         }
+         if (!ok) throw std::runtime_error("cannot write " + args[1]);
+         out << "wrote " << args[1] << "\n";
+         return true;
+       }});
+  commands_.push_back({"ps", "ps — print design statistics",
+                       [stats_line](Shell& sh, const auto&, std::ostream& out) {
+                         out << stats_line(sh.need_design()) << "\n";
+                         return true;
+                       }});
+  commands_.push_back(
+      {"save", "save — snapshot the design for a later `cec`",
+       [](Shell& sh, const auto&, std::ostream& out) {
+         sh.saved_ = sh.need_design();
+         out << "saved snapshot\n";
+         return true;
+       }});
+  commands_.push_back(
+      {"cec", "cec [file] — check equivalence vs file or snapshot",
+       [](Shell& sh, const auto& args, std::ostream& out) {
+         aig::Aig& g = sh.need_design();
+         aig::Aig other;
+         if (args.size() >= 2) {
+           other = ends_with(args[1], ".bench") ? aig::read_bench_file(args[1])
+                                                : aig::read_aiger_file(args[1]);
+         } else if (sh.saved_) {
+           other = *sh.saved_;
+         } else {
+           throw std::runtime_error("cec: no snapshot (use `save`) or file");
+         }
+         clo::Rng rng(0xCEC);
+         const auto r = aig::cec(g, other, rng);
+         out << (r.equivalent ? "Networks are equivalent" : "NOT EQUIVALENT")
+             << " (" << r.patterns_checked << " patterns"
+             << (r.exhaustive ? ", exhaustive" : "") << ")\n";
+         if (!r.equivalent) throw std::runtime_error("cec failed");
+         return true;
+       }});
+  // One command per transformation.
+  for (opt::Transform t : opt::all_transforms()) {
+    const std::string name = opt::transform_name(t);
+    commands_.push_back(
+        {name, name + " — apply the '" + name + "' transformation",
+         [t, stats_line](Shell& sh, const auto&, std::ostream& out) {
+           const auto s = opt::apply_transform(sh.need_design(), t);
+           out << s.name << ": " << s.nodes_before << " -> " << s.nodes_after
+               << " and, lev " << s.depth_before << " -> " << s.depth_after
+               << "\n";
+           return true;
+         }});
+  }
+  commands_.push_back(
+      {"seq", "seq <rw;rf;b;...> — apply a whole sequence",
+       [stats_line](Shell& sh, const auto& args, std::ostream& out) {
+         if (args.size() != 2) throw std::runtime_error("usage: seq <list>");
+         aig::Aig& g = sh.need_design();
+         opt::run_sequence(g, opt::parse_sequence(args[1]));
+         out << stats_line(g) << "\n";
+         return true;
+       }});
+  commands_.push_back(
+      {"map", "map [-a] — technology map (delay-oriented; -a = area)",
+       [](Shell& sh, const auto& args, std::ostream& out) {
+         techmap::MapParams params;
+         if (args.size() > 1 && args[1] == "-a") {
+           params.objective = techmap::MapParams::Objective::kArea;
+         }
+         const auto r = techmap::tech_map(sh.need_design(), sh.library_,
+                                          params);
+         out << "area = " << r.area_um2 << " um^2  delay = " << r.delay_ps
+             << " ps  cells = " << r.num_cells << "\n";
+         for (const auto& [name, count] : r.cell_histogram) {
+           out << "  " << name << " x" << count << "\n";
+         }
+         return true;
+       }});
+  commands_.push_back(
+      {"sim", "sim <bits> — simulate one input vector (LSB = first PI)",
+       [](Shell& sh, const auto& args, std::ostream& out) {
+         aig::Aig& g = sh.need_design();
+         if (args.size() != 2 || args[1].size() != g.num_pis()) {
+           throw std::runtime_error("usage: sim <" +
+                                    std::to_string(g.num_pis()) + " bits>");
+         }
+         std::vector<bool> in;
+         for (char c : args[1]) in.push_back(c == '1');
+         const auto outv = aig::simulate(g, in);
+         out << "po: ";
+         for (bool b : outv) out << (b ? '1' : '0');
+         out << "\n";
+         return true;
+       }});
+  commands_.push_back(
+      {"tune",
+       "tune [dataset] [restarts] — run the CLO pipeline on the design",
+       [](Shell& sh, const auto& args, std::ostream& out) {
+         core::PipelineConfig config;
+         config.dataset_size = args.size() > 1 ? std::stoi(args[1]) : 80;
+         config.restarts = args.size() > 2 ? std::stoi(args[2]) : 2;
+         config.diffusion_steps = 60;
+         core::QorEvaluator evaluator(sh.need_design());
+         core::CloPipeline pipeline(config);
+         const auto r = pipeline.run(evaluator);
+         out << "original : area " << r.original.area_um2 << " delay "
+             << r.original.delay_ps << "\n";
+         out << "optimized: area " << r.best.area_um2 << " delay "
+             << r.best.delay_ps << "\n";
+         out << "sequence : " << opt::sequence_to_string(r.best_sequence)
+             << "\n";
+         return true;
+       }});
+  commands_.push_back(
+      {"source", "source <script> — run commands from a file",
+       [](Shell& sh, const auto& args, std::ostream& out) {
+         if (args.size() != 2) throw std::runtime_error("usage: source <file>");
+         std::ifstream f(args[1]);
+         if (!f) throw std::runtime_error("cannot open " + args[1]);
+         const int failures = sh.run_script(f, out);
+         if (failures > 0) {
+           throw std::runtime_error(std::to_string(failures) +
+                                    " commands failed");
+         }
+         return true;
+       }});
+  commands_.push_back({"echo", "echo <text> — print text",
+                       [](Shell&, const auto& args, std::ostream& out) {
+                         for (std::size_t i = 1; i < args.size(); ++i) {
+                           out << (i > 1 ? " " : "") << args[i];
+                         }
+                         out << "\n";
+                         return true;
+                       }});
+  commands_.push_back({"quit", "quit — leave the shell",
+                       [](Shell&, const auto&, std::ostream&) { return false; }});
+}
+
+bool Shell::execute(const std::string& line, std::ostream& out) {
+  last_failed_ = false;
+  const auto hash = line.find('#');
+  const auto tokens = tokenize(hash == std::string::npos
+                                   ? line
+                                   : line.substr(0, hash));
+  if (tokens.empty()) return true;
+  for (const auto& command : commands_) {
+    if (command.name != tokens[0]) continue;
+    try {
+      return command.run(*this, tokens, out);
+    } catch (const std::exception& e) {
+      out << "error: " << e.what() << "\n";
+      last_failed_ = true;
+      return true;
+    }
+  }
+  out << "unknown command: " << tokens[0] << " (try `help`)\n";
+  last_failed_ = true;
+  return true;
+}
+
+int Shell::run_script(std::istream& in, std::ostream& out) {
+  int failures = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!execute(line, out)) break;
+    if (last_failed_) ++failures;
+  }
+  return failures;
+}
+
+}  // namespace clo::shell

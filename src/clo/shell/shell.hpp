@@ -1,0 +1,49 @@
+#pragma once
+// An ABC-style interactive shell over the library: load/generate circuits,
+// apply transformations, map, check equivalence, run the continuous
+// optimizer — scriptable (reads commands from any istream) and fully
+// testable. The `clo` binary in tools/ wraps this in a REPL.
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "clo/aig/aig.hpp"
+#include "clo/techmap/cell_library.hpp"
+
+namespace clo::shell {
+
+class Shell {
+ public:
+  Shell();
+  ~Shell();
+
+  /// Execute one command line; output goes to `out`.
+  /// Returns false when the command asks to quit.
+  bool execute(const std::string& line, std::ostream& out);
+
+  /// Run a whole script (one command per line; '#' comments).
+  /// Returns the number of failed commands.
+  int run_script(std::istream& in, std::ostream& out);
+
+  /// Whether the last command reported an error.
+  bool last_failed() const { return last_failed_; }
+
+  /// Current design (nullopt before any read/gen).
+  const std::optional<aig::Aig>& design() const { return design_; }
+
+ private:
+  struct Command;
+  void register_commands();
+  aig::Aig& need_design();
+
+  std::optional<aig::Aig> design_;
+  std::optional<aig::Aig> saved_;  ///< snapshot for `cec` without a file
+  techmap::CellLibrary library_;
+  std::vector<Command> commands_;
+  bool last_failed_ = false;
+};
+
+}  // namespace clo::shell

@@ -1,0 +1,112 @@
+#include "clo/util/csv.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "clo/util/log.hpp"
+
+namespace clo {
+namespace {
+
+std::string escape_csv(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::add_row_values(const std::vector<double>& values,
+                               int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size());
+  for (double v : values) row.push_back(fmt_double(v, precision));
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << escape_csv(header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << escape_csv(row[i]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+bool CsvWriter::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    CLO_LOG_WARN << "CsvWriter: cannot open " << path;
+    return false;
+  }
+  out << to_string();
+  return static_cast<bool>(out);
+}
+
+ConsoleTable::ConsoleTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void ConsoleTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void ConsoleTable::add_separator() { rows_.emplace_back(); }
+
+std::string ConsoleTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < width.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  auto hline = [&] {
+    std::string s = "+";
+    for (std::size_t w : width) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto format_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      s += " " + std::string(width[i] - cell.size(), ' ') + cell + " |";
+    }
+    return s + "\n";
+  };
+  std::string out = hline() + format_row(header_) + hline();
+  for (const auto& row : rows_) {
+    out += row.empty() ? hline() : format_row(row);
+  }
+  out += hline();
+  return out;
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace clo

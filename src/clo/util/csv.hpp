@@ -1,0 +1,53 @@
+#pragma once
+// CSV and fixed-width console table writers used by every bench binary so
+// the reproduced tables/figures can be re-plotted from machine-readable
+// output as well as read directly from stdout.
+
+#include <string>
+#include <vector>
+
+namespace clo {
+
+/// Accumulates rows and writes RFC-4180-ish CSV (quotes fields containing
+/// separators/quotes/newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimal digits.
+  void add_row_values(const std::vector<double>& values, int precision = 4);
+
+  /// Write to file; returns false (and logs) on I/O failure.
+  bool write(const std::string& path) const;
+
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-width, right-aligned console table (like the paper's Table II).
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Insert a horizontal separator row before the next added row.
+  void add_separator();
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// Format a double with fixed `precision` decimals.
+std::string fmt_double(double v, int precision = 2);
+
+}  // namespace clo

@@ -1,0 +1,44 @@
+#pragma once
+// Minimal leveled logging to stderr with a global threshold.
+
+#include <sstream>
+#include <string>
+
+namespace clo {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Set the minimum level that is emitted (default kInfo).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a single log line at `level`.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace clo
+
+#define CLO_LOG_DEBUG ::clo::detail::LogMessage(::clo::LogLevel::kDebug)
+#define CLO_LOG_INFO ::clo::detail::LogMessage(::clo::LogLevel::kInfo)
+#define CLO_LOG_WARN ::clo::detail::LogMessage(::clo::LogLevel::kWarn)
+#define CLO_LOG_ERROR ::clo::detail::LogMessage(::clo::LogLevel::kError)

@@ -1,0 +1,33 @@
+#pragma once
+// Aggregate statistics used by the experiment harnesses: the paper reports
+// arithmetic means, geometric means, and per-method ratios (Table II).
+
+#include <cstddef>
+#include <vector>
+
+namespace clo {
+
+/// Arithmetic mean. Returns 0 for empty input.
+double mean(const std::vector<double>& v);
+
+/// Geometric mean over strictly positive values; non-positive entries are
+/// clamped to `floor_value` first (Table II contains only positive QoR).
+double geomean(const std::vector<double>& v, double floor_value = 1e-12);
+
+/// Sample standard deviation (n-1 denominator); 0 if fewer than 2 values.
+double stddev(const std::vector<double>& v);
+
+double min_of(const std::vector<double>& v);
+double max_of(const std::vector<double>& v);
+
+/// Median (averages the two central elements for even sizes).
+double median(std::vector<double> v);
+
+/// Pearson correlation of two equally sized vectors; 0 on degenerate input.
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Spearman rank correlation; 0 on degenerate input. Used to report
+/// surrogate fidelity (ranking sequences correctly matters more than MSE).
+double spearman(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace clo

@@ -1,0 +1,56 @@
+#pragma once
+// Wall-clock stopwatch used for the paper's runtime accounting (Fig. 5):
+// baseline optimizers time "algorithm" and "synthesis" buckets separately.
+
+#include <chrono>
+
+namespace clo {
+
+/// Simple restartable wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() { reset(); }
+
+  void reset() {
+    accumulated_ = std::chrono::steady_clock::duration::zero();
+    running_ = false;
+  }
+
+  void start() {
+    if (running_) return;
+    begin_ = std::chrono::steady_clock::now();
+    running_ = true;
+  }
+
+  void stop() {
+    if (!running_) return;
+    accumulated_ += std::chrono::steady_clock::now() - begin_;
+    running_ = false;
+  }
+
+  /// Elapsed seconds, including the in-flight interval if running.
+  double seconds() const {
+    auto total = accumulated_;
+    if (running_) total += std::chrono::steady_clock::now() - begin_;
+    return std::chrono::duration<double>(total).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point begin_{};
+  std::chrono::steady_clock::duration accumulated_{};
+  bool running_ = false;
+};
+
+/// RAII guard that accumulates a scope's wall time into a stopwatch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Stopwatch& watch) : watch_(watch) { watch_.start(); }
+  ~ScopedTimer() { watch_.stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Stopwatch& watch_;
+};
+
+}  // namespace clo

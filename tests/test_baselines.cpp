@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "clo/baselines/baseline.hpp"
+#include "clo/circuits/generators.hpp"
+#include "clo/util/rng.hpp"
+
+namespace {
+
+using namespace clo;
+
+baselines::BaselineParams quick_params() {
+  baselines::BaselineParams p;
+  p.seq_len = 12;
+  p.eval_budget = 10;
+  return p;
+}
+
+TEST(Baselines, FactoryKnowsAllNames) {
+  for (const char* name : {"drills", "abcrl", "boils", "flowtune"}) {
+    EXPECT_NE(baselines::make_baseline(name), nullptr);
+  }
+  EXPECT_THROW(baselines::make_baseline("nope"), std::invalid_argument);
+}
+
+TEST(Baselines, RelativeObjectiveWeighting) {
+  core::Qor orig{100.0, 200.0};
+  core::Qor half{50.0, 200.0};
+  baselines::BaselineParams p;
+  p.weight_area = 1.0;
+  p.weight_delay = 0.0;
+  EXPECT_DOUBLE_EQ(baselines::relative_objective(half, orig, p), 0.5);
+  p.weight_area = 0.5;
+  p.weight_delay = 0.5;
+  EXPECT_DOUBLE_EQ(baselines::relative_objective(orig, orig, p), 1.0);
+}
+
+class BaselineKindTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BaselineKindTest, ProducesValidResultWithinBudget) {
+  core::QorEvaluator ev(circuits::make_benchmark("ctrl"));
+  clo::Rng rng(17);
+  auto optimizer = baselines::make_baseline(GetParam());
+  const auto params = quick_params();
+  const auto r = optimizer->optimize(ev, params, rng);
+  EXPECT_EQ(r.best_sequence.size(), static_cast<std::size_t>(params.seq_len));
+  EXPECT_GT(r.best_qor.area_um2, 0.0);
+  EXPECT_GT(r.best_qor.delay_ps, 0.0);
+  EXPECT_GT(r.total_seconds, 0.0);
+  EXPECT_GE(r.total_seconds, r.algorithm_seconds);
+  EXPECT_GT(r.synthesis_runs, 0u);
+  // The reported sequence must actually evaluate to the reported QoR.
+  const auto check = ev.evaluate(r.best_sequence);
+  EXPECT_DOUBLE_EQ(check.area_um2, r.best_qor.area_um2);
+}
+
+TEST_P(BaselineKindTest, NeverWorseThanWorstRandom) {
+  // With any budget, the best-found objective is at most the first
+  // evaluated candidate's (optimizers keep the incumbent).
+  core::QorEvaluator ev(circuits::make_benchmark("int2float"));
+  clo::Rng rng(23);
+  auto optimizer = baselines::make_baseline(GetParam());
+  const auto r = optimizer->optimize(ev, quick_params(), rng);
+  const auto orig = ev.original();
+  // Objective is relative; anything >= 3x original would be pathological.
+  EXPECT_LT(r.objective,
+            3.0 * baselines::relative_objective(orig, orig, quick_params()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineKindTest,
+                         ::testing::Values("drills", "abcrl", "boils",
+                                           "flowtune"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Baselines, FlowTuneUsesLittleAlgorithmTime) {
+  // The MAB spends essentially all time in synthesis (arm pulls).
+  core::QorEvaluator ev(circuits::make_benchmark("router"));
+  clo::Rng rng(29);
+  auto ft = baselines::make_flowtune();
+  const auto r = ft->optimize(ev, quick_params(), rng);
+  EXPECT_LT(r.algorithm_seconds, 0.5 * r.total_seconds + 0.05);
+}
+
+TEST(Baselines, AbcRlSlowerThanDrillsPerEpisode) {
+  // abcRL pays a GNN graph extraction on every step; with equal budgets
+  // its algorithm time should exceed DRiLLS's (the paper's Fig. 5 shape).
+  core::QorEvaluator ev1(circuits::make_benchmark("c880"));
+  core::QorEvaluator ev2(circuits::make_benchmark("c880"));
+  clo::Rng rng1(31), rng2(31);
+  baselines::BaselineParams p = quick_params();
+  p.eval_budget = 6;
+  const auto rd = baselines::make_drills()->optimize(ev1, p, rng1);
+  const auto ra = baselines::make_abcrl()->optimize(ev2, p, rng2);
+  EXPECT_GT(ra.algorithm_seconds, rd.algorithm_seconds);
+}
+
+TEST(Baselines, BoilsImprovesOverInitialDesign) {
+  core::QorEvaluator ev(circuits::make_benchmark("cavlc"));
+  clo::Rng rng(37);
+  baselines::BaselineParams p;
+  p.seq_len = 12;
+  p.eval_budget = 20;
+  const auto r = baselines::make_boils()->optimize(ev, p, rng);
+  const auto orig = ev.original();
+  EXPECT_LT(r.best_qor.area_um2, orig.area_um2 * 1.05);
+}
+
+}  // namespace

@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "clo/aig/simulate.hpp"
+#include "clo/circuits/generators.hpp"
+#include "clo/circuits/wordlevel.hpp"
+#include "clo/util/rng.hpp"
+
+namespace {
+
+using namespace clo;
+using circuits::Bus;
+using circuits::CircuitBuilder;
+
+std::uint64_t bus_value(const std::vector<bool>& bits, int begin, int width) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    if (bits[begin + i]) v |= 1ULL << i;
+  }
+  return v;
+}
+
+/// Drive a 2-input-bus circuit with concrete values and read back outputs.
+std::vector<bool> run(const aig::Aig& g, std::uint64_t a, std::uint64_t b,
+                      int wa, int wb) {
+  std::vector<bool> in;
+  for (int i = 0; i < wa; ++i) in.push_back((a >> i) & 1);
+  for (int i = 0; i < wb; ++i) in.push_back((b >> i) & 1);
+  return aig::simulate(g, in);
+}
+
+TEST(WordLevel, AdderMatchesArithmetic) {
+  CircuitBuilder cb("t");
+  const Bus a = cb.input_bus("a", 8);
+  const Bus b = cb.input_bus("b", 8);
+  auto [sum, carry] = cb.add(a, b);
+  cb.output_bus("s", sum);
+  cb.output("c", carry);
+  const aig::Aig g = cb.take();
+  clo::Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t x = rng.next_below(256), y = rng.next_below(256);
+    const auto out = run(g, x, y, 8, 8);
+    EXPECT_EQ(bus_value(out, 0, 8), (x + y) & 0xff);
+    EXPECT_EQ(out[8], ((x + y) >> 8) != 0);
+  }
+}
+
+TEST(WordLevel, SubAndComparisons) {
+  CircuitBuilder cb("t");
+  const Bus a = cb.input_bus("a", 8);
+  const Bus b = cb.input_bus("b", 8);
+  cb.output_bus("d", cb.sub(a, b).first);
+  cb.output("lt", cb.less_than(a, b));
+  cb.output("eq", cb.equal(a, b));
+  const aig::Aig g = cb.take();
+  clo::Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t x = rng.next_below(256), y = rng.next_below(256);
+    const auto out = run(g, x, y, 8, 8);
+    EXPECT_EQ(bus_value(out, 0, 8), (x - y) & 0xff);
+    EXPECT_EQ(out[8], x < y);
+    EXPECT_EQ(out[9], x == y);
+  }
+}
+
+TEST(WordLevel, MultiplierMatchesArithmetic) {
+  CircuitBuilder cb("t");
+  const Bus a = cb.input_bus("a", 6);
+  const Bus b = cb.input_bus("b", 6);
+  cb.output_bus("p", cb.mul(a, b));
+  const aig::Aig g = cb.take();
+  clo::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t x = rng.next_below(64), y = rng.next_below(64);
+    EXPECT_EQ(bus_value(run(g, x, y, 6, 6), 0, 12), x * y);
+  }
+}
+
+TEST(WordLevel, DivModMatchesArithmetic) {
+  CircuitBuilder cb("t");
+  const Bus a = cb.input_bus("a", 7);
+  const Bus b = cb.input_bus("b", 7);
+  auto [q, r] = cb.divmod(a, b);
+  cb.output_bus("q", q);
+  cb.output_bus("r", r);
+  const aig::Aig g = cb.take();
+  clo::Rng rng(4);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::uint64_t x = rng.next_below(128);
+    const std::uint64_t y = 1 + rng.next_below(127);
+    const auto out = run(g, x, y, 7, 7);
+    EXPECT_EQ(bus_value(out, 0, 7), x / y) << x << "/" << y;
+    EXPECT_EQ(bus_value(out, 7, 7), x % y) << x << "%" << y;
+  }
+}
+
+TEST(WordLevel, IsqrtMatchesArithmetic) {
+  CircuitBuilder cb("t");
+  const Bus a = cb.input_bus("a", 10);
+  cb.output_bus("s", cb.isqrt(a));
+  const aig::Aig g = cb.take();
+  for (std::uint64_t x : {0ULL, 1ULL, 2ULL, 3ULL, 4ULL, 15ULL, 16ULL, 17ULL,
+                          99ULL, 100ULL, 255ULL, 576ULL, 1023ULL}) {
+    std::vector<bool> in;
+    for (int i = 0; i < 10; ++i) in.push_back((x >> i) & 1);
+    const auto out = aig::simulate(g, in);
+    std::uint64_t expected = 0;
+    while ((expected + 1) * (expected + 1) <= x) ++expected;
+    EXPECT_EQ(bus_value(out, 0, 5), expected) << "sqrt(" << x << ")";
+  }
+}
+
+TEST(WordLevel, ShiftsAndRotate) {
+  CircuitBuilder cb("t");
+  const Bus a = cb.input_bus("a", 8);
+  const Bus sh = cb.input_bus("sh", 3);
+  cb.output_bus("l", cb.shift_left(a, sh));
+  cb.output_bus("r", cb.shift_right(a, sh));
+  cb.output_bus("rot", cb.rotate_left(a, sh));
+  const aig::Aig g = cb.take();
+  clo::Rng rng(5);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::uint64_t x = rng.next_below(256);
+    const std::uint64_t s = rng.next_below(8);
+    const auto out = run(g, x, s, 8, 3);
+    EXPECT_EQ(bus_value(out, 0, 8), (x << s) & 0xff);
+    EXPECT_EQ(bus_value(out, 8, 8), x >> s);
+    EXPECT_EQ(bus_value(out, 16, 8), ((x << s) | (x >> (8 - s))) & 0xff)
+        << "x=" << x << " s=" << s;
+  }
+}
+
+TEST(WordLevel, DecodeOneHot) {
+  CircuitBuilder cb("t");
+  const Bus sel = cb.input_bus("s", 4);
+  cb.output_bus("d", cb.decode(sel));
+  const aig::Aig g = cb.take();
+  for (std::uint64_t s = 0; s < 16; ++s) {
+    std::vector<bool> in;
+    for (int i = 0; i < 4; ++i) in.push_back((s >> i) & 1);
+    const auto out = aig::simulate(g, in);
+    for (std::uint64_t o = 0; o < 16; ++o) {
+      EXPECT_EQ(out[o], o == s);
+    }
+  }
+}
+
+TEST(WordLevel, PriorityEncodeLsbWins) {
+  CircuitBuilder cb("t");
+  const Bus req = cb.input_bus("r", 8);
+  auto [index, any] = cb.priority_encode(req);
+  cb.output_bus("i", index);
+  cb.output("any", any);
+  const aig::Aig g = cb.take();
+  clo::Rng rng(6);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::uint64_t r = rng.next_below(256);
+    const auto out = run(g, r, 0, 8, 0);
+    EXPECT_EQ(out[3], r != 0);
+    if (r != 0) {
+      const std::uint64_t expected = __builtin_ctzll(r);
+      EXPECT_EQ(bus_value(out, 0, 3), expected) << "r=" << r;
+    }
+  }
+}
+
+TEST(WordLevel, PopcountAndMajority) {
+  CircuitBuilder cb("t");
+  const Bus a = cb.input_bus("a", 9);
+  cb.output_bus("c", cb.popcount(a));
+  cb.output("m", cb.majority(a));
+  const aig::Aig g = cb.take();
+  clo::Rng rng(7);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::uint64_t x = rng.next_below(512);
+    const auto out = run(g, x, 0, 9, 0);
+    const int pc = __builtin_popcountll(x);
+    EXPECT_EQ(bus_value(out, 0, 4), static_cast<std::uint64_t>(pc));
+    EXPECT_EQ(out[4], pc > 4);
+  }
+}
+
+TEST(WordLevel, LeadingOne) {
+  CircuitBuilder cb("t");
+  const Bus a = cb.input_bus("a", 8);
+  auto [idx, any] = cb.leading_one(a);
+  cb.output_bus("i", idx);
+  cb.output("any", any);
+  const aig::Aig g = cb.take();
+  for (std::uint64_t x : {1ULL, 2ULL, 3ULL, 128ULL, 130ULL, 255ULL, 0ULL}) {
+    const auto out = run(g, x, 0, 8, 0);
+    EXPECT_EQ(out[3], x != 0);
+    if (x != 0) {
+      EXPECT_EQ(bus_value(out, 0, 3), 63 - __builtin_clzll(x)) << x;
+    }
+  }
+}
+
+TEST(WordLevel, MaxMinMux) {
+  CircuitBuilder cb("t");
+  const Bus a = cb.input_bus("a", 8);
+  const Bus b = cb.input_bus("b", 8);
+  cb.output_bus("max", cb.max_of(a, b));
+  cb.output_bus("min", cb.min_of(a, b));
+  const aig::Aig g = cb.take();
+  clo::Rng rng(8);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::uint64_t x = rng.next_below(256), y = rng.next_below(256);
+    const auto out = run(g, x, y, 8, 8);
+    EXPECT_EQ(bus_value(out, 0, 8), std::max(x, y));
+    EXPECT_EQ(bus_value(out, 8, 8), std::min(x, y));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+TEST(Generators, CatalogComplete) {
+  const auto& catalog = circuits::benchmark_catalog();
+  EXPECT_EQ(catalog.size(), 31u);
+  int epfl = 0, iscas = 0;
+  for (const auto& info : catalog) {
+    EXPECT_TRUE(circuits::has_benchmark(info.name));
+    if (info.suite == "epfl") ++epfl;
+    if (info.suite == "iscas85") ++iscas;
+  }
+  EXPECT_EQ(epfl, 20);
+  EXPECT_EQ(iscas, 11);
+  EXPECT_FALSE(circuits::has_benchmark("nonexistent"));
+  EXPECT_THROW(circuits::make_benchmark("nonexistent"), std::invalid_argument);
+}
+
+TEST(Generators, Deterministic) {
+  for (const char* name : {"cavlc", "mem_ctrl", "c2670"}) {
+    const aig::Aig a = circuits::make_benchmark(name);
+    const aig::Aig b = circuits::make_benchmark(name);
+    clo::Rng rng(12);
+    EXPECT_TRUE(aig::cec(a, b, rng).equivalent) << name;
+    EXPECT_EQ(a.num_ands(), b.num_ands()) << name;
+  }
+}
+
+TEST(Generators, AllWellFormedAndNontrivial) {
+  for (const auto& info : circuits::benchmark_catalog()) {
+    const aig::Aig g = circuits::make_benchmark(info.name);
+    EXPECT_NO_THROW(g.check()) << info.name;
+    EXPECT_GT(g.num_pis(), 0u) << info.name;
+    EXPECT_GT(g.num_pos(), 0u) << info.name;
+    EXPECT_GE(g.num_ands(), 6u) << info.name;
+    EXPECT_GT(g.depth(), 1) << info.name;
+  }
+}
+
+TEST(Generators, C17IsExactClassicNetlist) {
+  const aig::Aig g = circuits::make_benchmark("c17");
+  EXPECT_EQ(g.num_pis(), 5u);
+  EXPECT_EQ(g.num_pos(), 2u);
+  EXPECT_EQ(g.num_ands(), 6u);
+  EXPECT_EQ(g.depth(), 3);
+}
+
+TEST(Generators, AdderIsAnAdder) {
+  const aig::Aig g = circuits::make_benchmark("adder");
+  clo::Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t x = rng.next_u64() & 0xffffffffULL;
+    const std::uint64_t y = rng.next_u64() & 0xffffffffULL;
+    std::vector<bool> in;
+    for (int i = 0; i < 32; ++i) in.push_back((x >> i) & 1);
+    for (int i = 0; i < 32; ++i) in.push_back((y >> i) & 1);
+    const auto out = aig::simulate(g, in);
+    const std::uint64_t sum = x + y;
+    for (int i = 0; i < 33; ++i) {
+      EXPECT_EQ(out[i], static_cast<bool>((sum >> i) & 1)) << "bit " << i;
+    }
+  }
+}
+
+TEST(Generators, VoterIsMajority) {
+  const aig::Aig g = circuits::make_benchmark("voter");
+  clo::Rng rng(14);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<bool> in(31);
+    int ones = 0;
+    for (auto&& b : in) {
+      const bool v = rng.next_bool();
+      b = v;
+      ones += v ? 1 : 0;
+    }
+    EXPECT_EQ(aig::simulate(g, in)[0], ones > 15);
+  }
+}
+
+TEST(Generators, MultiplierIsAMultiplier) {
+  const aig::Aig g = circuits::make_benchmark("multiplier");
+  clo::Rng rng(15);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::uint64_t x = rng.next_below(256), y = rng.next_below(256);
+    const auto out = run(g, x, y, 8, 8);
+    EXPECT_EQ(bus_value(out, 0, 16), x * y);
+  }
+}
+
+TEST(Generators, SizesAreInExpectedBands) {
+  // hyp is the largest EPFL design in the paper; keep that ordering here.
+  std::size_t hyp = circuits::make_benchmark("hyp").num_ands();
+  for (const char* name : {"ctrl", "dec", "router", "int2float"}) {
+    EXPECT_GT(hyp, circuits::make_benchmark(name).num_ands() * 3u) << name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "clo/aig/cuts.hpp"
+#include "clo/aig/simulate.hpp"
+#include "clo/aig/window.hpp"
+#include "clo/circuits/generators.hpp"
+#include "clo/util/rng.hpp"
+
+namespace {
+
+using namespace clo::aig;
+
+Aig random_aig(int pis, int nodes, int pos, std::uint64_t seed) {
+  Aig g;
+  clo::Rng rng(seed);
+  std::vector<Lit> pool;
+  for (int i = 0; i < pis; ++i) pool.push_back(g.add_pi());
+  for (int i = 0; i < nodes; ++i) {
+    const Lit a = pool[rng.next_below(pool.size())];
+    const Lit b = pool[rng.next_below(pool.size())];
+    pool.push_back(lit_notc(g.and_of(a, b), rng.next_bool()));
+  }
+  for (int i = 0; i < pos; ++i) {
+    g.add_po(pool[pool.size() - 1 - i * 3]);
+  }
+  g.cleanup();
+  return g;
+}
+
+/// A leaf set is a cut of `root` iff every PI-ward path crosses it:
+/// verified by checking the bounded cone extraction succeeds.
+bool is_cut(const Aig& g, std::uint32_t root,
+            const std::vector<std::uint32_t>& leaves) {
+  return try_cone_truth_table(g, make_lit(root), leaves, 1 << 20).has_value();
+}
+
+TEST(Cuts, MergeRespectsLimit) {
+  Cut a{{1, 3, 5}};
+  Cut b{{2, 3, 7}};
+  Cut out;
+  EXPECT_FALSE(merge_cuts(a, b, 4, out));  // union has 5 leaves
+  EXPECT_TRUE(merge_cuts(a, b, 5, out));
+  EXPECT_EQ(out.leaves, (std::vector<std::uint32_t>{1, 2, 3, 5, 7}));
+}
+
+TEST(Cuts, Domination) {
+  Cut small{{1, 2}};
+  Cut big{{1, 2, 3}};
+  EXPECT_TRUE(small.dominates(big));
+  EXPECT_FALSE(big.dominates(small));
+  EXPECT_TRUE(small.dominates(small));
+}
+
+TEST(Cuts, EveryCutIsValid) {
+  const Aig g = random_aig(8, 120, 4, 99);
+  CutParams params;
+  params.max_leaves = 4;
+  const CutSet cuts(g, params);
+  int checked = 0;
+  for (std::uint32_t n : g.topo_order()) {
+    for (const Cut& cut : cuts.cuts_of(n)) {
+      EXPECT_LE(cut.leaves.size(), 4u);
+      EXPECT_TRUE(std::is_sorted(cut.leaves.begin(), cut.leaves.end()));
+      EXPECT_TRUE(is_cut(g, n, cut.leaves)) << "node " << n;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 100);
+}
+
+TEST(Cuts, TrivialCutPresent) {
+  const Aig g = random_aig(6, 40, 2, 5);
+  CutParams params;
+  const CutSet cuts(g, params);
+  for (std::uint32_t n : g.topo_order()) {
+    const auto& set = cuts.cuts_of(n);
+    const bool has_trivial =
+        std::any_of(set.begin(), set.end(), [&](const Cut& c) {
+          return c.leaves.size() == 1 && c.leaves[0] == n;
+        });
+    EXPECT_TRUE(has_trivial);
+  }
+}
+
+TEST(Cuts, DirectFaninCutPresent) {
+  const Aig g = random_aig(6, 60, 3, 6);
+  CutParams params;
+  params.max_leaves = 4;
+  params.max_cuts = 8;
+  const CutSet cuts(g, params);
+  for (std::uint32_t n : g.topo_order()) {
+    // Some cut of <= 2 leaves must match the node (fanins or dominated).
+    const auto& set = cuts.cuts_of(n);
+    const bool has_small =
+        std::any_of(set.begin(), set.end(), [&](const Cut& c) {
+          return c.leaves.size() <= 2 && !(c.leaves.size() == 1 && c.leaves[0] == n);
+        });
+    EXPECT_TRUE(has_small) << "node " << n;
+  }
+}
+
+TEST(ReconvergenceCut, IsValidCutWithinBound) {
+  Aig g = random_aig(10, 200, 5, 17);
+  for (std::uint32_t n : g.topo_order()) {
+    const auto leaves = reconvergence_cut(g, n, 8);
+    EXPECT_LE(leaves.size(), 8u);
+    EXPECT_FALSE(leaves.empty());
+    EXPECT_TRUE(is_cut(g, n, leaves)) << "node " << n;
+  }
+}
+
+TEST(ReconvergenceCut, GrowsBeyondFanins) {
+  // On a reconvergent structure the cut should expand past the fanins.
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit c = g.add_pi();
+  const Lit x = g.and_of(a, b);
+  const Lit y = g.and_of(b, c);
+  const Lit top = g.and_of(x, y);
+  g.add_po(top);
+  const auto leaves = reconvergence_cut(g, lit_node(top), 4);
+  // Expanding both fanins gives {a, b, c}.
+  EXPECT_EQ(leaves.size(), 3u);
+  const std::set<std::uint32_t> ls(leaves.begin(), leaves.end());
+  EXPECT_TRUE(ls.count(lit_node(a)));
+  EXPECT_TRUE(ls.count(lit_node(b)));
+  EXPECT_TRUE(ls.count(lit_node(c)));
+}
+
+TEST(ConeNodes, TopologicalAndComplete) {
+  Aig g = random_aig(8, 150, 4, 23);
+  for (std::uint32_t n : g.topo_order()) {
+    const auto leaves = reconvergence_cut(g, n, 6);
+    const auto cone = cone_nodes(g, n, leaves);
+    // Root included, leaves excluded, order topological.
+    EXPECT_NE(std::find(cone.begin(), cone.end(), n), cone.end());
+    for (std::uint32_t leaf : leaves) {
+      EXPECT_EQ(std::find(cone.begin(), cone.end(), leaf), cone.end());
+    }
+    std::set<std::uint32_t> seen;
+    const std::set<std::uint32_t> leaf_set(leaves.begin(), leaves.end());
+    for (std::uint32_t v : cone) {
+      for (Lit f : {g.fanin0(v), g.fanin1(v)}) {
+        const std::uint32_t m = lit_node(f);
+        if (!leaf_set.count(m) && g.is_and(m)) {
+          EXPECT_TRUE(seen.count(m)) << "fanin after node";
+        }
+      }
+      seen.insert(v);
+    }
+  }
+}
+
+TEST(TryConeTt, RejectsEscapedCut) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit c = g.add_pi();
+  const Lit x = g.and_of(a, b);
+  const Lit y = g.and_of(x, c);
+  g.add_po(y);
+  // {x} is not a cut of y (path through c escapes).
+  EXPECT_FALSE(try_cone_truth_table(g, y, {lit_node(x)}, 100).has_value());
+  // {x, c} is a cut.
+  EXPECT_TRUE(
+      try_cone_truth_table(g, y, {lit_node(x), lit_node(c)}, 100).has_value());
+}
+
+TEST(TryConeTt, RespectsNodeBudget) {
+  Aig g = random_aig(8, 300, 1, 3);
+  const std::uint32_t root = lit_node(g.po(0));
+  std::vector<std::uint32_t> pis;
+  for (std::size_t i = 0; i < g.num_pis(); ++i) pis.push_back(g.pi_node(i));
+  EXPECT_FALSE(try_cone_truth_table(g, make_lit(root), pis, 3).has_value());
+}
+
+TEST(TryConeTt, MatchesExhaustiveSimulation) {
+  Aig g = random_aig(6, 80, 2, 41);
+  const auto po_tts = po_truth_tables(g);
+  std::vector<std::uint32_t> pis;
+  for (std::size_t i = 0; i < g.num_pis(); ++i) pis.push_back(g.pi_node(i));
+  for (std::size_t o = 0; o < g.num_pos(); ++o) {
+    const auto tt = try_cone_truth_table(g, g.po(o), pis, 1 << 20);
+    ASSERT_TRUE(tt.has_value());
+    EXPECT_EQ(*tt, po_tts[o]);
+  }
+}
+
+TEST(Divisors, ExcludeMffcAndRoot) {
+  Aig g = random_aig(8, 120, 4, 59);
+  for (std::uint32_t n : g.topo_order()) {
+    const auto leaves = reconvergence_cut(g, n, 8);
+    const auto divisors = collect_divisors(g, n, leaves, 30);
+    const auto mffc = g.mffc_nodes(n);
+    for (std::uint32_t d : divisors) {
+      EXPECT_NE(d, n);
+      // Inner divisors (not leaves) must avoid the MFFC.
+      if (std::find(leaves.begin(), leaves.end(), d) == leaves.end()) {
+        EXPECT_EQ(std::find(mffc.begin(), mffc.end(), d), mffc.end());
+      }
+    }
+  }
+}
+
+}  // namespace

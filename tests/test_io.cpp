@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "clo/aig/io.hpp"
+#include "clo/aig/simulate.hpp"
+#include "clo/circuits/generators.hpp"
+#include "clo/util/rng.hpp"
+
+namespace {
+
+using namespace clo::aig;
+
+Aig sample_circuit() { return clo::circuits::make_benchmark("c432"); }
+
+TEST(AigerAscii, RoundTrip) {
+  const Aig g = sample_circuit();
+  std::stringstream ss;
+  write_aiger_ascii(g, ss);
+  Aig back = read_aiger(ss);
+  EXPECT_EQ(back.num_pis(), g.num_pis());
+  EXPECT_EQ(back.num_pos(), g.num_pos());
+  clo::Rng rng(1);
+  EXPECT_TRUE(cec(g, back, rng).equivalent);
+}
+
+TEST(AigerBinary, RoundTrip) {
+  const Aig g = sample_circuit();
+  std::stringstream ss;
+  write_aiger_binary(g, ss);
+  Aig back = read_aiger(ss);
+  clo::Rng rng(2);
+  EXPECT_TRUE(cec(g, back, rng).equivalent);
+}
+
+TEST(AigerAscii, ComplementedOutputsAndConstants) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  g.add_po(lit_not(g.and_of(a, b)));
+  g.add_po(kLitTrue);
+  g.add_po(kLitFalse);
+  std::stringstream ss;
+  write_aiger_ascii(g, ss);
+  Aig back = read_aiger(ss);
+  clo::Rng rng(3);
+  EXPECT_TRUE(cec(g, back, rng).equivalent);
+}
+
+TEST(AigerAscii, HeaderContents) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  g.add_po(g.and_of(a, b));
+  std::stringstream ss;
+  write_aiger_ascii(g, ss);
+  std::string header;
+  std::getline(ss, header);
+  EXPECT_EQ(header, "aag 3 2 0 1 1");
+}
+
+TEST(AigerRead, RejectsBadMagicAndLatches) {
+  std::stringstream bad("xyz 1 1 0 0 0\n");
+  EXPECT_THROW(read_aiger(bad), std::runtime_error);
+  std::stringstream latched("aag 2 1 1 0 0\n2\n4 2\n");
+  EXPECT_THROW(read_aiger(latched), std::runtime_error);
+}
+
+TEST(AigerRead, KnownTinyExample) {
+  // Standard AIGER example: out = i0 AND i1.
+  std::stringstream ss("aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n");
+  Aig g = read_aiger(ss);
+  EXPECT_EQ(g.num_pis(), 2u);
+  EXPECT_EQ(g.num_ands(), 1u);
+  const auto out = simulate(g, {true, true});
+  EXPECT_TRUE(out[0]);
+  EXPECT_FALSE(simulate(g, {true, false})[0]);
+}
+
+TEST(Bench, ParseAllGateTypes) {
+  const std::string text = R"(
+# comment line
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(o1)
+OUTPUT(o2)
+OUTPUT(o3)
+n1 = AND(a, b)
+n2 = NAND(a, b, c)
+n3 = OR(n1, c)
+n4 = NOR(a, c)
+n5 = XOR(n3, n4)
+n6 = NOT(n5)
+o1 = BUF(n6)
+o2 = XNOR(a, b)
+o3 = AND(n2, n5)
+)";
+  std::stringstream ss(text);
+  Aig g = read_bench(ss);
+  EXPECT_EQ(g.num_pis(), 3u);
+  EXPECT_EQ(g.num_pos(), 3u);
+  // Spot-check o2 = XNOR(a,b).
+  EXPECT_TRUE(simulate(g, {true, true, false})[1]);
+  EXPECT_FALSE(simulate(g, {true, false, false})[1]);
+}
+
+TEST(Bench, ErrorsOnUndefinedAndCycle) {
+  std::stringstream undef("INPUT(a)\nOUTPUT(o)\no = AND(a, ghost)\n");
+  EXPECT_THROW(read_bench(undef), std::runtime_error);
+  std::stringstream cyc(
+      "INPUT(a)\nOUTPUT(o)\nx = AND(a, y)\ny = AND(a, x)\no = BUF(x)\n");
+  EXPECT_THROW(read_bench(cyc), std::runtime_error);
+}
+
+TEST(Bench, WriteReadRoundTrip) {
+  const Aig g = clo::circuits::make_benchmark("c17");
+  std::stringstream ss;
+  write_bench(g, ss);
+  Aig back = read_bench(ss);
+  clo::Rng rng(7);
+  EXPECT_TRUE(cec(g, back, rng).equivalent);
+}
+
+TEST(Bench, RoundTripLargerCircuit) {
+  const Aig g = clo::circuits::make_benchmark("int2float");
+  std::stringstream ss;
+  write_bench(g, ss);
+  Aig back = read_bench(ss);
+  clo::Rng rng(8);
+  EXPECT_TRUE(cec(g, back, rng).equivalent);
+}
+
+TEST(AigerFile, FileRoundTrip) {
+  const Aig g = clo::circuits::make_benchmark("ctrl");
+  const std::string path = testing::TempDir() + "/clo_test_ctrl.aig";
+  ASSERT_TRUE(write_aiger_binary(g, path));
+  Aig back = read_aiger_file(path);
+  clo::Rng rng(9);
+  EXPECT_TRUE(cec(g, back, rng).equivalent);
+}
+
+}  // namespace

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "clo/nn/ops.hpp"
+#include "clo/nn/tensor.hpp"
+#include "clo/util/rng.hpp"
+
+namespace {
+
+using namespace clo::nn;
+
+/// Numerical gradient check: builds the graph via `fn` (must return a
+/// scalar), compares autograd gradients of `input` against central
+/// differences.
+void grad_check(Tensor input,
+                const std::function<Tensor(const Tensor&)>& fn,
+                float tolerance = 2e-2f) {
+  Tensor out = fn(input);
+  ASSERT_EQ(out.numel(), 1u);
+  backward(out);
+  const auto analytic = input.grad();
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const float saved = input.data()[i];
+    input.data()[i] = saved + eps;
+    const float up = fn(input).item();
+    input.data()[i] = saved - eps;
+    const float down = fn(input).item();
+    input.data()[i] = saved;
+    const float numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(analytic[i], numeric,
+                tolerance * std::max(1.0f, std::abs(numeric)))
+        << "component " << i;
+  }
+}
+
+Tensor random_tensor(std::vector<int> shape, std::uint64_t seed,
+                     float scale = 1.0f) {
+  clo::Rng rng(seed);
+  return Tensor::randn(std::move(shape), rng, scale, true);
+}
+
+TEST(Autograd, AddSubMul) {
+  const Tensor b = random_tensor({2, 3}, 7);
+  grad_check(random_tensor({2, 3}, 1), [&](const Tensor& x) {
+    return sum_all(mul(add(x, b), sub(x, b)));
+  });
+}
+
+TEST(Autograd, ScaleNeg) {
+  grad_check(random_tensor({4}, 2), [](const Tensor& x) {
+    return sum_all(neg(scale(x, 2.5f)));
+  });
+}
+
+TEST(Autograd, AddBias) {
+  const Tensor x = random_tensor({3, 4}, 3);
+  Tensor bias = random_tensor({4}, 4);
+  // Check gradient w.r.t. the bias.
+  grad_check(bias, [&](const Tensor& b) { return sum_all(add_bias(x, b)); });
+}
+
+TEST(Autograd, MatmulBothSides) {
+  const Tensor w = random_tensor({3, 2}, 5);
+  grad_check(random_tensor({4, 3}, 6),
+             [&](const Tensor& x) { return sum_all(matmul(x, w)); });
+  const Tensor x2 = random_tensor({4, 3}, 8);
+  grad_check(random_tensor({3, 2}, 9),
+             [&](const Tensor& w2) { return sum_all(matmul(x2, w2)); });
+}
+
+TEST(Autograd, MatmulTransposeB) {
+  const Tensor x = random_tensor({2, 3}, 10);
+  grad_check(random_tensor({4, 3}, 11), [&](const Tensor& w) {
+    return sum_all(matmul(x, w, /*transpose_b=*/true));
+  });
+}
+
+TEST(Autograd, Activations) {
+  grad_check(random_tensor({2, 5}, 12),
+             [](const Tensor& x) { return sum_all(sigmoid(x)); });
+  grad_check(random_tensor({2, 5}, 13),
+             [](const Tensor& x) { return sum_all(tanh_op(x)); });
+  grad_check(random_tensor({2, 5}, 14),
+             [](const Tensor& x) { return sum_all(silu(x)); });
+  // ReLU away from the kink.
+  Tensor x = random_tensor({10}, 15);
+  for (auto& v : x.data()) v = v > 0 ? v + 0.5f : v - 0.5f;
+  grad_check(x, [](const Tensor& t) { return sum_all(relu(t)); });
+}
+
+TEST(Autograd, SoftmaxRows) {
+  grad_check(random_tensor({3, 4}, 16), [](const Tensor& x) {
+    // weighted sum of softmax outputs, nontrivial Jacobian use
+    Tensor s = softmax_rows(x);
+    Tensor w = Tensor::from_data({3, 4}, {1, 2, 3, 4, 4, 3, 2, 1, 0, 1, 0, 1});
+    return sum_all(mul(s, w));
+  });
+}
+
+TEST(Autograd, MseLoss) {
+  const Tensor target = random_tensor({3, 2}, 17);
+  grad_check(random_tensor({3, 2}, 18),
+             [&](const Tensor& x) { return mse_loss(x, target); });
+}
+
+TEST(Autograd, MeanRowsAndReshape) {
+  grad_check(random_tensor({4, 3}, 19), [](const Tensor& x) {
+    return sum_all(mean_rows(reshape(x, {2, 6})));
+  });
+}
+
+TEST(Autograd, ConcatSliceCols) {
+  const Tensor other = random_tensor({2, 2}, 20);
+  grad_check(random_tensor({2, 3}, 21), [&](const Tensor& x) {
+    Tensor cat = concat_cols(x, other);
+    return sum_all(mul(slice_cols(cat, 1, 4), slice_cols(cat, 0, 3)));
+  });
+}
+
+TEST(Autograd, GatherRowsWithRepeats) {
+  grad_check(random_tensor({4, 3}, 22), [](const Tensor& x) {
+    return sum_all(gather_rows(x, {0, 2, 2, 3, 0}));
+  });
+}
+
+TEST(Autograd, LayerNorm) {
+  const Tensor gain = random_tensor({5}, 23);
+  const Tensor bias = random_tensor({5}, 24);
+  grad_check(
+      random_tensor({3, 5}, 25),
+      [&](const Tensor& x) {
+        Tensor w = Tensor::from_data(
+            {3, 5}, std::vector<float>(15, 0.3f));
+        return sum_all(mul(layer_norm(x, gain, bias), w));
+      },
+      5e-2f);
+}
+
+TEST(Autograd, Conv1d) {
+  const Tensor w = random_tensor({3, 2, 3}, 26, 0.5f);
+  const Tensor b = random_tensor({3}, 27);
+  grad_check(random_tensor({2, 2, 6}, 28),
+             [&](const Tensor& x) { return sum_all(conv1d(x, w, b)); });
+  const Tensor x2 = random_tensor({2, 2, 6}, 29);
+  grad_check(random_tensor({3, 2, 3}, 30, 0.5f),
+             [&](const Tensor& w2) { return sum_all(conv1d(x2, w2, b)); });
+}
+
+TEST(Autograd, PoolingAndUpsample) {
+  grad_check(random_tensor({2, 3, 8}, 31), [](const Tensor& x) {
+    return sum_all(upsample1d(avg_pool1d(x)));
+  });
+}
+
+TEST(Autograd, ConcatChannelsAndChannelBias) {
+  const Tensor other = random_tensor({2, 2, 4}, 32);
+  const Tensor bias = random_tensor({2, 5}, 33);
+  grad_check(random_tensor({2, 3, 4}, 34), [&](const Tensor& x) {
+    return sum_all(add_channel_bias(concat_channels(x, other), bias));
+  });
+}
+
+TEST(Autograd, DiamondGraphAccumulates) {
+  // y = sum(x*x + x) uses x twice; gradient must accumulate both paths.
+  Tensor x = Tensor::from_data({3}, {1.0f, -2.0f, 0.5f}, true);
+  Tensor y = sum_all(add(mul(x, x), x));
+  backward(y);
+  EXPECT_NEAR(x.grad()[0], 2 * 1.0f + 1, 1e-5);
+  EXPECT_NEAR(x.grad()[1], 2 * -2.0f + 1, 1e-5);
+  EXPECT_NEAR(x.grad()[2], 2 * 0.5f + 1, 1e-5);
+}
+
+TEST(Autograd, DetachStopsGradient) {
+  Tensor x = Tensor::from_data({2}, {3.0f, 4.0f}, true);
+  Tensor y = sum_all(mul(detach(x), x));
+  backward(y);
+  EXPECT_NEAR(x.grad()[0], 3.0f, 1e-5);  // only the non-detached path
+  EXPECT_NEAR(x.grad()[1], 4.0f, 1e-5);
+}
+
+TEST(Autograd, BackwardRequiresScalar) {
+  Tensor x = Tensor::from_data({2}, {1.0f, 2.0f}, true);
+  EXPECT_THROW(backward(x), std::invalid_argument);
+}
+
+TEST(Autograd, NoGradWhenNotRequired) {
+  Tensor x = Tensor::from_data({2}, {1.0f, 2.0f}, false);
+  Tensor y = sum_all(mul(x, x));
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(Tensor, ShapeChecksThrow) {
+  Tensor a = Tensor::zeros({2, 3});
+  Tensor b = Tensor::zeros({3, 2});
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+  EXPECT_THROW(matmul(a, a), std::invalid_argument);
+  EXPECT_THROW(reshape(a, {5}), std::invalid_argument);
+  EXPECT_THROW(Tensor::from_data({2}, {1.0f}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "clo/shell/shell.hpp"
+
+namespace {
+
+using clo::shell::Shell;
+
+std::string run(Shell& sh, const std::string& cmd) {
+  std::ostringstream os;
+  sh.execute(cmd, os);
+  return os.str();
+}
+
+TEST(Shell, GenAndPs) {
+  Shell sh;
+  const std::string out = run(sh, "gen c432");
+  EXPECT_NE(out.find("c432"), std::string::npos);
+  EXPECT_NE(out.find("i/o = 36/8"), std::string::npos);
+  EXPECT_FALSE(sh.last_failed());
+  EXPECT_TRUE(sh.design().has_value());
+  EXPECT_NE(run(sh, "ps").find("and = "), std::string::npos);
+}
+
+TEST(Shell, ErrorsAreReportedNotThrown) {
+  Shell sh;
+  EXPECT_NE(run(sh, "ps").find("error:"), std::string::npos);
+  EXPECT_TRUE(sh.last_failed());
+  EXPECT_NE(run(sh, "gen bogus_circuit").find("error:"), std::string::npos);
+  EXPECT_TRUE(sh.last_failed());
+  EXPECT_NE(run(sh, "frobnicate").find("unknown command"), std::string::npos);
+  EXPECT_TRUE(sh.last_failed());
+}
+
+TEST(Shell, TransformCommandsPreserveEquivalence) {
+  Shell sh;
+  run(sh, "gen cavlc");
+  run(sh, "save");
+  for (const char* cmd : {"rw", "rf", "rs", "b", "rwz", "rfz", "rsz"}) {
+    run(sh, cmd);
+    EXPECT_FALSE(sh.last_failed()) << cmd;
+  }
+  const std::string out = run(sh, "cec");
+  EXPECT_NE(out.find("equivalent"), std::string::npos);
+  EXPECT_FALSE(sh.last_failed());
+}
+
+TEST(Shell, SeqCommand) {
+  Shell sh;
+  run(sh, "gen sqrt");
+  const auto before = sh.design()->num_ands();
+  run(sh, "seq b;rw;rf;b;rwz");
+  EXPECT_FALSE(sh.last_failed());
+  EXPECT_LT(sh.design()->num_ands(), before);
+}
+
+TEST(Shell, MapCommand) {
+  Shell sh;
+  run(sh, "gen c17");
+  const std::string out = run(sh, "map");
+  EXPECT_NE(out.find("area = "), std::string::npos);
+  EXPECT_NE(out.find("delay = "), std::string::npos);
+  const std::string area_out = run(sh, "map -a");
+  EXPECT_FALSE(sh.last_failed());
+}
+
+TEST(Shell, SimCommand) {
+  Shell sh;
+  run(sh, "gen c17");
+  const std::string out = run(sh, "sim 11111");
+  EXPECT_NE(out.find("po: "), std::string::npos);
+  // Wrong width is an error.
+  run(sh, "sim 111");
+  EXPECT_TRUE(sh.last_failed());
+}
+
+TEST(Shell, WriteReadRoundTrip) {
+  Shell sh;
+  run(sh, "gen int2float");
+  const std::string path = testing::TempDir() + "/shell_rt.aag";
+  run(sh, "write " + path);
+  EXPECT_FALSE(sh.last_failed());
+  run(sh, "save");
+  run(sh, "read " + path);
+  EXPECT_FALSE(sh.last_failed());
+  EXPECT_NE(run(sh, "cec").find("equivalent"), std::string::npos);
+}
+
+TEST(Shell, WriteVerilog) {
+  Shell sh;
+  run(sh, "gen c17");
+  const std::string path = testing::TempDir() + "/shell_c17.v";
+  run(sh, "write " + path);
+  EXPECT_FALSE(sh.last_failed());
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string v = ss.str();
+  EXPECT_NE(v.find("module c17("), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("assign"), std::string::npos);
+}
+
+TEST(Shell, ScriptExecution) {
+  Shell sh;
+  std::istringstream script(
+      "# a comment\n"
+      "gen ctrl\n"
+      "save\n"
+      "rw\n"
+      "cec\n"
+      "echo done\n");
+  std::ostringstream out;
+  const int failures = sh.run_script(script, out);
+  EXPECT_EQ(failures, 0);
+  EXPECT_NE(out.str().find("done"), std::string::npos);
+}
+
+TEST(Shell, QuitStopsExecution) {
+  Shell sh;
+  std::ostringstream os;
+  EXPECT_FALSE(sh.execute("quit", os));
+}
+
+TEST(Shell, ListShowsCatalog) {
+  Shell sh;
+  const std::string out = run(sh, "list");
+  EXPECT_NE(out.find("adder"), std::string::npos);
+  EXPECT_NE(out.find("c7552"), std::string::npos);
+}
+
+TEST(Shell, HelpListsCommands) {
+  Shell sh;
+  const std::string out = run(sh, "help");
+  for (const char* cmd : {"gen", "read", "write", "map", "cec", "tune"}) {
+    EXPECT_NE(out.find(cmd), std::string::npos) << cmd;
+  }
+}
+
+}  // namespace

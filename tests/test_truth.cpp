@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "clo/aig/truth.hpp"
+#include "clo/util/rng.hpp"
+
+namespace {
+
+using namespace clo::aig;
+
+TEST(TruthTable, ConstantsAndVariables) {
+  const auto c0 = TruthTable::constant(3, false);
+  const auto c1 = TruthTable::constant(3, true);
+  EXPECT_TRUE(c0.is_const0());
+  EXPECT_TRUE(c1.is_const1());
+  EXPECT_EQ(c1.count_ones(), 8);
+  for (int v = 0; v < 3; ++v) {
+    const auto x = TruthTable::variable(3, v);
+    EXPECT_EQ(x.count_ones(), 4);
+    for (int m = 0; m < 8; ++m) {
+      EXPECT_EQ(x.get_bit(m), static_cast<bool>((m >> v) & 1));
+    }
+  }
+}
+
+TEST(TruthTable, VariablesAboveWordBoundary) {
+  // 8 variables -> 4 words; check variables 6 and 7 (word-stride regime).
+  for (int v : {6, 7}) {
+    const auto x = TruthTable::variable(8, v);
+    for (int m = 0; m < 256; m += 7) {
+      EXPECT_EQ(x.get_bit(m), static_cast<bool>((m >> v) & 1));
+    }
+  }
+}
+
+TEST(TruthTable, BooleanOps) {
+  const auto a = TruthTable::variable(2, 0);
+  const auto b = TruthTable::variable(2, 1);
+  EXPECT_EQ((a & b).to_u16() & 0xf, 0x8);
+  EXPECT_EQ((a | b).to_u16() & 0xf, 0xe);
+  EXPECT_EQ((a ^ b).to_u16() & 0xf, 0x6);
+  EXPECT_EQ((~a).to_u16() & 0xf, 0x5);
+}
+
+TEST(TruthTable, CofactorsSmallVars) {
+  // f = a & b over 2 vars: f|b=0 = 0, f|b=1 = a.
+  const auto a = TruthTable::variable(2, 0);
+  const auto b = TruthTable::variable(2, 1);
+  const auto f = a & b;
+  EXPECT_TRUE(f.cofactor0(1).is_const0());
+  EXPECT_EQ(f.cofactor1(1), a);
+  EXPECT_TRUE(f.has_var(0));
+  EXPECT_TRUE(f.has_var(1));
+  EXPECT_FALSE((a | ~a).has_var(0));
+}
+
+TEST(TruthTable, CofactorsLargeVars) {
+  const auto a = TruthTable::variable(8, 7);
+  const auto b = TruthTable::variable(8, 0);
+  const auto f = a ^ b;
+  EXPECT_EQ(f.cofactor0(7), b);
+  EXPECT_EQ(f.cofactor1(7), ~b);
+}
+
+TEST(TruthTable, U16RoundTrip) {
+  for (std::uint16_t bits : {std::uint16_t{0x8000}, std::uint16_t{0x1234},
+                             std::uint16_t{0xcafe}}) {
+    EXPECT_EQ(TruthTable::from_u16(bits).to_u16(), bits);
+  }
+}
+
+TEST(TruthTable, BinaryString) {
+  const auto a = TruthTable::variable(2, 0);
+  EXPECT_EQ(a.to_binary_string(), "1010");
+}
+
+TEST(Isop, CoversExactly) {
+  clo::Rng rng(31);
+  for (int num_vars = 1; num_vars <= 6; ++num_vars) {
+    for (int trial = 0; trial < 40; ++trial) {
+      TruthTable f(num_vars);
+      for (std::size_t m = 0; m < f.num_bits(); ++m) {
+        f.set_bit(m, rng.next_bool());
+      }
+      const auto cubes = isop(f);
+      EXPECT_EQ(eval_sop(cubes, num_vars), f)
+          << "vars=" << num_vars << " f=" << f.to_binary_string();
+    }
+  }
+}
+
+TEST(Isop, ConstantsAndSingleVar) {
+  EXPECT_TRUE(isop(TruthTable::constant(3, false)).empty());
+  const auto taut = isop(TruthTable::constant(3, true));
+  ASSERT_EQ(taut.size(), 1u);
+  EXPECT_EQ(taut[0].num_literals(), 0);
+  const auto var = isop(TruthTable::variable(3, 1));
+  ASSERT_EQ(var.size(), 1u);
+  EXPECT_EQ(var[0].num_literals(), 1);
+  EXPECT_TRUE(var[0].polarity & (1u << 1));
+}
+
+TEST(Isop, IrredundantOnSimpleFunctions) {
+  // f = ab + cd should produce exactly 2 cubes of 2 literals.
+  const auto a = TruthTable::variable(4, 0);
+  const auto b = TruthTable::variable(4, 1);
+  const auto c = TruthTable::variable(4, 2);
+  const auto d = TruthTable::variable(4, 3);
+  const auto f = (a & b) | (c & d);
+  const auto cubes = isop(f);
+  EXPECT_EQ(cubes.size(), 2u);
+  EXPECT_EQ(sop_literals(cubes), 4);
+}
+
+TEST(Isop, XorNeedsFourCubes) {
+  const auto a = TruthTable::variable(3, 0);
+  const auto b = TruthTable::variable(3, 1);
+  const auto c = TruthTable::variable(3, 2);
+  const auto cubes = isop(a ^ b ^ c);
+  EXPECT_EQ(cubes.size(), 4u);  // minimal SOP of 3-input XOR
+  EXPECT_EQ(eval_sop(cubes, 3), a ^ b ^ c);
+}
+
+TEST(Isop, TenVariableStress) {
+  clo::Rng rng(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    TruthTable f(10);
+    for (std::size_t m = 0; m < f.num_bits(); ++m) {
+      f.set_bit(m, rng.next_bool(0.3));
+    }
+    EXPECT_EQ(eval_sop(isop(f), 10), f);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "clo/util/cli.hpp"
+#include "clo/util/csv.hpp"
+#include "clo/util/rng.hpp"
+#include "clo/util/stats.hpp"
+#include "clo/util/timer.hpp"
+
+namespace {
+
+using namespace clo;
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAll) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.next_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -2;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(5);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a(1);
+  Rng c = a.fork();
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Stats, MeanAndGeomean) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_NEAR(geomean({1, 100}), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, Stddev) {
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(stddev({5}), 0.0);
+}
+
+TEST(Stats, Median) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 2, 3}), 2.5);
+}
+
+TEST(Stats, PearsonPerfect) {
+  EXPECT_NEAR(pearson({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Stats, SpearmanMonotone) {
+  // Any monotone map gives rank correlation 1.
+  EXPECT_NEAR(spearman({1, 2, 3, 4}, {10, 100, 1000, 10000}), 1.0, 1e-12);
+  EXPECT_NEAR(spearman({1, 2, 3, 4}, {4, 3, 2, 1}), -1.0, 1e-12);
+}
+
+TEST(Stats, SpearmanTiesHandled) {
+  const double r = spearman({1, 1, 2, 3}, {1, 1, 2, 3});
+  EXPECT_NEAR(r, 1.0, 1e-12);
+}
+
+TEST(Csv, EscapesAndWrites) {
+  CsvWriter w({"a", "b"});
+  w.add_row({"x,y", "plain"});
+  w.add_row({"with \"quote\"", "1"});
+  const std::string s = w.to_string();
+  EXPECT_NE(s.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(s.find("\"with \"\"quote\"\"\""), std::string::npos);
+}
+
+TEST(Csv, RowValues) {
+  CsvWriter w({"v"});
+  w.add_row_values({1.23456}, 2);
+  EXPECT_NE(w.to_string().find("1.23"), std::string::npos);
+}
+
+TEST(ConsoleTable, Renders) {
+  ConsoleTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_separator();
+  t.add_row({"longer-name", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find('+'), std::string::npos);
+}
+
+TEST(Cli, ParsesForms) {
+  const char* argv[] = {"prog", "--flag", "--key", "value", "--eq=5", "pos"};
+  CliArgs args(6, const_cast<char**>(argv));
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_EQ(args.get("key", ""), "value");
+  EXPECT_EQ(args.get_int("eq", 0), 5);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos");
+  EXPECT_EQ(args.get_int("missing", 9), 9);
+}
+
+TEST(Stopwatch, AccumulatesAndResets) {
+  Stopwatch w;
+  w.start();
+  double x = 0;
+  for (int i = 0; i < 100000; ++i) x += std::sqrt(static_cast<double>(i));
+  if (x < 0) return;
+  w.stop();
+  EXPECT_GT(w.seconds(), 0.0);
+  const double t1 = w.seconds();
+  // Stopped: no more accumulation.
+  EXPECT_DOUBLE_EQ(w.seconds(), t1);
+  w.reset();
+  EXPECT_DOUBLE_EQ(w.seconds(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,42 @@
+// The `clo` interactive shell: an ABC-style REPL over the library.
+//
+//   clo                      interactive session
+//   clo -c "gen c432; rw; map"   run ';'-separated commands and exit
+//   clo script.clo           run a script file
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "clo/shell/shell.hpp"
+
+int main(int argc, char** argv) {
+  clo::shell::Shell shell;
+  if (argc >= 3 && std::string(argv[1]) == "-c") {
+    // Split on ';' into individual commands.
+    std::stringstream ss(argv[2]);
+    std::string cmd;
+    int failures = 0;
+    while (std::getline(ss, cmd, ';')) {
+      if (!shell.execute(cmd, std::cout)) break;
+      if (shell.last_failed()) ++failures;
+    }
+    return failures == 0 ? 0 : 1;
+  }
+  if (argc >= 2) {
+    std::ifstream f(argv[1]);
+    if (!f) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    return shell.run_script(f, std::cout) == 0 ? 0 : 1;
+  }
+  std::cout << "clo — continuous logic optimization shell (try `help`)\n";
+  std::string line;
+  while (true) {
+    std::cout << "clo> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    if (!shell.execute(line, std::cout)) break;
+  }
+  return 0;
+}
