@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_runtime.cpp" "bench/CMakeFiles/bench_fig5_runtime.dir/bench_fig5_runtime.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_runtime.dir/bench_fig5_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clo/baselines/CMakeFiles/clo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/clo/core/CMakeFiles/clo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/clo/models/CMakeFiles/clo_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/clo/nn/CMakeFiles/clo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/clo/circuits/CMakeFiles/clo_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/clo/techmap/CMakeFiles/clo_techmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/clo/opt/CMakeFiles/clo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/clo/aig/CMakeFiles/clo_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/clo/util/CMakeFiles/clo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

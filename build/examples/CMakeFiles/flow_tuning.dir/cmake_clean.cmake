@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_tuning.dir/flow_tuning.cpp.o"
+  "CMakeFiles/flow_tuning.dir/flow_tuning.cpp.o.d"
+  "flow_tuning"
+  "flow_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("clo/util")
+subdirs("clo/aig")
+subdirs("clo/opt")
+subdirs("clo/techmap")
+subdirs("clo/circuits")
+subdirs("clo/nn")
+subdirs("clo/models")
+subdirs("clo/core")
+subdirs("clo/baselines")
+subdirs("clo/shell")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clo/aig/aig.cpp" "src/clo/aig/CMakeFiles/clo_aig.dir/aig.cpp.o" "gcc" "src/clo/aig/CMakeFiles/clo_aig.dir/aig.cpp.o.d"
+  "/root/repo/src/clo/aig/cuts.cpp" "src/clo/aig/CMakeFiles/clo_aig.dir/cuts.cpp.o" "gcc" "src/clo/aig/CMakeFiles/clo_aig.dir/cuts.cpp.o.d"
+  "/root/repo/src/clo/aig/io.cpp" "src/clo/aig/CMakeFiles/clo_aig.dir/io.cpp.o" "gcc" "src/clo/aig/CMakeFiles/clo_aig.dir/io.cpp.o.d"
+  "/root/repo/src/clo/aig/simulate.cpp" "src/clo/aig/CMakeFiles/clo_aig.dir/simulate.cpp.o" "gcc" "src/clo/aig/CMakeFiles/clo_aig.dir/simulate.cpp.o.d"
+  "/root/repo/src/clo/aig/truth.cpp" "src/clo/aig/CMakeFiles/clo_aig.dir/truth.cpp.o" "gcc" "src/clo/aig/CMakeFiles/clo_aig.dir/truth.cpp.o.d"
+  "/root/repo/src/clo/aig/window.cpp" "src/clo/aig/CMakeFiles/clo_aig.dir/window.cpp.o" "gcc" "src/clo/aig/CMakeFiles/clo_aig.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clo/util/CMakeFiles/clo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clo_aig.dir/aig.cpp.o"
+  "CMakeFiles/clo_aig.dir/aig.cpp.o.d"
+  "CMakeFiles/clo_aig.dir/cuts.cpp.o"
+  "CMakeFiles/clo_aig.dir/cuts.cpp.o.d"
+  "CMakeFiles/clo_aig.dir/io.cpp.o"
+  "CMakeFiles/clo_aig.dir/io.cpp.o.d"
+  "CMakeFiles/clo_aig.dir/simulate.cpp.o"
+  "CMakeFiles/clo_aig.dir/simulate.cpp.o.d"
+  "CMakeFiles/clo_aig.dir/truth.cpp.o"
+  "CMakeFiles/clo_aig.dir/truth.cpp.o.d"
+  "CMakeFiles/clo_aig.dir/window.cpp.o"
+  "CMakeFiles/clo_aig.dir/window.cpp.o.d"
+  "libclo_aig.a"
+  "libclo_aig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clo_aig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

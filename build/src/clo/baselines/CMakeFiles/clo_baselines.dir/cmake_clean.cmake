@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clo_baselines.dir/abcrl.cpp.o"
+  "CMakeFiles/clo_baselines.dir/abcrl.cpp.o.d"
+  "CMakeFiles/clo_baselines.dir/baseline.cpp.o"
+  "CMakeFiles/clo_baselines.dir/baseline.cpp.o.d"
+  "CMakeFiles/clo_baselines.dir/boils.cpp.o"
+  "CMakeFiles/clo_baselines.dir/boils.cpp.o.d"
+  "CMakeFiles/clo_baselines.dir/drills.cpp.o"
+  "CMakeFiles/clo_baselines.dir/drills.cpp.o.d"
+  "CMakeFiles/clo_baselines.dir/flowtune.cpp.o"
+  "CMakeFiles/clo_baselines.dir/flowtune.cpp.o.d"
+  "libclo_baselines.a"
+  "libclo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clo_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clo/circuits/generators.cpp" "src/clo/circuits/CMakeFiles/clo_circuits.dir/generators.cpp.o" "gcc" "src/clo/circuits/CMakeFiles/clo_circuits.dir/generators.cpp.o.d"
+  "/root/repo/src/clo/circuits/wordlevel.cpp" "src/clo/circuits/CMakeFiles/clo_circuits.dir/wordlevel.cpp.o" "gcc" "src/clo/circuits/CMakeFiles/clo_circuits.dir/wordlevel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clo/aig/CMakeFiles/clo_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/clo/util/CMakeFiles/clo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clo_circuits.dir/generators.cpp.o"
+  "CMakeFiles/clo_circuits.dir/generators.cpp.o.d"
+  "CMakeFiles/clo_circuits.dir/wordlevel.cpp.o"
+  "CMakeFiles/clo_circuits.dir/wordlevel.cpp.o.d"
+  "libclo_circuits.a"
+  "libclo_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clo_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clo_core.dir/dataset.cpp.o"
+  "CMakeFiles/clo_core.dir/dataset.cpp.o.d"
+  "CMakeFiles/clo_core.dir/evaluator.cpp.o"
+  "CMakeFiles/clo_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/clo_core.dir/optimizer.cpp.o"
+  "CMakeFiles/clo_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/clo_core.dir/pipeline.cpp.o"
+  "CMakeFiles/clo_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/clo_core.dir/trainer.cpp.o"
+  "CMakeFiles/clo_core.dir/trainer.cpp.o.d"
+  "CMakeFiles/clo_core.dir/tsne.cpp.o"
+  "CMakeFiles/clo_core.dir/tsne.cpp.o.d"
+  "libclo_core.a"
+  "libclo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

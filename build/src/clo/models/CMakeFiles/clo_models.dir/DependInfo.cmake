@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clo/models/diffusion.cpp" "src/clo/models/CMakeFiles/clo_models.dir/diffusion.cpp.o" "gcc" "src/clo/models/CMakeFiles/clo_models.dir/diffusion.cpp.o.d"
+  "/root/repo/src/clo/models/embedding.cpp" "src/clo/models/CMakeFiles/clo_models.dir/embedding.cpp.o" "gcc" "src/clo/models/CMakeFiles/clo_models.dir/embedding.cpp.o.d"
+  "/root/repo/src/clo/models/surrogate.cpp" "src/clo/models/CMakeFiles/clo_models.dir/surrogate.cpp.o" "gcc" "src/clo/models/CMakeFiles/clo_models.dir/surrogate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clo/nn/CMakeFiles/clo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/clo/aig/CMakeFiles/clo_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/clo/opt/CMakeFiles/clo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/clo/util/CMakeFiles/clo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

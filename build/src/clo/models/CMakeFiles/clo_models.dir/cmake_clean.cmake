@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clo_models.dir/diffusion.cpp.o"
+  "CMakeFiles/clo_models.dir/diffusion.cpp.o.d"
+  "CMakeFiles/clo_models.dir/embedding.cpp.o"
+  "CMakeFiles/clo_models.dir/embedding.cpp.o.d"
+  "CMakeFiles/clo_models.dir/surrogate.cpp.o"
+  "CMakeFiles/clo_models.dir/surrogate.cpp.o.d"
+  "libclo_models.a"
+  "libclo_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clo_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clo/nn/modules.cpp" "src/clo/nn/CMakeFiles/clo_nn.dir/modules.cpp.o" "gcc" "src/clo/nn/CMakeFiles/clo_nn.dir/modules.cpp.o.d"
+  "/root/repo/src/clo/nn/ops.cpp" "src/clo/nn/CMakeFiles/clo_nn.dir/ops.cpp.o" "gcc" "src/clo/nn/CMakeFiles/clo_nn.dir/ops.cpp.o.d"
+  "/root/repo/src/clo/nn/optim.cpp" "src/clo/nn/CMakeFiles/clo_nn.dir/optim.cpp.o" "gcc" "src/clo/nn/CMakeFiles/clo_nn.dir/optim.cpp.o.d"
+  "/root/repo/src/clo/nn/serialize.cpp" "src/clo/nn/CMakeFiles/clo_nn.dir/serialize.cpp.o" "gcc" "src/clo/nn/CMakeFiles/clo_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/clo/nn/tensor.cpp" "src/clo/nn/CMakeFiles/clo_nn.dir/tensor.cpp.o" "gcc" "src/clo/nn/CMakeFiles/clo_nn.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clo/util/CMakeFiles/clo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

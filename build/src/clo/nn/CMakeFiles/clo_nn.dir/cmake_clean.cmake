@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clo_nn.dir/modules.cpp.o"
+  "CMakeFiles/clo_nn.dir/modules.cpp.o.d"
+  "CMakeFiles/clo_nn.dir/ops.cpp.o"
+  "CMakeFiles/clo_nn.dir/ops.cpp.o.d"
+  "CMakeFiles/clo_nn.dir/optim.cpp.o"
+  "CMakeFiles/clo_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/clo_nn.dir/serialize.cpp.o"
+  "CMakeFiles/clo_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/clo_nn.dir/tensor.cpp.o"
+  "CMakeFiles/clo_nn.dir/tensor.cpp.o.d"
+  "libclo_nn.a"
+  "libclo_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clo_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clo/opt/balance.cpp" "src/clo/opt/CMakeFiles/clo_opt.dir/balance.cpp.o" "gcc" "src/clo/opt/CMakeFiles/clo_opt.dir/balance.cpp.o.d"
+  "/root/repo/src/clo/opt/flows.cpp" "src/clo/opt/CMakeFiles/clo_opt.dir/flows.cpp.o" "gcc" "src/clo/opt/CMakeFiles/clo_opt.dir/flows.cpp.o.d"
+  "/root/repo/src/clo/opt/mini_aig.cpp" "src/clo/opt/CMakeFiles/clo_opt.dir/mini_aig.cpp.o" "gcc" "src/clo/opt/CMakeFiles/clo_opt.dir/mini_aig.cpp.o.d"
+  "/root/repo/src/clo/opt/refactor.cpp" "src/clo/opt/CMakeFiles/clo_opt.dir/refactor.cpp.o" "gcc" "src/clo/opt/CMakeFiles/clo_opt.dir/refactor.cpp.o.d"
+  "/root/repo/src/clo/opt/resub.cpp" "src/clo/opt/CMakeFiles/clo_opt.dir/resub.cpp.o" "gcc" "src/clo/opt/CMakeFiles/clo_opt.dir/resub.cpp.o.d"
+  "/root/repo/src/clo/opt/rewrite.cpp" "src/clo/opt/CMakeFiles/clo_opt.dir/rewrite.cpp.o" "gcc" "src/clo/opt/CMakeFiles/clo_opt.dir/rewrite.cpp.o.d"
+  "/root/repo/src/clo/opt/synthesize.cpp" "src/clo/opt/CMakeFiles/clo_opt.dir/synthesize.cpp.o" "gcc" "src/clo/opt/CMakeFiles/clo_opt.dir/synthesize.cpp.o.d"
+  "/root/repo/src/clo/opt/transform.cpp" "src/clo/opt/CMakeFiles/clo_opt.dir/transform.cpp.o" "gcc" "src/clo/opt/CMakeFiles/clo_opt.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clo/aig/CMakeFiles/clo_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/clo/util/CMakeFiles/clo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

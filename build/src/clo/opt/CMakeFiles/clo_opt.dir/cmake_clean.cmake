@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clo_opt.dir/balance.cpp.o"
+  "CMakeFiles/clo_opt.dir/balance.cpp.o.d"
+  "CMakeFiles/clo_opt.dir/flows.cpp.o"
+  "CMakeFiles/clo_opt.dir/flows.cpp.o.d"
+  "CMakeFiles/clo_opt.dir/mini_aig.cpp.o"
+  "CMakeFiles/clo_opt.dir/mini_aig.cpp.o.d"
+  "CMakeFiles/clo_opt.dir/refactor.cpp.o"
+  "CMakeFiles/clo_opt.dir/refactor.cpp.o.d"
+  "CMakeFiles/clo_opt.dir/resub.cpp.o"
+  "CMakeFiles/clo_opt.dir/resub.cpp.o.d"
+  "CMakeFiles/clo_opt.dir/rewrite.cpp.o"
+  "CMakeFiles/clo_opt.dir/rewrite.cpp.o.d"
+  "CMakeFiles/clo_opt.dir/synthesize.cpp.o"
+  "CMakeFiles/clo_opt.dir/synthesize.cpp.o.d"
+  "CMakeFiles/clo_opt.dir/transform.cpp.o"
+  "CMakeFiles/clo_opt.dir/transform.cpp.o.d"
+  "libclo_opt.a"
+  "libclo_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clo_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

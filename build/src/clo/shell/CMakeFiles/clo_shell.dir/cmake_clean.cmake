@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clo_shell.dir/shell.cpp.o"
+  "CMakeFiles/clo_shell.dir/shell.cpp.o.d"
+  "libclo_shell.a"
+  "libclo_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clo_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

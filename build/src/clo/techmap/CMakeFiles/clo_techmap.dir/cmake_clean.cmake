@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clo_techmap.dir/cell_library.cpp.o"
+  "CMakeFiles/clo_techmap.dir/cell_library.cpp.o.d"
+  "CMakeFiles/clo_techmap.dir/tech_map.cpp.o"
+  "CMakeFiles/clo_techmap.dir/tech_map.cpp.o.d"
+  "libclo_techmap.a"
+  "libclo_techmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clo_techmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clo/util/cli.cpp" "src/clo/util/CMakeFiles/clo_util.dir/cli.cpp.o" "gcc" "src/clo/util/CMakeFiles/clo_util.dir/cli.cpp.o.d"
+  "/root/repo/src/clo/util/csv.cpp" "src/clo/util/CMakeFiles/clo_util.dir/csv.cpp.o" "gcc" "src/clo/util/CMakeFiles/clo_util.dir/csv.cpp.o.d"
+  "/root/repo/src/clo/util/log.cpp" "src/clo/util/CMakeFiles/clo_util.dir/log.cpp.o" "gcc" "src/clo/util/CMakeFiles/clo_util.dir/log.cpp.o.d"
+  "/root/repo/src/clo/util/rng.cpp" "src/clo/util/CMakeFiles/clo_util.dir/rng.cpp.o" "gcc" "src/clo/util/CMakeFiles/clo_util.dir/rng.cpp.o.d"
+  "/root/repo/src/clo/util/stats.cpp" "src/clo/util/CMakeFiles/clo_util.dir/stats.cpp.o" "gcc" "src/clo/util/CMakeFiles/clo_util.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clo_util.dir/cli.cpp.o"
+  "CMakeFiles/clo_util.dir/cli.cpp.o.d"
+  "CMakeFiles/clo_util.dir/csv.cpp.o"
+  "CMakeFiles/clo_util.dir/csv.cpp.o.d"
+  "CMakeFiles/clo_util.dir/log.cpp.o"
+  "CMakeFiles/clo_util.dir/log.cpp.o.d"
+  "CMakeFiles/clo_util.dir/rng.cpp.o"
+  "CMakeFiles/clo_util.dir/rng.cpp.o.d"
+  "CMakeFiles/clo_util.dir/stats.cpp.o"
+  "CMakeFiles/clo_util.dir/stats.cpp.o.d"
+  "libclo_util.a"
+  "libclo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cuts_windows.dir/test_cuts_windows.cpp.o"
+  "CMakeFiles/test_cuts_windows.dir/test_cuts_windows.cpp.o.d"
+  "test_cuts_windows"
+  "test_cuts_windows.pdb"
+  "test_cuts_windows[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cuts_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_autograd.dir/test_nn_autograd.cpp.o"
+  "CMakeFiles/test_nn_autograd.dir/test_nn_autograd.cpp.o.d"
+  "test_nn_autograd"
+  "test_nn_autograd.pdb"
+  "test_nn_autograd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

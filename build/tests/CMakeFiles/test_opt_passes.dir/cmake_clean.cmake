@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt_passes.dir/test_opt_passes.cpp.o"
+  "CMakeFiles/test_opt_passes.dir/test_opt_passes.cpp.o.d"
+  "test_opt_passes"
+  "test_opt_passes.pdb"
+  "test_opt_passes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shell.dir/test_shell.cpp.o"
+  "CMakeFiles/test_shell.dir/test_shell.cpp.o.d"
+  "test_shell"
+  "test_shell.pdb"
+  "test_shell[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

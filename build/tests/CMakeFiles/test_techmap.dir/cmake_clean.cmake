@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_techmap.dir/test_techmap.cpp.o"
+  "CMakeFiles/test_techmap.dir/test_techmap.cpp.o.d"
+  "test_techmap"
+  "test_techmap.pdb"
+  "test_techmap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_techmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

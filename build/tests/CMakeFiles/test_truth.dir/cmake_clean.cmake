@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_truth.dir/test_truth.cpp.o"
+  "CMakeFiles/test_truth.dir/test_truth.cpp.o.d"
+  "test_truth"
+  "test_truth.pdb"
+  "test_truth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_truth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

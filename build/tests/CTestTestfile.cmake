@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_aig[1]_include.cmake")
+include("/root/repo/build/tests/test_truth[1]_include.cmake")
+include("/root/repo/build/tests/test_cuts_windows[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_opt_passes[1]_include.cmake")
+include("/root/repo/build/tests/test_techmap[1]_include.cmake")
+include("/root/repo/build/tests/test_circuits[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_autograd[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_modules[1]_include.cmake")
+include("/root/repo/build/tests/test_models[1]_include.cmake")
+include("/root/repo/build/tests/test_diffusion[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_shell[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clo.dir/clo.cpp.o"
+  "CMakeFiles/clo.dir/clo.cpp.o.d"
+  "clo"
+  "clo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
