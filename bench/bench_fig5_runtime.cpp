@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
   scale.diffusion_steps = args.get_int("steps", 60);
   scale.restarts = args.get_int("restarts", 8);
   scale.seed = static_cast<std::uint64_t>(args.get_int("seed", 2));
+  scale.threads = args.get_int("threads", 0);
 
   std::vector<std::string> names = {"ctrl", "router", "c432"};
   if (args.has("full")) names = bench::circuit_selection(true);

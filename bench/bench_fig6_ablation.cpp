@@ -11,6 +11,7 @@
 //   Output: console table + fig6_ablation.csv
 
 #include <cstdio>
+#include <memory>
 
 #include "clo/baselines/baseline.hpp"
 #include "clo/circuits/generators.hpp"
@@ -20,6 +21,7 @@
 #include "clo/models/diffusion.hpp"
 #include "clo/util/cli.hpp"
 #include "clo/util/csv.hpp"
+#include "clo/util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace clo;
@@ -29,6 +31,9 @@ int main(int argc, char** argv) {
   const int diffusion_steps = args.get_int("steps", 60);
   const int restarts = args.get_int("restarts", 8);
   const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+  const std::size_t workers = util::resolve_threads(args.get_int("threads", 0));
+  std::unique_ptr<util::ThreadPool> pool;
+  if (workers >= 2) pool = std::make_unique<util::ThreadPool>(workers);
 
   const aig::Aig circuit = circuits::make_benchmark(circuit_name);
   std::printf("circuit %s: %zu ANDs, depth %d\n", circuit_name.c_str(),
@@ -42,7 +47,8 @@ int main(int argc, char** argv) {
   models::TransformEmbedding embedding(8, rng);
   std::fprintf(stderr, "[fig6] generating dataset (%d sequences)...\n",
                dataset_size);
-  const auto dataset = core::generate_dataset(evaluator, dataset_size, 20, rng);
+  const auto dataset =
+      core::generate_dataset(evaluator, dataset_size, 20, rng, pool.get());
 
   models::DiffusionConfig dcfg;
   dcfg.num_steps = diffusion_steps;
@@ -95,8 +101,9 @@ int main(int argc, char** argv) {
                                           oparams);
       clo::Rng orng(seed + 7);
       double best_area = 1e300, best_delay = 1e300, disc = 0.0;
+      const auto results = optimizer.run_restarts(orng, restarts, pool.get());
       for (int r = 0; r < restarts; ++r) {
-        const auto result = optimizer.run(orng);
+        const auto& result = results[r];
         const auto q = evaluator.evaluate(result.sequence);
         best_area = std::min(best_area, q.area_um2);
         best_delay = std::min(best_delay, q.delay_ps);

@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
   scale.restarts = args.get_int("restarts", 8);
   scale.surrogate = args.get("surrogate", "cnn");
   scale.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  scale.threads = args.get_int("threads", 0);
 
   std::vector<std::string> names = bench::circuit_selection(args.has("full"));
   if (args.has("circuits")) names = split_csv_list(args.get("circuits", ""));

@@ -3,6 +3,7 @@
 // method (4 baselines + ours) on a circuit with consistent budgets and the
 // paper's accounting (best-of-restarts QoR, algorithm-only runtime).
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "clo/circuits/generators.hpp"
 #include "clo/core/pipeline.hpp"
 #include "clo/util/log.hpp"
+#include "clo/util/thread_pool.hpp"
 
 namespace clo::bench {
 
@@ -32,7 +34,16 @@ struct ExperimentScale {
   double omega = 4.0;         ///< guidance strength
   std::string surrogate = "cnn";
   std::uint64_t seed = 1;
+  int threads = 0;            ///< 0 = hardware concurrency, 1 = serial
 };
+
+/// Build the worker pool an ExperimentScale asks for (null when serial).
+inline std::unique_ptr<util::ThreadPool> make_pool(
+    const ExperimentScale& scale) {
+  const std::size_t workers = util::resolve_threads(scale.threads);
+  if (workers < 2) return nullptr;
+  return std::make_unique<util::ThreadPool>(workers);
+}
 
 /// Run one baseline. Multi-objective methods (DRiLLS, BOiLS) optimize the
 /// weighted objective once; single-objective methods (abcRL, FlowTune) run
@@ -42,6 +53,7 @@ inline MethodResult run_baseline_method(const std::string& name,
                                         const aig::Aig& circuit,
                                         const ExperimentScale& scale) {
   auto optimizer = baselines::make_baseline(name);
+  const auto pool = make_pool(scale);
   MethodResult result;
   result.method = optimizer->name();
   const bool multi_objective = (name == "drills" || name == "boils");
@@ -49,6 +61,7 @@ inline MethodResult run_baseline_method(const std::string& name,
     core::QorEvaluator ev(circuit);
     clo::Rng rng(scale.seed);
     baselines::BaselineParams params;
+    params.pool = pool.get();
     params.seq_len = scale.seq_len;
     params.eval_budget = scale.baseline_budget;
     const auto r = optimizer->optimize(ev, params, rng);
@@ -61,6 +74,7 @@ inline MethodResult run_baseline_method(const std::string& name,
       core::QorEvaluator ev(circuit);
       clo::Rng rng(scale.seed);
       baselines::BaselineParams params;
+      params.pool = pool.get();
       params.seq_len = scale.seq_len;
       params.eval_budget = scale.baseline_budget / 2;
       params.weight_area = 1.0;
@@ -74,6 +88,7 @@ inline MethodResult run_baseline_method(const std::string& name,
       core::QorEvaluator ev(circuit);
       clo::Rng rng(scale.seed + 1);
       baselines::BaselineParams params;
+      params.pool = pool.get();
       params.seq_len = scale.seq_len;
       params.eval_budget = scale.baseline_budget / 2;
       params.weight_area = 0.0;
@@ -97,6 +112,7 @@ inline core::PipelineConfig pipeline_config_for(const ExperimentScale& scale) {
   cfg.surrogate_train.epochs = scale.surrogate_epochs;
   cfg.optimize.omega = scale.omega;
   cfg.seed = scale.seed;
+  cfg.threads = scale.threads;
   return cfg;
 }
 
@@ -127,6 +143,7 @@ inline MethodResult run_ours(const aig::Aig& circuit,
                         result.surrogate_train_seconds +
                         result.diffusion_train_seconds;
   // Objective-specialized restarts reusing the already-trained models.
+  const auto pool = make_pool(scale);
   clo::Rng rng(scale.seed + 77);
   for (const bool area_run : {true, false}) {
     core::OptimizeParams params;
@@ -136,12 +153,15 @@ inline MethodResult run_ours(const aig::Aig& circuit,
     core::ContinuousOptimizer optimizer(*pipeline.surrogate(),
                                         *pipeline.diffusion(),
                                         *pipeline.embedding(), params);
-    for (int r = 0; r < scale.restarts; ++r) {
-      const auto run = optimizer.run(rng);
-      mr.algorithm_seconds += run.seconds;
-      const auto q = ev.evaluate(run.sequence);  // validation, not counted
-      mr.area = std::min(mr.area, q.area_um2);
-      mr.delay = std::min(mr.delay, q.delay_ps);
+    const auto runs = optimizer.run_restarts(rng, scale.restarts, pool.get());
+    std::vector<core::Qor> qors(runs.size());
+    util::parallel_for(pool.get(), runs.size(), [&](std::size_t r) {
+      qors[r] = ev.evaluate(runs[r].sequence);  // validation, not counted
+    });
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      mr.algorithm_seconds += runs[r].seconds;
+      mr.area = std::min(mr.area, qors[r].area_um2);
+      mr.delay = std::min(mr.delay, qors[r].delay_ps);
     }
   }
   if (out_result) *out_result = result;

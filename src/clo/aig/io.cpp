@@ -341,9 +341,11 @@ void write_bench(const Aig& g, std::ostream& os) {
         if (g.pi_node(i) == n) base = g.pi_name(i);
       }
     } else {
-      base = "n" + std::to_string(n);
+      base = "n";
+      base += std::to_string(n);
     }
-    return lit_is_compl(l) ? base + "_bar" : base;
+    if (lit_is_compl(l)) base += "_bar";
+    return base;
   };
   bool uses_const = false;
   std::vector<bool> need_inv(g.num_slots(), false);

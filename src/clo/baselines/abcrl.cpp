@@ -10,12 +10,26 @@
 #include "clo/models/surrogate.hpp"
 #include "clo/nn/modules.hpp"
 #include "clo/nn/optim.hpp"
+#include "clo/util/thread_pool.hpp"
 #include "clo/util/timer.hpp"
 
 namespace clo::baselines {
 namespace {
 
 using nn::Tensor;
+
+/// One frozen-policy rollout, recorded for sequential replay. The state
+/// embeddings are recorded by value: the per-step graph encoder does not
+/// feed gradients into the policy, so the replay only has to recompute the
+/// policy forward itself.
+struct AbcRlEpisode {
+  opt::Sequence seq;
+  std::vector<std::vector<float>> states;
+  std::vector<int> actions;
+  core::Qor qor;
+  double objective = 0.0;
+  double transform_seconds = 0.0;
+};
 
 class AbcRlOptimizer final : public SequenceOptimizer {
  public:
@@ -35,30 +49,31 @@ class AbcRlOptimizer final : public SequenceOptimizer {
     nn::Adam optimizer(policy.parameters(), 5e-3f);
 
     const core::Qor original = evaluator.original();
-    Stopwatch local_synth;
+    double transform_seconds = 0.0;
 
-    BaselineResult result;
-    result.objective = 1e300;
-    const int episodes = std::max(1, params.eval_budget);
-    for (int ep = 0; ep < episodes; ++ep) {
+    // One rollout under the current (frozen) policy. `ep_index` keeps the
+    // per-episode encoder rng tied to the absolute episode number, so the
+    // rollout is the same whether it runs in a round of one or eight.
+    auto rollout = [&](int ep_index, clo::Rng& ep_rng) {
+      AbcRlEpisode ep;
+      Stopwatch local_synth;
       aig::Aig g = evaluator.circuit();
-      opt::Sequence seq;
-      std::vector<Tensor> log_probs;
-      clo::Rng enc_rng(0xABC0 + ep);  // fresh encoder weights are fine here
+      clo::Rng enc_rng(0xABC0 + ep_index);  // fresh encoder weights are fine
       for (int step = 0; step < params.seq_len; ++step) {
         // The expensive part: build a graph encoder over the current AIG
         // and run message passing to get the state embedding.
         models::AigEncoder encoder(g, kGraphDim, 2048, enc_rng);
         Tensor graph_emb = encoder.forward();  // [1, kGraphDim]
-        Tensor state = Tensor::zeros({1, kFeatures});
+        std::vector<float> features(kFeatures, 0.0f);
         for (int i = 0; i < kGraphDim; ++i) {
-          state.data()[i] = graph_emb.data()[i];
+          features[i] = graph_emb.data()[i];
         }
-        state.data()[kGraphDim] =
+        features[kGraphDim] =
             static_cast<float>(step) / static_cast<float>(params.seq_len);
-        state.data()[kGraphDim + 1] = 1.0f;
+        features[kGraphDim + 1] = 1.0f;
+        Tensor state = Tensor::from_data({1, kFeatures}, features);
         Tensor probs = nn::softmax_rows(policy.forward(state));
-        const double u = rng.next_double();
+        const double u = ep_rng.next_double();
         double acc = 0.0;
         int action = opt::kNumTransforms - 1;
         for (int a = 0; a < opt::kNumTransforms; ++a) {
@@ -68,37 +83,77 @@ class AbcRlOptimizer final : public SequenceOptimizer {
             break;
           }
         }
-        log_probs.push_back(nn::slice_cols(probs, action, action + 1));
         {
           ScopedTimer st(local_synth);
           opt::apply_transform(g, static_cast<opt::Transform>(action));
         }
-        seq.push_back(static_cast<opt::Transform>(action));
+        ep.states.push_back(std::move(features));
+        ep.actions.push_back(action);
+        ep.seq.push_back(static_cast<opt::Transform>(action));
       }
-      const core::Qor q = evaluator.evaluate(seq);
-      const double objective = relative_objective(q, original, params);
-      if (objective < result.objective) {
-        result.objective = objective;
-        result.best_qor = q;
-        result.best_sequence = seq;
+      ep.qor = evaluator.evaluate(ep.seq);
+      ep.objective = relative_objective(ep.qor, original, params);
+      ep.transform_seconds = local_synth.seconds();
+      return ep;
+    };
+
+    BaselineResult result;
+    result.objective = 1e300;
+    const int episodes = std::max(1, params.eval_budget);
+    // Rollout-then-replay, same scheme as DRiLLS: parallel frozen-policy
+    // rollouts per round, sequential REINFORCE updates recomputing the
+    // cheap policy forwards. One worker = the historical serial behavior,
+    // bit for bit.
+    const std::size_t round_size =
+        params.pool != nullptr && params.pool->size() >= 2
+            ? params.pool->size()
+            : 1;
+    for (int base = 0; base < episodes;
+         base += static_cast<int>(round_size)) {
+      const std::size_t count = std::min<std::size_t>(
+          round_size, static_cast<std::size_t>(episodes - base));
+      std::vector<AbcRlEpisode> round(count);
+      if (count == 1) {
+        round[0] = rollout(base, rng);
+      } else {
+        std::vector<clo::Rng> rngs;
+        rngs.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) rngs.push_back(rng.fork());
+        nn::GradFreeze freeze(policy.parameters());
+        util::parallel_for(params.pool, count, [&](std::size_t i) {
+          round[i] = rollout(base + static_cast<int>(i), rngs[i]);
+        });
       }
-      // REINFORCE with the terminal reward only.
-      const double reward = 1.0 - objective;
-      Tensor loss = Tensor::scalar(0.0f);
-      for (auto& lp : log_probs) {
-        const float p_now = std::max(1e-6f, lp.item());
-        loss = nn::add(
-            loss, nn::reshape(
-                      nn::scale(lp, static_cast<float>(-reward) / p_now), {1}));
+      for (const auto& ep : round) {
+        transform_seconds += ep.transform_seconds;
+        if (ep.objective < result.objective) {
+          result.objective = ep.objective;
+          result.best_qor = ep.qor;
+          result.best_sequence = ep.seq;
+        }
+        // REINFORCE with the terminal reward only.
+        const double reward = 1.0 - ep.objective;
+        Tensor loss = Tensor::scalar(0.0f);
+        for (int step = 0; step < params.seq_len; ++step) {
+          Tensor state = Tensor::from_data({1, kFeatures}, ep.states[step]);
+          Tensor probs = nn::softmax_rows(policy.forward(state));
+          Tensor lp =
+              nn::slice_cols(probs, ep.actions[step], ep.actions[step] + 1);
+          const float p_now = std::max(1e-6f, lp.item());
+          loss = nn::add(
+              loss, nn::reshape(
+                        nn::scale(lp, static_cast<float>(-reward) / p_now),
+                        {1}));
+        }
+        nn::backward(loss);
+        optimizer.step();
       }
-      nn::backward(loss);
-      optimizer.step();
     }
 
     total.stop();
     result.total_seconds = total.seconds();
     const double synth_delta =
-        (evaluator.synthesis_seconds() - synth_before) + local_synth.seconds();
+        (evaluator.synthesis_seconds() - synth_before) + transform_seconds;
     result.algorithm_seconds = std::max(0.0, result.total_seconds - synth_delta);
     result.synthesis_runs = evaluator.num_synthesis_runs() - runs_before;
     return result;

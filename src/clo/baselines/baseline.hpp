@@ -12,6 +12,10 @@
 #include "clo/opt/transform.hpp"
 #include "clo/util/rng.hpp"
 
+namespace clo::util {
+class ThreadPool;
+}
+
 namespace clo::baselines {
 
 struct BaselineParams {
@@ -21,6 +25,11 @@ struct BaselineParams {
   /// Objective weights over (area, delay) relative to the original QoR.
   double weight_area = 0.5;
   double weight_delay = 0.5;
+  /// Optional worker pool. Each baseline exploits it where its algorithm
+  /// allows — batched candidate evaluation, parallel GP algebra, parallel
+  /// policy rollouts — and stays serial (today's exact behavior) when
+  /// null. See each implementation for its determinism notes.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct BaselineResult {

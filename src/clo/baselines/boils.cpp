@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "clo/baselines/baseline.hpp"
+#include "clo/util/thread_pool.hpp"
 #include "clo/util/timer.hpp"
 
 namespace clo::baselines {
@@ -89,22 +90,36 @@ class BoilsOptimizer final : public SequenceOptimizer {
       }
     };
 
-    // Initial design: random sequences.
+    // Initial design: random sequences. Draw them all from `rng` first,
+    // then (optionally) synthesize them in parallel so the sequential
+    // observe() calls below hit the memo cache — same draws, same
+    // observation order, bit-identical to the serial run.
     const int init = std::max(4, params.eval_budget / 5);
+    std::vector<opt::Sequence> init_design;
+    init_design.reserve(init);
     for (int i = 0; i < init; ++i) {
-      observe(opt::random_sequence(params.seq_len, rng));
+      init_design.push_back(opt::random_sequence(params.seq_len, rng));
     }
+    if (params.pool != nullptr && params.pool->size() >= 2) {
+      util::parallel_for(params.pool, init_design.size(), [&](std::size_t i) {
+        evaluator.evaluate(init_design[i]);
+      });
+    }
+    for (const auto& seq : init_design) observe(seq);
 
     for (int it = init; it < params.eval_budget; ++it) {
       // Fit GP: K + noise I, Cholesky, alpha = K^-1 y.
       const int m = static_cast<int>(xs.size());
       std::vector<double> K(static_cast<std::size_t>(m) * m);
-      for (int i = 0; i < m; ++i) {
+      // Kernel rows are independent and the kernel is pure, so the matrix
+      // is bit-identical however the rows are scheduled.
+      util::parallel_for(params.pool, static_cast<std::size_t>(m),
+                         [&](std::size_t i) {
         for (int j = 0; j < m; ++j) {
           K[i * m + j] = kernel(xs[i], xs[j], length_scale) +
-                         (i == j ? noise : 0.0);
+                         (static_cast<int>(i) == j ? noise : 0.0);
         }
-      }
+      });
       double y_mean = 0.0;
       for (double y : ys) y_mean += y;
       y_mean /= m;

@@ -8,12 +8,24 @@
 #include "clo/baselines/baseline.hpp"
 #include "clo/nn/modules.hpp"
 #include "clo/nn/optim.hpp"
+#include "clo/util/thread_pool.hpp"
 #include "clo/util/timer.hpp"
 
 namespace clo::baselines {
 namespace {
 
 using nn::Tensor;
+
+/// One frozen-policy rollout, recorded for sequential replay.
+struct DrillsEpisode {
+  opt::Sequence seq;
+  std::vector<std::vector<float>> states;  ///< per-step feature vectors
+  std::vector<int> actions;
+  std::vector<double> rewards;
+  core::Qor qor;
+  double objective = 0.0;
+  double transform_seconds = 0.0;  ///< stepwise AIG transform time
+};
 
 class DrillsOptimizer final : public SequenceOptimizer {
  public:
@@ -38,34 +50,33 @@ class DrillsOptimizer final : public SequenceOptimizer {
     nn::Adam optimizer(pparams, 5e-3f);
 
     const core::Qor original = evaluator.original();
-    Stopwatch local_synth;  // stepwise transform time = "ABC time"
+    double transform_seconds = 0.0;  // stepwise transform time = "ABC time"
 
-    BaselineResult result;
-    result.objective = 1e300;
-    const int episodes = std::max(1, params.eval_budget);
-    for (int ep = 0; ep < episodes; ++ep) {
+    // One rollout under the current (frozen) policy: forward passes only,
+    // with everything the replay step needs recorded by value.
+    auto rollout = [&](clo::Rng& ep_rng) {
+      DrillsEpisode ep;
+      Stopwatch local_synth;
       aig::Aig g = evaluator.circuit();
       const double orig_nodes = static_cast<double>(g.num_ands());
       const double orig_depth = std::max(1, g.depth());
-      opt::Sequence seq;
-      std::vector<Tensor> log_probs, values;
-      std::vector<double> rewards;
       int last_action = -1;
       double prev_nodes = 1.0, prev_depth = 1.0;
       for (int step = 0; step < params.seq_len; ++step) {
         // State features.
-        Tensor state = Tensor::zeros({1, kFeatures});
+        std::vector<float> features(kFeatures, 0.0f);
         const double nodes_ratio = g.num_ands() / std::max(1.0, orig_nodes);
         const double depth_ratio = g.depth() / orig_depth;
-        state.data()[0] = static_cast<float>(nodes_ratio);
-        state.data()[1] = static_cast<float>(depth_ratio);
-        state.data()[2] =
+        features[0] = static_cast<float>(nodes_ratio);
+        features[1] = static_cast<float>(depth_ratio);
+        features[2] =
             static_cast<float>(step) / static_cast<float>(params.seq_len);
-        state.data()[3] = 1.0f;
-        if (last_action >= 0) state.data()[4 + last_action] = 1.0f;
+        features[3] = 1.0f;
+        if (last_action >= 0) features[4 + last_action] = 1.0f;
+        Tensor state = Tensor::from_data({1, kFeatures}, features);
         Tensor probs = nn::softmax_rows(policy.forward(state));
         // Sample an action.
-        const double u = rng.next_double();
+        const double u = ep_rng.next_double();
         double acc = 0.0;
         int action = opt::kNumTransforms - 1;
         for (int a = 0; a < opt::kNumTransforms; ++a) {
@@ -75,58 +86,101 @@ class DrillsOptimizer final : public SequenceOptimizer {
             break;
           }
         }
-        // log pi(a|s) kept differentiable: log(prob[a]) via slice.
-        Tensor pa = nn::slice_cols(probs, action, action + 1);
-        // log via custom: use tanh-free approach: loss uses -log(p); build
-        // log with the identity log(p) = log(p); implement via unary chain:
-        log_probs.push_back(pa);
-        values.push_back(value.forward(state));
         {
           ScopedTimer st(local_synth);
           opt::apply_transform(g, static_cast<opt::Transform>(action));
         }
         const double nodes_now = g.num_ands() / std::max(1.0, orig_nodes);
         const double depth_now = g.depth() / orig_depth;
-        rewards.push_back((prev_nodes - nodes_now) * params.weight_area +
-                          (prev_depth - depth_now) * params.weight_delay);
+        ep.rewards.push_back((prev_nodes - nodes_now) * params.weight_area +
+                             (prev_depth - depth_now) * params.weight_delay);
         prev_nodes = nodes_now;
         prev_depth = depth_now;
         last_action = action;
-        seq.push_back(static_cast<opt::Transform>(action));
+        ep.states.push_back(std::move(features));
+        ep.actions.push_back(action);
+        ep.seq.push_back(static_cast<opt::Transform>(action));
       }
       // Terminal reward: mapped QoR relative to original.
-      const core::Qor q = evaluator.evaluate(seq);
-      const double objective = relative_objective(q, original, params);
-      rewards.back() += 1.0 - objective;
-      if (objective < result.objective) {
-        result.objective = objective;
-        result.best_qor = q;
-        result.best_sequence = seq;
+      ep.qor = evaluator.evaluate(ep.seq);
+      ep.objective = relative_objective(ep.qor, original, params);
+      ep.rewards.back() += 1.0 - ep.objective;
+      ep.transform_seconds = local_synth.seconds();
+      return ep;
+    };
+
+    BaselineResult result;
+    result.objective = 1e300;
+    const int episodes = std::max(1, params.eval_budget);
+    // Rollout-then-replay: roll out up to one episode per worker under the
+    // round-start policy (weights grad-frozen, each rollout's rng forked
+    // serially), then replay the round sequentially — recomputing the
+    // cheap policy/value forwards against the then-current weights — so
+    // every A2C update still happens one episode at a time. With one
+    // worker (or no pool) the round size is 1, the main rng stream is
+    // consumed exactly as before, and replay reproduces the historical
+    // floats bit for bit.
+    const std::size_t round_size =
+        params.pool != nullptr && params.pool->size() >= 2
+            ? params.pool->size()
+            : 1;
+    for (int base = 0; base < episodes;
+         base += static_cast<int>(round_size)) {
+      const std::size_t count = std::min<std::size_t>(
+          round_size, static_cast<std::size_t>(episodes - base));
+      std::vector<DrillsEpisode> round(count);
+      if (count == 1) {
+        round[0] = rollout(rng);
+      } else {
+        std::vector<clo::Rng> rngs;
+        rngs.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) rngs.push_back(rng.fork());
+        nn::GradFreeze freeze(pparams);
+        util::parallel_for(params.pool, count,
+                           [&](std::size_t i) { round[i] = rollout(rngs[i]); });
       }
-      // A2C update: advantage-weighted policy loss + value regression.
-      double ret = 0.0;
-      Tensor loss = Tensor::scalar(0.0f);
-      for (int step = params.seq_len - 1; step >= 0; --step) {
-        ret = rewards[step] + 0.98 * ret;
-        const double advantage = ret - values[step].item();
-        // -advantage * log(p): d/dp(-A log p) = -A/p; emulate log with a
-        // numerically safe surrogate: -A * p / p_detached acts as score.
-        const float p_now = std::max(1e-6f, log_probs[step].item());
-        Tensor policy_term = nn::reshape(
-            nn::scale(log_probs[step], static_cast<float>(-advantage) / p_now),
-            {1});
-        Tensor ret_t = Tensor::from_data({1, 1}, {static_cast<float>(ret)});
-        Tensor value_term = nn::mse_loss(values[step], ret_t);
-        loss = nn::add(loss, nn::add(policy_term, value_term));
+      for (const auto& ep : round) {
+        transform_seconds += ep.transform_seconds;
+        if (ep.objective < result.objective) {
+          result.objective = ep.objective;
+          result.best_qor = ep.qor;
+          result.best_sequence = ep.seq;
+        }
+        // A2C update: advantage-weighted policy loss + value regression.
+        std::vector<Tensor> log_probs, values;
+        for (int step = 0; step < params.seq_len; ++step) {
+          Tensor state = Tensor::from_data({1, kFeatures}, ep.states[step]);
+          Tensor probs = nn::softmax_rows(policy.forward(state));
+          // log pi(a|s) kept differentiable: log(prob[a]) via slice.
+          log_probs.push_back(
+              nn::slice_cols(probs, ep.actions[step], ep.actions[step] + 1));
+          values.push_back(value.forward(state));
+        }
+        double ret = 0.0;
+        Tensor loss = Tensor::scalar(0.0f);
+        for (int step = params.seq_len - 1; step >= 0; --step) {
+          ret = ep.rewards[step] + 0.98 * ret;
+          const double advantage = ret - values[step].item();
+          // -advantage * log(p): d/dp(-A log p) = -A/p; emulate log with a
+          // numerically safe surrogate: -A * p / p_detached acts as score.
+          const float p_now = std::max(1e-6f, log_probs[step].item());
+          Tensor policy_term = nn::reshape(
+              nn::scale(log_probs[step],
+                        static_cast<float>(-advantage) / p_now),
+              {1});
+          Tensor ret_t = Tensor::from_data({1, 1}, {static_cast<float>(ret)});
+          Tensor value_term = nn::mse_loss(values[step], ret_t);
+          loss = nn::add(loss, nn::add(policy_term, value_term));
+        }
+        nn::backward(loss);
+        optimizer.step();
       }
-      nn::backward(loss);
-      optimizer.step();
     }
 
     total.stop();
     result.total_seconds = total.seconds();
     const double synth_delta =
-        (evaluator.synthesis_seconds() - synth_before) + local_synth.seconds();
+        (evaluator.synthesis_seconds() - synth_before) + transform_seconds;
     result.algorithm_seconds = std::max(0.0, result.total_seconds - synth_delta);
     result.synthesis_runs = evaluator.num_synthesis_runs() - runs_before;
     return result;

@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "clo/baselines/baseline.hpp"
+#include "clo/util/thread_pool.hpp"
 #include "clo/util/timer.hpp"
 
 namespace clo::baselines {
@@ -58,6 +59,18 @@ class FlowTuneOptimizer final : public SequenceOptimizer {
     result.objective = 1e300;
     opt::Sequence prefix;
     for (int stage = 0; stage < num_stages; ++stage) {
+      // The first UCB sweep pulls every arm exactly once, and those pulls
+      // are independent of one another — prefetch them in parallel. The
+      // sequential loop below then finds each result memoized, so the
+      // bandit's decisions (and the final flow) are bit-identical to the
+      // serial run.
+      if (params.pool != nullptr && params.pool->size() >= 2) {
+        util::parallel_for(params.pool, arms.size(), [&](std::size_t a) {
+          opt::Sequence seq = prefix;
+          seq.insert(seq.end(), arms[a].begin(), arms[a].end());
+          evaluator.evaluate(seq);
+        });
+      }
       std::vector<int> pulls(arms.size(), 0);
       std::vector<double> mean_reward(arms.size(), 0.0);
       int best_arm = 0;

@@ -2,18 +2,25 @@
 
 #include <cmath>
 
+#include "clo/util/thread_pool.hpp"
+
 namespace clo::core {
 
 Dataset generate_dataset(QorEvaluator& evaluator, int n, int length,
-                         clo::Rng& rng) {
+                         clo::Rng& rng, util::ThreadPool* pool) {
   Dataset ds;
+  // Sample every sequence up front from the main rng stream; labeling
+  // consumes no randomness, so this draws exactly the values the old
+  // sample-then-label loop drew and keeps the result independent of how
+  // the labeling work is scheduled.
   ds.sequences.reserve(n);
-  ds.qor.reserve(n);
   for (int i = 0; i < n; ++i) {
-    opt::Sequence seq = opt::random_sequence(length, rng);
-    ds.qor.push_back(evaluator.evaluate(seq));
-    ds.sequences.push_back(std::move(seq));
+    ds.sequences.push_back(opt::random_sequence(length, rng));
   }
+  ds.qor.resize(ds.sequences.size());
+  util::parallel_for(pool, ds.sequences.size(), [&](std::size_t i) {
+    ds.qor[i] = evaluator.evaluate(ds.sequences[i]);
+  });
   double am = 0.0, dm = 0.0;
   for (const auto& q : ds.qor) {
     am += q.area_um2;

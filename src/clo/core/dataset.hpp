@@ -9,6 +9,10 @@
 #include "clo/opt/transform.hpp"
 #include "clo/util/rng.hpp"
 
+namespace clo::util {
+class ThreadPool;
+}
+
 namespace clo::core {
 
 struct Dataset {
@@ -30,8 +34,11 @@ struct Dataset {
   double denorm_delay(double v) const { return v * delay_std + delay_mean; }
 };
 
-/// Sample `n` random length-`length` sequences and label them.
+/// Sample `n` random length-`length` sequences and label them. Sequences
+/// are drawn serially from `rng`; labeling fans out over `pool` when one
+/// is given. The result is bit-identical for any worker count (including
+/// the serial `pool == nullptr` path).
 Dataset generate_dataset(QorEvaluator& evaluator, int n, int length,
-                         clo::Rng& rng);
+                         clo::Rng& rng, util::ThreadPool* pool = nullptr);
 
 }  // namespace clo::core

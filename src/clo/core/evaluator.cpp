@@ -1,18 +1,31 @@
 #include "clo/core/evaluator.hpp"
 
+#include <chrono>
+#include <functional>
+
 namespace clo::core {
 
 QorEvaluator::QorEvaluator(aig::Aig circuit, techmap::MapParams map_params)
     : circuit_(std::move(circuit)), lib_(techmap::CellLibrary::asap7()),
       map_params_(map_params) {}
 
+QorEvaluator::Shard& QorEvaluator::shard_for(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kNumShards];
+}
+
 Qor QorEvaluator::evaluate(const opt::Sequence& seq) {
-  ++num_queries_;
+  num_queries_.fetch_add(1, std::memory_order_relaxed);
   const std::string key = opt::sequence_to_string(seq);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
-  ScopedTimer timer(synth_watch_);
-  ++num_runs_;
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.cache.find(key);
+    if (it != shard.cache.end()) return it->second;
+  }
+  // Miss: synthesize outside the lock so concurrent evaluations of
+  // *different* sequences never serialize on the expensive part.
+  const auto begin = std::chrono::steady_clock::now();
+  num_runs_.fetch_add(1, std::memory_order_relaxed);
   aig::Aig g = circuit_;
   opt::run_sequence(g, seq);
   // Report the Pareto endpoints, like ABC's map + area recovery: the area
@@ -27,7 +40,16 @@ Qor QorEvaluator::evaluate(const opt::Sequence& seq) {
   // objective can occasionally win on the other's metric.
   const Qor qor{std::min(area_mapped.area_um2, delay_mapped.area_um2),
                 std::min(area_mapped.delay_ps, delay_mapped.delay_ps)};
-  cache_.emplace(key, qor);
+  synth_ns_.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - begin)
+              .count()),
+      std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.cache.emplace(key, qor);
+  }
   return qor;
 }
 

@@ -4,9 +4,23 @@
 // ABC + ASAP7 plays in the paper. Tracks synthesis wall time and call
 // counts separately so optimizers can report algorithm-only runtime the
 // way the paper's Fig. 5 does (ABC time subtracted).
+//
+// Thread-safety contract: evaluate() may be called concurrently from any
+// number of threads. The memo cache is sharded (hash of the sequence key
+// picks a mutex-guarded shard) and synthesis itself runs outside any lock;
+// two threads racing on the same uncached sequence may both synthesize,
+// but the result is a pure function of the sequence so either insert wins
+// with an identical value. Counters are atomic, and synthesis wall time is
+// accumulated per call as atomic nanoseconds, so concurrent runs sum their
+// (possibly overlapping) synthesis intervals — the same "total ABC time"
+// bucket the serial accounting reports.
 
+#include <array>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "clo/aig/aig.hpp"
@@ -27,6 +41,7 @@ class QorEvaluator {
                         techmap::MapParams map_params = {});
 
   /// Synthesize with `seq` and map; memoized per distinct sequence.
+  /// Safe to call concurrently (see thread-safety contract above).
   Qor evaluate(const opt::Sequence& seq);
 
   /// QoR of the unoptimized circuit (empty sequence).
@@ -35,20 +50,36 @@ class QorEvaluator {
   const aig::Aig& circuit() const { return circuit_; }
 
   /// Wall time spent inside synthesis+mapping (the "ABC time" bucket).
-  double synthesis_seconds() const { return synth_watch_.seconds(); }
+  /// Concurrent synthesis runs each contribute their full duration.
+  double synthesis_seconds() const {
+    return static_cast<double>(synth_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
   /// Number of non-memoized synthesis runs.
-  std::size_t num_synthesis_runs() const { return num_runs_; }
+  std::size_t num_synthesis_runs() const {
+    return num_runs_.load(std::memory_order_relaxed);
+  }
   /// Number of evaluate() calls including cache hits.
-  std::size_t num_queries() const { return num_queries_; }
+  std::size_t num_queries() const {
+    return num_queries_.load(std::memory_order_relaxed);
+  }
 
  private:
+  static constexpr std::size_t kNumShards = 16;
+  struct Shard {
+    std::mutex mu;
+    std::map<std::string, Qor> cache;
+  };
+
+  Shard& shard_for(const std::string& key);
+
   aig::Aig circuit_;
   techmap::CellLibrary lib_;
   techmap::MapParams map_params_;
-  std::map<std::string, Qor> cache_;
-  Stopwatch synth_watch_;
-  std::size_t num_runs_ = 0;
-  std::size_t num_queries_ = 0;
+  std::array<Shard, kNumShards> shards_;
+  std::atomic<std::uint64_t> synth_ns_{0};
+  std::atomic<std::size_t> num_runs_{0};
+  std::atomic<std::size_t> num_queries_{0};
 };
 
 }  // namespace clo::core

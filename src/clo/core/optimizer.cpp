@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "clo/nn/ops.hpp"
+#include "clo/util/thread_pool.hpp"
 #include "clo/util/timer.hpp"
 
 namespace clo::core {
@@ -38,7 +39,21 @@ double ContinuousOptimizer::objective_and_grad(const std::vector<float>& x,
   return objective.item();
 }
 
+std::size_t ContinuousOptimizer::noise_count() const {
+  const auto& cfg = diffusion_.config();
+  const std::size_t elems =
+      static_cast<std::size_t>(cfg.seq_len) * cfg.embed_dim;
+  if (!params_.use_diffusion) return elems;
+  return elems * diffusion_.schedule().num_steps();
+}
+
 OptimizeResult ContinuousOptimizer::run(clo::Rng& rng) {
+  std::vector<float> noise(noise_count());
+  for (auto& v : noise) v = static_cast<float>(rng.next_gaussian());
+  return run_impl(noise);
+}
+
+OptimizeResult ContinuousOptimizer::run_impl(const std::vector<float>& noise) {
   Stopwatch watch;
   watch.start();
   const auto& cfg = diffusion_.config();
@@ -47,8 +62,9 @@ OptimizeResult ContinuousOptimizer::run(clo::Rng& rng) {
   const int T = sched.num_steps();
 
   OptimizeResult result;
+  std::size_t cursor = 0;
   std::vector<float> x(static_cast<std::size_t>(L) * d);
-  for (auto& v : x) v = static_cast<float>(rng.next_gaussian());
+  for (auto& v : x) v = noise[cursor++];
 
   if (!params_.use_diffusion) {
     // Eq. 14: gradient-only continuous optimization (ablation).
@@ -94,7 +110,7 @@ OptimizeResult ContinuousOptimizer::run(clo::Rng& rng) {
         x0 = std::min(3.0f, std::max(-3.0f, x0));  // data coords lie in [-sqrt(d), sqrt(d)]
         x[i] = c0 * x0 + ct * x[i];
         if (t > 0) {
-          x[i] += sched.sigma(t) * static_cast<float>(rng.next_gaussian());
+          x[i] += sched.sigma(t) * noise[cursor++];
         }
       }
       if (t % std::max(1, T / 16) == 0 || t == 0) {
@@ -110,6 +126,33 @@ OptimizeResult ContinuousOptimizer::run(clo::Rng& rng) {
   watch.stop();
   result.seconds = watch.seconds();
   return result;
+}
+
+std::vector<OptimizeResult> ContinuousOptimizer::run_restarts(
+    clo::Rng& rng, int count, util::ThreadPool* pool) {
+  // Pre-draw every Gaussian serially, restart by restart, in the exact
+  // order a sequential `run(rng)` loop would consume them (including the
+  // Box-Muller cache carried across restarts). The trajectories are then a
+  // pure function of the latent index, so the parallel fan-out below is
+  // bit-identical to the historical sequential loop at any worker count.
+  const std::size_t per_run = noise_count();
+  std::vector<std::vector<float>> noise(count);
+  for (int r = 0; r < count; ++r) {
+    noise[r].resize(per_run);
+    for (auto& v : noise[r]) v = static_cast<float>(rng.next_gaussian());
+  }
+  // Restarts only read the model weights; freeze them so the concurrent
+  // backward passes in objective_and_grad never touch shared grad buffers.
+  auto frozen_params = surrogate_.parameters();
+  {
+    auto dp = diffusion_.unet().parameters();
+    frozen_params.insert(frozen_params.end(), dp.begin(), dp.end());
+  }
+  nn::GradFreeze freeze(frozen_params);
+  std::vector<OptimizeResult> results(count);
+  util::parallel_for(pool, static_cast<std::size_t>(count),
+                     [&](std::size_t r) { results[r] = run_impl(noise[r]); });
+  return results;
 }
 
 }  // namespace clo::core

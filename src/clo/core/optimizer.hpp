@@ -16,6 +16,10 @@
 #include "clo/opt/transform.hpp"
 #include "clo/util/rng.hpp"
 
+namespace clo::util {
+class ThreadPool;
+}
+
 namespace clo::core {
 
 struct OptimizeParams {
@@ -61,11 +65,29 @@ class ContinuousOptimizer {
   /// One full run of Algorithm 2 from a fresh Gaussian latent.
   OptimizeResult run(clo::Rng& rng);
 
+  /// `count` independent runs (the paper samples several latents and keeps
+  /// the best after validation). All Gaussian draws are pre-sampled from
+  /// `rng` serially, in the exact order a sequential `run(rng)` loop would
+  /// consume them, before the compute fans out — so results are
+  /// bit-identical to the historical sequential loop AND for any `pool`
+  /// worker count, including the serial `pool == nullptr` path. Model
+  /// weights are grad-frozen for the duration (restarts only read them),
+  /// which makes the concurrent backward passes through the shared
+  /// surrogate race-free.
+  std::vector<OptimizeResult> run_restarts(clo::Rng& rng, int count,
+                                           util::ThreadPool* pool = nullptr);
+
   /// Surrogate objective and its gradient at a flattened latent.
   double objective_and_grad(const std::vector<float>& x,
                             std::vector<float>* grad);
 
  private:
+  /// Gaussians one run consumes: L*d for the initial latent plus, in
+  /// diffusion mode, L*d posterior-noise draws per step with t > 0.
+  std::size_t noise_count() const;
+  /// Algorithm 2 with every random draw supplied up front.
+  OptimizeResult run_impl(const std::vector<float>& noise);
+
   models::SurrogateModel& surrogate_;
   models::DiffusionModel& diffusion_;
   const models::TransformEmbedding& embedding_;

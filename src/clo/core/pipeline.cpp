@@ -1,6 +1,7 @@
 #include "clo/core/pipeline.hpp"
 
 #include "clo/util/log.hpp"
+#include "clo/util/thread_pool.hpp"
 #include "clo/util/timer.hpp"
 
 namespace clo::core {
@@ -8,6 +9,11 @@ namespace clo::core {
 PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
   PipelineResult result;
   clo::Rng rng(config_.seed);
+  // A pool only exists when parallelism was actually requested; every
+  // consumer below treats a null pool as "run serially".
+  const std::size_t workers = util::resolve_threads(config_.threads);
+  std::unique_ptr<util::ThreadPool> pool;
+  if (workers >= 2) pool = std::make_unique<util::ThreadPool>(workers);
   result.original = evaluator.original();
 
   // ---- One-time pretraining (upper half of Fig. 1) -----------------------
@@ -17,7 +23,7 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
     Stopwatch w;
     ScopedTimer st(w);
     dataset_ = generate_dataset(evaluator, config_.dataset_size,
-                                config_.seq_len, rng);
+                                config_.seq_len, rng, pool.get());
     result.dataset_seconds = w.seconds();
   }
   models::SurrogateConfig scfg;
@@ -28,8 +34,16 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
   {
     Stopwatch w;
     ScopedTimer st(w);
-    result.surrogate_report = train_surrogate(
-        *surrogate_, *embedding_, dataset_, config_.surrogate_train, rng);
+    // Replicas only borrow the master's architecture; their init weights
+    // are overwritten before use, so a fixed factory seed is fine.
+    SurrogateFactory factory = [this, &evaluator, scfg] {
+      clo::Rng factory_rng(config_.seed ^ 0x5caff01dULL);
+      return models::make_surrogate(config_.surrogate, evaluator.circuit(),
+                                    scfg, factory_rng);
+    };
+    result.surrogate_report =
+        train_surrogate(*surrogate_, *embedding_, dataset_,
+                        config_.surrogate_train, rng, pool.get(), factory);
     result.surrogate_train_seconds = w.seconds();
   }
   CLO_LOG_INFO << evaluator.circuit().name() << ": surrogate '"
@@ -64,9 +78,8 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
   {
     Stopwatch w;
     ScopedTimer st(w);
-    for (int r = 0; r < config_.restarts; ++r) {
-      result.restarts.push_back(optimizer.run(rng));
-    }
+    result.restarts = optimizer.run_restarts(rng, config_.restarts,
+                                             pool.get());
     result.optimize_seconds = w.seconds();
   }
 
@@ -74,10 +87,16 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
   {
     Stopwatch w;
     ScopedTimer st(w);
+    // Label every restart in parallel, then pick the winner serially so
+    // the first-lowest tie-break is scheduling-independent.
+    result.restart_qor.resize(result.restarts.size());
+    util::parallel_for(pool.get(), result.restarts.size(), [&](std::size_t i) {
+      result.restart_qor[i] = evaluator.evaluate(result.restarts[i].sequence);
+    });
     double best_score = 1e300;
-    for (const auto& restart : result.restarts) {
-      const Qor q = evaluator.evaluate(restart.sequence);
-      result.restart_qor.push_back(q);
+    for (std::size_t i = 0; i < result.restarts.size(); ++i) {
+      const auto& restart = result.restarts[i];
+      const Qor q = result.restart_qor[i];
       const double score =
           config_.optimize.weight_area *
               (q.area_um2 - dataset_.area_mean) / dataset_.area_std +

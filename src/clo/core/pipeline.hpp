@@ -29,6 +29,13 @@ struct PipelineConfig {
   TrainConfig surrogate_train;
   OptimizeParams optimize;
   std::uint64_t seed = 1;
+  /// Worker threads for dataset labeling, surrogate training, restarts,
+  /// and validation. 1 = serial, 0 = hardware concurrency. Dataset
+  /// labeling, latent optimization, and validation QoR are bit-identical
+  /// at any value; only surrogate training's float rounding differs
+  /// between the serial batched path (threads == 1) and the data-parallel
+  /// per-sample path (threads >= 2, itself count-independent).
+  int threads = 1;
 };
 
 struct PipelineResult {

@@ -4,9 +4,16 @@
 // reporting (Spearman rank correlation is what actually matters for
 // optimization quality).
 
+#include <functional>
+#include <memory>
+
 #include "clo/core/dataset.hpp"
 #include "clo/models/embedding.hpp"
 #include "clo/models/surrogate.hpp"
+
+namespace clo::util {
+class ThreadPool;
+}
 
 namespace clo::core {
 
@@ -25,9 +32,23 @@ struct TrainReport {
   double seconds = 0.0;
 };
 
+/// Builds a surrogate structurally identical to the model being trained
+/// (weights are overwritten with the master's before every batch, so the
+/// factory's own initialization never matters). Used to give each worker a
+/// private compute graph for data-parallel training.
+using SurrogateFactory =
+    std::function<std::unique_ptr<models::SurrogateModel>()>;
+
+/// Train `model` on the dataset. With a pool of >= 2 workers and a
+/// `replica_factory`, each minibatch is processed sample-per-sample on
+/// per-worker replicas and the gradients are reduced in sample-index
+/// order — deterministic for any worker count, though its float rounding
+/// differs from the serial batched path (which every other configuration
+/// uses and which matches the historical behavior exactly).
 TrainReport train_surrogate(models::SurrogateModel& model,
                             const models::TransformEmbedding& embedding,
                             const Dataset& dataset, const TrainConfig& config,
-                            clo::Rng& rng);
+                            clo::Rng& rng, util::ThreadPool* pool = nullptr,
+                            const SurrogateFactory& replica_factory = nullptr);
 
 }  // namespace clo::core

@@ -28,11 +28,18 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
   }
 }
 
+/// Whether backward should write into this node's grad buffer: tracked
+/// interior nodes and requires_grad leaves only. Frozen leaves (see
+/// GradFreeze) and plain constants are skipped — they would never be read,
+/// and skipping them is what makes concurrent backward passes over shared
+/// (frozen) weights race-free.
+bool wants_grad(const TensorImpl& p) {
+  return p.requires_grad || p.backward_fn != nullptr;
+}
+
 void accumulate(const std::shared_ptr<TensorImpl>& p,
                 const std::vector<float>& grad_piece) {
-  if (!p->requires_grad && !p->backward_fn) {
-    // Still accumulate: interior nodes carry grads even if their leaves do.
-  }
+  if (!wants_grad(*p)) return;
   p->ensure_grad();
   for (std::size_t i = 0; i < grad_piece.size(); ++i) {
     p->grad[i] += grad_piece[i];
@@ -65,6 +72,7 @@ Tensor add_bias(const Tensor& a, const Tensor& b) {
   Tensor out = make_result(a.shape(), {pa, pb},
                            [pa, pb, rows, cols](TensorImpl& self) {
     accumulate(pa, self.grad);
+    if (!wants_grad(*pb)) return;
     pb->ensure_grad();
     for (int r = 0; r < rows; ++r) {
       for (int c = 0; c < cols; ++c) pb->grad[c] += self.grad[r * cols + c];
@@ -84,6 +92,7 @@ Tensor sub(const Tensor& a, const Tensor& b) {
   auto pb = b.impl();
   Tensor out = make_result(a.shape(), {pa, pb}, [pa, pb](TensorImpl& self) {
     accumulate(pa, self.grad);
+    if (!wants_grad(*pb)) return;
     pb->ensure_grad();
     for (std::size_t i = 0; i < self.grad.size(); ++i) {
       pb->grad[i] -= self.grad[i];
@@ -100,11 +109,12 @@ Tensor mul(const Tensor& a, const Tensor& b) {
   auto pa = a.impl();
   auto pb = b.impl();
   Tensor out = make_result(a.shape(), {pa, pb}, [pa, pb](TensorImpl& self) {
-    pa->ensure_grad();
-    pb->ensure_grad();
+    const bool ga = wants_grad(*pa), gb = wants_grad(*pb);
+    if (ga) pa->ensure_grad();
+    if (gb) pb->ensure_grad();
     for (std::size_t i = 0; i < self.grad.size(); ++i) {
-      pa->grad[i] += self.grad[i] * pb->data[i];
-      pb->grad[i] += self.grad[i] * pa->data[i];
+      if (ga) pa->grad[i] += self.grad[i] * pb->data[i];
+      if (gb) pb->grad[i] += self.grad[i] * pa->data[i];
     }
   });
   for (std::size_t i = 0; i < out.numel(); ++i) {
@@ -116,6 +126,7 @@ Tensor mul(const Tensor& a, const Tensor& b) {
 Tensor scale(const Tensor& a, float s) {
   auto pa = a.impl();
   Tensor out = make_result(a.shape(), {pa}, [pa, s](TensorImpl& self) {
+    if (!wants_grad(*pa)) return;
     pa->ensure_grad();
     for (std::size_t i = 0; i < self.grad.size(); ++i) {
       pa->grad[i] += self.grad[i] * s;
@@ -213,8 +224,9 @@ Tensor matmul(const Tensor& a, const Tensor& b, bool transpose_b) {
   auto pb = b.impl();
   Tensor out = make_result(
       {m, n}, {pa, pb}, [pa, pb, m, k, n, transpose_b](TensorImpl& self) {
-        pa->ensure_grad();
-        pb->ensure_grad();
+        const bool ga = wants_grad(*pa), gb = wants_grad(*pb);
+        if (ga) pa->ensure_grad();
+        if (gb) pb->ensure_grad();
         // dA = dY * B^T (or dY * B when b was transposed)
         for (int i = 0; i < m; ++i) {
           for (int j = 0; j < n; ++j) {
@@ -223,11 +235,13 @@ Tensor matmul(const Tensor& a, const Tensor& b, bool transpose_b) {
             for (int l = 0; l < k; ++l) {
               const float bv =
                   transpose_b ? pb->data[j * k + l] : pb->data[l * n + j];
-              pa->grad[i * k + l] += gy * bv;
-              if (transpose_b) {
-                pb->grad[j * k + l] += gy * pa->data[i * k + l];
-              } else {
-                pb->grad[l * n + j] += gy * pa->data[i * k + l];
+              if (ga) pa->grad[i * k + l] += gy * bv;
+              if (gb) {
+                if (transpose_b) {
+                  pb->grad[j * k + l] += gy * pa->data[i * k + l];
+                } else {
+                  pb->grad[l * n + j] += gy * pa->data[i * k + l];
+                }
               }
             }
           }
@@ -288,13 +302,14 @@ Tensor mse_loss(const Tensor& pred, const Tensor& target) {
   auto pb = target.impl();
   const float inv = 1.0f / static_cast<float>(pred.numel());
   Tensor out = make_result({1}, {pa, pb}, [pa, pb, inv](TensorImpl& self) {
-    pa->ensure_grad();
-    pb->ensure_grad();
+    const bool ga = wants_grad(*pa), gb = wants_grad(*pb);
+    if (ga) pa->ensure_grad();
+    if (gb) pb->ensure_grad();
     const float g = self.grad[0];
     for (std::size_t i = 0; i < pa->data.size(); ++i) {
       const float d = 2.0f * (pa->data[i] - pb->data[i]) * inv * g;
-      pa->grad[i] += d;
-      pb->grad[i] -= d;
+      if (ga) pa->grad[i] += d;
+      if (gb) pb->grad[i] -= d;
     }
   });
   float s = 0.0f;
@@ -327,14 +342,19 @@ Tensor concat_cols(const Tensor& a, const Tensor& b) {
   auto pb = b.impl();
   Tensor out = make_result({rows, ca + cb}, {pa, pb},
                            [pa, pb, rows, ca, cb](TensorImpl& self) {
-    pa->ensure_grad();
-    pb->ensure_grad();
+    const bool ga = wants_grad(*pa), gb = wants_grad(*pb);
+    if (ga) pa->ensure_grad();
+    if (gb) pb->ensure_grad();
     for (int r = 0; r < rows; ++r) {
-      for (int c = 0; c < ca; ++c) {
-        pa->grad[r * ca + c] += self.grad[r * (ca + cb) + c];
+      if (ga) {
+        for (int c = 0; c < ca; ++c) {
+          pa->grad[r * ca + c] += self.grad[r * (ca + cb) + c];
+        }
       }
-      for (int c = 0; c < cb; ++c) {
-        pb->grad[r * cb + c] += self.grad[r * (ca + cb) + ca + c];
+      if (gb) {
+        for (int c = 0; c < cb; ++c) {
+          pb->grad[r * cb + c] += self.grad[r * (ca + cb) + ca + c];
+        }
       }
     }
   });
@@ -472,19 +492,23 @@ Tensor layer_norm(const Tensor& a, const Tensor& gain, const Tensor& bias,
     out.impl()->backward_fn = [pa, pg, pb, xhat = std::move(xhat),
                                inv_std = std::move(inv_std), rows,
                                cols](TensorImpl& self) {
-      pa->ensure_grad();
-      pg->ensure_grad();
-      pb->ensure_grad();
+      const bool ga = wants_grad(*pa);
+      const bool gg = wants_grad(*pg);
+      const bool gb = wants_grad(*pb);
+      if (ga) pa->ensure_grad();
+      if (gg) pg->ensure_grad();
+      if (gb) pb->ensure_grad();
       for (int r = 0; r < rows; ++r) {
         float sum_dy = 0.0f, sum_dy_xhat = 0.0f;
         for (int c = 0; c < cols; ++c) {
           const float dy = self.grad[r * cols + c] * pg->data[c];
           sum_dy += dy;
           sum_dy_xhat += dy * xhat[r * cols + c];
-          pg->grad[c] += self.grad[r * cols + c] * xhat[r * cols + c];
-          pb->grad[c] += self.grad[r * cols + c];
+          if (gg) pg->grad[c] += self.grad[r * cols + c] * xhat[r * cols + c];
+          if (gb) pb->grad[c] += self.grad[r * cols + c];
         }
         const float invn = 1.0f / static_cast<float>(cols);
+        if (!ga) continue;
         for (int c = 0; c < cols; ++c) {
           const float dy = self.grad[r * cols + c] * pg->data[c];
           pa->grad[r * cols + c] +=
@@ -515,23 +539,31 @@ Tensor conv1d(const Tensor& x, const Tensor& weight, const Tensor& bias) {
   Tensor out = make_result(
       {B, Co, L}, {px, pw, pb},
       [px, pw, pb, B, Ci, L, Co, K, pad](TensorImpl& self) {
-        px->ensure_grad();
-        pw->ensure_grad();
-        pb->ensure_grad();
+        const bool gx = wants_grad(*px);
+        const bool gw = wants_grad(*pw);
+        const bool gb = wants_grad(*pb);
+        if (gx) px->ensure_grad();
+        if (gw) pw->ensure_grad();
+        if (gb) pb->ensure_grad();
+        if (!gx && !gw && !gb) return;
         for (int b = 0; b < B; ++b) {
           for (int co = 0; co < Co; ++co) {
             for (int l = 0; l < L; ++l) {
               const float gy = self.grad[(b * Co + co) * L + l];
               if (gy == 0.0f) continue;
-              pb->grad[co] += gy;
+              if (gb) pb->grad[co] += gy;
               for (int ci = 0; ci < Ci; ++ci) {
                 for (int k = 0; k < K; ++k) {
                   const int li = l + k - pad;
                   if (li < 0 || li >= L) continue;
-                  pw->grad[(co * Ci + ci) * K + k] +=
-                      gy * px->data[(b * Ci + ci) * L + li];
-                  px->grad[(b * Ci + ci) * L + li] +=
-                      gy * pw->data[(co * Ci + ci) * K + k];
+                  if (gw) {
+                    pw->grad[(co * Ci + ci) * K + k] +=
+                        gy * px->data[(b * Ci + ci) * L + li];
+                  }
+                  if (gx) {
+                    px->grad[(b * Ci + ci) * L + li] +=
+                        gy * pw->data[(co * Ci + ci) * K + k];
+                  }
                 }
               }
             }
@@ -625,19 +657,24 @@ Tensor concat_channels(const Tensor& a, const Tensor& b) {
   auto pb = b.impl();
   Tensor out = make_result({B, Ca + Cb, L}, {pa, pb},
                            [pa, pb, B, Ca, Cb, L](TensorImpl& self) {
-    pa->ensure_grad();
-    pb->ensure_grad();
+    const bool ga = wants_grad(*pa), gb = wants_grad(*pb);
+    if (ga) pa->ensure_grad();
+    if (gb) pb->ensure_grad();
     for (int bt = 0; bt < B; ++bt) {
-      for (int c = 0; c < Ca; ++c) {
-        for (int l = 0; l < L; ++l) {
-          pa->grad[(bt * Ca + c) * L + l] +=
-              self.grad[(bt * (Ca + Cb) + c) * L + l];
+      if (ga) {
+        for (int c = 0; c < Ca; ++c) {
+          for (int l = 0; l < L; ++l) {
+            pa->grad[(bt * Ca + c) * L + l] +=
+                self.grad[(bt * (Ca + Cb) + c) * L + l];
+          }
         }
       }
-      for (int c = 0; c < Cb; ++c) {
-        for (int l = 0; l < L; ++l) {
-          pb->grad[(bt * Cb + c) * L + l] +=
-              self.grad[(bt * (Ca + Cb) + Ca + c) * L + l];
+      if (gb) {
+        for (int c = 0; c < Cb; ++c) {
+          for (int l = 0; l < L; ++l) {
+            pb->grad[(bt * Cb + c) * L + l] +=
+                self.grad[(bt * (Ca + Cb) + Ca + c) * L + l];
+          }
         }
       }
     }
@@ -670,17 +707,18 @@ Tensor add_channel_bias(const Tensor& x, const Tensor& b) {
   auto pb = b.impl();
   Tensor out = make_result({B, C, L}, {px, pb},
                            [px, pb, B, C, L, batched](TensorImpl& self) {
-    px->ensure_grad();
-    pb->ensure_grad();
+    const bool gx = wants_grad(*px), gb = wants_grad(*pb);
+    if (gx) px->ensure_grad();
+    if (gb) pb->ensure_grad();
     for (int bt = 0; bt < B; ++bt) {
       for (int c = 0; c < C; ++c) {
         float s = 0.0f;
         for (int l = 0; l < L; ++l) {
           const float g = self.grad[(bt * C + c) * L + l];
-          px->grad[(bt * C + c) * L + l] += g;
+          if (gx) px->grad[(bt * C + c) * L + l] += g;
           s += g;
         }
-        pb->grad[batched ? bt * C + c : c] += s;
+        if (gb) pb->grad[batched ? bt * C + c : c] += s;
       }
     }
   });

@@ -112,4 +112,20 @@ Tensor detach(const Tensor& t) {
   return Tensor(std::move(impl));
 }
 
+GradFreeze::GradFreeze(const std::vector<Tensor>& params) {
+  impls_.reserve(params.size());
+  saved_.reserve(params.size());
+  for (const auto& p : params) {
+    impls_.push_back(p.impl());
+    saved_.push_back(p.impl()->requires_grad);
+    p.impl()->requires_grad = false;
+  }
+}
+
+GradFreeze::~GradFreeze() {
+  for (std::size_t i = 0; i < impls_.size(); ++i) {
+    impls_[i]->requires_grad = saved_[i];
+  }
+}
+
 }  // namespace clo::nn

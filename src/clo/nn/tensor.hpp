@@ -85,4 +85,23 @@ void backward(const Tensor& root);
 /// Detached copy: same data, no graph history.
 Tensor detach(const Tensor& t);
 
+/// RAII inference guard: clears requires_grad on the given (parameter)
+/// tensors and restores the previous flags on destruction. While frozen,
+/// backward() never touches the parameters' grad buffers, which makes
+/// concurrent forward/backward passes sharing the same weights safe —
+/// every other node of each pass's graph is private to its thread. Input
+/// gradients are unaffected bit for bit: the skipped accumulations only
+/// ever fed the frozen leaves themselves.
+class GradFreeze {
+ public:
+  explicit GradFreeze(const std::vector<Tensor>& params);
+  ~GradFreeze();
+  GradFreeze(const GradFreeze&) = delete;
+  GradFreeze& operator=(const GradFreeze&) = delete;
+
+ private:
+  std::vector<std::shared_ptr<TensorImpl>> impls_;
+  std::vector<bool> saved_;
+};
+
 }  // namespace clo::nn

@@ -220,6 +220,7 @@ void Shell::register_commands() {
          config.dataset_size = args.size() > 1 ? std::stoi(args[1]) : 80;
          config.restarts = args.size() > 2 ? std::stoi(args[2]) : 2;
          config.diffusion_steps = 60;
+         config.threads = sh.threads_;
          core::QorEvaluator evaluator(sh.need_design());
          core::CloPipeline pipeline(config);
          const auto r = pipeline.run(evaluator);
@@ -229,6 +230,14 @@ void Shell::register_commands() {
              << r.best.delay_ps << "\n";
          out << "sequence : " << opt::sequence_to_string(r.best_sequence)
              << "\n";
+         return true;
+       }});
+  commands_.push_back(
+      {"threads",
+       "threads [n] — set/show tune's worker threads (0 = hardware)",
+       [](Shell& sh, const auto& args, std::ostream& out) {
+         if (args.size() > 1) sh.threads_ = std::stoi(args[1]);
+         out << "threads = " << sh.threads_ << "\n";
          return true;
        }});
   commands_.push_back(

@@ -34,6 +34,11 @@ class Shell {
   /// Current design (nullopt before any read/gen).
   const std::optional<aig::Aig>& design() const { return design_; }
 
+  /// Worker threads used by `tune` (1 = serial, 0 = hardware concurrency).
+  /// Also settable at runtime with the `threads` command.
+  void set_threads(int n) { threads_ = n; }
+  int threads() const { return threads_; }
+
  private:
   struct Command;
   void register_commands();
@@ -44,6 +49,7 @@ class Shell {
   techmap::CellLibrary library_;
   std::vector<Command> commands_;
   bool last_failed_ = false;
+  int threads_ = 1;
 };
 
 }  // namespace clo::shell

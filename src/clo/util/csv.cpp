@@ -90,8 +90,13 @@ std::string ConsoleTable::to_string() const {
   auto format_row = [&](const std::vector<std::string>& row) {
     std::string s = "|";
     for (std::size_t i = 0; i < width.size(); ++i) {
-      const std::string& cell = i < row.size() ? row[i] : std::string();
-      s += " " + std::string(width[i] - cell.size(), ' ') + cell + " |";
+      const std::string cell = i < row.size() ? row[i] : std::string();
+      const std::size_t pad =
+          width[i] > cell.size() ? width[i] - cell.size() : 0;
+      s += ' ';
+      s.append(pad, ' ');
+      s += cell;
+      s += " |";
     }
     return s + "\n";
   };

@@ -1,0 +1,134 @@
+#pragma once
+// Fixed-size worker pool with exception-propagating futures and
+// deterministic parallel_for / parallel_map helpers — the parallel
+// execution substrate for QoR labeling, surrogate training, latent
+// optimization restarts, and baseline candidate evaluation.
+//
+// Determinism contract: parallel_for(pool, n, fn) runs fn(0..n-1) with
+// results keyed by index, so any code whose per-item work is a pure
+// function of (shared inputs, index) produces bit-identical output at any
+// worker count — including the serial pool == nullptr path. Randomized
+// per-item work stays deterministic by forking one child Rng per item
+// *before* the parallel region (see Rng::fork).
+//
+// Nested submission: tasks submitted from inside a worker thread run
+// inline (same thread, immediately). This keeps nested parallel_for calls
+// deadlock-free without work stealing; the inner loop simply degrades to
+// serial execution.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace clo::util {
+
+class ThreadPool {
+ public:
+  /// `workers == 0` asks for std::thread::hardware_concurrency() (at least
+  /// one). A one-worker pool still runs tasks on its single worker thread;
+  /// use a null pool pointer with the free helpers for true inline
+  /// execution.
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Schedule `fn` and return a future for its result. Exceptions thrown
+  /// by `fn` are captured and rethrown from future::get(). Called from a
+  /// worker thread of this pool, the task runs inline (see header note).
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    if (on_worker_thread()) {
+      (*task)();
+      return result;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// True when the calling thread is one of this pool's workers.
+  static bool on_worker_thread();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Resolve a --threads style request: n >= 1 is taken literally, n <= 0
+/// means hardware concurrency.
+std::size_t resolve_threads(int n);
+
+/// Run fn(i) for i in [0, n). With a null pool (or n < 2) the loop runs
+/// serially on the calling thread; otherwise items are distributed over
+/// the workers via an atomic cursor. Blocks until every item completed.
+/// The first exception thrown by any item is rethrown on the caller.
+template <typename Fn>
+void parallel_for(ThreadPool* pool, std::size_t n, Fn&& fn) {
+  if (pool == nullptr || pool->size() < 2 || n < 2 ||
+      ThreadPool::on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  auto first_error = std::make_shared<std::atomic<bool>>(false);
+  auto error_mu = std::make_shared<std::mutex>();
+  auto error = std::make_shared<std::exception_ptr>();
+  const std::size_t tasks = std::min(pool->size(), n);
+  std::vector<std::future<void>> futures;
+  futures.reserve(tasks);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    futures.push_back(pool->submit([&fn, n, cursor, first_error, error_mu,
+                                    error] {
+      for (;;) {
+        const std::size_t i = cursor->fetch_add(1);
+        if (i >= n) return;
+        if (first_error->load(std::memory_order_relaxed)) return;
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(*error_mu);
+          if (!*error) *error = std::current_exception();
+          first_error->store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+  if (*error) std::rethrow_exception(*error);
+}
+
+/// parallel_for that materializes results: out[i] = fn(i), in index order
+/// regardless of scheduling.
+template <typename R, typename Fn>
+std::vector<R> parallel_map(ThreadPool* pool, std::size_t n, Fn&& fn) {
+  std::vector<R> out(n);
+  parallel_for(pool, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace clo::util

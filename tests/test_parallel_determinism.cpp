@@ -1,0 +1,115 @@
+// Determinism acceptance tests for the parallel substrate: dataset
+// generation and latent optimization must be bit-identical at any worker
+// count (including the serial null-pool path), and the evaluator must
+// tolerate concurrent callers.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "clo/circuits/generators.hpp"
+#include "clo/core/dataset.hpp"
+#include "clo/core/evaluator.hpp"
+#include "clo/core/optimizer.hpp"
+#include "clo/models/diffusion.hpp"
+#include "clo/models/embedding.hpp"
+#include "clo/models/surrogate.hpp"
+#include "clo/util/thread_pool.hpp"
+
+namespace {
+
+using namespace clo;
+
+core::Dataset gen(util::ThreadPool* pool) {
+  const aig::Aig g = circuits::make_benchmark("c432");
+  core::QorEvaluator evaluator(g);
+  clo::Rng rng(17);
+  return core::generate_dataset(evaluator, 24, 12, rng, pool);
+}
+
+TEST(ParallelDeterminism, DatasetIdenticalAcrossThreadCounts) {
+  const core::Dataset serial = gen(nullptr);
+  util::ThreadPool pool8(8);
+  const core::Dataset parallel = gen(&pool8);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial.sequences[i], parallel.sequences[i]) << "sequence " << i;
+    // Bit-identical labels, not just approximately equal.
+    EXPECT_EQ(serial.qor[i].area_um2, parallel.qor[i].area_um2) << "row " << i;
+    EXPECT_EQ(serial.qor[i].delay_ps, parallel.qor[i].delay_ps) << "row " << i;
+  }
+  EXPECT_EQ(serial.area_mean, parallel.area_mean);
+  EXPECT_EQ(serial.delay_mean, parallel.delay_mean);
+  EXPECT_EQ(serial.area_std, parallel.area_std);
+  EXPECT_EQ(serial.delay_std, parallel.delay_std);
+}
+
+std::vector<core::OptimizeResult> run_restarts(util::ThreadPool* pool) {
+  const aig::Aig g = circuits::make_benchmark("c17");
+  clo::Rng rng(5);
+  models::TransformEmbedding embedding(8, rng);
+  models::SurrogateConfig scfg;
+  scfg.seq_len = 8;
+  auto surrogate = models::make_surrogate("cnn", g, scfg, rng);
+  models::DiffusionConfig dcfg;
+  dcfg.seq_len = 8;
+  dcfg.num_steps = 16;
+  models::DiffusionModel diffusion(dcfg, rng);
+  core::ContinuousOptimizer optimizer(*surrogate, diffusion, embedding);
+  clo::Rng orng(23);
+  return optimizer.run_restarts(orng, 6, pool);
+}
+
+TEST(ParallelDeterminism, OptimizerRestartsIdenticalAcrossThreadCounts) {
+  const auto serial = run_restarts(nullptr);
+  util::ThreadPool pool8(8);
+  const auto parallel = run_restarts(&pool8);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t r = 0; r < serial.size(); ++r) {
+    EXPECT_EQ(serial[r].sequence, parallel[r].sequence) << "restart " << r;
+    ASSERT_EQ(serial[r].latent.size(), parallel[r].latent.size());
+    // The latents must match bit for bit, not within a tolerance.
+    EXPECT_EQ(0, std::memcmp(serial[r].latent.data(),
+                             parallel[r].latent.data(),
+                             serial[r].latent.size() * sizeof(float)))
+        << "restart " << r;
+    EXPECT_EQ(serial[r].discrepancy, parallel[r].discrepancy);
+    EXPECT_EQ(serial[r].predicted_objective, parallel[r].predicted_objective);
+  }
+}
+
+TEST(ParallelDeterminism, EvaluatorSafeUnderConcurrentCallers) {
+  const aig::Aig g = circuits::make_benchmark("c432");
+
+  // Serial reference labels.
+  std::vector<opt::Sequence> seqs;
+  clo::Rng rng(99);
+  for (int i = 0; i < 32; ++i) {
+    seqs.push_back(opt::random_sequence(10, rng));
+  }
+  core::QorEvaluator ref(g);
+  std::vector<core::Qor> expected;
+  for (const auto& s : seqs) expected.push_back(ref.evaluate(s));
+
+  // Concurrent evaluation, every sequence hit twice to exercise the cache.
+  core::QorEvaluator ev(g);
+  util::ThreadPool pool(8);
+  std::vector<core::Qor> got(seqs.size() * 2);
+  util::parallel_for(&pool, got.size(), [&](std::size_t i) {
+    got[i] = ev.evaluate(seqs[i % seqs.size()]);
+  });
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].area_um2, expected[i % seqs.size()].area_um2);
+    EXPECT_EQ(got[i].delay_ps, expected[i % seqs.size()].delay_ps);
+  }
+  EXPECT_EQ(ev.num_queries(), got.size());
+  // Duplicate computes on cache races are benign but bounded by the query
+  // count; at least every distinct sequence ran once.
+  EXPECT_GE(ev.num_synthesis_runs(), seqs.size());
+  EXPECT_LE(ev.num_synthesis_runs(), got.size());
+  EXPECT_GT(ev.synthesis_seconds(), 0.0);
+}
+
+}  // namespace

@@ -3,18 +3,39 @@
 //   clo                      interactive session
 //   clo -c "gen c432; rw; map"   run ';'-separated commands and exit
 //   clo script.clo           run a script file
+//
+// Options:
+//   --threads N   worker threads for `tune` (default 0 = hardware
+//                 concurrency; 1 runs fully serial)
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "clo/shell/shell.hpp"
 
 int main(int argc, char** argv) {
   clo::shell::Shell shell;
-  if (argc >= 3 && std::string(argv[1]) == "-c") {
+  shell.set_threads(0);  // hardware concurrency unless overridden
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::cerr << "--threads needs a value\n";
+        return 1;
+      }
+      shell.set_threads(std::atoi(argv[++i]));
+      continue;
+    }
+    args.push_back(arg);
+  }
+  if (args.size() >= 2 && args[0] == "-c") {
     // Split on ';' into individual commands.
-    std::stringstream ss(argv[2]);
+    std::stringstream ss(args[1]);
     std::string cmd;
     int failures = 0;
     while (std::getline(ss, cmd, ';')) {
@@ -23,10 +44,10 @@ int main(int argc, char** argv) {
     }
     return failures == 0 ? 0 : 1;
   }
-  if (argc >= 2) {
-    std::ifstream f(argv[1]);
+  if (!args.empty()) {
+    std::ifstream f(args[0]);
     if (!f) {
-      std::cerr << "cannot open " << argv[1] << "\n";
+      std::cerr << "cannot open " << args[0] << "\n";
       return 1;
     }
     return shell.run_script(f, std::cout) == 0 ? 0 : 1;
