@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
   scale.restarts = args.get_int("restarts", 8);
   scale.seed = static_cast<std::uint64_t>(args.get_int("seed", 2));
   scale.threads = args.get_int("threads", 0);
+  const bench::ObsOptions obs_opts = bench::obs_from_args(args);
 
   std::vector<std::string> names = {"ctrl", "router", "c432"};
   if (args.has("full")) names = bench::circuit_selection(true);
@@ -69,6 +70,8 @@ int main(int argc, char** argv) {
                  "total_query_seconds"});
   std::vector<double> speedups;
   bool abcrl_always_slowest_baseline = true;
+  core::PipelineResult last_result;
+  core::EvaluatorStats last_stats;
 
   for (const auto& name : names) {
     std::fprintf(stderr, "[fig5] %s ...\n", name.c_str());
@@ -84,7 +87,8 @@ int main(int argc, char** argv) {
       csv.add_row({name, r.method, fmt_double(r.algorithm_seconds, 4),
                    fmt_double(watch.seconds(), 4)});
     }
-    const auto ours = bench::run_ours(circuit, scale);
+    const auto ours = bench::run_ours(circuit, scale, &last_result,
+                                      &last_stats);
     const double ours_s = std::max(ours.algorithm_seconds, 1e-6);
     csv.add_row({name, "Ours", fmt_double(ours_s, 4), fmt_double(ours_s, 4)});
     csv.add_row({name, "Ours-training(one-time)",
@@ -129,5 +133,10 @@ int main(int argc, char** argv) {
       abcrl_always_slowest_baseline ? "yes" : "NO");
   const std::string out = args.get("out", "fig5_runtime.csv");
   if (csv.write(out)) std::printf("wrote %s\n", out.c_str());
+  // The report carries the last circuit's full pipeline breakdown (the
+  // per-circuit numbers are in the CSV).
+  obs::Json report = core::pipeline_report(last_result, last_stats);
+  report["bench"] = obs::Json(std::string("fig5_runtime"));
+  bench::obs_finish(obs_opts, std::move(report));
   return 0;
 }

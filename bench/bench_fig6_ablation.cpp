@@ -22,6 +22,7 @@
 #include "clo/util/cli.hpp"
 #include "clo/util/csv.hpp"
 #include "clo/util/thread_pool.hpp"
+#include "harness.hpp"
 
 int main(int argc, char** argv) {
   using namespace clo;
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
   const int diffusion_steps = args.get_int("steps", 60);
   const int restarts = args.get_int("restarts", 8);
   const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+  const bench::ObsOptions obs_opts = bench::obs_from_args(args);
   const std::size_t workers = util::resolve_threads(args.get_int("threads", 0));
   std::unique_ptr<util::ThreadPool> pool;
   if (workers >= 2) pool = std::make_unique<util::ThreadPool>(workers);
@@ -59,6 +61,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "[fig6] training diffusion model...\n");
     diffusion.train(data, args.get_int("diffusion-iters", 700), 16, 1e-3f, rng);
   }
+
+  // Pretraining synthesis is bookkept separately from the ablation sweep
+  // below (same reset benches use between repetitions).
+  evaluator.reset_stats();
 
   // ---- FlowTune reference line -------------------------------------------
   std::fprintf(stderr, "[fig6] FlowTune reference...\n");
@@ -155,5 +161,20 @@ int main(int argc, char** argv) {
 
   const std::string out = args.get("out", "fig6_ablation.csv");
   if (csv.write(out)) std::printf("wrote %s\n", out.c_str());
+  {
+    obs::Json report = obs::Json::object();
+    report["schema"] = obs::Json(std::string("clo.report.v1"));
+    report["bench"] = obs::Json(std::string("fig6_ablation"));
+    const auto stats = evaluator.snapshot();
+    obs::Json ev = obs::Json::object();
+    ev["queries"] = obs::Json(static_cast<std::uint64_t>(stats.queries));
+    ev["unique_runs"] =
+        obs::Json(static_cast<std::uint64_t>(stats.unique_runs));
+    ev["cache_hits"] = obs::Json(static_cast<std::uint64_t>(stats.cache_hits));
+    ev["hit_rate"] = obs::Json(stats.hit_rate);
+    ev["synth_seconds"] = obs::Json(stats.synth_seconds);
+    report["evaluator"] = ev;
+    bench::obs_finish(obs_opts, std::move(report));
+  }
   return 0;
 }

@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   scale.surrogate = args.get("surrogate", "cnn");
   scale.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   scale.threads = args.get_int("threads", 0);
+  const bench::ObsOptions obs_opts = bench::obs_from_args(args);
 
   std::vector<std::string> names = bench::circuit_selection(args.has("full"));
   if (args.has("circuits")) names = split_csv_list(args.get("circuits", ""));
@@ -55,6 +56,8 @@ int main(int argc, char** argv) {
                       "FlowT D", "Ours A", "Ours D"});
   CsvWriter csv({"circuit", "method", "area_um2", "delay_ps",
                  "algo_seconds", "training_seconds"});
+  core::PipelineResult last_result;
+  core::EvaluatorStats last_stats;
 
   for (const auto& name : names) {
     std::fprintf(stderr, "[table2] %s ...\n", name.c_str());
@@ -68,7 +71,7 @@ int main(int argc, char** argv) {
     for (const char* m : {"drills", "abcrl", "boils", "flowtune"}) {
       row.push_back(bench::run_baseline_method(m, circuit, scale));
     }
-    row.push_back(bench::run_ours(circuit, scale));
+    row.push_back(bench::run_ours(circuit, scale, &last_result, &last_stats));
 
     std::vector<std::string> cells{name};
     for (std::size_t m = 0; m < row.size(); ++m) {
@@ -112,5 +115,8 @@ int main(int argc, char** argv) {
               "geomean area and delay (all ratios >= 1.000).\n");
   const std::string out = args.get("out", "table2_qor.csv");
   if (csv.write(out)) std::printf("wrote %s\n", out.c_str());
+  obs::Json report = core::pipeline_report(last_result, last_stats);
+  report["bench"] = obs::Json(std::string("table2_qor"));
+  bench::obs_finish(obs_opts, std::move(report));
   return 0;
 }

@@ -3,6 +3,7 @@
 // method (4 baselines + ours) on a circuit with consistent budgets and the
 // paper's accounting (best-of-restarts QoR, algorithm-only runtime).
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -10,7 +11,9 @@
 #include "clo/baselines/baseline.hpp"
 #include "clo/circuits/generators.hpp"
 #include "clo/core/pipeline.hpp"
+#include "clo/util/cli.hpp"
 #include "clo/util/log.hpp"
+#include "clo/util/obs.hpp"
 #include "clo/util/thread_pool.hpp"
 
 namespace clo::bench {
@@ -36,6 +39,49 @@ struct ExperimentScale {
   std::uint64_t seed = 1;
   int threads = 0;            ///< 0 = hardware concurrency, 1 = serial
 };
+
+/// Observability artifacts a bench was asked for on its command line.
+struct ObsOptions {
+  std::string trace_path;
+  std::string report_path;
+  bool metrics = false;
+};
+
+/// Parse --trace F / --report F / --metrics; any of them turns the obs
+/// layer on for the whole bench run.
+inline ObsOptions obs_from_args(const CliArgs& args) {
+  ObsOptions opts;
+  opts.trace_path = args.get("trace", "");
+  opts.report_path = args.get("report", "");
+  opts.metrics = args.has("metrics");
+  if (!opts.trace_path.empty() || !opts.report_path.empty() || opts.metrics) {
+    obs::set_enabled(true);
+  }
+  return opts;
+}
+
+/// Emit the requested artifacts at the end of a bench: the report JSON
+/// (with a metrics snapshot attached under "metrics" unless the caller
+/// already put one there), the Chrome trace, and the metrics table.
+inline void obs_finish(const ObsOptions& opts,
+                       obs::Json report = obs::Json::object()) {
+  if (!opts.report_path.empty()) {
+    if (report.find("metrics") == nullptr) {
+      report["metrics"] = obs::Registry::instance().snapshot().to_json();
+    }
+    if (obs::write_json_file(opts.report_path, report)) {
+      std::fprintf(stderr, "wrote report to %s\n", opts.report_path.c_str());
+    }
+  }
+  if (!opts.trace_path.empty() && obs::write_trace_file(opts.trace_path)) {
+    std::fprintf(stderr, "wrote trace to %s\n", opts.trace_path.c_str());
+  }
+  if (opts.metrics) {
+    std::fprintf(
+        stderr, "%s",
+        obs::Registry::instance().snapshot().format_table().c_str());
+  }
+}
 
 /// Build the worker pool an ExperimentScale asks for (null when serial).
 inline std::unique_ptr<util::ThreadPool> make_pool(
@@ -126,7 +172,8 @@ inline core::PipelineConfig pipeline_config_for(const ExperimentScale& scale) {
 /// best-of-30-repeats protocol the paper evaluates with.
 inline MethodResult run_ours(const aig::Aig& circuit,
                              const ExperimentScale& scale,
-                             core::PipelineResult* out_result = nullptr) {
+                             core::PipelineResult* out_result = nullptr,
+                             core::EvaluatorStats* out_stats = nullptr) {
   core::QorEvaluator ev(circuit);
   core::CloPipeline pipeline(pipeline_config_for(scale));
   const auto result = pipeline.run(ev);
@@ -165,6 +212,7 @@ inline MethodResult run_ours(const aig::Aig& circuit,
     }
   }
   if (out_result) *out_result = result;
+  if (out_stats) *out_stats = ev.snapshot();
   return mr;
 }
 

@@ -10,6 +10,7 @@
 #include "clo/models/surrogate.hpp"
 #include "clo/nn/modules.hpp"
 #include "clo/nn/optim.hpp"
+#include "clo/util/obs.hpp"
 #include "clo/util/thread_pool.hpp"
 #include "clo/util/timer.hpp"
 
@@ -40,8 +41,7 @@ class AbcRlOptimizer final : public SequenceOptimizer {
                           clo::Rng& rng) override {
     Stopwatch total;
     total.start();
-    const double synth_before = evaluator.synthesis_seconds();
-    const std::size_t runs_before = evaluator.num_synthesis_runs();
+    const core::EvaluatorStats stats_before = evaluator.snapshot();
 
     const int kGraphDim = 16;
     const int kFeatures = kGraphDim + 2;
@@ -110,6 +110,7 @@ class AbcRlOptimizer final : public SequenceOptimizer {
             : 1;
     for (int base = 0; base < episodes;
          base += static_cast<int>(round_size)) {
+      CLO_TRACE_SPAN("abcrl.round");
       const std::size_t count = std::min<std::size_t>(
           round_size, static_cast<std::size_t>(episodes - base));
       std::vector<AbcRlEpisode> round(count);
@@ -152,10 +153,12 @@ class AbcRlOptimizer final : public SequenceOptimizer {
 
     total.stop();
     result.total_seconds = total.seconds();
+    const core::EvaluatorStats stats_after = evaluator.snapshot();
     const double synth_delta =
-        (evaluator.synthesis_seconds() - synth_before) + transform_seconds;
+        (stats_after.synth_seconds - stats_before.synth_seconds) +
+        transform_seconds;
     result.algorithm_seconds = std::max(0.0, result.total_seconds - synth_delta);
-    result.synthesis_runs = evaluator.num_synthesis_runs() - runs_before;
+    result.synthesis_runs = stats_after.unique_runs - stats_before.unique_runs;
     return result;
   }
 

@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "clo/baselines/baseline.hpp"
+#include "clo/util/obs.hpp"
 #include "clo/util/thread_pool.hpp"
 #include "clo/util/timer.hpp"
 
@@ -67,8 +68,7 @@ class BoilsOptimizer final : public SequenceOptimizer {
                           clo::Rng& rng) override {
     Stopwatch total;
     total.start();
-    const double synth_before = evaluator.synthesis_seconds();
-    const std::size_t runs_before = evaluator.num_synthesis_runs();
+    const core::EvaluatorStats stats_before = evaluator.snapshot();
     const core::Qor original = evaluator.original();
 
     const double length_scale = 6.0;
@@ -108,6 +108,7 @@ class BoilsOptimizer final : public SequenceOptimizer {
     for (const auto& seq : init_design) observe(seq);
 
     for (int it = init; it < params.eval_budget; ++it) {
+      CLO_TRACE_SPAN("boils.round");
       // Fit GP: K + noise I, Cholesky, alpha = K^-1 y.
       const int m = static_cast<int>(xs.size());
       std::vector<double> K(static_cast<std::size_t>(m) * m);
@@ -171,9 +172,11 @@ class BoilsOptimizer final : public SequenceOptimizer {
 
     total.stop();
     result.total_seconds = total.seconds();
-    const double synth_delta = evaluator.synthesis_seconds() - synth_before;
+    const core::EvaluatorStats stats_after = evaluator.snapshot();
+    const double synth_delta =
+        stats_after.synth_seconds - stats_before.synth_seconds;
     result.algorithm_seconds = std::max(0.0, result.total_seconds - synth_delta);
-    result.synthesis_runs = evaluator.num_synthesis_runs() - runs_before;
+    result.synthesis_runs = stats_after.unique_runs - stats_before.unique_runs;
     return result;
   }
 

@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "clo/baselines/baseline.hpp"
+#include "clo/util/obs.hpp"
 #include "clo/util/thread_pool.hpp"
 #include "clo/util/timer.hpp"
 
@@ -45,8 +46,7 @@ class FlowTuneOptimizer final : public SequenceOptimizer {
                           clo::Rng& rng) override {
     Stopwatch total;
     total.start();
-    const double synth_before = evaluator.synthesis_seconds();
-    const std::size_t runs_before = evaluator.num_synthesis_runs();
+    const core::EvaluatorStats stats_before = evaluator.snapshot();
     const core::Qor original = evaluator.original();
     const auto& arms = arm_library();
     const int stage_len = static_cast<int>(arms[0].size());
@@ -59,6 +59,7 @@ class FlowTuneOptimizer final : public SequenceOptimizer {
     result.objective = 1e300;
     opt::Sequence prefix;
     for (int stage = 0; stage < num_stages; ++stage) {
+      CLO_TRACE_SPAN("flowtune.stage");
       // The first UCB sweep pulls every arm exactly once, and those pulls
       // are independent of one another — prefetch them in parallel. The
       // sequential loop below then finds each result memoized, so the
@@ -129,9 +130,11 @@ class FlowTuneOptimizer final : public SequenceOptimizer {
 
     total.stop();
     result.total_seconds = total.seconds();
-    const double synth_delta = evaluator.synthesis_seconds() - synth_before;
+    const core::EvaluatorStats stats_after = evaluator.snapshot();
+    const double synth_delta =
+        stats_after.synth_seconds - stats_before.synth_seconds;
     result.algorithm_seconds = std::max(0.0, result.total_seconds - synth_delta);
-    result.synthesis_runs = evaluator.num_synthesis_runs() - runs_before;
+    result.synthesis_runs = stats_after.unique_runs - stats_before.unique_runs;
     return result;
   }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "clo/util/obs.hpp"
 #include "clo/util/thread_pool.hpp"
 
 namespace clo::core {
@@ -19,6 +20,7 @@ Dataset generate_dataset(QorEvaluator& evaluator, int n, int length,
   }
   ds.qor.resize(ds.sequences.size());
   util::parallel_for(pool, ds.sequences.size(), [&](std::size_t i) {
+    CLO_TRACE_SPAN("dataset.label");
     ds.qor[i] = evaluator.evaluate(ds.sequences[i]);
   });
   double am = 0.0, dm = 0.0;

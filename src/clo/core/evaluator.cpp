@@ -3,6 +3,8 @@
 #include <chrono>
 #include <functional>
 
+#include "clo/util/obs.hpp"
+
 namespace clo::core {
 
 QorEvaluator::QorEvaluator(aig::Aig circuit, techmap::MapParams map_params)
@@ -15,17 +17,24 @@ QorEvaluator::Shard& QorEvaluator::shard_for(const std::string& key) {
 
 Qor QorEvaluator::evaluate(const opt::Sequence& seq) {
   num_queries_.fetch_add(1, std::memory_order_relaxed);
+  CLO_OBS_COUNT("evaluator.queries", 1);
   const std::string key = opt::sequence_to_string(seq);
   Shard& shard = shard_for(key);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.cache.find(key);
-    if (it != shard.cache.end()) return it->second;
+    if (it != shard.cache.end()) {
+      num_hits_.fetch_add(1, std::memory_order_relaxed);
+      CLO_OBS_COUNT("evaluator.cache_hits", 1);
+      return it->second;
+    }
   }
   // Miss: synthesize outside the lock so concurrent evaluations of
   // *different* sequences never serialize on the expensive part.
+  CLO_TRACE_SPAN("evaluator.synthesize");
   const auto begin = std::chrono::steady_clock::now();
   num_runs_.fetch_add(1, std::memory_order_relaxed);
+  CLO_OBS_COUNT("evaluator.synthesis_runs", 1);
   aig::Aig g = circuit_;
   opt::run_sequence(g, seq);
   // Report the Pareto endpoints, like ABC's map + area recovery: the area
@@ -40,12 +49,13 @@ Qor QorEvaluator::evaluate(const opt::Sequence& seq) {
   // objective can occasionally win on the other's metric.
   const Qor qor{std::min(area_mapped.area_um2, delay_mapped.area_um2),
                 std::min(area_mapped.delay_ps, delay_mapped.delay_ps)};
-  synth_ns_.fetch_add(
-      static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - begin)
-              .count()),
-      std::memory_order_relaxed);
+  const std::uint64_t elapsed_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - begin)
+          .count());
+  synth_ns_.fetch_add(elapsed_ns, std::memory_order_relaxed);
+  CLO_OBS_OBSERVE("evaluator.synth_seconds",
+                  static_cast<double>(elapsed_ns) * 1e-9);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.cache.emplace(key, qor);
@@ -54,5 +64,26 @@ Qor QorEvaluator::evaluate(const opt::Sequence& seq) {
 }
 
 Qor QorEvaluator::original() { return evaluate({}); }
+
+EvaluatorStats QorEvaluator::snapshot() const {
+  EvaluatorStats stats;
+  stats.queries = num_queries_.load(std::memory_order_relaxed);
+  stats.unique_runs = num_runs_.load(std::memory_order_relaxed);
+  stats.cache_hits = num_hits_.load(std::memory_order_relaxed);
+  stats.hit_rate = stats.queries == 0
+                       ? 0.0
+                       : static_cast<double>(stats.cache_hits) /
+                             static_cast<double>(stats.queries);
+  stats.synth_seconds =
+      static_cast<double>(synth_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  return stats;
+}
+
+void QorEvaluator::reset_stats() {
+  num_queries_.store(0, std::memory_order_relaxed);
+  num_runs_.store(0, std::memory_order_relaxed);
+  num_hits_.store(0, std::memory_order_relaxed);
+  synth_ns_.store(0, std::memory_order_relaxed);
+}
 
 }  // namespace clo::core

@@ -35,6 +35,16 @@ struct Qor {
   double delay_ps = 0.0;
 };
 
+/// Consistent view of the evaluator's usage counters — the single stats
+/// surface (the raw atomics are an implementation detail).
+struct EvaluatorStats {
+  std::size_t queries = 0;       ///< evaluate() calls, cache hits included
+  std::size_t unique_runs = 0;   ///< non-memoized synthesis runs
+  std::size_t cache_hits = 0;    ///< queries answered from the memo cache
+  double hit_rate = 0.0;         ///< cache_hits / queries (0 when idle)
+  double synth_seconds = 0.0;    ///< wall time inside synthesis+mapping
+};
+
 class QorEvaluator {
  public:
   explicit QorEvaluator(aig::Aig circuit,
@@ -49,20 +59,14 @@ class QorEvaluator {
 
   const aig::Aig& circuit() const { return circuit_; }
 
-  /// Wall time spent inside synthesis+mapping (the "ABC time" bucket).
-  /// Concurrent synthesis runs each contribute their full duration.
-  double synthesis_seconds() const {
-    return static_cast<double>(synth_ns_.load(std::memory_order_relaxed)) *
-           1e-9;
-  }
-  /// Number of non-memoized synthesis runs.
-  std::size_t num_synthesis_runs() const {
-    return num_runs_.load(std::memory_order_relaxed);
-  }
-  /// Number of evaluate() calls including cache hits.
-  std::size_t num_queries() const {
-    return num_queries_.load(std::memory_order_relaxed);
-  }
+  /// Usage counters since construction (or the last reset_stats()).
+  /// `synth_seconds` is the "ABC time" bucket; concurrent synthesis runs
+  /// each contribute their full duration.
+  EvaluatorStats snapshot() const;
+
+  /// Zero the usage counters (the memo cache is kept — bench repetitions
+  /// reset accounting without paying for re-synthesis).
+  void reset_stats();
 
  private:
   static constexpr std::size_t kNumShards = 16;
@@ -80,6 +84,7 @@ class QorEvaluator {
   std::atomic<std::uint64_t> synth_ns_{0};
   std::atomic<std::size_t> num_runs_{0};
   std::atomic<std::size_t> num_queries_{0};
+  std::atomic<std::size_t> num_hits_{0};
 };
 
 }  // namespace clo::core

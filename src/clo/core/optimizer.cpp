@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "clo/nn/ops.hpp"
+#include "clo/util/obs.hpp"
 #include "clo/util/thread_pool.hpp"
 #include "clo/util/timer.hpp"
 
@@ -54,6 +55,7 @@ OptimizeResult ContinuousOptimizer::run(clo::Rng& rng) {
 }
 
 OptimizeResult ContinuousOptimizer::run_impl(const std::vector<float>& noise) {
+  CLO_TRACE_SPAN("optimize.restart");
   Stopwatch watch;
   watch.start();
   const auto& cfg = diffusion_.config();
@@ -70,6 +72,8 @@ OptimizeResult ContinuousOptimizer::run_impl(const std::vector<float>& noise) {
     // Eq. 14: gradient-only continuous optimization (ablation).
     std::vector<float> grad;
     for (int t = T - 1; t >= 0; --t) {
+      CLO_TRACE_SPAN("optimize.step");
+      CLO_OBS_COUNT("optimizer.denoise_steps", 1);
       const double obj = objective_and_grad(x, &grad);
       for (std::size_t i = 0; i < x.size(); ++i) {
         x[i] -= static_cast<float>(params_.ablation_step *
@@ -84,6 +88,8 @@ OptimizeResult ContinuousOptimizer::run_impl(const std::vector<float>& noise) {
     // Eq. 13: denoise + guided gradient at the reparameterized x̂_t.
     std::vector<float> grad;
     for (int t = T - 1; t >= 0; --t) {
+      CLO_TRACE_SPAN("optimize.step");
+      CLO_OBS_COUNT("optimizer.denoise_steps", 1);
       const auto eps = diffusion_.predict_noise(x, t);
       const float ab = sched.alpha_bar(t);
       const float sqrt_ab = std::sqrt(ab);
@@ -125,6 +131,9 @@ OptimizeResult ContinuousOptimizer::run_impl(const std::vector<float>& noise) {
   result.predicted_objective = objective_and_grad(x, nullptr);
   watch.stop();
   result.seconds = watch.seconds();
+  CLO_OBS_OBSERVE("optimizer.discrepancy", result.discrepancy);
+  CLO_OBS_OBSERVE("optimizer.predicted_objective", result.predicted_objective);
+  CLO_OBS_OBSERVE("optimizer.restart_seconds", result.seconds);
   return result;
 }
 

@@ -6,6 +6,16 @@
 
 namespace clo::core {
 
+namespace {
+
+obs::Json series_json(const std::vector<double>& values) {
+  obs::Json arr = obs::Json::array();
+  for (double v : values) arr.push_back(obs::Json(v));
+  return arr;
+}
+
+}  // namespace
+
 PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
   PipelineResult result;
   clo::Rng rng(config_.seed);
@@ -20,11 +30,13 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
   embedding_ = std::make_unique<models::TransformEmbedding>(
       config_.embed_dim, rng);
   {
+    CLO_TRACE_SPAN("pipeline.dataset");
     Stopwatch w;
     ScopedTimer st(w);
     dataset_ = generate_dataset(evaluator, config_.dataset_size,
                                 config_.seq_len, rng, pool.get());
     result.dataset_seconds = w.seconds();
+    CLO_OBS_GAUGE("pipeline.dataset_seconds", result.dataset_seconds);
   }
   models::SurrogateConfig scfg;
   scfg.seq_len = config_.seq_len;
@@ -32,6 +44,7 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
   surrogate_ = models::make_surrogate(config_.surrogate, evaluator.circuit(),
                                       scfg, rng);
   {
+    CLO_TRACE_SPAN("pipeline.surrogate_train");
     Stopwatch w;
     ScopedTimer st(w);
     // Replicas only borrow the master's architecture; their init weights
@@ -45,6 +58,8 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
         train_surrogate(*surrogate_, *embedding_, dataset_,
                         config_.surrogate_train, rng, pool.get(), factory);
     result.surrogate_train_seconds = w.seconds();
+    CLO_OBS_GAUGE("pipeline.surrogate_train_seconds",
+                  result.surrogate_train_seconds);
   }
   CLO_LOG_INFO << evaluator.circuit().name() << ": surrogate '"
                << config_.surrogate << "' holdout mse "
@@ -57,6 +72,7 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
   dcfg.num_steps = config_.diffusion_steps;
   diffusion_ = std::make_unique<models::DiffusionModel>(dcfg, rng);
   {
+    CLO_TRACE_SPAN("pipeline.diffusion_train");
     Stopwatch w;
     ScopedTimer st(w);
     std::vector<std::vector<float>> data;
@@ -64,27 +80,33 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
     for (const auto& seq : dataset_.sequences) {
       data.push_back(embedding_->embed(seq));
     }
-    const auto ts = diffusion_->train(data, config_.diffusion_iters,
-                                      config_.diffusion_batch,
-                                      config_.diffusion_lr, rng);
+    result.diffusion_report = diffusion_->train(data, config_.diffusion_iters,
+                                                config_.diffusion_batch,
+                                                config_.diffusion_lr, rng);
     result.diffusion_train_seconds = w.seconds();
+    CLO_OBS_GAUGE("pipeline.diffusion_train_seconds",
+                  result.diffusion_train_seconds);
     CLO_LOG_INFO << evaluator.circuit().name() << ": diffusion loss "
-                 << ts.final_loss << " after " << ts.iterations << " iters";
+                 << result.diffusion_report.final_loss << " after "
+                 << result.diffusion_report.iterations << " iters";
   }
 
   // ---- Continuous optimization (lower half of Fig. 1) --------------------
   ContinuousOptimizer optimizer(*surrogate_, *diffusion_, *embedding_,
                                 config_.optimize);
   {
+    CLO_TRACE_SPAN("pipeline.optimize");
     Stopwatch w;
     ScopedTimer st(w);
     result.restarts = optimizer.run_restarts(rng, config_.restarts,
                                              pool.get());
     result.optimize_seconds = w.seconds();
+    CLO_OBS_GAUGE("pipeline.optimize_seconds", result.optimize_seconds);
   }
 
   // ---- Validation with real synthesis (outside the optimization loop) ----
   {
+    CLO_TRACE_SPAN("pipeline.validate");
     Stopwatch w;
     ScopedTimer st(w);
     // Label every restart in parallel, then pick the winner serially so
@@ -110,8 +132,79 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
       }
     }
     result.validate_seconds = w.seconds();
+    CLO_OBS_GAUGE("pipeline.validate_seconds", result.validate_seconds);
   }
   return result;
+}
+
+obs::Json pipeline_report(const PipelineResult& result,
+                          const EvaluatorStats& evaluator_stats) {
+  obs::Json report = obs::Json::object();
+  report["schema"] = obs::Json(std::string("clo.report.v1"));
+
+  obs::Json qor = obs::Json::object();
+  qor["original_area_um2"] = obs::Json(result.original.area_um2);
+  qor["original_delay_ps"] = obs::Json(result.original.delay_ps);
+  qor["best_area_um2"] = obs::Json(result.best.area_um2);
+  qor["best_delay_ps"] = obs::Json(result.best.delay_ps);
+  qor["best_sequence"] = obs::Json(opt::sequence_to_string(
+      result.best_sequence));
+  qor["best_discrepancy"] = obs::Json(result.best_discrepancy);
+  report["qor"] = qor;
+
+  obs::Json phases = obs::Json::object();
+  phases["dataset"] = obs::Json(result.dataset_seconds);
+  phases["surrogate_train"] = obs::Json(result.surrogate_train_seconds);
+  phases["diffusion_train"] = obs::Json(result.diffusion_train_seconds);
+  phases["optimize"] = obs::Json(result.optimize_seconds);
+  phases["validate"] = obs::Json(result.validate_seconds);
+  report["phase_seconds"] = phases;
+
+  obs::Json ev = obs::Json::object();
+  ev["queries"] = obs::Json(static_cast<std::uint64_t>(
+      evaluator_stats.queries));
+  ev["unique_runs"] = obs::Json(static_cast<std::uint64_t>(
+      evaluator_stats.unique_runs));
+  ev["cache_hits"] = obs::Json(static_cast<std::uint64_t>(
+      evaluator_stats.cache_hits));
+  ev["hit_rate"] = obs::Json(evaluator_stats.hit_rate);
+  ev["synth_seconds"] = obs::Json(evaluator_stats.synth_seconds);
+  report["evaluator"] = ev;
+
+  obs::Json surrogate = obs::Json::object();
+  surrogate["train_mse"] = obs::Json(result.surrogate_report.train_mse);
+  surrogate["holdout_mse"] = obs::Json(result.surrogate_report.holdout_mse);
+  surrogate["spearman_area"] =
+      obs::Json(result.surrogate_report.spearman_area);
+  surrogate["spearman_delay"] =
+      obs::Json(result.surrogate_report.spearman_delay);
+  surrogate["seconds"] = obs::Json(result.surrogate_report.seconds);
+  surrogate["loss_series"] = series_json(result.surrogate_report.epoch_loss);
+  report["surrogate"] = surrogate;
+
+  obs::Json diffusion = obs::Json::object();
+  diffusion["iterations"] = obs::Json(result.diffusion_report.iterations);
+  diffusion["final_loss"] = obs::Json(result.diffusion_report.final_loss);
+  diffusion["loss_series"] = series_json(result.diffusion_report.loss_curve);
+  report["diffusion"] = diffusion;
+
+  obs::Json restarts = obs::Json::array();
+  for (std::size_t i = 0; i < result.restarts.size(); ++i) {
+    const auto& r = result.restarts[i];
+    obs::Json entry = obs::Json::object();
+    entry["discrepancy"] = obs::Json(r.discrepancy);
+    entry["predicted_objective"] = obs::Json(r.predicted_objective);
+    entry["seconds"] = obs::Json(r.seconds);
+    if (i < result.restart_qor.size()) {
+      entry["area_um2"] = obs::Json(result.restart_qor[i].area_um2);
+      entry["delay_ps"] = obs::Json(result.restart_qor[i].delay_ps);
+    }
+    restarts.push_back(std::move(entry));
+  }
+  report["restarts"] = restarts;
+
+  report["metrics"] = obs::Registry::instance().snapshot().to_json();
+  return report;
 }
 
 }  // namespace clo::core

@@ -13,6 +13,8 @@
 #include "clo/core/evaluator.hpp"
 #include "clo/core/optimizer.hpp"
 #include "clo/core/trainer.hpp"
+#include "clo/models/diffusion.hpp"
+#include "clo/util/obs.hpp"
 
 namespace clo::core {
 
@@ -44,6 +46,7 @@ struct PipelineResult {
   opt::Sequence best_sequence;
   double best_discrepancy = 0.0;
   TrainReport surrogate_report;
+  models::DiffusionModel::TrainStats diffusion_report;
   // Timing buckets (seconds).
   double dataset_seconds = 0.0;
   double surrogate_train_seconds = 0.0;
@@ -77,5 +80,13 @@ class CloPipeline {
   std::unique_ptr<models::DiffusionModel> diffusion_;
   Dataset dataset_;
 };
+
+/// Serialize one pipeline run into the stable "clo.report.v1" JSON schema:
+/// QoR before/after, per-phase seconds, evaluator cache statistics,
+/// surrogate + diffusion loss series, per-restart discrepancy/QoR, and a
+/// snapshot of the global metrics registry. Shared by the shell `tune`
+/// command, the `--report` CLI flag, and the benches.
+obs::Json pipeline_report(const PipelineResult& result,
+                          const EvaluatorStats& evaluator_stats);
 
 }  // namespace clo::core

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "clo/nn/optim.hpp"
+#include "clo/util/obs.hpp"
 #include "clo/util/stats.hpp"
 #include "clo/util/thread_pool.hpp"
 #include "clo/util/timer.hpp"
@@ -136,7 +137,9 @@ TrainReport train_surrogate(models::SurrogateModel& model,
 
   nn::Adam opt(model.parameters(), config.lr);
   TrainReport report;
+  report.epoch_loss.reserve(config.epochs);
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    CLO_TRACE_SPAN("trainer.epoch");
     rng.shuffle(train);
     double epoch_loss = 0.0;
     int batches = 0;
@@ -161,6 +164,9 @@ TrainReport train_surrogate(models::SurrogateModel& model,
       ++batches;
     }
     report.train_mse = epoch_loss / std::max(1, batches) / 2.0;
+    report.epoch_loss.push_back(report.train_mse);
+    CLO_OBS_COUNT("trainer.epochs", 1);
+    CLO_OBS_OBSERVE("trainer.epoch_loss", report.train_mse);
   }
 
   // Holdout fidelity.
@@ -183,6 +189,9 @@ TrainReport train_surrogate(models::SurrogateModel& model,
     report.holdout_mse = mse / (2.0 * pa.size());
     report.spearman_area = clo::spearman(pa, ta);
     report.spearman_delay = clo::spearman(pd, td);
+    CLO_OBS_GAUGE("trainer.holdout_mse", report.holdout_mse);
+    CLO_OBS_GAUGE("trainer.spearman_area", report.spearman_area);
+    CLO_OBS_GAUGE("trainer.spearman_delay", report.spearman_delay);
   }
   watch.stop();
   report.seconds = watch.seconds();

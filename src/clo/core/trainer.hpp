@@ -30,6 +30,9 @@ struct TrainReport {
   double spearman_area = 0.0;
   double spearman_delay = 0.0;
   double seconds = 0.0;
+  /// Per-epoch mean training loss, in epoch order (the loss-curve series
+  /// surfaced by run reports).
+  std::vector<double> epoch_loss;
 };
 
 /// Builds a surrogate structurally identical to the model being trained

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "clo/nn/optim.hpp"
+#include "clo/util/obs.hpp"
 
 namespace clo::models {
 
@@ -140,6 +141,8 @@ DiffusionModel::TrainStats DiffusionModel::train(
   nn::Adam opt(unet_->parameters(), lr);
   TrainStats stats;
   double loss_avg = 0.0;
+  const int sample_every = std::max(1, iterations / 100);
+  CLO_TRACE_SPAN("diffusion.train");
   for (int it = 0; it < iterations; ++it) {
     const int B = batch_size;
     Tensor x = Tensor::zeros({B, d, L});
@@ -167,7 +170,12 @@ DiffusionModel::TrainStats DiffusionModel::train(
     loss_avg = 0.95 * loss_avg + 0.05 * loss.item();
     stats.iterations = it + 1;
     stats.final_loss = loss_avg;
+    if (it % sample_every == 0 || it == iterations - 1) {
+      stats.loss_curve.push_back(loss_avg);
+    }
+    CLO_OBS_COUNT("diffusion.iterations", 1);
   }
+  CLO_OBS_GAUGE("diffusion.final_loss", stats.final_loss);
   return stats;
 }
 

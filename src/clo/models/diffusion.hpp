@@ -88,6 +88,9 @@ class DiffusionModel {
   struct TrainStats {
     int iterations = 0;
     double final_loss = 0.0;
+    /// Smoothed loss sampled ~100 times across training (last iteration
+    /// always included) — the loss-curve series surfaced by run reports.
+    std::vector<double> loss_curve;
   };
 
   /// Algorithm 1: train the denoiser on N flattened [L*d] sequences.

@@ -1,8 +1,29 @@
 #include "clo/opt/transform.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
+#include "clo/util/obs.hpp"
+
 namespace clo::opt {
+namespace {
+
+/// Static histogram name per transform kind (observe() takes a string and
+/// this path runs once per transform application).
+[[maybe_unused]] const char* transform_metric_name(Transform t) {
+  switch (t) {
+    case Transform::kRw: return "opt.seconds.rw";
+    case Transform::kRwz: return "opt.seconds.rwz";
+    case Transform::kRf: return "opt.seconds.rf";
+    case Transform::kRfz: return "opt.seconds.rfz";
+    case Transform::kRs: return "opt.seconds.rs";
+    case Transform::kRsz: return "opt.seconds.rsz";
+    case Transform::kB: return "opt.seconds.b";
+  }
+  return "opt.seconds.unknown";
+}
+
+}  // namespace
 
 const char* transform_name(Transform t) {
   switch (t) {
@@ -85,7 +106,18 @@ PassStats apply_transform(aig::Aig& g, Transform t) {
 std::vector<PassStats> run_sequence(aig::Aig& g, const Sequence& seq) {
   std::vector<PassStats> stats;
   stats.reserve(seq.size());
-  for (Transform t : seq) stats.push_back(apply_transform(g, t));
+  for (Transform t : seq) {
+    if (CLO_OBS_RUNTIME_ENABLED()) {
+      const auto begin = std::chrono::steady_clock::now();
+      stats.push_back(apply_transform(g, t));
+      CLO_OBS_OBSERVE(transform_metric_name(t),
+                      std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - begin)
+                          .count());
+    } else {
+      stats.push_back(apply_transform(g, t));
+    }
+  }
   return stats;
 }
 

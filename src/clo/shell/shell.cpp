@@ -6,12 +6,15 @@
 #include <sstream>
 #include <stdexcept>
 
+#include <iostream>
+
 #include "clo/aig/io.hpp"
 #include "clo/aig/simulate.hpp"
 #include "clo/circuits/generators.hpp"
 #include "clo/core/pipeline.hpp"
 #include "clo/opt/transform.hpp"
 #include "clo/techmap/tech_map.hpp"
+#include "clo/util/obs.hpp"
 #include "clo/util/rng.hpp"
 
 namespace clo::shell {
@@ -44,7 +47,33 @@ Shell::Shell() : library_(techmap::CellLibrary::asap7()) {
   register_commands();
 }
 
-Shell::~Shell() = default;
+Shell::~Shell() {
+  if (!trace_path_.empty()) {
+    if (obs::write_trace_file(trace_path_)) {
+      std::cerr << "wrote trace to " << trace_path_ << "\n";
+    } else {
+      std::cerr << "error: cannot write trace to " << trace_path_ << "\n";
+    }
+  }
+  if (print_metrics_) {
+    std::cerr << obs::Registry::instance().snapshot().format_table();
+  }
+}
+
+void Shell::set_trace_path(std::string path) {
+  trace_path_ = std::move(path);
+  obs::set_enabled(true);
+}
+
+void Shell::set_report_path(std::string path) {
+  report_path_ = std::move(path);
+  obs::set_enabled(true);
+}
+
+void Shell::set_print_metrics(bool on) {
+  print_metrics_ = on;
+  if (on) obs::set_enabled(true);
+}
 
 aig::Aig& Shell::need_design() {
   if (!design_) {
@@ -230,6 +259,31 @@ void Shell::register_commands() {
              << r.best.delay_ps << "\n";
          out << "sequence : " << opt::sequence_to_string(r.best_sequence)
              << "\n";
+         if (!sh.report_path_.empty()) {
+           const auto report = core::pipeline_report(r, evaluator.snapshot());
+           if (!obs::write_json_file(sh.report_path_, report)) {
+             throw std::runtime_error("cannot write report to " +
+                                      sh.report_path_);
+           }
+           out << "report   : " << sh.report_path_ << "\n";
+         }
+         return true;
+       }});
+  commands_.push_back(
+      {"metrics",
+       "metrics [reset] — print the obs metrics table (or clear it)",
+       [](Shell&, const auto& args, std::ostream& out) {
+         if (args.size() > 1 && args[1] == "reset") {
+           obs::Registry::instance().reset();
+           out << "metrics reset\n";
+           return true;
+         }
+         if (!obs::enabled()) {
+           out << "observability is disabled (run with --metrics, --trace,"
+                  " or --report)\n";
+           return true;
+         }
+         out << obs::Registry::instance().snapshot().format_table();
          return true;
        }});
   commands_.push_back(

@@ -39,6 +39,14 @@ class Shell {
   void set_threads(int n) { threads_ = n; }
   int threads() const { return threads_; }
 
+  /// Observability hooks (each implies obs::set_enabled(true)):
+  /// write a Chrome trace-event file on shutdown,
+  void set_trace_path(std::string path);
+  /// write the "clo.report.v1" JSON after every `tune`,
+  void set_report_path(std::string path);
+  /// print the metrics table to stderr on shutdown.
+  void set_print_metrics(bool on);
+
  private:
   struct Command;
   void register_commands();
@@ -50,6 +58,9 @@ class Shell {
   std::vector<Command> commands_;
   bool last_failed_ = false;
   int threads_ = 1;
+  std::string trace_path_;
+  std::string report_path_;
+  bool print_metrics_ = false;
 };
 
 }  // namespace clo::shell

@@ -1,14 +1,38 @@
 #include "clo/util/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <mutex>
 
 namespace clo {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::mutex g_mutex;
+
+/// Initial threshold: the CLO_LOG_LEVEL environment variable when set and
+/// recognized (debug/info/warn/error, case-insensitive), else kInfo.
+LogLevel level_from_env() {
+  const char* env = std::getenv("CLO_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  std::string name;
+  for (const char* p = env; *p != '\0'; ++p) {
+    name += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel>& level_ref() {
+  static std::atomic<LogLevel> level{level_from_env()};
+  return level;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,15 +44,42 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+/// Small sequential id per logging thread (stable within a run, far more
+/// readable than the platform thread id).
+int thread_tag() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1);
+  return id;
+}
+
+/// ISO-8601 UTC timestamp with millisecond resolution.
+void format_timestamp(char* buf, std::size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char date[32];
+  std::strftime(date, sizeof date, "%Y-%m-%dT%H:%M:%S", &tm);
+  std::snprintf(buf, size, "%s.%03dZ", date, millis);
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+void set_log_level(LogLevel level) { level_ref().store(level); }
+LogLevel log_level() { return level_ref().load(); }
 
 void log_line(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  if (static_cast<int>(level) < static_cast<int>(level_ref().load())) return;
+  char stamp[48];
+  format_timestamp(stamp, sizeof stamp);
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  std::fprintf(stderr, "%s [%-5s] [t%02d] %s\n", stamp, level_name(level),
+               thread_tag(), msg.c_str());
 }
 
 }  // namespace clo

@@ -1,5 +1,12 @@
 #pragma once
-// Minimal leveled logging to stderr with a global threshold.
+// Minimal leveled logging to stderr with a global threshold. Each line is
+// prefixed with an ISO-8601 UTC timestamp, the level tag, and a small
+// per-thread id, e.g.:
+//
+//   2026-08-05T12:34:56.789Z [INFO ] [t00] c432: surrogate ...
+//
+// The initial threshold honors the CLO_LOG_LEVEL environment variable
+// (debug/info/warn/error, case-insensitive); set_log_level overrides it.
 
 #include <sstream>
 #include <string>
@@ -8,7 +15,7 @@ namespace clo {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Set the minimum level that is emitted (default kInfo).
+/// Set the minimum level that is emitted (default kInfo, or CLO_LOG_LEVEL).
 void set_log_level(LogLevel level);
 LogLevel log_level();
 

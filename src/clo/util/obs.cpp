@@ -1,0 +1,681 @@
+#include "clo/util/obs.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "clo/util/log.hpp"
+
+namespace clo::obs {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// ---------------------------------------------------------------------------
+// Metrics storage: one shard per thread, merged on snapshot.
+// ---------------------------------------------------------------------------
+
+struct HistogramCells {
+  std::shared_ptr<const std::vector<double>> bounds;
+  std::vector<std::uint64_t> buckets;  // bounds->size() + 1
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct Shard {
+  std::mutex mu;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, HistogramCells> histograms;
+};
+
+struct MetricsState {
+  std::mutex mu;  // guards shards list, gauges, and bucket definitions
+  std::vector<std::shared_ptr<Shard>> shards;
+  std::map<std::string, double> gauges;
+  std::map<std::string, std::shared_ptr<const std::vector<double>>> bounds;
+};
+
+MetricsState& metrics_state() {
+  static MetricsState* state = new MetricsState();
+  return *state;
+}
+
+/// 3 log-spaced buckets per decade over 1e-6..1e3 seconds.
+std::shared_ptr<const std::vector<double>> default_bounds() {
+  static const auto kBounds = [] {
+    auto b = std::make_shared<std::vector<double>>();
+    for (int decade = -6; decade <= 2; ++decade) {
+      for (double mantissa : {1.0, 2.1544346900318838, 4.6415888336127775}) {
+        b->push_back(mantissa * std::pow(10.0, decade));
+      }
+    }
+    b->push_back(1e3);
+    return std::shared_ptr<const std::vector<double>>(b);
+  }();
+  return kBounds;
+}
+
+Shard& local_shard() {
+  thread_local std::shared_ptr<Shard> shard = [] {
+    auto s = std::make_shared<Shard>();
+    MetricsState& state = metrics_state();
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.shards.push_back(s);
+    return s;
+  }();
+  return *shard;
+}
+
+std::shared_ptr<const std::vector<double>> bounds_for(const std::string& name) {
+  MetricsState& state = metrics_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.bounds.find(name);
+  return it == state.bounds.end() ? default_bounds() : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Trace storage: one append-only event buffer per thread.
+// ---------------------------------------------------------------------------
+
+struct TraceEvent {
+  const char* label;
+  std::uint64_t ts_ns;  // since trace epoch
+  char phase;           // 'B' or 'E'
+};
+
+struct TraceBuffer {
+  std::mutex mu;
+  int tid = 0;
+  std::vector<TraceEvent> events;
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+TraceState& trace_state() {
+  static TraceState* state = new TraceState();
+  return *state;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - trace_state().epoch)
+          .count());
+}
+
+TraceBuffer& local_trace_buffer() {
+  thread_local std::shared_ptr<TraceBuffer> buffer = [] {
+    auto b = std::make_shared<TraceBuffer>();
+    TraceState& state = trace_state();
+    std::lock_guard<std::mutex> lock(state.mu);
+    b->tid = static_cast<int>(state.buffers.size());
+    state.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+void record_event(const char* label, char phase) {
+  TraceBuffer& buf = local_trace_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back({label, now_ns(), phase});
+}
+
+// ---------------------------------------------------------------------------
+// JSON helpers.
+// ---------------------------------------------------------------------------
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", std::isfinite(v) ? v : 0.0);
+  out += buf;
+}
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos) + ": " + what);
+  }
+  void skip_ws() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' ||
+                                 text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  char peek() {
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (text.compare(pos, n, lit) != 0) return false;
+    pos += n;
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos >= text.size()) fail("unterminated string");
+      char c = text[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) fail("bad escape");
+      char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Encode the BMP code point as UTF-8 (surrogate pairs unneeded
+          // for anything this codebase writes).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Json parse_value() {
+    skip_ws();
+    char c = peek();
+    if (c == '{') {
+      ++pos;
+      Json obj = Json::object();
+      skip_ws();
+      if (peek() == '}') {
+        ++pos;
+        return obj;
+      }
+      while (true) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        obj[key] = parse_value();
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect('}');
+        return obj;
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      Json arr = Json::array();
+      skip_ws();
+      if (peek() == ']') {
+        ++pos;
+        return arr;
+      }
+      while (true) {
+        arr.push_back(parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos;
+          continue;
+        }
+        expect(']');
+        return arr;
+      }
+    }
+    if (c == '"') return Json(parse_string());
+    if (consume_literal("true")) return Json(true);
+    if (consume_literal("false")) return Json(false);
+    if (consume_literal("null")) return Json();
+    // Number.
+    const std::size_t start = pos;
+    if (peek() == '-') ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      ++pos;
+    }
+    if (pos == start) fail("unexpected character");
+    try {
+      return Json(std::stod(text.substr(start, pos - start)));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Runtime switch.
+// ---------------------------------------------------------------------------
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+// ---------------------------------------------------------------------------
+// Json.
+// ---------------------------------------------------------------------------
+
+Json& Json::operator[](const std::string& key) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  if (kind_ != Kind::kObject) {
+    throw std::logic_error("Json::operator[]: not an object");
+  }
+  for (auto& [k, v] : obj_) {
+    if (k == key) return v;
+  }
+  obj_.emplace_back(key, Json());
+  return obj_.back().second;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::push_back(Json v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  if (kind_ != Kind::kArray) {
+    throw std::logic_error("Json::push_back: not an array");
+  }
+  arr_.push_back(std::move(v));
+}
+
+std::size_t Json::size() const {
+  if (kind_ == Kind::kArray) return arr_.size();
+  if (kind_ == Kind::kObject) return obj_.size();
+  return 0;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline_pad = [&](int d) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * d, ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: append_number(out, num_); break;
+    case Kind::kString: append_escaped(out, str_); break;
+    case Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        newline_pad(depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) newline_pad(depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out += ',';
+        newline_pad(depth + 1);
+        append_escaped(out, obj_[i].first);
+        out += indent > 0 ? ": " : ":";
+        obj_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) newline_pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+Json Json::parse(const std::string& text) {
+  Parser parser{text};
+  Json value = parser.parse_value();
+  parser.skip_ws();
+  if (parser.pos != text.size()) parser.fail("trailing content");
+  return value;
+}
+
+bool write_json_file(const std::string& path, const Json& value) {
+  std::ofstream f(path);
+  if (!f) {
+    CLO_LOG_ERROR << "cannot write " << path;
+    return false;
+  }
+  f << value.dump(2) << "\n";
+  return static_cast<bool>(f);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry.
+// ---------------------------------------------------------------------------
+
+double HistogramSummary::percentile(double p) const {
+  if (count == 0) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(count);
+  // The exact extremes anchor the ends; in between, interpolate within the
+  // bucket containing the rank (the observed min doubles as the first
+  // occupied bucket's lower edge, the observed max as the overflow
+  // bucket's upper edge — Prometheus-style approximation).
+  if (rank <= 0.0) return min;
+  if (rank >= static_cast<double>(count)) return max;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets[b];
+    if (rank > static_cast<double>(cumulative)) continue;
+    const double lower = b == 0 ? min : bounds[b - 1];
+    const double upper = b < bounds.size() ? bounds[b] : max;
+    const double frac = (rank - before) / static_cast<double>(buckets[b]);
+    return std::max(lower + (upper - lower) * frac, min);
+  }
+  return max;
+}
+
+Registry& Registry::instance() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+void Registry::add_counter(const std::string& name, std::uint64_t delta) {
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.counters[name] += delta;
+}
+
+void Registry::set_gauge(const std::string& name, double value) {
+  MetricsState& state = metrics_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.gauges[name] = value;
+}
+
+void Registry::define_histogram(const std::string& name,
+                                std::vector<double> bounds) {
+  MetricsState& state = metrics_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.bounds[name] =
+      std::make_shared<const std::vector<double>>(std::move(bounds));
+}
+
+void Registry::observe(const std::string& name, double value) {
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.histograms.find(name);
+  if (it == shard.histograms.end()) {
+    HistogramCells cells;
+    cells.bounds = bounds_for(name);
+    cells.buckets.assign(cells.bounds->size() + 1, 0);
+    it = shard.histograms.emplace(name, std::move(cells)).first;
+  }
+  HistogramCells& h = it->second;
+  std::size_t b = 0;
+  while (b < h.bounds->size() && value > (*h.bounds)[b]) ++b;
+  ++h.buckets[b];
+  if (h.count == 0 || value < h.min) h.min = value;
+  if (h.count == 0 || value > h.max) h.max = value;
+  h.sum += value;
+  ++h.count;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  MetricsState& state = metrics_state();
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    shards = state.shards;
+    snap.gauges = state.gauges;
+  }
+  for (const auto& shard : shards) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [name, value] : shard->counters) {
+      snap.counters[name] += value;
+    }
+    for (const auto& [name, cells] : shard->histograms) {
+      if (cells.count == 0) continue;
+      HistogramSummary& merged = snap.histograms[name];
+      if (merged.bounds.empty()) {
+        merged.bounds = *cells.bounds;
+        merged.buckets.assign(merged.bounds.size() + 1, 0);
+      }
+      for (std::size_t b = 0; b < cells.buckets.size(); ++b) {
+        merged.buckets[b] += cells.buckets[b];
+      }
+      merged.min = merged.count == 0 ? cells.min : std::min(merged.min, cells.min);
+      merged.max = merged.count == 0 ? cells.max : std::max(merged.max, cells.max);
+      merged.sum += cells.sum;
+      merged.count += cells.count;
+    }
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  MetricsState& state = metrics_state();
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    shards = state.shards;
+    state.gauges.clear();
+  }
+  for (const auto& shard : shards) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->counters.clear();
+    shard->histograms.clear();
+  }
+}
+
+Json MetricsSnapshot::to_json() const {
+  Json root = Json::object();
+  Json& counter_obj = root["counters"];
+  counter_obj = Json::object();
+  for (const auto& [name, value] : counters) counter_obj[name] = Json(value);
+  Json& gauge_obj = root["gauges"];
+  gauge_obj = Json::object();
+  for (const auto& [name, value] : gauges) gauge_obj[name] = Json(value);
+  Json& hist_obj = root["histograms"];
+  hist_obj = Json::object();
+  for (const auto& [name, h] : histograms) {
+    Json entry = Json::object();
+    entry["count"] = Json(h.count);
+    entry["sum"] = Json(h.sum);
+    entry["mean"] = Json(h.mean());
+    entry["min"] = Json(h.min);
+    entry["max"] = Json(h.max);
+    entry["p50"] = Json(h.percentile(50));
+    entry["p90"] = Json(h.percentile(90));
+    entry["p99"] = Json(h.percentile(99));
+    hist_obj[name] = std::move(entry);
+  }
+  return root;
+}
+
+std::string MetricsSnapshot::format_table() const {
+  std::ostringstream os;
+  os << "-- counters --\n";
+  for (const auto& [name, value] : counters) {
+    os << "  " << name << " = " << value << "\n";
+  }
+  os << "-- gauges --\n";
+  for (const auto& [name, value] : gauges) {
+    os << "  " << name << " = " << value << "\n";
+  }
+  os << "-- histograms (count mean p50 p90 p99 max) --\n";
+  for (const auto& [name, h] : histograms) {
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "  %s: n=%llu mean=%.6g p50=%.6g p90=%.6g p99=%.6g "
+                  "max=%.6g\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.mean(), h.percentile(50), h.percentile(90),
+                  h.percentile(99), h.max);
+    os << line;
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Tracing.
+// ---------------------------------------------------------------------------
+
+ScopedSpan::ScopedSpan(const char* label)
+    : label_(label), active_(enabled()) {
+  if (active_) record_event(label_, 'B');
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (active_) record_event(label_, 'E');
+}
+
+void write_trace(std::ostream& os) {
+  Json root = Json::object();
+  root["displayTimeUnit"] = "ms";
+  Json& events = root["traceEvents"];
+  events = Json::array();
+  TraceState& state = trace_state();
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    buffers = state.buffers;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    for (const auto& event : buffer->events) {
+      Json e = Json::object();
+      e["name"] = event.label;
+      e["cat"] = "clo";
+      e["ph"] = std::string(1, event.phase);
+      e["ts"] = Json(static_cast<double>(event.ts_ns) / 1000.0);
+      e["pid"] = 1;
+      e["tid"] = buffer->tid;
+      events.push_back(std::move(e));
+    }
+  }
+  os << root.dump(1) << "\n";
+}
+
+bool write_trace_file(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) {
+    CLO_LOG_ERROR << "cannot write " << path;
+    return false;
+  }
+  write_trace(f);
+  return static_cast<bool>(f);
+}
+
+void reset_trace() {
+  TraceState& state = trace_state();
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    buffers = state.buffers;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+std::size_t trace_event_count() {
+  TraceState& state = trace_state();
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    buffers = state.buffers;
+  }
+  std::size_t n = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+}  // namespace clo::obs

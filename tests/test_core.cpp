@@ -18,10 +18,13 @@ TEST(QorEvaluator, CachesSequences) {
   core::QorEvaluator ev(circuits::make_benchmark("ctrl"));
   const auto seq = opt::parse_sequence("b;rw");
   const auto q1 = ev.evaluate(seq);
-  const auto runs = ev.num_synthesis_runs();
+  const auto runs = ev.snapshot().unique_runs;
   const auto q2 = ev.evaluate(seq);
-  EXPECT_EQ(ev.num_synthesis_runs(), runs);  // cache hit
-  EXPECT_EQ(ev.num_queries(), 2u);
+  const auto stats = ev.snapshot();
+  EXPECT_EQ(stats.unique_runs, runs);  // cache hit
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate, 0.5);
   EXPECT_DOUBLE_EQ(q1.area_um2, q2.area_um2);
   EXPECT_DOUBLE_EQ(q1.delay_ps, q2.delay_ps);
 }
@@ -45,9 +48,17 @@ TEST(QorEvaluator, GoodSequencesBeatOriginal) {
 
 TEST(QorEvaluator, TracksSynthesisTime) {
   core::QorEvaluator ev(circuits::make_benchmark("router"));
-  EXPECT_DOUBLE_EQ(ev.synthesis_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(ev.snapshot().synth_seconds, 0.0);
   ev.evaluate(opt::parse_sequence("rw;rf;rs"));
-  EXPECT_GT(ev.synthesis_seconds(), 0.0);
+  EXPECT_GT(ev.snapshot().synth_seconds, 0.0);
+  ev.reset_stats();
+  const auto stats = ev.snapshot();
+  EXPECT_EQ(stats.queries, 0u);
+  EXPECT_EQ(stats.unique_runs, 0u);
+  EXPECT_DOUBLE_EQ(stats.synth_seconds, 0.0);
+  // The memo cache survives a stats reset: re-evaluating counts as a hit.
+  ev.evaluate(opt::parse_sequence("rw;rf;rs"));
+  EXPECT_EQ(ev.snapshot().cache_hits, 1u);
 }
 
 TEST(Dataset, GenerationAndNormalization) {

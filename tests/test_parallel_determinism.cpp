@@ -14,6 +14,7 @@
 #include "clo/models/diffusion.hpp"
 #include "clo/models/embedding.hpp"
 #include "clo/models/surrogate.hpp"
+#include "clo/util/obs.hpp"
 #include "clo/util/thread_pool.hpp"
 
 namespace {
@@ -104,12 +105,51 @@ TEST(ParallelDeterminism, EvaluatorSafeUnderConcurrentCallers) {
     EXPECT_EQ(got[i].area_um2, expected[i % seqs.size()].area_um2);
     EXPECT_EQ(got[i].delay_ps, expected[i % seqs.size()].delay_ps);
   }
-  EXPECT_EQ(ev.num_queries(), got.size());
+  const auto stats = ev.snapshot();
+  EXPECT_EQ(stats.queries, got.size());
   // Duplicate computes on cache races are benign but bounded by the query
   // count; at least every distinct sequence ran once.
-  EXPECT_GE(ev.num_synthesis_runs(), seqs.size());
-  EXPECT_LE(ev.num_synthesis_runs(), got.size());
-  EXPECT_GT(ev.synthesis_seconds(), 0.0);
+  EXPECT_GE(stats.unique_runs, seqs.size());
+  EXPECT_LE(stats.unique_runs, got.size());
+  EXPECT_GT(stats.synth_seconds, 0.0);
+}
+
+/// Turns tracing + metrics on for one scope and restores the disabled
+/// default afterwards, leaving no events behind for other tests.
+struct ObsEnabledScope {
+  ObsEnabledScope() { obs::set_enabled(true); }
+  ~ObsEnabledScope() {
+    obs::set_enabled(false);
+    obs::reset_trace();
+    obs::Registry::instance().reset();
+  }
+};
+
+TEST(ParallelDeterminism, InstrumentationDoesNotPerturbResults) {
+  // Reference run with observability off (the default).
+  const auto plain = run_restarts(nullptr);
+
+  // Same computation with tracing + metrics recording on, in parallel.
+  ObsEnabledScope scope;
+  util::ThreadPool pool8(8);
+  const auto traced = run_restarts(&pool8);
+
+  ASSERT_EQ(plain.size(), traced.size());
+  for (std::size_t r = 0; r < plain.size(); ++r) {
+    EXPECT_EQ(plain[r].sequence, traced[r].sequence) << "restart " << r;
+    ASSERT_EQ(plain[r].latent.size(), traced[r].latent.size());
+    EXPECT_EQ(0, std::memcmp(plain[r].latent.data(), traced[r].latent.data(),
+                             plain[r].latent.size() * sizeof(float)))
+        << "restart " << r;
+    EXPECT_EQ(plain[r].discrepancy, traced[r].discrepancy);
+    EXPECT_EQ(plain[r].predicted_objective, traced[r].predicted_objective);
+  }
+#if !defined(CLO_OBS_DISABLE)
+  // The instrumented run actually recorded spans and counters.
+  EXPECT_GT(obs::trace_event_count(), 0u);
+  const auto snap = obs::Registry::instance().snapshot();
+  EXPECT_GT(snap.counters.at("optimizer.denoise_steps"), 0u);
+#endif
 }
 
 }  // namespace

@@ -7,6 +7,11 @@
 // Options:
 //   --threads N   worker threads for `tune` (default 0 = hardware
 //                 concurrency; 1 runs fully serial)
+//   --trace F     write a Chrome trace-event JSON (chrome://tracing,
+//                 Perfetto) of the session to F on exit
+//   --report F    write the machine-readable "clo.report.v1" JSON of the
+//                 last `tune` run to F
+//   --metrics     print the metrics table to stderr on exit
 
 #include <cstdlib>
 #include <fstream>
@@ -29,6 +34,26 @@ int main(int argc, char** argv) {
         return 1;
       }
       shell.set_threads(std::atoi(argv[++i]));
+      continue;
+    }
+    if (arg == "--trace") {
+      if (i + 1 >= argc) {
+        std::cerr << "--trace needs a file name\n";
+        return 1;
+      }
+      shell.set_trace_path(argv[++i]);
+      continue;
+    }
+    if (arg == "--report") {
+      if (i + 1 >= argc) {
+        std::cerr << "--report needs a file name\n";
+        return 1;
+      }
+      shell.set_report_path(argv[++i]);
+      continue;
+    }
+    if (arg == "--metrics") {
+      shell.set_print_metrics(true);
       continue;
     }
     args.push_back(arg);
