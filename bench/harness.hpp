@@ -38,6 +38,7 @@ struct ExperimentScale {
   std::string surrogate = "cnn";
   std::uint64_t seed = 1;
   int threads = 0;            ///< 0 = hardware concurrency, 1 = serial
+  bool batch = true;          ///< false = per-restart fallback (--no-batch)
 };
 
 /// Observability artifacts a bench was asked for on its command line.
@@ -159,6 +160,7 @@ inline core::PipelineConfig pipeline_config_for(const ExperimentScale& scale) {
   cfg.optimize.omega = scale.omega;
   cfg.seed = scale.seed;
   cfg.threads = scale.threads;
+  cfg.batch = scale.batch;
   return cfg;
 }
 
@@ -200,7 +202,8 @@ inline MethodResult run_ours(const aig::Aig& circuit,
     core::ContinuousOptimizer optimizer(*pipeline.surrogate(),
                                         *pipeline.diffusion(),
                                         *pipeline.embedding(), params);
-    const auto runs = optimizer.run_restarts(rng, scale.restarts, pool.get());
+    const auto runs =
+        optimizer.run_restarts(rng, scale.restarts, pool.get(), scale.batch);
     std::vector<core::Qor> qors(runs.size());
     util::parallel_for(pool.get(), runs.size(), [&](std::size_t r) {
       qors[r] = ev.evaluate(runs[r].sequence);  // validation, not counted

@@ -21,34 +21,53 @@ Qor QorEvaluator::evaluate(const opt::Sequence& seq) {
   const std::string key = opt::sequence_to_string(seq);
   Shard& shard = shard_for(key);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.cache.find(key);
-    if (it != shard.cache.end()) {
-      num_hits_.fetch_add(1, std::memory_order_relaxed);
-      CLO_OBS_COUNT("evaluator.cache_hits", 1);
-      return it->second;
+    std::unique_lock<std::mutex> lock(shard.mu);
+    for (;;) {
+      auto it = shard.cache.find(key);
+      if (it != shard.cache.end()) {
+        num_hits_.fetch_add(1, std::memory_order_relaxed);
+        CLO_OBS_COUNT("evaluator.cache_hits", 1);
+        return it->second;
+      }
+      // Single-flight: if another thread is already synthesizing this key,
+      // wait for its insert instead of duplicating the run; re-check the
+      // cache on every wake (the wake may be for a different key of this
+      // shard, or the owner may have failed and handed the miss back).
+      if (shard.inflight.count(key) == 0) break;
+      shard.cv.wait(lock);
     }
+    shard.inflight.insert(key);
   }
-  // Miss: synthesize outside the lock so concurrent evaluations of
+  // Miss owner: synthesize outside the lock so concurrent evaluations of
   // *different* sequences never serialize on the expensive part.
   CLO_TRACE_SPAN("evaluator.synthesize");
   const auto begin = std::chrono::steady_clock::now();
   num_runs_.fetch_add(1, std::memory_order_relaxed);
   CLO_OBS_COUNT("evaluator.synthesis_runs", 1);
-  aig::Aig g = circuit_;
-  opt::run_sequence(g, seq);
-  // Report the Pareto endpoints, like ABC's map + area recovery: the area
-  // of an area-oriented cover and the delay of a delay-oriented cover.
-  techmap::MapParams area_params = map_params_;
-  area_params.objective = techmap::MapParams::Objective::kArea;
-  techmap::MapParams delay_params = map_params_;
-  delay_params.objective = techmap::MapParams::Objective::kDelay;
-  const auto area_mapped = techmap::tech_map(g, lib_, area_params);
-  const auto delay_mapped = techmap::tech_map(g, lib_, delay_params);
-  // Keep the better cover per metric: area flow is a heuristic, so either
-  // objective can occasionally win on the other's metric.
-  const Qor qor{std::min(area_mapped.area_um2, delay_mapped.area_um2),
-                std::min(area_mapped.delay_ps, delay_mapped.delay_ps)};
+  Qor qor;
+  try {
+    aig::Aig g = circuit_;
+    opt::run_sequence(g, seq);
+    // Report the Pareto endpoints, like ABC's map + area recovery: the
+    // area of an area-oriented cover and the delay of a delay-oriented
+    // cover.
+    techmap::MapParams area_params = map_params_;
+    area_params.objective = techmap::MapParams::Objective::kArea;
+    techmap::MapParams delay_params = map_params_;
+    delay_params.objective = techmap::MapParams::Objective::kDelay;
+    const auto area_mapped = techmap::tech_map(g, lib_, area_params);
+    const auto delay_mapped = techmap::tech_map(g, lib_, delay_params);
+    // Keep the better cover per metric: area flow is a heuristic, so
+    // either objective can occasionally win on the other's metric.
+    qor = Qor{std::min(area_mapped.area_um2, delay_mapped.area_um2),
+              std::min(area_mapped.delay_ps, delay_mapped.delay_ps)};
+  } catch (...) {
+    // Hand the miss back so waiters retry rather than hang.
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.inflight.erase(key);
+    shard.cv.notify_all();
+    throw;
+  }
   const std::uint64_t elapsed_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - begin)
@@ -59,6 +78,8 @@ Qor QorEvaluator::evaluate(const opt::Sequence& seq) {
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.cache.emplace(key, qor);
+    shard.inflight.erase(key);
+    shard.cv.notify_all();
   }
   return qor;
 }

@@ -7,20 +7,25 @@
 //
 // Thread-safety contract: evaluate() may be called concurrently from any
 // number of threads. The memo cache is sharded (hash of the sequence key
-// picks a mutex-guarded shard) and synthesis itself runs outside any lock;
-// two threads racing on the same uncached sequence may both synthesize,
-// but the result is a pure function of the sequence so either insert wins
-// with an identical value. Counters are atomic, and synthesis wall time is
-// accumulated per call as atomic nanoseconds, so concurrent runs sum their
-// (possibly overlapping) synthesis intervals — the same "total ABC time"
-// bucket the serial accounting reports.
+// picks a mutex-guarded shard) and synthesis itself runs outside any lock.
+// Misses are single-flight per key: the first thread to miss synthesizes,
+// and any thread racing on the same key waits on the shard's condition
+// variable for that result instead of duplicating the run — so
+// `unique_runs` counts exactly one synthesis per distinct sequence and
+// `synth_seconds` never double-bills a sequence. Counters are atomic, and
+// synthesis wall time is accumulated per call as atomic nanoseconds, so
+// concurrent runs of *different* sequences still sum their (possibly
+// overlapping) intervals — the same "total ABC time" bucket the serial
+// accounting reports.
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 
 #include "clo/aig/aig.hpp"
@@ -72,7 +77,9 @@ class QorEvaluator {
   static constexpr std::size_t kNumShards = 16;
   struct Shard {
     std::mutex mu;
+    std::condition_variable cv;         ///< signaled when an in-flight key lands
     std::map<std::string, Qor> cache;
+    std::set<std::string> inflight;     ///< keys some thread is synthesizing
   };
 
   Shard& shard_for(const std::string& key);

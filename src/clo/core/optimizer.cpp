@@ -1,5 +1,6 @@
 #include "clo/core/optimizer.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "clo/nn/ops.hpp"
@@ -11,6 +12,23 @@ namespace clo::core {
 
 using nn::Tensor;
 
+namespace {
+
+/// Clip a gradient to L2 norm `max_norm` — keeps the guidance term
+/// well-scaled vs the noise term. Shared by the per-restart and batched
+/// objective paths (per restart, so batching cannot change the clip).
+void clip_gradient(std::vector<float>* grad, double max_norm) {
+  double norm2 = 0.0;
+  for (float g : *grad) norm2 += static_cast<double>(g) * g;
+  const double norm = std::sqrt(norm2);
+  if (norm > max_norm && norm > 0.0) {
+    const float s = static_cast<float>(max_norm / norm);
+    for (auto& g : *grad) g *= s;
+  }
+}
+
+}  // namespace
+
 ContinuousOptimizer::ContinuousOptimizer(
     models::SurrogateModel& surrogate, models::DiffusionModel& diffusion,
     const models::TransformEmbedding& embedding, OptimizeParams params)
@@ -19,25 +37,77 @@ ContinuousOptimizer::ContinuousOptimizer(
 
 double ContinuousOptimizer::objective_and_grad(const std::vector<float>& x,
                                                std::vector<float>* grad) {
+  if (grad == nullptr) {
+    // Inference-only query: no autograd graph at all. (The old path built
+    // and retained the full graph just to read one scalar.)
+    nn::NoGradGuard no_grad;
+    Tensor input = Tensor::from_data({1, static_cast<int>(x.size())}, x);
+    auto out = surrogate_.forward(input);
+    Tensor objective =
+        nn::add(nn::scale(out.area, static_cast<float>(params_.weight_area)),
+                nn::scale(out.delay, static_cast<float>(params_.weight_delay)));
+    return objective.item();
+  }
   Tensor input = Tensor::from_data(
       {1, static_cast<int>(x.size())}, x, /*requires_grad=*/true);
   auto out = surrogate_.forward(input);
   Tensor objective =
       nn::add(nn::scale(out.area, static_cast<float>(params_.weight_area)),
               nn::scale(out.delay, static_cast<float>(params_.weight_delay)));
-  if (grad != nullptr) {
-    nn::backward(objective);
-    *grad = input.grad();
-    // Clip to keep the guidance term well-scaled vs the noise term.
-    double norm2 = 0.0;
-    for (float g : *grad) norm2 += static_cast<double>(g) * g;
-    const double norm = std::sqrt(norm2);
-    if (norm > params_.grad_clip && norm > 0.0) {
-      const float s = static_cast<float>(params_.grad_clip / norm);
-      for (auto& g : *grad) g *= s;
-    }
-  }
+  nn::backward(objective);
+  *grad = input.grad();
+  clip_gradient(grad, params_.grad_clip);
   return objective.item();
+}
+
+std::vector<double> ContinuousOptimizer::objective_and_grad_batch(
+    const std::vector<std::vector<float>>& xs,
+    std::vector<std::vector<float>>* grads) {
+  if (xs.empty()) return {};
+  const int R = static_cast<int>(xs.size());
+  const int n = static_cast<int>(xs[0].size());
+  std::vector<float> stacked;
+  stacked.reserve(static_cast<std::size_t>(R) * n);
+  for (const auto& x : xs) stacked.insert(stacked.end(), x.begin(), x.end());
+  const float wa = static_cast<float>(params_.weight_area);
+  const float wd = static_cast<float>(params_.weight_delay);
+
+  if (grads == nullptr) {
+    nn::NoGradGuard no_grad;
+    Tensor input = Tensor::from_data({R, n}, std::move(stacked));
+    auto out = surrogate_.forward(input);
+    std::vector<double> objs(R);
+    for (int r = 0; r < R; ++r) {
+      objs[r] = wa * out.area.data()[r] + wd * out.delay.data()[r];
+    }
+    return objs;
+  }
+
+  Tensor input =
+      Tensor::from_data({R, n}, std::move(stacked), /*requires_grad=*/true);
+  auto out = surrogate_.forward(input);
+  // Per-row objective values with the same float arithmetic as the
+  // per-restart objective tensor (wa*area then + wd*delay).
+  std::vector<double> objs(R);
+  for (int r = 0; r < R; ++r) {
+    objs[r] = wa * out.area.data()[r] + wd * out.delay.data()[r];
+  }
+  // One backward from the sum of row objectives. Rows are independent
+  // (no op mixes batch rows), so each input row's gradient equals its own
+  // single-restart gradient: the sum merely seeds every row with the same
+  // d(total)/d(row objective) = 1.
+  Tensor total = nn::add(nn::scale(nn::sum_all(out.area), wa),
+                         nn::scale(nn::sum_all(out.delay), wd));
+  nn::backward(total);
+  const auto& g = input.grad();
+  grads->assign(R, std::vector<float>(n));
+  for (int r = 0; r < R; ++r) {
+    std::copy(g.begin() + static_cast<std::ptrdiff_t>(r) * n,
+              g.begin() + static_cast<std::ptrdiff_t>(r + 1) * n,
+              (*grads)[r].begin());
+    clip_gradient(&(*grads)[r], params_.grad_clip);
+  }
+  return objs;
 }
 
 std::size_t ContinuousOptimizer::noise_count() const {
@@ -79,7 +149,9 @@ OptimizeResult ContinuousOptimizer::run_impl(const std::vector<float>& noise) {
         x[i] -= static_cast<float>(params_.ablation_step *
                                    params_.omega) * grad[i];
       }
-      if (t % std::max(1, T / 16) == 0) {
+      // Record the final t == 0 point explicitly, mirroring the diffusion
+      // branch — Fig. 4 ablation traces must end at the converged latent.
+      if (t % std::max(1, T / 16) == 0 || t == 0) {
         result.trace.push_back(
             {t, embedding_.discrepancy(x, L), obj});
       }
@@ -137,21 +209,134 @@ OptimizeResult ContinuousOptimizer::run_impl(const std::vector<float>& noise) {
   return result;
 }
 
+void ContinuousOptimizer::run_impl_batch(
+    const std::vector<std::vector<float>>& noise, std::size_t begin,
+    std::size_t end, std::vector<OptimizeResult>* results) {
+  CLO_TRACE_SPAN("optimize.batch");
+  Stopwatch watch;
+  watch.start();
+  const auto& cfg = diffusion_.config();
+  const int L = cfg.seq_len, d = cfg.embed_dim;
+  const auto& sched = diffusion_.schedule();
+  const int T = sched.num_steps();
+  const std::size_t R = end - begin;
+  const std::size_t elems = static_cast<std::size_t>(L) * d;
+
+  std::vector<std::vector<float>> x(R, std::vector<float>(elems));
+  std::vector<std::size_t> cursor(R, elems);
+  for (std::size_t r = 0; r < R; ++r) {
+    std::copy(noise[begin + r].begin(), noise[begin + r].begin() + elems,
+              x[r].begin());
+  }
+
+  std::vector<std::vector<float>> grads;
+  std::vector<std::vector<OptimizeTracePoint>> traces(R);
+
+  if (!params_.use_diffusion) {
+    // Eq. 14 in lockstep: one [R, L*d] surrogate forward+backward per step.
+    for (int t = T - 1; t >= 0; --t) {
+      CLO_TRACE_SPAN("optimize.step");
+      CLO_OBS_COUNT("optimizer.denoise_steps", R);
+      const auto objs = objective_and_grad_batch(x, &grads);
+      const float step =
+          static_cast<float>(params_.ablation_step * params_.omega);
+      for (std::size_t r = 0; r < R; ++r) {
+        for (std::size_t i = 0; i < elems; ++i) x[r][i] -= step * grads[r][i];
+      }
+      if (t % std::max(1, T / 16) == 0 || t == 0) {
+        const auto disc = embedding_.discrepancy_batch(x, L);
+        for (std::size_t r = 0; r < R; ++r) {
+          traces[r].push_back({t, disc[r], objs[r]});
+        }
+      }
+    }
+  } else {
+    // Eq. 13 in lockstep: one [R, d, L] U-Net forward and one [R, L*d]
+    // surrogate forward+backward per denoising step, shared by every
+    // restart — the per-step constants and per-restart update are
+    // identical to run_impl.
+    std::vector<std::vector<float>> x_hat(R, std::vector<float>(elems));
+    for (int t = T - 1; t >= 0; --t) {
+      CLO_TRACE_SPAN("optimize.step");
+      CLO_OBS_COUNT("optimizer.denoise_steps", R);
+      const auto eps = diffusion_.predict_noise_batch(x, t);
+      const float ab = sched.alpha_bar(t);
+      const float sqrt_ab = std::sqrt(ab);
+      const float sqrt_1mab = std::sqrt(1.0f - ab);
+      for (std::size_t r = 0; r < R; ++r) {
+        for (std::size_t i = 0; i < elems; ++i) {
+          x_hat[r][i] = (x[r][i] - sqrt_1mab * eps[r][i]) / sqrt_ab;
+        }
+      }
+      const auto objs = objective_and_grad_batch(x_hat, &grads);
+      const float c0 = sched.coef_x0(t);
+      const float ct = sched.coef_xt(t);
+      const double omega_t =
+          params_.guidance_ramp
+              ? params_.omega * (1.0 - static_cast<double>(t) / T)
+              : params_.omega;
+      const float guide = static_cast<float>(omega_t) * sqrt_1mab;
+      for (std::size_t r = 0; r < R; ++r) {
+        for (std::size_t i = 0; i < elems; ++i) {
+          const float eps_tilde = eps[r][i] + guide * grads[r][i];
+          float x0 = (x[r][i] - sqrt_1mab * eps_tilde) / sqrt_ab;
+          x0 = std::min(3.0f, std::max(-3.0f, x0));
+          x[r][i] = c0 * x0 + ct * x[r][i];
+          if (t > 0) {
+            x[r][i] += sched.sigma(t) * noise[begin + r][cursor[r]++];
+          }
+        }
+      }
+      if (t % std::max(1, T / 16) == 0 || t == 0) {
+        const auto disc = embedding_.discrepancy_batch(x, L);
+        for (std::size_t r = 0; r < R; ++r) {
+          traces[r].push_back({t, disc[r], objs[r]});
+        }
+      }
+    }
+  }
+
+  // Batched finalize: one table scan retrieves sequence + discrepancy,
+  // one inference-only surrogate forward predicts every restart's F̂.
+  std::vector<double> disc;
+  auto seqs = embedding_.retrieve_batch(x, L, &disc);
+  const auto preds = objective_and_grad_batch(x, nullptr);
+  watch.stop();
+  // Lockstep restarts share the wall clock; attribute an equal slice to
+  // each so that summing per-restart seconds still yields the batch's
+  // total wall time (the Fig. 5 accounting).
+  const double per_run_seconds = watch.seconds() / static_cast<double>(R);
+  for (std::size_t r = 0; r < R; ++r) {
+    OptimizeResult& res = (*results)[begin + r];
+    res.latent = std::move(x[r]);
+    res.sequence = std::move(seqs[r]);
+    res.discrepancy = disc[r];
+    res.predicted_objective = preds[r];
+    res.trace = std::move(traces[r]);
+    res.seconds = per_run_seconds;
+    CLO_OBS_OBSERVE("optimizer.discrepancy", res.discrepancy);
+    CLO_OBS_OBSERVE("optimizer.predicted_objective",
+                    res.predicted_objective);
+    CLO_OBS_OBSERVE("optimizer.restart_seconds", res.seconds);
+  }
+}
+
 std::vector<OptimizeResult> ContinuousOptimizer::run_restarts(
-    clo::Rng& rng, int count, util::ThreadPool* pool) {
+    clo::Rng& rng, int count, util::ThreadPool* pool, bool batched) {
   // Pre-draw every Gaussian serially, restart by restart, in the exact
   // order a sequential `run(rng)` loop would consume them (including the
   // Box-Muller cache carried across restarts). The trajectories are then a
-  // pure function of the latent index, so the parallel fan-out below is
-  // bit-identical to the historical sequential loop at any worker count.
+  // pure function of the latent index, so both the parallel fan-out and
+  // the batched lockstep below match the historical sequential loop.
   const std::size_t per_run = noise_count();
   std::vector<std::vector<float>> noise(count);
   for (int r = 0; r < count; ++r) {
     noise[r].resize(per_run);
     for (auto& v : noise[r]) v = static_cast<float>(rng.next_gaussian());
   }
-  // Restarts only read the model weights; freeze them so the concurrent
-  // backward passes in objective_and_grad never touch shared grad buffers.
+  // Restarts only read the model weights; freeze them so the backward
+  // passes in objective_and_grad never touch shared grad buffers (neither
+  // concurrently across workers nor cumulatively across lockstep steps).
   auto frozen_params = surrogate_.parameters();
   {
     auto dp = diffusion_.unet().parameters();
@@ -159,8 +344,24 @@ std::vector<OptimizeResult> ContinuousOptimizer::run_restarts(
   }
   nn::GradFreeze freeze(frozen_params);
   std::vector<OptimizeResult> results(count);
-  util::parallel_for(pool, static_cast<std::size_t>(count),
-                     [&](std::size_t r) { results[r] = run_impl(noise[r]); });
+  if (batched) {
+    // One lockstep chunk per worker. Chunk composition cannot change the
+    // numbers: no nn op mixes batch rows, so each restart's trajectory is
+    // the same pure function of its pre-sampled noise in any chunking —
+    // including the single-chunk serial path.
+    const std::size_t workers = pool != nullptr ? pool->size() : 1;
+    const std::size_t chunks = std::max<std::size_t>(
+        1, std::min(workers, static_cast<std::size_t>(count)));
+    util::parallel_for(pool, chunks, [&](std::size_t c) {
+      const std::size_t lo = c * static_cast<std::size_t>(count) / chunks;
+      const std::size_t hi =
+          (c + 1) * static_cast<std::size_t>(count) / chunks;
+      if (lo < hi) run_impl_batch(noise, lo, hi, &results);
+    });
+  } else {
+    util::parallel_for(pool, static_cast<std::size_t>(count),
+                       [&](std::size_t r) { results[r] = run_impl(noise[r]); });
+  }
   return results;
 }
 

@@ -74,12 +74,33 @@ class ContinuousOptimizer {
   /// weights are grad-frozen for the duration (restarts only read them),
   /// which makes the concurrent backward passes through the shared
   /// surrogate race-free.
+  ///
+  /// With `batched` (the default), restarts advance in lockstep through the
+  /// schedule: one [chunk, d, L] U-Net forward and one [chunk, L*d]
+  /// surrogate forward+backward per denoising step, one contiguous chunk
+  /// per pool worker. No nn op mixes batch rows, so every restart's
+  /// trajectory stays the same pure function of its pre-sampled noise as
+  /// in the `batched == false` per-restart fan-out — both modes retrieve
+  /// identical sequences. `batched == false` keeps the historical
+  /// one-thread-per-restart path (the `--no-batch` fallback).
   std::vector<OptimizeResult> run_restarts(clo::Rng& rng, int count,
-                                           util::ThreadPool* pool = nullptr);
+                                           util::ThreadPool* pool = nullptr,
+                                           bool batched = true);
 
-  /// Surrogate objective and its gradient at a flattened latent.
+  /// Surrogate objective and its gradient at a flattened latent. With
+  /// `grad == nullptr` this is a pure inference query: no autograd graph
+  /// is recorded at all.
   double objective_and_grad(const std::vector<float>& x,
                             std::vector<float>* grad);
+
+  /// Batched objective over R stacked latents: one [R, L*d] surrogate
+  /// forward (+ one backward when `grads` is non-null) instead of R.
+  /// Element r equals objective_and_grad(xs[r], ...) — rows never mix, the
+  /// summed backward seeds every row with the same weights, and the L2
+  /// clip is applied per row.
+  std::vector<double> objective_and_grad_batch(
+      const std::vector<std::vector<float>>& xs,
+      std::vector<std::vector<float>>* grads);
 
  private:
   /// Gaussians one run consumes: L*d for the initial latent plus, in
@@ -87,6 +108,11 @@ class ContinuousOptimizer {
   std::size_t noise_count() const;
   /// Algorithm 2 with every random draw supplied up front.
   OptimizeResult run_impl(const std::vector<float>& noise);
+  /// Algorithm 2 over restarts [begin, end) in lockstep, reading row r's
+  /// draws from noise[begin + r] and writing results[begin + r].
+  void run_impl_batch(const std::vector<std::vector<float>>& noise,
+                      std::size_t begin, std::size_t end,
+                      std::vector<OptimizeResult>* results);
 
   models::SurrogateModel& surrogate_;
   models::DiffusionModel& diffusion_;

@@ -99,7 +99,7 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
     Stopwatch w;
     ScopedTimer st(w);
     result.restarts = optimizer.run_restarts(rng, config_.restarts,
-                                             pool.get());
+                                             pool.get(), config_.batch);
     result.optimize_seconds = w.seconds();
     CLO_OBS_GAUGE("pipeline.optimize_seconds", result.optimize_seconds);
   }

@@ -38,6 +38,11 @@ struct PipelineConfig {
   /// between the serial batched path (threads == 1) and the data-parallel
   /// per-sample path (threads >= 2, itself count-independent).
   int threads = 1;
+  /// Advance restarts in lockstep through the denoising schedule (one
+  /// batched U-Net + surrogate pass per step) instead of one thread per
+  /// restart. Retrieved sequences are identical either way; false is the
+  /// `--no-batch` fallback.
+  bool batch = true;
 };
 
 struct PipelineResult {

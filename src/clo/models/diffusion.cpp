@@ -105,27 +105,35 @@ std::vector<Tensor> DiffusionUNet::parameters() {
   return p;
 }
 
-std::vector<float> to_channel_layout(const std::vector<float>& flat, int L,
-                                     int d) {
-  std::vector<float> out(flat.size());
+void to_channel_layout_into(const float* flat, int L, int d, float* chan) {
   for (int t = 0; t < L; ++t) {
     for (int c = 0; c < d; ++c) {
-      out[static_cast<std::size_t>(c) * L + t] =
+      chan[static_cast<std::size_t>(c) * L + t] =
           flat[static_cast<std::size_t>(t) * d + c];
     }
   }
+}
+
+void from_channel_layout_into(const float* chan, int L, int d, float* flat) {
+  for (int t = 0; t < L; ++t) {
+    for (int c = 0; c < d; ++c) {
+      flat[static_cast<std::size_t>(t) * d + c] =
+          chan[static_cast<std::size_t>(c) * L + t];
+    }
+  }
+}
+
+std::vector<float> to_channel_layout(const std::vector<float>& flat, int L,
+                                     int d) {
+  std::vector<float> out(flat.size());
+  to_channel_layout_into(flat.data(), L, d, out.data());
   return out;
 }
 
 std::vector<float> from_channel_layout(const std::vector<float>& chan, int L,
                                        int d) {
   std::vector<float> out(chan.size());
-  for (int t = 0; t < L; ++t) {
-    for (int c = 0; c < d; ++c) {
-      out[static_cast<std::size_t>(t) * d + c] =
-          chan[static_cast<std::size_t>(c) * L + t];
-    }
-  }
+  from_channel_layout_into(chan.data(), L, d, out.data());
   return out;
 }
 
@@ -209,9 +217,34 @@ std::vector<float> DiffusionModel::sample(clo::Rng& rng) {
 std::vector<float> DiffusionModel::predict_noise(
     const std::vector<float>& x_flat, int t) {
   const int L = cfg_.seq_len, d = cfg_.embed_dim;
+  nn::NoGradGuard no_grad;  // pure inference: skip the autograd graph
   Tensor x = Tensor::from_data({1, d, L}, to_channel_layout(x_flat, L, d));
   Tensor eps = unet_->forward(x, {t});
   return from_channel_layout(eps.data(), L, d);
+}
+
+std::vector<std::vector<float>> DiffusionModel::predict_noise_batch(
+    const std::vector<std::vector<float>>& xs, int t) {
+  if (xs.empty()) return {};
+  const int L = cfg_.seq_len, d = cfg_.embed_dim;
+  const int R = static_cast<int>(xs.size());
+  const std::size_t per = static_cast<std::size_t>(d) * L;
+  nn::NoGradGuard no_grad;  // pure inference: skip the autograd graph
+  Tensor x = Tensor::zeros({R, d, L});
+  for (int r = 0; r < R; ++r) {
+    if (xs[r].size() != per) {
+      throw std::invalid_argument("predict_noise_batch: bad latent size");
+    }
+    to_channel_layout_into(xs[r].data(), L, d, x.data().data() + r * per);
+  }
+  Tensor eps = unet_->forward(x, std::vector<int>(xs.size(), t));
+  std::vector<std::vector<float>> out(xs.size(),
+                                      std::vector<float>(per));
+  for (int r = 0; r < R; ++r) {
+    from_channel_layout_into(eps.data().data() + r * per, L, d,
+                             out[r].data());
+  }
+  return out;
 }
 
 }  // namespace clo::models

@@ -103,6 +103,13 @@ class DiffusionModel {
   /// One denoiser evaluation on a single flattened latent (no grad).
   std::vector<float> predict_noise(const std::vector<float>& x_flat, int t);
 
+  /// One denoiser evaluation on R stacked flattened latents (no grad):
+  /// a single [R, d, L] U-Net forward shared by every restart of the
+  /// batched optimizer. Row r of the result is bit-identical to
+  /// predict_noise(xs[r], t) — no op in the U-Net mixes batch rows.
+  std::vector<std::vector<float>> predict_noise_batch(
+      const std::vector<std::vector<float>>& xs, int t);
+
  private:
   DiffusionConfig cfg_;
   DdpmSchedule schedule_;
@@ -115,5 +122,11 @@ std::vector<float> to_channel_layout(const std::vector<float>& flat, int L,
                                      int d);
 std::vector<float> from_channel_layout(const std::vector<float>& chan, int L,
                                        int d);
+
+/// Allocation-free variants writing into caller-provided [d*L] storage —
+/// the building blocks for batched [R, d, L] transposes (each batch row is
+/// transposed independently into its slice of one contiguous buffer).
+void to_channel_layout_into(const float* flat, int L, int d, float* chan);
+void from_channel_layout_into(const float* chan, int L, int d, float* flat);
 
 }  // namespace clo::models

@@ -49,13 +49,20 @@ std::vector<float> TransformEmbedding::embed(const opt::Sequence& seq) const {
   return out;
 }
 
-opt::Transform TransformEmbedding::nearest(const float* point) const {
+namespace {
+
+/// One table scan: index of the nearest embedding row and (via out
+/// param) its squared distance. First-lowest tie-break, matching the
+/// historical nearest()/discrepancy() loops exactly.
+int nearest_scan(const float* point, int dim,
+                 const std::vector<std::vector<float>>& table,
+                 float* best_d2_out) {
   int best = 0;
   float best_d2 = 1e30f;
   for (int t = 0; t < opt::kNumTransforms; ++t) {
     float d2 = 0.0f;
-    for (int i = 0; i < dim_; ++i) {
-      const float d = point[i] - table_[t][i];
+    for (int i = 0; i < dim; ++i) {
+      const float d = point[i] - table[t][i];
       d2 += d * d;
     }
     if (d2 < best_d2) {
@@ -63,7 +70,16 @@ opt::Transform TransformEmbedding::nearest(const float* point) const {
       best = t;
     }
   }
-  return static_cast<opt::Transform>(best);
+  *best_d2_out = best_d2;
+  return best;
+}
+
+}  // namespace
+
+opt::Transform TransformEmbedding::nearest(const float* point) const {
+  float best_d2 = 0.0f;
+  return static_cast<opt::Transform>(
+      nearest_scan(point, dim_, table_, &best_d2));
 }
 
 opt::Sequence TransformEmbedding::retrieve(const std::vector<float>& latent,
@@ -80,18 +96,42 @@ double TransformEmbedding::discrepancy(const std::vector<float>& latent,
   double total = 0.0;
   for (int p = 0; p < length; ++p) {
     const float* point = latent.data() + static_cast<std::size_t>(p) * dim_;
-    float best_d2 = 1e30f;
-    for (int t = 0; t < opt::kNumTransforms; ++t) {
-      float d2 = 0.0f;
-      for (int i = 0; i < dim_; ++i) {
-        const float d = point[i] - table_[t][i];
-        d2 += d * d;
-      }
-      best_d2 = std::min(best_d2, d2);
-    }
+    float best_d2 = 0.0f;
+    nearest_scan(point, dim_, table_, &best_d2);
     total += std::sqrt(static_cast<double>(best_d2));
   }
   return total / length;
+}
+
+std::vector<opt::Sequence> TransformEmbedding::retrieve_batch(
+    const std::vector<std::vector<float>>& latents, int length,
+    std::vector<double>* out_discrepancy) const {
+  std::vector<opt::Sequence> seqs(latents.size(), opt::Sequence(length));
+  if (out_discrepancy != nullptr) {
+    out_discrepancy->assign(latents.size(), 0.0);
+  }
+  for (std::size_t r = 0; r < latents.size(); ++r) {
+    double total = 0.0;
+    for (int p = 0; p < length; ++p) {
+      const float* point =
+          latents[r].data() + static_cast<std::size_t>(p) * dim_;
+      float best_d2 = 0.0f;
+      seqs[r][p] = static_cast<opt::Transform>(
+          nearest_scan(point, dim_, table_, &best_d2));
+      total += std::sqrt(static_cast<double>(best_d2));
+    }
+    if (out_discrepancy != nullptr) (*out_discrepancy)[r] = total / length;
+  }
+  return seqs;
+}
+
+std::vector<double> TransformEmbedding::discrepancy_batch(
+    const std::vector<std::vector<float>>& latents, int length) const {
+  std::vector<double> out(latents.size(), 0.0);
+  for (std::size_t r = 0; r < latents.size(); ++r) {
+    out[r] = discrepancy(latents[r], length);
+  }
+  return out;
 }
 
 }  // namespace clo::models

@@ -40,6 +40,18 @@ class TransformEmbedding {
   /// the Fig. 7 experiment.
   double discrepancy(const std::vector<float>& latent, int length) const;
 
+  /// Batched decode: one table scan per position retrieves the sequence
+  /// AND its discrepancy for every latent (the batched optimizer needs
+  /// both at every traced step; the separate retrieve/discrepancy calls
+  /// would scan the table twice). out_discrepancy may be null.
+  std::vector<opt::Sequence> retrieve_batch(
+      const std::vector<std::vector<float>>& latents, int length,
+      std::vector<double>* out_discrepancy = nullptr) const;
+
+  /// Batched discrepancy over R latents.
+  std::vector<double> discrepancy_batch(
+      const std::vector<std::vector<float>>& latents, int length) const;
+
   /// All 7 embedding rows (for t-SNE plots).
   const std::vector<std::vector<float>>& table() const { return table_; }
 

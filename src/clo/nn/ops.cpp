@@ -13,6 +13,7 @@ Tensor make_result(std::vector<int> shape,
   Tensor out = Tensor::zeros(std::move(shape));
   bool any_grad = false;
   for (const auto& p : parents) any_grad = any_grad || p->requires_grad;
+  any_grad = any_grad && grad_enabled();
   out.impl()->requires_grad = any_grad;
   if (any_grad) {
     out.impl()->parents = std::move(parents);
@@ -148,9 +149,10 @@ Tensor unary_op(const Tensor& a, Fwd fwd, Dfn dydx_from_y) {
     out.data()[i] = fwd(pa->data[i]);
   }
   auto po = out.impl();
-  bool needs = pa->requires_grad || pa->backward_fn != nullptr;
+  bool needs =
+      (pa->requires_grad || pa->backward_fn != nullptr) && grad_enabled();
   // Mirror make_result wiring but capture the output data for the backward.
-  if (needs || pa->requires_grad) {
+  if (needs) {
     out.impl()->requires_grad = true;
     out.impl()->parents = {pa};
     std::vector<float> y = out.data();
@@ -193,7 +195,7 @@ Tensor silu(const Tensor& a) {
     const float x = pa->data[i];
     out.data()[i] = x / (1.0f + std::exp(-x));
   }
-  if (pa->requires_grad || pa->backward_fn) {
+  if ((pa->requires_grad || pa->backward_fn) && grad_enabled()) {
     out.impl()->requires_grad = true;
     out.impl()->parents = {pa};
     out.impl()->backward_fn = [pa](TensorImpl& self) {
@@ -432,7 +434,7 @@ Tensor softmax_rows(const Tensor& a) {
     }
     for (int c = 0; c < cols; ++c) out.data()[r * cols + c] /= z;
   }
-  if (pa->requires_grad || pa->backward_fn) {
+  if ((pa->requires_grad || pa->backward_fn) && grad_enabled()) {
     out.impl()->requires_grad = true;
     out.impl()->parents = {pa};
     std::vector<float> y = out.data();
@@ -484,8 +486,9 @@ Tensor layer_norm(const Tensor& a, const Tensor& gain, const Tensor& bias,
       out.data()[r * cols + c] = xh * pg->data[c] + pb->data[c];
     }
   }
-  const bool needs = pa->requires_grad || pa->backward_fn ||
-                     pg->requires_grad || pb->requires_grad;
+  const bool needs = (pa->requires_grad || pa->backward_fn ||
+                      pg->requires_grad || pb->requires_grad) &&
+                     grad_enabled();
   if (needs) {
     out.impl()->requires_grad = true;
     out.impl()->parents = {pa, pg, pb};
@@ -546,43 +549,83 @@ Tensor conv1d(const Tensor& x, const Tensor& weight, const Tensor& bias) {
         if (gw) pw->ensure_grad();
         if (gb) pb->ensure_grad();
         if (!gx && !gw && !gb) return;
+        // Shift-wise accumulation mirrors the forward pass: each (ci, k)
+        // tap touches one contiguous slice, so the inner loops are
+        // branch-free and unit-stride instead of the per-element gather
+        // with bounds checks.
         for (int b = 0; b < B; ++b) {
           for (int co = 0; co < Co; ++co) {
-            for (int l = 0; l < L; ++l) {
-              const float gy = self.grad[(b * Co + co) * L + l];
-              if (gy == 0.0f) continue;
-              if (gb) pb->grad[co] += gy;
-              for (int ci = 0; ci < Ci; ++ci) {
-                for (int k = 0; k < K; ++k) {
-                  const int li = l + k - pad;
-                  if (li < 0 || li >= L) continue;
-                  if (gw) {
-                    pw->grad[(co * Ci + ci) * K + k] +=
-                        gy * px->data[(b * Ci + ci) * L + li];
-                  }
-                  if (gx) {
-                    px->grad[(b * Ci + ci) * L + li] +=
-                        gy * pw->data[(co * Ci + ci) * K + k];
-                  }
+            const float* gy = self.grad.data() +
+                              (static_cast<std::size_t>(b) * Co + co) * L;
+            if (gb) {
+              float s = 0.0f;
+              for (int l = 0; l < L; ++l) s += gy[l];
+              pb->grad[co] += s;
+            }
+            if (!gx && !gw) continue;
+            for (int ci = 0; ci < Ci; ++ci) {
+              const float* xi =
+                  px->data.data() + (static_cast<std::size_t>(b) * Ci + ci) * L;
+              float* dxi = gx ? px->grad.data() +
+                                    (static_cast<std::size_t>(b) * Ci + ci) * L
+                              : nullptr;
+              for (int k = 0; k < K; ++k) {
+                const int shift = k - pad;
+                const int lo = shift < 0 ? -shift : 0;
+                const int hi = shift > 0 ? L - shift : L;
+                if (gw) {
+                  float s = 0.0f;
+                  for (int l = lo; l < hi; ++l) s += gy[l] * xi[l + shift];
+                  pw->grad[(co * Ci + ci) * K + k] += s;
+                }
+                if (gx) {
+                  const float w = pw->data[(co * Ci + ci) * K + k];
+                  for (int l = lo; l < hi; ++l) dxi[l + shift] += w * gy[l];
                 }
               }
             }
           }
         }
       });
+  // im2col + lane-parallel dot products. The naive per-element tap loop
+  // spends most of its time on loop setup when L is short (the U-Net's
+  // bottleneck layers run at L = 5); gathering each output position's
+  // padded patch once turns every output element into one dense dot over
+  // Ci*K contiguous floats, shared by all Co filters. The eight explicit
+  // accumulator lanes and the fixed reduction tree keep results
+  // deterministic run to run (lanes are part of the op's definition, not
+  // a compiler choice).
+  const int CK = Ci * K;
+  std::vector<float> patch(static_cast<std::size_t>(L) * CK);
   for (int b = 0; b < B; ++b) {
-    for (int co = 0; co < Co; ++co) {
-      for (int l = 0; l < L; ++l) {
-        float acc = pb->data[co];
-        for (int ci = 0; ci < Ci; ++ci) {
-          for (int k = 0; k < K; ++k) {
-            const int li = l + k - pad;
-            if (li < 0 || li >= L) continue;
-            acc += px->data[(b * Ci + ci) * L + li] *
-                   pw->data[(co * Ci + ci) * K + k];
-          }
+    for (int l = 0; l < L; ++l) {
+      float* row = patch.data() + static_cast<std::size_t>(l) * CK;
+      for (int ci = 0; ci < Ci; ++ci) {
+        const float* xi =
+            px->data.data() + (static_cast<std::size_t>(b) * Ci + ci) * L;
+        for (int k = 0; k < K; ++k) {
+          const int li = l + k - pad;
+          row[ci * K + k] = (li < 0 || li >= L) ? 0.0f : xi[li];
         }
-        out.data()[(b * Co + co) * L + l] = acc;
+      }
+    }
+    for (int co = 0; co < Co; ++co) {
+      const float* w = pw->data.data() + static_cast<std::size_t>(co) * CK;
+      float* o =
+          out.data().data() + (static_cast<std::size_t>(b) * Co + co) * L;
+      const float bias_v = pb->data[co];
+      for (int l = 0; l < L; ++l) {
+        const float* row = patch.data() + static_cast<std::size_t>(l) * CK;
+        float acc[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+        int ck = 0;
+        for (; ck + 8 <= CK; ck += 8) {
+          for (int j = 0; j < 8; ++j) acc[j] += w[ck + j] * row[ck + j];
+        }
+        float tail = 0.0f;
+        for (; ck < CK; ++ck) tail += w[ck] * row[ck];
+        const float s04 = (acc[0] + acc[4]) + (acc[1] + acc[5]);
+        const float s26 = (acc[2] + acc[6]) + (acc[3] + acc[7]);
+        o[l] = bias_v + ((s04 + s26) + tail);
       }
     }
   }

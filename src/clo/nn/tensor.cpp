@@ -112,6 +112,16 @@ Tensor detach(const Tensor& t) {
   return Tensor(std::move(impl));
 }
 
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+bool grad_enabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : saved_(g_grad_enabled) { g_grad_enabled = false; }
+
+NoGradGuard::~NoGradGuard() { g_grad_enabled = saved_; }
+
 GradFreeze::GradFreeze(const std::vector<Tensor>& params) {
   impls_.reserve(params.size());
   saved_.reserve(params.size());

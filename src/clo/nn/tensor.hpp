@@ -85,6 +85,25 @@ void backward(const Tensor& root);
 /// Detached copy: same data, no graph history.
 Tensor detach(const Tensor& t);
 
+/// Whether ops currently record the autograd graph on this thread (true
+/// unless a NoGradGuard is alive). Checked by every op in ops.cpp.
+bool grad_enabled();
+
+/// RAII inference-mode guard (thread-local, nestable): while alive, ops
+/// compute data only — no parents, no backward closures — so pure
+/// inference (denoiser evaluations, no-grad objective queries) allocates
+/// nothing beyond the output buffers and never retains the graph.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool saved_;
+};
+
 /// RAII inference guard: clears requires_grad on the given (parameter)
 /// tensors and restores the previous flags on destruction. While frozen,
 /// backward() never touches the parameters' grad buffers, which makes

@@ -39,6 +39,12 @@ class Shell {
   void set_threads(int n) { threads_ = n; }
   int threads() const { return threads_; }
 
+  /// Whether `tune` uses the batched lockstep optimizer (default) or the
+  /// per-restart fallback (`--no-batch`). Also settable at runtime with
+  /// the `batch` command.
+  void set_batch(bool on) { batch_ = on; }
+  bool batch() const { return batch_; }
+
   /// Observability hooks (each implies obs::set_enabled(true)):
   /// write a Chrome trace-event file on shutdown,
   void set_trace_path(std::string path);
@@ -58,6 +64,7 @@ class Shell {
   std::vector<Command> commands_;
   bool last_failed_ = false;
   int threads_ = 1;
+  bool batch_ = true;
   std::string trace_path_;
   std::string report_path_;
   bool print_metrics_ = false;

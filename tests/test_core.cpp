@@ -148,6 +148,33 @@ TEST(Optimizer, AblationModeRunsWithoutDiffusionQuality) {
   EXPECT_GT(result.discrepancy, 0.1);  // gradient-only stays off-manifold
 }
 
+TEST(Optimizer, TraceEndsAtFinalStepInBothBranches) {
+  // Regression: both the diffusion branch (Eq. 13) and the ablation branch
+  // (Eq. 14) must record the t == 0 trace point — Fig. 4 traces end at the
+  // converged latent, not one subsample stride earlier.
+  clo::Rng rng(6);
+  const aig::Aig g = circuits::make_benchmark("ctrl");
+  models::SurrogateConfig scfg;
+  auto surrogate = models::make_surrogate("cnn", g, scfg, rng);
+  models::DiffusionConfig dcfg;
+  dcfg.num_steps = 40;
+  models::DiffusionModel diffusion(dcfg, rng);
+  models::TransformEmbedding emb(8, rng);
+  for (const bool use_diffusion : {true, false}) {
+    core::OptimizeParams params;
+    params.use_diffusion = use_diffusion;
+    core::ContinuousOptimizer opt(*surrogate, diffusion, emb, params);
+    clo::Rng orng(31);
+    const auto result = opt.run(orng);
+    ASSERT_FALSE(result.trace.empty()) << "diffusion=" << use_diffusion;
+    EXPECT_EQ(result.trace.back().t, 0) << "diffusion=" << use_diffusion;
+    // Steps are traced in schedule order, strictly descending in t.
+    for (std::size_t i = 1; i < result.trace.size(); ++i) {
+      EXPECT_LT(result.trace[i].t, result.trace[i - 1].t);
+    }
+  }
+}
+
 TEST(Tsne, SeparatesClusters) {
   clo::Rng rng(6);
   std::vector<std::vector<float>> points;

@@ -192,6 +192,34 @@ TEST(Autograd, NoGradWhenNotRequired) {
   EXPECT_FALSE(y.requires_grad());
 }
 
+TEST(Autograd, NoGradGuardDisablesGraphRecording) {
+  Tensor x = Tensor::from_data({2}, {1.0f, 2.0f}, true);
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(grad_enabled());
+    // Values still compute, but nothing records a graph — even from a
+    // requires_grad input, across binary, unary, and row-wise ops.
+    Tensor y = sum_all(mul(x, x));
+    EXPECT_FALSE(y.requires_grad());
+    EXPECT_NEAR(y.item(), 5.0f, 1e-5);
+    EXPECT_FALSE(silu(x).requires_grad());
+    EXPECT_FALSE(softmax_rows(reshape(x, {1, 2})).requires_grad());
+    // Guards nest and restore on scope exit.
+    {
+      NoGradGuard inner;
+      EXPECT_FALSE(grad_enabled());
+    }
+    EXPECT_FALSE(grad_enabled());
+  }
+  EXPECT_TRUE(grad_enabled());
+  // Recording works again after the guard is gone.
+  Tensor y = sum_all(mul(x, x));
+  EXPECT_TRUE(y.requires_grad());
+  backward(y);
+  EXPECT_NEAR(x.grad()[0], 2.0f, 1e-5);
+  EXPECT_NEAR(x.grad()[1], 4.0f, 1e-5);
+}
+
 TEST(Tensor, ShapeChecksThrow) {
   Tensor a = Tensor::zeros({2, 3});
   Tensor b = Tensor::zeros({3, 2});

@@ -107,11 +107,33 @@ TEST(ParallelDeterminism, EvaluatorSafeUnderConcurrentCallers) {
   }
   const auto stats = ev.snapshot();
   EXPECT_EQ(stats.queries, got.size());
-  // Duplicate computes on cache races are benign but bounded by the query
-  // count; at least every distinct sequence ran once.
-  EXPECT_GE(stats.unique_runs, seqs.size());
-  EXPECT_LE(stats.unique_runs, got.size());
+  // Single-flight misses: every distinct sequence synthesizes exactly once
+  // no matter how many threads race on it; the rest are cache hits.
+  EXPECT_EQ(stats.unique_runs, seqs.size());
+  EXPECT_EQ(stats.cache_hits, got.size() - seqs.size());
   EXPECT_GT(stats.synth_seconds, 0.0);
+}
+
+TEST(ParallelDeterminism, EvaluatorSingleFlightOnOneHotKey) {
+  const aig::Aig g = circuits::make_benchmark("c432");
+  clo::Rng rng(7);
+  const opt::Sequence seq = opt::random_sequence(10, rng);
+
+  // 16 threads all miss the same key at once: exactly one may synthesize,
+  // the other 15 must wait for its insert and answer from the cache.
+  core::QorEvaluator ev(g);
+  util::ThreadPool pool(16);
+  std::vector<core::Qor> got(16);
+  util::parallel_for(&pool, got.size(),
+                     [&](std::size_t i) { got[i] = ev.evaluate(seq); });
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].area_um2, got[0].area_um2);
+    EXPECT_EQ(got[i].delay_ps, got[0].delay_ps);
+  }
+  const auto stats = ev.snapshot();
+  EXPECT_EQ(stats.queries, got.size());
+  EXPECT_EQ(stats.unique_runs, 1u);
+  EXPECT_EQ(stats.cache_hits, got.size() - 1);
 }
 
 /// Turns tracing + metrics on for one scope and restores the disabled

@@ -7,6 +7,8 @@
 // Options:
 //   --threads N   worker threads for `tune` (default 0 = hardware
 //                 concurrency; 1 runs fully serial)
+//   --no-batch    use the per-restart optimizer fallback instead of the
+//                 batched lockstep path (identical sequences, slower)
 //   --trace F     write a Chrome trace-event JSON (chrome://tracing,
 //                 Perfetto) of the session to F on exit
 //   --report F    write the machine-readable "clo.report.v1" JSON of the
@@ -34,6 +36,10 @@ int main(int argc, char** argv) {
         return 1;
       }
       shell.set_threads(std::atoi(argv[++i]));
+      continue;
+    }
+    if (arg == "--no-batch") {
+      shell.set_batch(false);
       continue;
     }
     if (arg == "--trace") {
