@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Verify one chaos run's recover-or-fail-clean contract.
+
+Usage: check_fault_run.py <report.json> <exit_status>
+
+A run with fault injection armed must either
+  - recover: exit 0 and a parseable report with status "ok", or
+  - fail cleanly: nonzero exit and a parseable report with status
+    "failed" that records the fault arming that killed it.
+Anything else (missing/corrupt report, crash signature, ok-report with
+nonzero exit, failed-report with exit 0) fails the matrix.
+"""
+import json
+import sys
+
+
+def main() -> int:
+    report_path, exit_status = sys.argv[1], int(sys.argv[2])
+    if exit_status >= 128:
+        print(f"run crashed or timed out (exit {exit_status})")
+        return 1
+    try:
+        with open(report_path) as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"report is missing or unparseable: {e}")
+        return 1
+    if report.get("schema") != "clo.report.v1":
+        print(f"bad schema: {report.get('schema')!r}")
+        return 1
+    status = report.get("status")
+    if exit_status == 0 and status == "ok":
+        total = report.get("quarantine", {}).get("total", 0)
+        print(f"recovered (quarantined={total})")
+        return 0
+    if exit_status != 0 and status == "failed":
+        if "fault" not in report:
+            print("failed report does not record the fault arming")
+            return 1
+        print(f"failed cleanly: {report.get('error')}")
+        return 0
+    print(f"inconsistent outcome: exit={exit_status} status={status!r}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@
 #include "clo/circuits/generators.hpp"
 #include "clo/core/pipeline.hpp"
 #include "clo/util/cli.hpp"
+#include "clo/util/fault.hpp"
 #include "clo/util/log.hpp"
 #include "clo/util/obs.hpp"
 #include "clo/util/thread_pool.hpp"
@@ -49,7 +50,9 @@ struct ObsOptions {
 };
 
 /// Parse --trace F / --report F / --metrics; any of them turns the obs
-/// layer on for the whole bench run.
+/// layer on for the whole bench run. Also arms fault injection from
+/// --fault SPEC or the CLO_FAULT environment variable, so every bench can
+/// serve as a chaos-test target without its own plumbing.
 inline ObsOptions obs_from_args(const CliArgs& args) {
   ObsOptions opts;
   opts.trace_path = args.get("trace", "");
@@ -57,6 +60,12 @@ inline ObsOptions obs_from_args(const CliArgs& args) {
   opts.metrics = args.has("metrics");
   if (!opts.trace_path.empty() || !opts.report_path.empty() || opts.metrics) {
     obs::set_enabled(true);
+  }
+  const std::string fault_spec = args.get("fault", "");
+  if (!fault_spec.empty()) {
+    util::fault::arm(fault_spec);
+  } else {
+    util::fault::arm_from_env();
   }
   return opts;
 }

@@ -91,6 +91,11 @@ std::uint32_t get_delta(std::istream& is) {
   while (true) {
     const int c = is.get();
     if (c == EOF) throw std::runtime_error("AIGER: truncated delta code");
+    // A well-formed delta fits 32 bits: 5 groups of 7, the last <= 4 bits.
+    // Beyond that the shift below would be UB, so reject first.
+    if (shift > 28 || (shift == 28 && (c & 0x7f) > 0x0f)) {
+      throw std::runtime_error("AIGER: delta code exceeds 32 bits");
+    }
     value |= static_cast<std::uint32_t>(c & 0x7f) << shift;
     if (!(c & 0x80)) break;
     shift += 7;
@@ -139,6 +144,10 @@ void read_symbols(std::istream& is, Aig& /*g*/) {
 }  // namespace
 
 Aig read_aiger(std::istream& is) {
+  // Generous for any real benchmark, small enough that a lying header
+  // cannot drive the index/definition vectors below into an OOM before a
+  // single body byte is validated.
+  constexpr std::size_t kMaxAigerVars = std::size_t{1} << 24;
   std::string header;
   is >> header;
   if (header != "aag" && header != "aig") {
@@ -149,6 +158,14 @@ Aig read_aiger(std::istream& is) {
   if (!is) throw std::runtime_error("AIGER: bad header counts");
   if (num_latch != 0) {
     throw std::runtime_error("AIGER: latches unsupported (combinational only)");
+  }
+  if (m > kMaxAigerVars || num_out > kMaxAigerVars) {
+    throw std::runtime_error("AIGER: header counts unreasonably large");
+  }
+  // The spec requires M >= I + L + A; a header lying about that would let
+  // body definitions index past the variable table.
+  if (num_in > m || num_and > m || num_in + num_latch + num_and > m) {
+    throw std::runtime_error("AIGER: header counts inconsistent (M < I+L+A)");
   }
   Aig g;
   // lit mapping: aiger literal -> our literal.
@@ -166,7 +183,12 @@ Aig read_aiger(std::istream& is) {
     for (std::size_t i = 0; i < num_in; ++i) {
       std::uint32_t l = 0;
       is >> l;
-      if (l % 2 != 0 || l / 2 > m) throw std::runtime_error("AIGER: bad input");
+      if (!is || l % 2 != 0 || l / 2 > m || l / 2 == 0) {
+        throw std::runtime_error("AIGER: bad input literal");
+      }
+      if (of_var[l / 2] != kLitNull) {
+        throw std::runtime_error("AIGER: duplicate input definition");
+      }
       of_var[l / 2] = g.add_pi();
     }
     std::vector<std::uint32_t> out_lits(num_out);
@@ -177,6 +199,17 @@ Aig read_aiger(std::istream& is) {
     std::vector<AndDef> ands(num_and);
     for (auto& a : ands) is >> a.lhs >> a.rhs0 >> a.rhs1;
     if (!is) throw std::runtime_error("AIGER: truncated body");
+    for (const auto& a : ands) {
+      if (a.lhs % 2 != 0 || a.lhs / 2 > m || a.lhs / 2 == 0) {
+        throw std::runtime_error("AIGER: and lhs out of range");
+      }
+      if (a.rhs0 / 2 > m || a.rhs1 / 2 > m) {
+        throw std::runtime_error("AIGER: and rhs out of range");
+      }
+      if (of_var[a.lhs / 2] != kLitNull) {
+        throw std::runtime_error("AIGER: and lhs redefines a variable");
+      }
+    }
     // Definitions may be in any order in aag; resolve iteratively.
     std::size_t remaining = ands.size();
     bool progress = true;
@@ -191,6 +224,9 @@ Aig read_aiger(std::istream& is) {
           throw std::runtime_error("AIGER: and rhs out of range");
         }
         if (of_var[v0] == kLitNull || of_var[v1] == kLitNull) continue;
+        if (of_var[a.lhs / 2] != kLitNull) {
+          throw std::runtime_error("AIGER: and lhs redefines a variable");
+        }
         of_var[a.lhs / 2] = g.and_of(to_lit(a.rhs0), to_lit(a.rhs1));
         done[i] = true;
         --remaining;
@@ -203,12 +239,17 @@ Aig read_aiger(std::istream& is) {
     for (std::size_t i = 0; i < num_in; ++i) of_var[i + 1] = g.add_pi();
     std::vector<std::uint32_t> out_lits(num_out);
     for (auto& l : out_lits) is >> l;
+    if (!is) throw std::runtime_error("AIGER: truncated output list");
     is.ignore(1);  // newline before binary section
     for (std::size_t i = 0; i < num_and; ++i) {
       const std::uint32_t lhs = static_cast<std::uint32_t>(num_in + 1 + i) * 2;
       const std::uint32_t d0 = get_delta(is);
       const std::uint32_t d1 = get_delta(is);
+      // The binary encoding requires lhs > rhs0 >= rhs1; an underflowing
+      // delta would wrap into a huge bogus literal.
+      if (d0 > lhs) throw std::runtime_error("AIGER: delta underflows lhs");
       const std::uint32_t rhs0 = lhs - d0;
+      if (d1 > rhs0) throw std::runtime_error("AIGER: delta underflows rhs0");
       const std::uint32_t rhs1 = rhs0 - d1;
       of_var[lhs / 2] = g.and_of(to_lit(rhs0), to_lit(rhs1));
     }

@@ -1,8 +1,11 @@
 #include "clo/core/evaluator.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <functional>
+#include <stdexcept>
 
+#include "clo/util/fault.hpp"
 #include "clo/util/obs.hpp"
 
 namespace clo::core {
@@ -46,6 +49,7 @@ Qor QorEvaluator::evaluate(const opt::Sequence& seq) {
   CLO_OBS_COUNT("evaluator.synthesis_runs", 1);
   Qor qor;
   try {
+    CLO_FAULT_POINT("evaluator.synthesize");
     aig::Aig g = circuit_;
     opt::run_sequence(g, seq);
     // Report the Pareto endpoints, like ABC's map + area recovery: the
@@ -61,6 +65,12 @@ Qor QorEvaluator::evaluate(const opt::Sequence& seq) {
     // either objective can occasionally win on the other's metric.
     qor = Qor{std::min(area_mapped.area_um2, delay_mapped.area_um2),
               std::min(area_mapped.delay_ps, delay_mapped.delay_ps)};
+    // Never cache (or report) a non-finite QoR: a NaN label would poison
+    // dataset normalization and every surrogate gradient downstream.
+    if (!std::isfinite(qor.area_um2) || !std::isfinite(qor.delay_ps)) {
+      throw std::runtime_error("evaluator: non-finite QoR for sequence '" +
+                               key + "'");
+    }
   } catch (...) {
     // Hand the miss back so waiters retry rather than hang.
     std::lock_guard<std::mutex> lock(shard.mu);

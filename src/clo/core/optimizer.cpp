@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "clo/nn/ops.hpp"
+#include "clo/util/fault.hpp"
 #include "clo/util/obs.hpp"
 #include "clo/util/thread_pool.hpp"
 #include "clo/util/timer.hpp"
@@ -24,6 +28,17 @@ void clip_gradient(std::vector<float>* grad, double max_norm) {
   if (norm > max_norm && norm > 0.0) {
     const float s = static_cast<float>(max_norm / norm);
     for (auto& g : *grad) g *= s;
+  }
+}
+
+/// The non-finite-latent guard: a NaN/Inf latent would silently decode to
+/// a garbage nearest-embedding sequence, so surface it as a failure the
+/// tolerant restart driver can retry instead.
+void check_latent_finite(const std::vector<float>& x) {
+  for (float v : x) {
+    if (!std::isfinite(v)) {
+      throw std::runtime_error("optimizer: non-finite latent after denoising");
+    }
   }
 }
 
@@ -126,6 +141,7 @@ OptimizeResult ContinuousOptimizer::run(clo::Rng& rng) {
 
 OptimizeResult ContinuousOptimizer::run_impl(const std::vector<float>& noise) {
   CLO_TRACE_SPAN("optimize.restart");
+  CLO_FAULT_POINT("optimizer.restart");
   Stopwatch watch;
   watch.start();
   const auto& cfg = diffusion_.config();
@@ -137,6 +153,9 @@ OptimizeResult ContinuousOptimizer::run_impl(const std::vector<float>& noise) {
   std::size_t cursor = 0;
   std::vector<float> x(static_cast<std::size_t>(L) * d);
   for (auto& v : x) v = noise[cursor++];
+  if (CLO_FAULT_FIRED("optimizer.latent_nan")) {
+    x[0] = std::numeric_limits<float>::quiet_NaN();
+  }
 
   if (!params_.use_diffusion) {
     // Eq. 14: gradient-only continuous optimization (ablation).
@@ -197,6 +216,7 @@ OptimizeResult ContinuousOptimizer::run_impl(const std::vector<float>& noise) {
     }
   }
 
+  check_latent_finite(x);
   result.latent = x;
   result.sequence = embedding_.retrieve(x, L);
   result.discrepancy = embedding_.discrepancy(x, L);
@@ -225,8 +245,12 @@ void ContinuousOptimizer::run_impl_batch(
   std::vector<std::vector<float>> x(R, std::vector<float>(elems));
   std::vector<std::size_t> cursor(R, elems);
   for (std::size_t r = 0; r < R; ++r) {
+    CLO_FAULT_POINT("optimizer.restart");
     std::copy(noise[begin + r].begin(), noise[begin + r].begin() + elems,
               x[r].begin());
+    if (CLO_FAULT_FIRED("optimizer.latent_nan")) {
+      x[r][0] = std::numeric_limits<float>::quiet_NaN();
+    }
   }
 
   std::vector<std::vector<float>> grads;
@@ -296,6 +320,11 @@ void ContinuousOptimizer::run_impl_batch(
     }
   }
 
+  // A single poisoned row cannot contaminate its neighbors (no nn op mixes
+  // batch rows), but it must still abort the chunk: the tolerant driver
+  // re-runs the chunk's restarts individually to sort good from bad.
+  for (std::size_t r = 0; r < R; ++r) check_latent_finite(x[r]);
+
   // Batched finalize: one table scan retrieves sequence + discrepancy,
   // one inference-only surrogate forward predicts every restart's F̂.
   std::vector<double> disc;
@@ -361,6 +390,92 @@ std::vector<OptimizeResult> ContinuousOptimizer::run_restarts(
   } else {
     util::parallel_for(pool, static_cast<std::size_t>(count),
                        [&](std::size_t r) { results[r] = run_impl(noise[r]); });
+  }
+  return results;
+}
+
+std::vector<OptimizeResult> ContinuousOptimizer::run_restarts_tolerant(
+    clo::Rng& rng, int count, util::ThreadPool* pool, bool batched,
+    std::vector<RestartFailure>* failures) {
+  // Primary draws come first, in the exact run_restarts order, so the
+  // fault-free trajectories are bit-identical to run_restarts. The retry
+  // Rngs are forked only afterwards: they perturb the main stream's state
+  // but nothing pre-sampled, so they are invisible unless a retry happens.
+  const std::size_t per_run = noise_count();
+  std::vector<std::vector<float>> noise(count);
+  for (int r = 0; r < count; ++r) {
+    noise[r].resize(per_run);
+    for (auto& v : noise[r]) v = static_cast<float>(rng.next_gaussian());
+  }
+  std::vector<clo::Rng> retry_rng;
+  retry_rng.reserve(count);
+  for (int r = 0; r < count; ++r) retry_rng.push_back(rng.fork());
+
+  auto frozen_params = surrogate_.parameters();
+  {
+    auto dp = diffusion_.unet().parameters();
+    frozen_params.insert(frozen_params.end(), dp.begin(), dp.end());
+  }
+  nn::GradFreeze freeze(frozen_params);
+
+  std::vector<OptimizeResult> results(count);
+  std::vector<char> pending(count, 0);
+
+  if (batched) {
+    const std::size_t workers = pool != nullptr ? pool->size() : 1;
+    const std::size_t chunks = std::max<std::size_t>(
+        1, std::min(workers, static_cast<std::size_t>(count)));
+    const auto chunk_errors =
+        util::parallel_for_collect(pool, chunks, [&](std::size_t c) {
+          const std::size_t lo = c * static_cast<std::size_t>(count) / chunks;
+          const std::size_t hi =
+              (c + 1) * static_cast<std::size_t>(count) / chunks;
+          if (lo < hi) run_impl_batch(noise, lo, hi, &results);
+        });
+    for (const auto& e : chunk_errors) {
+      // A chunk failure poisons every restart sharing the chunk; most are
+      // innocent and recover bit-identically in the per-restart pass below
+      // (run_impl matches run_impl_batch exactly on the same noise).
+      const std::size_t lo =
+          e.index * static_cast<std::size_t>(count) / chunks;
+      const std::size_t hi =
+          (e.index + 1) * static_cast<std::size_t>(count) / chunks;
+      for (std::size_t r = lo; r < hi; ++r) pending[r] = 1;
+    }
+  } else {
+    const auto errors = util::parallel_for_collect(
+        pool, static_cast<std::size_t>(count),
+        [&](std::size_t r) { results[r] = run_impl(noise[r]); });
+    for (const auto& e : errors) pending[e.index] = 1;
+  }
+
+  // Serial recovery: original noise first (recovers chunk neighbors and
+  // one-shot faults without changing any trajectory), then one fresh-noise
+  // retry from the restart's own pre-forked Rng (the escape hatch for a
+  // latent that deterministically goes non-finite). Still failing ->
+  // quarantine.
+  for (int r = 0; r < count; ++r) {
+    if (!pending[r]) continue;
+    try {
+      results[r] = run_impl(noise[r]);
+      continue;
+    } catch (const std::exception&) {
+      // Fall through to the fresh-noise retry.
+    }
+    try {
+      std::vector<float> fresh(per_run);
+      for (auto& v : fresh) {
+        v = static_cast<float>(retry_rng[r].next_gaussian());
+      }
+      results[r] = run_impl(fresh);
+      CLO_OBS_COUNT("optimizer.restart_retries", 1);
+    } catch (const std::exception& e) {
+      results[r] = OptimizeResult{};
+      if (failures != nullptr) {
+        failures->push_back({static_cast<std::size_t>(r), e.what()});
+      }
+      CLO_OBS_COUNT("optimizer.quarantined_restarts", 1);
+    }
   }
   return results;
 }

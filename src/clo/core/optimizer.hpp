@@ -8,6 +8,7 @@
 // embedding decode. The ablation mode (Eq. 14) drops the diffusion term.
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "clo/models/diffusion.hpp"
@@ -86,6 +87,29 @@ class ContinuousOptimizer {
   std::vector<OptimizeResult> run_restarts(clo::Rng& rng, int count,
                                            util::ThreadPool* pool = nullptr,
                                            bool batched = true);
+
+  /// A restart that failed both its normal run and its fresh-noise retry,
+  /// and was therefore quarantined (its result slot left default).
+  struct RestartFailure {
+    std::size_t index = 0;
+    std::string message;
+  };
+
+  /// Fault-tolerant run_restarts: identical pre-sampling, so when nothing
+  /// fails the results are bit-identical to run_restarts for the same rng
+  /// state. A restart that throws (injected fault, synthesis error, or the
+  /// non-finite-latent guard) is re-run serially on its original noise —
+  /// which also recovers the innocent neighbors of a failed lockstep chunk
+  /// without changing their trajectories — and, if it fails again, retried
+  /// once on fresh noise drawn from an Rng pre-forked for that restart
+  /// (forked after the primary draws, so fault-free trajectories are
+  /// unaffected). Restarts that still fail are quarantined: their slot in
+  /// the returned vector stays default-constructed (empty sequence) and an
+  /// entry is appended to `failures`. Survivors keep the exact sequences
+  /// they would have produced with no failures present.
+  std::vector<OptimizeResult> run_restarts_tolerant(
+      clo::Rng& rng, int count, util::ThreadPool* pool = nullptr,
+      bool batched = true, std::vector<RestartFailure>* failures = nullptr);
 
   /// Surrogate objective and its gradient at a flattened latent. With
   /// `grad == nullptr` this is a pure inference query: no autograd graph

@@ -1,5 +1,10 @@
 #include "clo/core/pipeline.hpp"
 
+#include <sstream>
+
+#include "clo/core/checkpoint.hpp"
+#include "clo/nn/serialize.hpp"
+#include "clo/util/fault.hpp"
 #include "clo/util/log.hpp"
 #include "clo/util/thread_pool.hpp"
 #include "clo/util/timer.hpp"
@@ -14,6 +19,35 @@ obs::Json series_json(const std::vector<double>& values) {
   return arr;
 }
 
+/// The checkpoint identity: every knob (plus the circuit fingerprint) that
+/// changes the bits a pretraining phase produces. Thread count is
+/// deliberately excluded — only the surrogate's parallelism *mode*
+/// (serial batched vs data-parallel, whose float rounding differs) is
+/// part of the identity.
+std::uint64_t checkpoint_hash(const PipelineConfig& config,
+                              const aig::Aig& circuit, bool data_parallel) {
+  ConfigHasher h;
+  h.add(circuit.name())
+      .add(static_cast<std::uint64_t>(circuit.num_pis()))
+      .add(static_cast<std::uint64_t>(circuit.num_pos()))
+      .add(static_cast<std::uint64_t>(circuit.num_ands()))
+      .add(config.seed)
+      .add(static_cast<std::uint64_t>(config.seq_len))
+      .add(static_cast<std::uint64_t>(config.embed_dim))
+      .add(static_cast<std::uint64_t>(config.dataset_size))
+      .add(static_cast<std::uint64_t>(config.diffusion_steps))
+      .add(static_cast<std::uint64_t>(config.diffusion_iters))
+      .add(static_cast<std::uint64_t>(config.diffusion_batch))
+      .add(static_cast<double>(config.diffusion_lr))
+      .add(config.surrogate)
+      .add(static_cast<std::uint64_t>(config.surrogate_train.epochs))
+      .add(static_cast<std::uint64_t>(config.surrogate_train.batch_size))
+      .add(static_cast<double>(config.surrogate_train.lr))
+      .add(config.surrogate_train.holdout_fraction)
+      .add(static_cast<std::uint64_t>(data_parallel ? 1 : 0));
+  return h.hash();
+}
+
 }  // namespace
 
 PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
@@ -24,42 +58,136 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
   const std::size_t workers = util::resolve_threads(config_.threads);
   std::unique_ptr<util::ThreadPool> pool;
   if (workers >= 2) pool = std::make_unique<util::ThreadPool>(workers);
-  result.original = evaluator.original();
+
+  std::unique_ptr<CheckpointManager> ckpt;
+  if (!config_.checkpoint_dir.empty()) {
+    ckpt = std::make_unique<CheckpointManager>(
+        config_.checkpoint_dir,
+        checkpoint_hash(config_, evaluator.circuit(), workers >= 2));
+  }
+  DatasetCheckpoint dck;
+  SurrogateCheckpoint sck;
+  DiffusionCheckpoint fck;
+  bool have_dataset = false, have_surrogate = false, have_diffusion = false;
+  if (ckpt != nullptr && config_.resume) {
+    // Phases chain: a later checkpoint is only usable when every earlier
+    // one loaded (its Rng state continues the earlier phase's stream).
+    have_dataset = ckpt->load_dataset(&dck);
+    if (have_dataset) {
+      have_surrogate = ckpt->load_surrogate(&sck);
+      if (have_surrogate) have_diffusion = ckpt->load_diffusion(&fck);
+    }
+  }
 
   // ---- One-time pretraining (upper half of Fig. 1) -----------------------
-  embedding_ = std::make_unique<models::TransformEmbedding>(
-      config_.embed_dim, rng);
-  {
-    CLO_TRACE_SPAN("pipeline.dataset");
-    Stopwatch w;
-    ScopedTimer st(w);
-    dataset_ = generate_dataset(evaluator, config_.dataset_size,
-                                config_.seq_len, rng, pool.get());
-    result.dataset_seconds = w.seconds();
-    CLO_OBS_GAUGE("pipeline.dataset_seconds", result.dataset_seconds);
+  if (have_dataset) {
+    embedding_ = std::make_unique<models::TransformEmbedding>(
+        std::move(dck.embedding_table));
+    dataset_ = std::move(dck.dataset);
+    result.original = dck.original;
+    result.dataset_seconds = dck.seconds;
+    rng.set_state(dck.rng);
+    ++result.resumed_phases;
+    CLO_LOG_INFO << evaluator.circuit().name()
+                 << ": resumed dataset phase from checkpoint ("
+                 << dataset_.size() << " labeled sequences)";
+  } else {
+    result.original = evaluator.original();
+    embedding_ = std::make_unique<models::TransformEmbedding>(
+        config_.embed_dim, rng);
+    {
+      CLO_TRACE_SPAN("pipeline.dataset");
+      Stopwatch w;
+      ScopedTimer st(w);
+      dataset_ = generate_dataset(evaluator, config_.dataset_size,
+                                  config_.seq_len, rng, pool.get());
+      result.dataset_seconds = w.seconds();
+      CLO_OBS_GAUGE("pipeline.dataset_seconds", result.dataset_seconds);
+    }
+    if (ckpt != nullptr) {
+      DatasetCheckpoint c;
+      c.original = result.original;
+      c.embedding_table = embedding_->table();
+      c.dataset = dataset_;
+      c.seconds = result.dataset_seconds;
+      c.rng = rng.state();
+      if (!ckpt->save_dataset(c)) {
+        CLO_LOG_WARN << "checkpoint: dataset save failed (continuing)";
+      }
+    }
   }
+
   models::SurrogateConfig scfg;
   scfg.seq_len = config_.seq_len;
   scfg.embed_dim = config_.embed_dim;
-  surrogate_ = models::make_surrogate(config_.surrogate, evaluator.circuit(),
-                                      scfg, rng);
-  {
-    CLO_TRACE_SPAN("pipeline.surrogate_train");
-    Stopwatch w;
-    ScopedTimer st(w);
-    // Replicas only borrow the master's architecture; their init weights
-    // are overwritten before use, so a fixed factory seed is fine.
-    SurrogateFactory factory = [this, &evaluator, scfg] {
-      clo::Rng factory_rng(config_.seed ^ 0x5caff01dULL);
-      return models::make_surrogate(config_.surrogate, evaluator.circuit(),
-                                    scfg, factory_rng);
-    };
-    result.surrogate_report =
-        train_surrogate(*surrogate_, *embedding_, dataset_,
-                        config_.surrogate_train, rng, pool.get(), factory);
-    result.surrogate_train_seconds = w.seconds();
-    CLO_OBS_GAUGE("pipeline.surrogate_train_seconds",
-                  result.surrogate_train_seconds);
+  if (have_surrogate) {
+    // Architecture from a throwaway rng (every weight is overwritten by
+    // the checkpoint), then the post-phase Rng stream.
+    clo::Rng init_rng(config_.seed ^ 0x5caffe17ULL);
+    surrogate_ = models::make_surrogate(config_.surrogate,
+                                        evaluator.circuit(), scfg, init_rng);
+    bool loaded = false;
+    try {
+      auto params = surrogate_->parameters();
+      std::istringstream is(sck.weights);
+      loaded = nn::load_parameters(params, is);
+    } catch (const std::exception&) {
+      loaded = false;
+    }
+    if (loaded) {
+      result.surrogate_report = sck.report;
+      result.surrogate_train_seconds = sck.seconds;
+      rng.set_state(sck.rng);
+      ++result.resumed_phases;
+      CLO_LOG_INFO << evaluator.circuit().name()
+                   << ": resumed surrogate phase from checkpoint";
+    } else {
+      CLO_LOG_WARN << "checkpoint: surrogate weights unreadable; retraining";
+      have_surrogate = false;
+      have_diffusion = false;
+      surrogate_.reset();
+    }
+  }
+  if (!have_surrogate) {
+    surrogate_ = models::make_surrogate(config_.surrogate,
+                                        evaluator.circuit(), scfg, rng);
+    {
+      CLO_TRACE_SPAN("pipeline.surrogate_train");
+      Stopwatch w;
+      ScopedTimer st(w);
+      // Replicas only borrow the master's architecture; their init weights
+      // are overwritten before use, so a fixed factory seed is fine.
+      SurrogateFactory factory = [this, &evaluator, scfg] {
+        clo::Rng factory_rng(config_.seed ^ 0x5caff01dULL);
+        return models::make_surrogate(config_.surrogate, evaluator.circuit(),
+                                      scfg, factory_rng);
+      };
+      result.surrogate_report =
+          train_surrogate(*surrogate_, *embedding_, dataset_,
+                          config_.surrogate_train, rng, pool.get(), factory);
+      result.surrogate_train_seconds = w.seconds();
+      CLO_OBS_GAUGE("pipeline.surrogate_train_seconds",
+                    result.surrogate_train_seconds);
+    }
+    if (ckpt != nullptr) {
+      bool saved = false;
+      try {
+        SurrogateCheckpoint c;
+        std::ostringstream os;
+        if (nn::save_parameters(surrogate_->parameters(), os)) {
+          c.weights = os.str();
+          c.report = result.surrogate_report;
+          c.seconds = result.surrogate_train_seconds;
+          c.rng = rng.state();
+          saved = ckpt->save_surrogate(c);
+        }
+      } catch (const std::exception&) {
+        saved = false;
+      }
+      if (!saved) {
+        CLO_LOG_WARN << "checkpoint: surrogate save failed (continuing)";
+      }
+    }
   }
   CLO_LOG_INFO << evaluator.circuit().name() << ": surrogate '"
                << config_.surrogate << "' holdout mse "
@@ -70,25 +198,70 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
   dcfg.seq_len = config_.seq_len;
   dcfg.embed_dim = config_.embed_dim;
   dcfg.num_steps = config_.diffusion_steps;
-  diffusion_ = std::make_unique<models::DiffusionModel>(dcfg, rng);
-  {
-    CLO_TRACE_SPAN("pipeline.diffusion_train");
-    Stopwatch w;
-    ScopedTimer st(w);
-    std::vector<std::vector<float>> data;
-    data.reserve(dataset_.size());
-    for (const auto& seq : dataset_.sequences) {
-      data.push_back(embedding_->embed(seq));
+  if (have_diffusion) {
+    clo::Rng init_rng(config_.seed ^ 0xd1ff0517ULL);
+    diffusion_ = std::make_unique<models::DiffusionModel>(dcfg, init_rng);
+    bool loaded = false;
+    try {
+      auto params = diffusion_->unet().parameters();
+      std::istringstream is(fck.weights);
+      loaded = nn::load_parameters(params, is);
+    } catch (const std::exception&) {
+      loaded = false;
     }
-    result.diffusion_report = diffusion_->train(data, config_.diffusion_iters,
-                                                config_.diffusion_batch,
-                                                config_.diffusion_lr, rng);
-    result.diffusion_train_seconds = w.seconds();
-    CLO_OBS_GAUGE("pipeline.diffusion_train_seconds",
-                  result.diffusion_train_seconds);
-    CLO_LOG_INFO << evaluator.circuit().name() << ": diffusion loss "
-                 << result.diffusion_report.final_loss << " after "
-                 << result.diffusion_report.iterations << " iters";
+    if (loaded) {
+      result.diffusion_report = fck.stats;
+      result.diffusion_train_seconds = fck.seconds;
+      rng.set_state(fck.rng);
+      ++result.resumed_phases;
+      CLO_LOG_INFO << evaluator.circuit().name()
+                   << ": resumed diffusion phase from checkpoint";
+    } else {
+      CLO_LOG_WARN << "checkpoint: diffusion weights unreadable; retraining";
+      have_diffusion = false;
+      diffusion_.reset();
+    }
+  }
+  if (!have_diffusion) {
+    diffusion_ = std::make_unique<models::DiffusionModel>(dcfg, rng);
+    {
+      CLO_TRACE_SPAN("pipeline.diffusion_train");
+      Stopwatch w;
+      ScopedTimer st(w);
+      std::vector<std::vector<float>> data;
+      data.reserve(dataset_.size());
+      for (const auto& seq : dataset_.sequences) {
+        data.push_back(embedding_->embed(seq));
+      }
+      result.diffusion_report = diffusion_->train(
+          data, config_.diffusion_iters, config_.diffusion_batch,
+          config_.diffusion_lr, rng);
+      result.diffusion_train_seconds = w.seconds();
+      CLO_OBS_GAUGE("pipeline.diffusion_train_seconds",
+                    result.diffusion_train_seconds);
+      CLO_LOG_INFO << evaluator.circuit().name() << ": diffusion loss "
+                   << result.diffusion_report.final_loss << " after "
+                   << result.diffusion_report.iterations << " iters";
+    }
+    if (ckpt != nullptr) {
+      bool saved = false;
+      try {
+        DiffusionCheckpoint c;
+        std::ostringstream os;
+        if (nn::save_parameters(diffusion_->unet().parameters(), os)) {
+          c.weights = os.str();
+          c.stats = result.diffusion_report;
+          c.seconds = result.diffusion_train_seconds;
+          c.rng = rng.state();
+          saved = ckpt->save_diffusion(c);
+        }
+      } catch (const std::exception&) {
+        saved = false;
+      }
+      if (!saved) {
+        CLO_LOG_WARN << "checkpoint: diffusion save failed (continuing)";
+      }
+    }
   }
 
   // ---- Continuous optimization (lower half of Fig. 1) --------------------
@@ -98,10 +271,15 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
     CLO_TRACE_SPAN("pipeline.optimize");
     Stopwatch w;
     ScopedTimer st(w);
-    result.restarts = optimizer.run_restarts(rng, config_.restarts,
-                                             pool.get(), config_.batch);
+    result.restarts = optimizer.run_restarts_tolerant(
+        rng, config_.restarts, pool.get(), config_.batch,
+        &result.optimize_quarantined);
     result.optimize_seconds = w.seconds();
     CLO_OBS_GAUGE("pipeline.optimize_seconds", result.optimize_seconds);
+    for (const auto& f : result.optimize_quarantined) {
+      CLO_LOG_WARN << "optimize: quarantined restart " << f.index << ": "
+                   << f.message;
+    }
   }
 
   // ---- Validation with real synthesis (outside the optimization loop) ----
@@ -110,13 +288,34 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
     Stopwatch w;
     ScopedTimer st(w);
     // Label every restart in parallel, then pick the winner serially so
-    // the first-lowest tie-break is scheduling-independent.
+    // the first-lowest tie-break is scheduling-independent. Every restart
+    // is attempted even when one fails; failures get one serial retry
+    // (recovers one-shot faults) before the restart is quarantined.
     result.restart_qor.resize(result.restarts.size());
-    util::parallel_for(pool.get(), result.restarts.size(), [&](std::size_t i) {
-      result.restart_qor[i] = evaluator.evaluate(result.restarts[i].sequence);
-    });
+    std::vector<char> valid(result.restarts.size(), 1);
+    for (const auto& f : result.optimize_quarantined) valid[f.index] = 0;
+    const auto errors = util::parallel_for_collect(
+        pool.get(), result.restarts.size(), [&](std::size_t i) {
+          if (!valid[i]) return;
+          result.restart_qor[i] =
+              evaluator.evaluate(result.restarts[i].sequence);
+        });
+    for (const auto& e : errors) {
+      try {
+        result.restart_qor[e.index] =
+            evaluator.evaluate(result.restarts[e.index].sequence);
+      } catch (const std::exception& ex) {
+        valid[e.index] = 0;
+        result.validate_quarantined.push_back({e.index, ex.what()});
+        CLO_OBS_COUNT("pipeline.quarantined_validations", 1);
+        CLO_LOG_WARN << "validate: quarantined restart " << e.index << ": "
+                     << ex.what();
+      }
+    }
     double best_score = 1e300;
+    bool any_valid = false;
     for (std::size_t i = 0; i < result.restarts.size(); ++i) {
+      if (!valid[i]) continue;
       const auto& restart = result.restarts[i];
       const Qor q = result.restart_qor[i];
       const double score =
@@ -129,7 +328,15 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
         result.best = q;
         result.best_sequence = restart.sequence;
         result.best_discrepancy = restart.discrepancy;
+        any_valid = true;
       }
+    }
+    if (!any_valid) {
+      // Every restart failed: report the unmodified circuit rather than a
+      // zero-QoR artifact.
+      result.best = result.original;
+      result.best_sequence.clear();
+      result.best_discrepancy = 0.0;
     }
     result.validate_seconds = w.seconds();
     CLO_OBS_GAUGE("pipeline.validate_seconds", result.validate_seconds);
@@ -141,6 +348,37 @@ obs::Json pipeline_report(const PipelineResult& result,
                           const EvaluatorStats& evaluator_stats) {
   obs::Json report = obs::Json::object();
   report["schema"] = obs::Json(std::string("clo.report.v1"));
+  report["status"] = obs::Json(std::string("ok"));
+
+  obs::Json resume = obs::Json::object();
+  resume["resumed_phases"] = obs::Json(result.resumed_phases);
+  report["resume"] = resume;
+
+  // Fault-tolerance accounting: which restarts were quarantined and why,
+  // plus the active fault-injection arming (if any) so a chaos run's
+  // report documents exactly what was injected.
+  obs::Json quarantine = obs::Json::object();
+  auto failures_json =
+      [](const std::vector<ContinuousOptimizer::RestartFailure>& v) {
+        obs::Json arr = obs::Json::array();
+        for (const auto& f : v) {
+          obs::Json e = obs::Json::object();
+          e["restart"] = obs::Json(static_cast<std::uint64_t>(f.index));
+          e["message"] = obs::Json(f.message);
+          arr.push_back(std::move(e));
+        }
+        return arr;
+      };
+  quarantine["optimize"] = failures_json(result.optimize_quarantined);
+  quarantine["validate"] = failures_json(result.validate_quarantined);
+  quarantine["total"] = obs::Json(static_cast<std::uint64_t>(
+      result.optimize_quarantined.size() +
+      result.validate_quarantined.size()));
+  report["quarantine"] = quarantine;
+  {
+    const std::string fault = util::fault::describe();
+    if (!fault.empty()) report["fault"] = obs::Json(fault);
+  }
 
   obs::Json qor = obs::Json::object();
   qor["original_area_um2"] = obs::Json(result.original.area_um2);
@@ -188,14 +426,24 @@ obs::Json pipeline_report(const PipelineResult& result,
   diffusion["loss_series"] = series_json(result.diffusion_report.loss_curve);
   report["diffusion"] = diffusion;
 
+  std::vector<std::string> restart_status(result.restarts.size(), "ok");
+  for (const auto& f : result.optimize_quarantined) {
+    if (f.index < restart_status.size()) restart_status[f.index] = "quarantined";
+  }
+  for (const auto& f : result.validate_quarantined) {
+    if (f.index < restart_status.size()) {
+      restart_status[f.index] = "validate_failed";
+    }
+  }
   obs::Json restarts = obs::Json::array();
   for (std::size_t i = 0; i < result.restarts.size(); ++i) {
     const auto& r = result.restarts[i];
     obs::Json entry = obs::Json::object();
+    entry["status"] = obs::Json(restart_status[i]);
     entry["discrepancy"] = obs::Json(r.discrepancy);
     entry["predicted_objective"] = obs::Json(r.predicted_objective);
     entry["seconds"] = obs::Json(r.seconds);
-    if (i < result.restart_qor.size()) {
+    if (i < result.restart_qor.size() && restart_status[i] == "ok") {
       entry["area_um2"] = obs::Json(result.restart_qor[i].area_um2);
       entry["delay_ps"] = obs::Json(result.restart_qor[i].delay_ps);
     }

@@ -43,6 +43,16 @@ struct PipelineConfig {
   /// restart. Retrieved sequences are identical either way; false is the
   /// `--no-batch` fallback.
   bool batch = true;
+  /// When non-empty, persist a phase checkpoint (dataset, surrogate,
+  /// diffusion) into this directory after each pretraining phase.
+  /// Checkpoint I/O failures are warnings, never fatal.
+  std::string checkpoint_dir;
+  /// Resume from valid checkpoints in `checkpoint_dir` instead of
+  /// recomputing. The Rng state stored at each phase boundary makes a
+  /// resumed run bit-identical to an uninterrupted one with the same
+  /// config; stale or corrupt checkpoints silently fall back to
+  /// recomputing the phase.
+  bool resume = false;
 };
 
 struct PipelineResult {
@@ -61,6 +71,16 @@ struct PipelineResult {
   // All restart results (for distribution reporting).
   std::vector<OptimizeResult> restarts;
   std::vector<Qor> restart_qor;
+  // Fault-tolerance accounting: restarts quarantined during latent
+  // optimization (their `restarts` slot is default-constructed) and
+  // restarts whose validation synthesis failed even after a retry (their
+  // `restart_qor` slot is default-constructed). Quarantined restarts never
+  // compete for `best`.
+  std::vector<ContinuousOptimizer::RestartFailure> optimize_quarantined;
+  std::vector<ContinuousOptimizer::RestartFailure> validate_quarantined;
+  /// Pretraining phases restored from a checkpoint (0 = fresh run, 3 =
+  /// dataset + surrogate + diffusion all resumed).
+  int resumed_phases = 0;
 };
 
 class CloPipeline {

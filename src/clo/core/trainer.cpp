@@ -1,11 +1,17 @@
 #include "clo/core/trainer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <future>
+#include <limits>
+#include <memory>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "clo/nn/optim.hpp"
+#include "clo/util/fault.hpp"
 #include "clo/util/obs.hpp"
 #include "clo/util/stats.hpp"
 #include "clo/util/thread_pool.hpp"
@@ -135,7 +141,16 @@ TrainReport train_surrogate(models::SurrogateModel& model,
     return batch_loss / B;
   };
 
-  nn::Adam opt(model.parameters(), config.lr);
+  // Divergence guard: keep a copy of the last weights known to produce a
+  // finite loss. A NaN/Inf batch rolls back to it, halves the LR (fresh
+  // optimizer moments), and training continues — so one poisoned batch or
+  // an LR overshoot cannot waste the whole one-time pretraining run.
+  std::vector<Tensor> live_params = model.parameters();
+  std::vector<std::vector<float>> last_good;
+  last_good.reserve(live_params.size());
+  for (const auto& p : live_params) last_good.push_back(p.impl()->data);
+  float lr = config.lr;
+  auto opt = std::make_unique<nn::Adam>(model.parameters(), lr);
   TrainReport report;
   report.epoch_loss.reserve(config.epochs);
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
@@ -145,6 +160,7 @@ TrainReport train_surrogate(models::SurrogateModel& model,
     int batches = 0;
     for (std::size_t begin = 0; begin < train.size();
          begin += config.batch_size) {
+      CLO_FAULT_POINT("surrogate.train_step");
       const std::size_t count =
           std::min<std::size_t>(config.batch_size, train.size() - begin);
       Tensor x, ya, yd;
@@ -159,9 +175,30 @@ TrainReport train_surrogate(models::SurrogateModel& model,
         nn::backward(loss);
         batch_loss = loss.item();
       }
-      opt.step();
+      if (CLO_FAULT_FIRED("surrogate.loss_nan")) {
+        batch_loss = std::numeric_limits<double>::quiet_NaN();
+      }
+      if (!std::isfinite(batch_loss)) {
+        if (++report.lr_backoffs > kMaxLrBackoffs) {
+          throw std::runtime_error(
+              "train_surrogate: diverged (non-finite loss after " +
+              std::to_string(kMaxLrBackoffs) + " LR backoffs)");
+        }
+        for (std::size_t p = 0; p < live_params.size(); ++p) {
+          live_params[p].impl()->data = last_good[p];
+        }
+        lr *= 0.5f;
+        opt = std::make_unique<nn::Adam>(model.parameters(), lr);
+        opt->zero_grad();  // drop the non-finite gradients just accumulated
+        CLO_OBS_COUNT("trainer.lr_backoffs", 1);
+        continue;
+      }
+      opt->step();
       epoch_loss += batch_loss;
       ++batches;
+    }
+    for (std::size_t p = 0; p < live_params.size(); ++p) {
+      last_good[p] = live_params[p].impl()->data;
     }
     report.train_mse = epoch_loss / std::max(1, batches) / 2.0;
     report.epoch_loss.push_back(report.train_mse);

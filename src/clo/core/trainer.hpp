@@ -33,7 +33,15 @@ struct TrainReport {
   /// Per-epoch mean training loss, in epoch order (the loss-curve series
   /// surfaced by run reports).
   std::vector<double> epoch_loss;
+  /// Divergence recoveries: times a non-finite batch loss triggered a
+  /// rollback to the last good weights plus an LR halving. Training
+  /// throws after kMaxLrBackoffs of them.
+  int lr_backoffs = 0;
 };
+
+/// Divergence recoveries allowed before training gives up (surrogate and
+/// diffusion alike).
+inline constexpr int kMaxLrBackoffs = 6;
 
 /// Builds a surrogate structurally identical to the model being trained
 /// (weights are overwritten with the master's before every batch, so the

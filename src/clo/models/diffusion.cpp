@@ -1,9 +1,13 @@
 #include "clo/models/diffusion.hpp"
 
 #include <cmath>
+#include <limits>
+#include <memory>
 #include <stdexcept>
+#include <string>
 
 #include "clo/nn/optim.hpp"
+#include "clo/util/fault.hpp"
 #include "clo/util/obs.hpp"
 
 namespace clo::models {
@@ -146,12 +150,20 @@ DiffusionModel::TrainStats DiffusionModel::train(
     int batch_size, float lr, clo::Rng& rng) {
   if (data.empty()) throw std::invalid_argument("diffusion train: no data");
   const int L = cfg_.seq_len, d = cfg_.embed_dim;
-  nn::Adam opt(unet_->parameters(), lr);
+  // Divergence guard: mirror the surrogate trainer — keep the last weights
+  // known to produce a finite loss, and on a NaN/Inf iteration roll back,
+  // halve the LR (fresh optimizer moments), and keep going.
+  std::vector<Tensor> params = unet_->parameters();
+  std::vector<std::vector<float>> last_good;
+  last_good.reserve(params.size());
+  for (const auto& p : params) last_good.push_back(p.impl()->data);
+  auto opt = std::make_unique<nn::Adam>(unet_->parameters(), lr);
   TrainStats stats;
   double loss_avg = 0.0;
   const int sample_every = std::max(1, iterations / 100);
   CLO_TRACE_SPAN("diffusion.train");
   for (int it = 0; it < iterations; ++it) {
+    CLO_FAULT_POINT("diffusion.train_step");
     const int B = batch_size;
     Tensor x = Tensor::zeros({B, d, L});
     Tensor eps = Tensor::zeros({B, d, L});
@@ -174,8 +186,30 @@ DiffusionModel::TrainStats DiffusionModel::train(
     Tensor pred = unet_->forward(x, ts);
     Tensor loss = nn::mse_loss(pred, eps);
     nn::backward(loss);
-    opt.step();
-    loss_avg = 0.95 * loss_avg + 0.05 * loss.item();
+    double loss_val = loss.item();
+    if (CLO_FAULT_FIRED("diffusion.loss_nan")) {
+      loss_val = std::numeric_limits<double>::quiet_NaN();
+    }
+    if (!std::isfinite(loss_val)) {
+      if (++stats.lr_backoffs > kMaxLrBackoffs) {
+        throw std::runtime_error(
+            "diffusion train: diverged (non-finite loss after " +
+            std::to_string(kMaxLrBackoffs) + " LR backoffs)");
+      }
+      for (std::size_t p = 0; p < params.size(); ++p) {
+        params[p].impl()->data = last_good[p];
+      }
+      lr *= 0.5f;
+      opt = std::make_unique<nn::Adam>(unet_->parameters(), lr);
+      opt->zero_grad();  // drop the non-finite gradients just accumulated
+      CLO_OBS_COUNT("diffusion.lr_backoffs", 1);
+      continue;
+    }
+    for (std::size_t p = 0; p < params.size(); ++p) {
+      last_good[p] = params[p].impl()->data;
+    }
+    opt->step();
+    loss_avg = 0.95 * loss_avg + 0.05 * loss_val;
     stats.iterations = it + 1;
     stats.final_loss = loss_avg;
     if (it % sample_every == 0 || it == iterations - 1) {

@@ -91,7 +91,15 @@ class DiffusionModel {
     /// Smoothed loss sampled ~100 times across training (last iteration
     /// always included) — the loss-curve series surfaced by run reports.
     std::vector<double> loss_curve;
+    /// Divergence recoveries: times a non-finite iteration loss triggered
+    /// a rollback to the last good weights plus an LR halving. Training
+    /// throws after kMaxLrBackoffs of them.
+    int lr_backoffs = 0;
   };
+
+  /// Divergence recoveries allowed before train() gives up (matches the
+  /// surrogate trainer's core::kMaxLrBackoffs policy).
+  static constexpr int kMaxLrBackoffs = 6;
 
   /// Algorithm 1: train the denoiser on N flattened [L*d] sequences.
   TrainStats train(const std::vector<std::vector<float>>& data,

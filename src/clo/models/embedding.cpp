@@ -39,6 +39,23 @@ TransformEmbedding::TransformEmbedding(int dim, clo::Rng& rng) : dim_(dim) {
   }
 }
 
+TransformEmbedding::TransformEmbedding(std::vector<std::vector<float>> table)
+    : dim_(table.empty() ? 0 : static_cast<int>(table.front().size())),
+      table_(std::move(table)) {
+  if (static_cast<int>(table_.size()) != opt::kNumTransforms) {
+    throw std::invalid_argument("embedding table: wrong row count");
+  }
+  if (dim_ < opt::kNumTransforms) {
+    throw std::invalid_argument(
+        "embedding dim must be >= number of transformations");
+  }
+  for (const auto& row : table_) {
+    if (static_cast<int>(row.size()) != dim_) {
+      throw std::invalid_argument("embedding table: ragged rows");
+    }
+  }
+}
+
 std::vector<float> TransformEmbedding::embed(const opt::Sequence& seq) const {
   std::vector<float> out;
   out.reserve(seq.size() * dim_);

@@ -19,6 +19,12 @@ class TransformEmbedding {
   /// each latent coordinate ~unit variance (diffusion-friendly).
   TransformEmbedding(int dim, clo::Rng& rng);
 
+  /// Restore from a saved table (checkpoint resume): the rows must match
+  /// kNumTransforms and share one dimension >= kNumTransforms. No rng is
+  /// consumed, so a resumed run sees the exact embedding geometry of the
+  /// interrupted one.
+  explicit TransformEmbedding(std::vector<std::vector<float>> table);
+
   int dim() const { return dim_; }
 
   /// Embedding vector of one transformation.

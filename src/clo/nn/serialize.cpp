@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "clo/util/fault.hpp"
+
 namespace clo::nn {
 namespace {
 
@@ -22,10 +24,8 @@ bool read_pod(std::istream& is, T& value) {
 
 }  // namespace
 
-bool save_parameters(const std::vector<Tensor>& params,
-                     const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return false;
+bool save_parameters(const std::vector<Tensor>& params, std::ostream& os) {
+  CLO_FAULT_POINT("serialize.write");
   os.write(kMagic, sizeof(kMagic));
   write_pod(os, static_cast<std::uint32_t>(params.size()));
   for (const Tensor& p : params) {
@@ -37,29 +37,51 @@ bool save_parameters(const std::vector<Tensor>& params,
   return static_cast<bool>(os);
 }
 
-bool load_parameters(std::vector<Tensor>& params, const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return false;
+bool save_parameters(const std::vector<Tensor>& params,
+                     const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  return save_parameters(params, os);
+}
+
+bool load_parameters(std::vector<Tensor>& params, std::istream& is) {
+  CLO_FAULT_POINT("serialize.read");
   char magic[6];
   is.read(magic, sizeof(magic));
   if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
   std::uint32_t count = 0;
   if (!read_pod(is, count) || count != params.size()) return false;
   for (Tensor& p : params) {
+    // Read the declared shape into bounded local storage first: a corrupt
+    // ndims/dim must be rejected before it sizes any read or allocation.
     std::uint32_t ndims = 0;
-    if (!read_pod(is, ndims) ||
-        ndims != static_cast<std::uint32_t>(p.ndim())) {
-      return false;
+    if (!read_pod(is, ndims) || ndims > kMaxTensorDims) return false;
+    std::int64_t declared_elems = 1;
+    std::vector<std::int32_t> dims(ndims);
+    for (auto& d : dims) {
+      if (!read_pod(is, d) || d <= 0 || d > kMaxTensorElems) return false;
+      declared_elems *= d;
+      if (declared_elems > kMaxTensorElems) return false;
     }
+    if (ndims != static_cast<std::uint32_t>(p.ndim())) return false;
     for (int i = 0; i < p.ndim(); ++i) {
-      std::int32_t d = 0;
-      if (!read_pod(is, d) || d != p.dim(i)) return false;
+      if (dims[i] != p.dim(i)) return false;
     }
     is.read(reinterpret_cast<char*>(p.data().data()),
             static_cast<std::streamsize>(p.numel() * sizeof(float)));
-    if (!is) return false;
+    if (!is ||
+        is.gcount() !=
+            static_cast<std::streamsize>(p.numel() * sizeof(float))) {
+      return false;
+    }
   }
   return true;
+}
+
+bool load_parameters(std::vector<Tensor>& params, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  return load_parameters(params, is);
 }
 
 bool save_module(Module& module, const std::string& path) {

@@ -3,7 +3,15 @@
 // one-time effort per circuit, which only pays off if the trained weights
 // can be kept around. Format: little-endian binary, "CLONN1" magic, tensor
 // count, then (ndims, dims..., float32 data) per tensor.
+//
+// The loader is defensive: dimension counts and extents are bounds-checked
+// against sane caps BEFORE any allocation or comparison, and short reads
+// are detected everywhere, so a truncated or bit-flipped snapshot is
+// rejected instead of crashing or over-allocating. (Bit flips inside the
+// float payload are undetectable at this layer — the checkpoint container
+// in clo/core/checkpoint wraps these blobs with a CRC32 for that.)
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -12,13 +20,22 @@
 
 namespace clo::nn {
 
-/// Write all tensors to `path`. Returns false on I/O failure.
+/// Caps enforced by load_parameters before trusting file contents.
+inline constexpr std::uint32_t kMaxTensorDims = 16;
+inline constexpr std::int64_t kMaxTensorElems = std::int64_t{1} << 28;
+
+/// Write all tensors to `path` (or an open binary stream). Returns false
+/// on I/O failure.
 bool save_parameters(const std::vector<Tensor>& params,
                      const std::string& path);
+bool save_parameters(const std::vector<Tensor>& params, std::ostream& os);
 
-/// Read tensors from `path` into `params` (shapes must match exactly).
-/// Returns false on I/O failure or shape mismatch.
+/// Read tensors from `path` (or a stream) into `params` (shapes must
+/// match exactly). Returns false on I/O failure, truncation, or any
+/// malformed/mismatched metadata; `params` contents are unspecified on
+/// failure.
 bool load_parameters(std::vector<Tensor>& params, const std::string& path);
+bool load_parameters(std::vector<Tensor>& params, std::istream& is);
 
 /// Convenience wrappers for whole modules.
 bool save_module(Module& module, const std::string& path);

@@ -14,6 +14,7 @@
 #include "clo/core/pipeline.hpp"
 #include "clo/opt/transform.hpp"
 #include "clo/techmap/tech_map.hpp"
+#include "clo/util/fault.hpp"
 #include "clo/util/obs.hpp"
 #include "clo/util/rng.hpp"
 
@@ -251,15 +252,47 @@ void Shell::register_commands() {
          config.diffusion_steps = 60;
          config.threads = sh.threads_;
          config.batch = sh.batch_;
+         config.checkpoint_dir = sh.checkpoint_dir_;
+         config.resume = sh.resume_;
          core::QorEvaluator evaluator(sh.need_design());
          core::CloPipeline pipeline(config);
-         const auto r = pipeline.run(evaluator);
+         core::PipelineResult r;
+         try {
+           r = pipeline.run(evaluator);
+         } catch (const std::exception& e) {
+           // Even a fatal run leaves an intact, parseable report behind
+           // (the chaos-CI contract): status "failed", the error, and the
+           // fault arming that produced it.
+           if (!sh.report_path_.empty()) {
+             obs::Json report = obs::Json::object();
+             report["schema"] = obs::Json(std::string("clo.report.v1"));
+             report["status"] = obs::Json(std::string("failed"));
+             report["error"] = obs::Json(std::string(e.what()));
+             const std::string fault = util::fault::describe();
+             if (!fault.empty()) report["fault"] = obs::Json(fault);
+             report["metrics"] =
+                 obs::Registry::instance().snapshot().to_json();
+             obs::write_json_file(sh.report_path_, report);
+           }
+           throw;
+         }
          out << "original : area " << r.original.area_um2 << " delay "
              << r.original.delay_ps << "\n";
          out << "optimized: area " << r.best.area_um2 << " delay "
              << r.best.delay_ps << "\n";
          out << "sequence : " << opt::sequence_to_string(r.best_sequence)
              << "\n";
+         if (r.resumed_phases > 0) {
+           out << "resumed  : " << r.resumed_phases
+               << " phase(s) from checkpoint\n";
+         }
+         if (!r.optimize_quarantined.empty() ||
+             !r.validate_quarantined.empty()) {
+           out << "quarantined: "
+               << r.optimize_quarantined.size() +
+                      r.validate_quarantined.size()
+               << " restart(s)\n";
+         }
          if (!sh.report_path_.empty()) {
            const auto report = core::pipeline_report(r, evaluator.snapshot());
            if (!obs::write_json_file(sh.report_path_, report)) {
@@ -309,6 +342,56 @@ void Shell::register_commands() {
            }
          }
          out << "batch = " << (sh.batch_ ? "on" : "off") << "\n";
+         return true;
+       }});
+  commands_.push_back(
+      {"checkpoint",
+       "checkpoint [dir|off] — set/show tune's checkpoint directory",
+       [](Shell& sh, const auto& args, std::ostream& out) {
+         if (args.size() > 1) {
+           sh.checkpoint_dir_ = args[1] == "off" ? "" : args[1];
+         }
+         out << "checkpoint dir = "
+             << (sh.checkpoint_dir_.empty() ? "(off)" : sh.checkpoint_dir_)
+             << "\n";
+         return true;
+       }});
+  commands_.push_back(
+      {"resume",
+       "resume [on|off] — set/show whether tune resumes from checkpoints",
+       [](Shell& sh, const auto& args, std::ostream& out) {
+         if (args.size() > 1) {
+           if (args[1] == "on") {
+             sh.resume_ = true;
+           } else if (args[1] == "off") {
+             sh.resume_ = false;
+           } else {
+             throw std::runtime_error("usage: resume [on|off]");
+           }
+         }
+         out << "resume = " << (sh.resume_ ? "on" : "off") << "\n";
+         return true;
+       }});
+  commands_.push_back(
+      {"fault",
+       "fault <specs>|list|off — arm fault injection (site=N | site=pX)",
+       [](Shell&, const auto& args, std::ostream& out) {
+         if (args.size() != 2) {
+           throw std::runtime_error("usage: fault <specs>|list|off");
+         }
+         if (args[1] == "list") {
+           for (const auto& site : util::fault::known_sites()) {
+             out << "  " << site << "\n";
+           }
+           return true;
+         }
+         if (args[1] == "off") {
+           util::fault::disarm();
+           out << "fault injection disarmed\n";
+           return true;
+         }
+         util::fault::arm(args[1]);
+         out << "armed: " << args[1] << "\n";
          return true;
        }});
   commands_.push_back(

@@ -45,6 +45,15 @@ class Shell {
   void set_batch(bool on) { batch_ = on; }
   bool batch() const { return batch_; }
 
+  /// Directory `tune` writes phase checkpoints into (empty = disabled).
+  /// Also settable at runtime with the `checkpoint` command.
+  void set_checkpoint_dir(std::string dir) { checkpoint_dir_ = std::move(dir); }
+  const std::string& checkpoint_dir() const { return checkpoint_dir_; }
+
+  /// Whether `tune` resumes from checkpoints in the checkpoint directory.
+  void set_resume(bool on) { resume_ = on; }
+  bool resume() const { return resume_; }
+
   /// Observability hooks (each implies obs::set_enabled(true)):
   /// write a Chrome trace-event file on shutdown,
   void set_trace_path(std::string path);
@@ -65,6 +74,8 @@ class Shell {
   bool last_failed_ = false;
   int threads_ = 1;
   bool batch_ = true;
+  std::string checkpoint_dir_;
+  bool resume_ = false;
   std::string trace_path_;
   std::string report_path_;
   bool print_metrics_ = false;

@@ -1,0 +1,37 @@
+#include "clo/util/crc32.hpp"
+
+#include <array>
+
+namespace clo::util {
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                           std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = make_table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  crc ^= 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32_update(0, data, size);
+}
+
+}  // namespace clo::util

@@ -1,0 +1,18 @@
+#pragma once
+// CRC-32 (IEEE 802.3, the zlib polynomial) for checkpoint integrity
+// checks: a truncated or bit-flipped checkpoint must be rejected, never
+// silently loaded.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace clo::util {
+
+/// One-shot CRC-32 of a byte buffer.
+std::uint32_t crc32(const void* data, std::size_t size);
+
+/// Incremental form: feed `crc` from the previous call (start with 0).
+std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                           std::size_t size);
+
+}  // namespace clo::util

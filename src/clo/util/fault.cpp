@@ -1,0 +1,173 @@
+#include "clo/util/fault.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace clo::util::fault {
+namespace {
+
+struct Spec {
+  // Exactly one of the two trigger modes is active.
+  std::uint64_t nth = 0;        ///< fire on this 1-based hit (0 = off)
+  double probability = -1.0;    ///< fire per hit with this chance (<0 = off)
+  std::uint64_t hits = 0;
+  std::uint64_t fired = 0;
+};
+
+struct State {
+  std::mutex mu;
+  std::map<std::string, Spec> specs;
+  std::uint64_t seed = 1;
+};
+
+std::atomic<bool> g_armed{false};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+bool armed() { return g_armed.load(std::memory_order_relaxed); }
+
+const std::vector<std::string>& known_sites() {
+  static const std::vector<std::string> sites = {
+      "checkpoint.read",      "checkpoint.write",
+      "diffusion.loss_nan",   "diffusion.train_step",
+      "evaluator.synthesize", "optimizer.latent_nan",
+      "optimizer.restart",    "serialize.read",
+      "serialize.write",      "surrogate.loss_nan",
+      "surrogate.train_step",
+  };
+  return sites;
+}
+
+void arm(const std::string& specs) {
+  State& s = state();
+  std::map<std::string, Spec> parsed;
+  std::uint64_t seed = 1;
+  std::size_t begin = 0;
+  while (begin <= specs.size()) {
+    std::size_t end = specs.find(',', begin);
+    if (end == std::string::npos) end = specs.size();
+    const std::string item = specs.substr(begin, end - begin);
+    begin = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size()) {
+      throw std::invalid_argument("fault spec '" + item +
+                                  "' is not site=trigger");
+    }
+    const std::string site = item.substr(0, eq);
+    const std::string trigger = item.substr(eq + 1);
+    if (site == "seed") {
+      seed = std::strtoull(trigger.c_str(), nullptr, 10);
+      continue;
+    }
+    const auto& known = known_sites();
+    if (std::find(known.begin(), known.end(), site) == known.end()) {
+      throw std::invalid_argument("unknown fault site '" + site +
+                                  "' (see `clo --fault list`)");
+    }
+    Spec spec;
+    if (trigger[0] == 'p') {
+      char* parse_end = nullptr;
+      spec.probability = std::strtod(trigger.c_str() + 1, &parse_end);
+      if (parse_end == nullptr || *parse_end != '\0' ||
+          spec.probability < 0.0 || spec.probability > 1.0) {
+        throw std::invalid_argument("fault probability '" + trigger +
+                                    "' must be p<0..1>");
+      }
+    } else {
+      char* parse_end = nullptr;
+      spec.nth = std::strtoull(trigger.c_str(), &parse_end, 10);
+      if (parse_end == nullptr || *parse_end != '\0' || spec.nth == 0) {
+        throw std::invalid_argument("fault trigger '" + trigger +
+                                    "' must be a positive hit index or p<x>");
+      }
+    }
+    parsed[site] = spec;
+  }
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.specs = std::move(parsed);
+  s.seed = seed;
+  g_armed.store(!s.specs.empty(), std::memory_order_relaxed);
+}
+
+void arm_from_env() {
+  const char* env = std::getenv("CLO_FAULT");
+  if (env != nullptr && env[0] != '\0') arm(env);
+}
+
+void disarm() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.specs.clear();
+  g_armed.store(false, std::memory_order_relaxed);
+}
+
+bool triggered(const char* site) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.specs.find(site);
+  if (it == s.specs.end()) return false;
+  Spec& spec = it->second;
+  const std::uint64_t hit = ++spec.hits;
+  bool fire = false;
+  if (spec.nth != 0) {
+    fire = hit == spec.nth;
+  } else if (spec.probability >= 0.0) {
+    // Hash (seed, site, hit index) so the firing pattern is a pure
+    // function of the spec, not of scheduling or prior sites.
+    const std::uint64_t h = splitmix64(s.seed ^ fnv1a(it->first) ^ hit);
+    fire = static_cast<double>(h >> 11) * 0x1.0p-53 < spec.probability;
+  }
+  if (fire) ++spec.fired;
+  return fire;
+}
+
+std::uint64_t hits(const std::string& site) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.specs.find(site);
+  return it == s.specs.end() ? 0 : it->second.hits;
+}
+
+std::string describe() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::string out;
+  for (const auto& [site, spec] : s.specs) {
+    out += site + '=';
+    if (spec.nth != 0) {
+      out += std::to_string(spec.nth);
+    } else {
+      out += 'p' + std::to_string(spec.probability);
+    }
+    out += " (hits=" + std::to_string(spec.hits) +
+           ", fired=" + std::to_string(spec.fired) + ")\n";
+  }
+  return out;
+}
+
+}  // namespace clo::util::fault

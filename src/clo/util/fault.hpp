@@ -1,0 +1,96 @@
+#pragma once
+// clo::util::fault — deterministic fault injection for hardening tests and
+// chaos-style CI. Code declares named sites with CLO_FAULT_POINT("name");
+// nothing happens unless a spec is armed (one relaxed atomic check per
+// site, the same cost model as CLO_OBS_*). Armed from the CLI/env with
+// specs like
+//
+//   evaluator.synthesize=3        throw on the 3rd hit of the site
+//   diffusion.train_step=p0.25    throw on each hit with probability 0.25
+//   seed=42                       seed for the probability mode
+//
+// joined with ','. Every spec is reproducible: each site keeps its own hit
+// counter and the probability mode hashes (seed, site, hit index), so the
+// same spec fires at the same hits on every run. Defining
+// CLO_FAULT_DISABLE (the CLO_FAULTS=OFF CMake option, mirroring CLO_OBS)
+// compiles the sites out entirely; the library functions stay available so
+// callers always link.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace clo::util::fault {
+
+/// What an armed CLO_FAULT_POINT throws. Catchable as std::runtime_error,
+/// distinguishable from real failures by type.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& site)
+      : std::runtime_error("injected fault at " + site), site_(site) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// Whether any spec is armed (one relaxed atomic; the per-site gate).
+bool armed();
+
+/// Parse and install comma-separated fault specs (see header comment).
+/// Site names must come from known_sites(); throws std::invalid_argument
+/// on unknown sites or malformed triggers. Replaces any previous arming
+/// and zeroes all hit counters.
+void arm(const std::string& specs);
+
+/// arm() from the CLO_FAULT environment variable when it is set and
+/// non-empty; no-op otherwise.
+void arm_from_env();
+
+/// Clear all specs and hit counters.
+void disarm();
+
+/// Count a hit of `site` and report whether the armed spec fires on it.
+/// Thread-safe. Call through the macros below, not directly.
+bool triggered(const char* site);
+
+/// Hits recorded for `site` since the last arm()/disarm().
+std::uint64_t hits(const std::string& site);
+
+/// Every site name declared anywhere in the codebase. The single source
+/// of truth for `clo --fault list` and the CI fault matrix; a test pins
+/// that arming each entry is accepted.
+const std::vector<std::string>& known_sites();
+
+/// Human-readable "site=trigger (hits=N, fired=M)" summary of the current
+/// arming, one spec per line; empty string when disarmed. Surfaced in run
+/// reports so a failed chaos run documents what was injected.
+std::string describe();
+
+}  // namespace clo::util::fault
+
+#if !defined(CLO_FAULT_DISABLE)
+
+/// Declare a named fault site that throws InjectedFault when armed to
+/// fire here. `site` must be a string literal listed in known_sites().
+#define CLO_FAULT_POINT(site)                          \
+  do {                                                 \
+    if (::clo::util::fault::armed() &&                 \
+        ::clo::util::fault::triggered(site))           \
+      throw ::clo::util::fault::InjectedFault(site);   \
+  } while (0)
+
+/// Non-throwing variant for sites that corrupt a value instead (e.g.
+/// poisoning a latent with NaN): true when the armed spec fires.
+#define CLO_FAULT_FIRED(site) \
+  (::clo::util::fault::armed() && ::clo::util::fault::triggered(site))
+
+#else  // CLO_FAULT_DISABLE
+
+#define CLO_FAULT_POINT(site) \
+  do {                        \
+  } while (0)
+#define CLO_FAULT_FIRED(site) (false)
+
+#endif  // CLO_FAULT_DISABLE

@@ -422,13 +422,30 @@ Json Json::parse(const std::string& text) {
 }
 
 bool write_json_file(const std::string& path, const Json& value) {
-  std::ofstream f(path);
-  if (!f) {
-    CLO_LOG_ERROR << "cannot write " << path;
+  // Atomic tmp + rename: readers (and a killed process) only ever see the
+  // previous complete file or the new complete file, never a torn one —
+  // run reports double as machine-readable crash artifacts.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp);
+    if (!f) {
+      CLO_LOG_ERROR << "cannot write " << tmp;
+      return false;
+    }
+    f << value.dump(2) << "\n";
+    f.flush();
+    if (!f) {
+      std::remove(tmp.c_str());
+      CLO_LOG_ERROR << "cannot write " << tmp;
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    CLO_LOG_ERROR << "cannot rename " << tmp << " to " << path;
     return false;
   }
-  f << value.dump(2) << "\n";
-  return static_cast<bool>(f);
+  return true;
 }
 
 // ---------------------------------------------------------------------------

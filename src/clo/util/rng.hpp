@@ -48,6 +48,17 @@ class Rng {
   /// Derive an independent child generator (for parallel/submodule use).
   Rng fork();
 
+  /// Full generator state (xoshiro words + the Box-Muller cache), for
+  /// checkpoint/resume: restoring a snapshot replays the exact draw
+  /// stream from that point.
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double cached_gaussian = 0.0;
+    bool has_cached_gaussian = false;
+  };
+  State state() const;
+  void set_state(const State& state);
+
  private:
   std::uint64_t s_[4];
   double cached_gaussian_ = 0.0;

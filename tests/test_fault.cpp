@@ -1,0 +1,232 @@
+// Fault-injection unit tests: spec parsing, the nth-hit and probability
+// trigger modes (and their determinism), the known-site registry that the
+// CI fault matrix enumerates, and the training-loop divergence guards the
+// loss_nan sites exist to exercise.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "clo/circuits/generators.hpp"
+#include "clo/core/dataset.hpp"
+#include "clo/core/trainer.hpp"
+#include "clo/models/diffusion.hpp"
+#include "clo/models/embedding.hpp"
+#include "clo/models/surrogate.hpp"
+#include "clo/util/fault.hpp"
+#include "clo/util/rng.hpp"
+
+namespace {
+
+using namespace clo;
+namespace fault = clo::util::fault;
+
+/// Every test must leave the process disarmed: fault state is global and
+/// other suites in this binary hit the instrumented code paths.
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::disarm(); }
+};
+
+TEST_F(FaultTest, DisarmedByDefault) {
+  fault::disarm();
+  EXPECT_FALSE(fault::armed());
+  EXPECT_FALSE(CLO_FAULT_FIRED("optimizer.restart"));
+  EXPECT_NO_THROW(CLO_FAULT_POINT("optimizer.restart"));
+  EXPECT_EQ(fault::hits("optimizer.restart"), 0u);
+  EXPECT_EQ(fault::describe(), "");
+}
+
+TEST_F(FaultTest, NthSpecFiresExactlyOnce) {
+  fault::arm("surrogate.train_step=3");
+  EXPECT_TRUE(fault::armed());
+  EXPECT_NO_THROW(CLO_FAULT_POINT("surrogate.train_step"));  // hit 1
+  EXPECT_NO_THROW(CLO_FAULT_POINT("surrogate.train_step"));  // hit 2
+  try {
+    CLO_FAULT_POINT("surrogate.train_step");  // hit 3 fires
+    FAIL() << "expected InjectedFault";
+  } catch (const fault::InjectedFault& e) {
+    EXPECT_EQ(e.site(), "surrogate.train_step");
+    EXPECT_NE(std::string(e.what()).find("surrogate.train_step"),
+              std::string::npos);
+  }
+  // One-shot: later hits pass.
+  EXPECT_NO_THROW(CLO_FAULT_POINT("surrogate.train_step"));
+  EXPECT_EQ(fault::hits("surrogate.train_step"), 4u);
+  // Sites without a spec never count or fire.
+  EXPECT_NO_THROW(CLO_FAULT_POINT("optimizer.restart"));
+  EXPECT_EQ(fault::hits("optimizer.restart"), 0u);
+}
+
+TEST_F(FaultTest, InjectedFaultIsARuntimeError) {
+  fault::arm("checkpoint.read=1");
+  EXPECT_THROW(CLO_FAULT_POINT("checkpoint.read"), std::runtime_error);
+}
+
+TEST_F(FaultTest, ProbabilityPatternIsAPureFunctionOfTheSpec) {
+  auto pattern = [](const std::string& spec) {
+    fault::arm(spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(CLO_FAULT_FIRED("optimizer.restart"));
+    }
+    return fired;
+  };
+  const auto a = pattern("optimizer.restart=p0.5,seed=9");
+  const auto b = pattern("optimizer.restart=p0.5,seed=9");
+  EXPECT_EQ(a, b);  // re-arming replays the exact same firing pattern
+  const auto c = pattern("optimizer.restart=p0.5,seed=10");
+  EXPECT_NE(a, c);  // the seed perturbs it
+  int fired_count = 0;
+  for (bool f : a) fired_count += f ? 1 : 0;
+  EXPECT_GT(fired_count, 8);   // p0.5 over 64 hits is nowhere near
+  EXPECT_LT(fired_count, 56);  // all-or-nothing
+}
+
+TEST_F(FaultTest, ProbabilityExtremes) {
+  fault::arm("optimizer.restart=p0");
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(CLO_FAULT_FIRED("optimizer.restart"));
+  }
+  fault::arm("optimizer.restart=p1.0");
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_TRUE(CLO_FAULT_FIRED("optimizer.restart"));
+  }
+}
+
+TEST_F(FaultTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(fault::arm("no.such.site=1"), std::invalid_argument);
+  EXPECT_THROW(fault::arm("optimizer.restart"), std::invalid_argument);
+  EXPECT_THROW(fault::arm("optimizer.restart="), std::invalid_argument);
+  EXPECT_THROW(fault::arm("optimizer.restart=0"), std::invalid_argument);
+  EXPECT_THROW(fault::arm("optimizer.restart=px"), std::invalid_argument);
+  EXPECT_THROW(fault::arm("optimizer.restart=p1.5"), std::invalid_argument);
+  EXPECT_THROW(fault::arm("optimizer.restart=3x"), std::invalid_argument);
+}
+
+TEST_F(FaultTest, FailedArmKeepsThePreviousArming) {
+  fault::arm("checkpoint.write=1");
+  EXPECT_THROW(fault::arm("no.such.site=1"), std::invalid_argument);
+  EXPECT_TRUE(fault::armed());
+  EXPECT_THROW(CLO_FAULT_POINT("checkpoint.write"), fault::InjectedFault);
+}
+
+TEST_F(FaultTest, KnownSitesAreStableAndAllArm) {
+  // This list is the CI fault-matrix contract: a new CLO_FAULT_POINT site
+  // must be registered here (and the matrix regenerated) to be reachable.
+  const std::vector<std::string> expected = {
+      "checkpoint.read",      "checkpoint.write",
+      "diffusion.loss_nan",   "diffusion.train_step",
+      "evaluator.synthesize", "optimizer.latent_nan",
+      "optimizer.restart",    "serialize.read",
+      "serialize.write",      "surrogate.loss_nan",
+      "surrogate.train_step",
+  };
+  EXPECT_EQ(fault::known_sites(), expected);
+  for (const auto& site : fault::known_sites()) {
+    EXPECT_NO_THROW(fault::arm(site + "=1")) << site;
+  }
+}
+
+TEST_F(FaultTest, DescribeSummarizesHitsAndFires) {
+  fault::arm("checkpoint.read=2,optimizer.restart=p0.25");
+  EXPECT_NO_THROW(CLO_FAULT_POINT("checkpoint.read"));  // hit 1 of 2
+  const std::string d = fault::describe();
+  EXPECT_NE(d.find("checkpoint.read=2 (hits=1, fired=0)"), std::string::npos)
+      << d;
+  EXPECT_NE(d.find("optimizer.restart=p0.25"), std::string::npos) << d;
+}
+
+TEST_F(FaultTest, ArmFromEnvironment) {
+  ASSERT_EQ(setenv("CLO_FAULT", "evaluator.synthesize=5", 1), 0);
+  fault::arm_from_env();
+  EXPECT_TRUE(fault::armed());
+  EXPECT_NE(fault::describe().find("evaluator.synthesize=5"),
+            std::string::npos);
+  ASSERT_EQ(unsetenv("CLO_FAULT"), 0);
+  fault::disarm();
+  fault::arm_from_env();  // no env var: must stay disarmed
+  EXPECT_FALSE(fault::armed());
+}
+
+// ---- divergence guards driven by the loss_nan sites ---------------------
+
+TEST_F(FaultTest, SurrogateTrainingRecoversFromNanLoss) {
+  core::QorEvaluator ev(circuits::make_benchmark("c17"));
+  clo::Rng rng(3);
+  const auto ds = core::generate_dataset(ev, 24, 8, rng);
+  models::TransformEmbedding emb(8, rng);
+  models::SurrogateConfig scfg;
+  scfg.seq_len = 8;
+  auto model = models::make_surrogate("cnn", ev.circuit(), scfg, rng);
+  core::TrainConfig tcfg;
+  tcfg.epochs = 10;
+  fault::arm("surrogate.loss_nan=2");
+  const auto report = core::train_surrogate(*model, emb, ds, tcfg, rng);
+  EXPECT_EQ(report.lr_backoffs, 1);
+  EXPECT_TRUE(std::isfinite(report.train_mse));
+  for (double l : report.epoch_loss) EXPECT_TRUE(std::isfinite(l));
+}
+
+TEST_F(FaultTest, SurrogateTrainingGivesUpAfterMaxBackoffs) {
+  core::QorEvaluator ev(circuits::make_benchmark("c17"));
+  clo::Rng rng(4);
+  const auto ds = core::generate_dataset(ev, 24, 8, rng);
+  models::TransformEmbedding emb(8, rng);
+  models::SurrogateConfig scfg;
+  scfg.seq_len = 8;
+  auto model = models::make_surrogate("cnn", ev.circuit(), scfg, rng);
+  core::TrainConfig tcfg;
+  tcfg.epochs = 10;
+  fault::arm("surrogate.loss_nan=p1.0");  // every batch diverges
+  EXPECT_THROW(core::train_surrogate(*model, emb, ds, tcfg, rng),
+               std::runtime_error);
+}
+
+TEST_F(FaultTest, DiffusionTrainingRecoversFromNanLoss) {
+  clo::Rng rng(5);
+  models::DiffusionConfig cfg;
+  cfg.seq_len = 8;
+  cfg.embed_dim = 4;
+  cfg.channels = 8;
+  cfg.time_dim = 8;
+  cfg.num_steps = 10;
+  models::DiffusionModel model(cfg, rng);
+  std::vector<std::vector<float>> data(8,
+                                       std::vector<float>(8 * 4));
+  for (auto& row : data) {
+    for (auto& v : row) v = static_cast<float>(rng.next_gaussian());
+  }
+  fault::arm("diffusion.loss_nan=3");
+  const auto stats = model.train(data, /*iterations=*/30, /*batch_size=*/4,
+                                 /*lr=*/1e-3f, rng);
+  EXPECT_EQ(stats.lr_backoffs, 1);
+  EXPECT_EQ(stats.iterations, 30);
+  EXPECT_TRUE(std::isfinite(stats.final_loss));
+  for (double l : stats.loss_curve) EXPECT_TRUE(std::isfinite(l));
+}
+
+TEST_F(FaultTest, DiffusionTrainingGivesUpAfterMaxBackoffs) {
+  clo::Rng rng(6);
+  models::DiffusionConfig cfg;
+  cfg.seq_len = 8;
+  cfg.embed_dim = 4;
+  cfg.channels = 8;
+  cfg.time_dim = 8;
+  cfg.num_steps = 10;
+  models::DiffusionModel model(cfg, rng);
+  std::vector<std::vector<float>> data(8,
+                                       std::vector<float>(8 * 4));
+  for (auto& row : data) {
+    for (auto& v : row) v = static_cast<float>(rng.next_gaussian());
+  }
+  fault::arm("diffusion.loss_nan=p1.0");
+  EXPECT_THROW(
+      model.train(data, /*iterations=*/30, /*batch_size=*/4, 1e-3f, rng),
+      std::runtime_error);
+}
+
+}  // namespace

@@ -131,6 +131,73 @@ TEST(Bench, RoundTripLargerCircuit) {
   EXPECT_TRUE(cec(g, back, rng).equivalent);
 }
 
+void expect_aiger_rejected(const std::string& text, const char* why) {
+  std::stringstream ss(text);
+  EXPECT_THROW(read_aiger(ss), std::runtime_error) << why;
+}
+
+TEST(AigerRead, MalformedInputCorpusIsRejectedCleanly) {
+  // Each entry is a hostile file targeting one validation path; all must
+  // end in a clean std::runtime_error — no crash, hang, or huge
+  // allocation (the sanitizer CI job runs this corpus under ASan).
+  expect_aiger_rejected("aag 99999999999 1 0 1 1\n2\n", "huge header counts");
+  expect_aiger_rejected("aag 2 2 0 1 1\n2\n4\n6\n6 2 4\n",
+                        "M < I+L+A inconsistency");
+  expect_aiger_rejected("aag 3 2 0 1 1\n2\n2\n6\n6 2 4\n", "duplicate input");
+  expect_aiger_rejected("aag 3 2 0 1 1\n3\n4\n6\n6 2 4\n",
+                        "odd input literal");
+  expect_aiger_rejected("aag 3 2 0 1 1\n2\n4\n6\n8 2 4\n",
+                        "and lhs out of range");
+  expect_aiger_rejected("aag 3 2 0 1 1\n2\n4\n6\n6 2 9\n",
+                        "and rhs out of range");
+  expect_aiger_rejected("aag 4 2 0 1 2\n2\n4\n6\n6 2 4\n6 2 4\n",
+                        "and lhs redefined");
+  expect_aiger_rejected("aag 4 1 0 1 2\n2\n4\n4 6 2\n6 4 2\n",
+                        "cyclic definitions");
+  expect_aiger_rejected("aag 3 2 0 1 0\n2\n4\n6\n",
+                        "output references undefined variable");
+  expect_aiger_rejected("aag 3 2 0 1 1\n2\n4\n", "truncated output list");
+  expect_aiger_rejected("aag 3 2 0 1 1\n2\n4\n6\n", "truncated and body");
+  expect_aiger_rejected("aag x y z\n", "unparsable header");
+  expect_aiger_rejected("", "empty file");
+  // Binary-specific: truncated and over-long delta codes, and a delta
+  // that would underflow its lhs.
+  expect_aiger_rejected("aig 2 1 0 0 1\n", "truncated delta code");
+  expect_aiger_rejected(
+      std::string("aig 2 1 0 0 1\n") + "\xff\xff\xff\xff\xff\x7f",
+      "delta code exceeds 32 bits");
+  expect_aiger_rejected(std::string("aig 2 1 0 1 1\n4\n") + '\x05',
+                        "delta underflows lhs");
+}
+
+TEST(AigerRead, TruncationAndBitFlipFuzzNeverCrashes) {
+  // Every prefix and every single-byte corruption of a valid binary AIGER
+  // file must either parse or throw — never crash or over-allocate.
+  const Aig g = clo::circuits::make_benchmark("c17");
+  std::stringstream ss;
+  write_aiger_binary(g, ss);
+  const std::string bytes = ss.str();
+  ASSERT_GT(bytes.size(), 10u);
+  for (std::size_t len = 0; len <= bytes.size(); ++len) {
+    std::stringstream in(bytes.substr(0, len));
+    try {
+      read_aiger(in);
+    } catch (const std::exception&) {
+    }
+  }
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (const char flip : {'\x01', '\x80'}) {
+      std::string corrupt = bytes;
+      corrupt[i] ^= flip;
+      std::stringstream in(corrupt);
+      try {
+        read_aiger(in);
+      } catch (const std::exception&) {
+      }
+    }
+  }
+}
+
 TEST(AigerFile, FileRoundTrip) {
   const Aig g = clo::circuits::make_benchmark("ctrl");
   const std::string path = testing::TempDir() + "/clo_test_ctrl.aig";

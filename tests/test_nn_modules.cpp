@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "clo/nn/modules.hpp"
 #include "clo/nn/optim.hpp"
 #include "clo/nn/serialize.hpp"
+#include "clo/util/fault.hpp"
 #include "clo/util/rng.hpp"
 
 namespace {
@@ -209,6 +212,84 @@ TEST(Serialize, RejectsShapeMismatchAndGarbage) {
     f << "NOTAMODEL";
   }
   EXPECT_FALSE(load_module(a, bad));
+}
+
+TEST(Serialize, EveryTruncationIsRejected) {
+  clo::Rng rng(33);
+  Mlp model(4, 8, 2, rng);
+  auto params = model.parameters();
+  std::ostringstream os(std::ios::binary);
+  ASSERT_TRUE(save_parameters(params, os));
+  const std::string blob = os.str();
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    std::istringstream is(blob.substr(0, len), std::ios::binary);
+    auto fresh = model.parameters();
+    EXPECT_FALSE(load_parameters(fresh, is)) << "truncated to " << len;
+  }
+  std::istringstream full(blob, std::ios::binary);
+  auto fresh = model.parameters();
+  EXPECT_TRUE(load_parameters(fresh, full));
+}
+
+TEST(Serialize, CorruptMetadataIsRejectedBeforeAllocation) {
+  clo::Rng rng(34);
+  Mlp model(4, 8, 2, rng);
+  auto params = model.parameters();
+  std::ostringstream os(std::ios::binary);
+  ASSERT_TRUE(save_parameters(params, os));
+  const std::string blob = os.str();
+  // Layout: magic (6 bytes), tensor count (u32), then per tensor
+  // ndims (u32) and dims (i32 each). Corrupt each metadata field to a
+  // hostile value; the loader must reject before sizing any allocation.
+  auto patch_u32 = [&](std::size_t offset, std::uint32_t v) {
+    std::string bad = blob;
+    std::memcpy(&bad[offset], &v, sizeof(v));
+    return bad;
+  };
+  for (const auto& bad :
+       {patch_u32(6, 0xffffffffu),               // absurd tensor count
+        patch_u32(10, kMaxTensorDims + 1),       // ndims over the cap
+        patch_u32(14, 0x7fffffffu)}) {           // first dim near INT_MAX
+    std::istringstream is(bad, std::ios::binary);
+    auto fresh = model.parameters();
+    EXPECT_FALSE(load_parameters(fresh, is));
+  }
+}
+
+TEST(Serialize, BitFlipFuzzNeverCrashes) {
+  clo::Rng rng(35);
+  Mlp model(2, 4, 1, rng);
+  auto params = model.parameters();
+  std::ostringstream os(std::ios::binary);
+  ASSERT_TRUE(save_parameters(params, os));
+  const std::string blob = os.str();
+  // A flip inside the float payload is undetectable at this layer (the
+  // checkpoint container's CRC32 exists for that) — here we only require
+  // that no flip crashes or over-allocates.
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    std::string bad = blob;
+    bad[i] ^= 0x04;
+    std::istringstream is(bad, std::ios::binary);
+    auto fresh = model.parameters();
+    load_parameters(fresh, is);
+  }
+}
+
+TEST(Serialize, InjectedFaultSitesCoverBothDirections) {
+  clo::Rng rng(36);
+  Mlp model(2, 4, 1, rng);
+  auto params = model.parameters();
+  std::ostringstream os(std::ios::binary);
+  clo::util::fault::arm("serialize.write=1");
+  EXPECT_THROW(save_parameters(params, os),
+               clo::util::fault::InjectedFault);
+  clo::util::fault::disarm();
+  ASSERT_TRUE(save_parameters(params, os));
+  clo::util::fault::arm("serialize.read=1");
+  std::istringstream is(os.str(), std::ios::binary);
+  EXPECT_THROW(load_parameters(params, is),
+               clo::util::fault::InjectedFault);
+  clo::util::fault::disarm();
 }
 
 }  // namespace

@@ -117,6 +117,83 @@ TEST(ParallelMap, ProducesResultsInIndexOrder) {
   for (int i = 0; i < 64; ++i) EXPECT_EQ(out[i], i * 3);
 }
 
+TEST(ParallelFor, SerialPathAbandonsItemsAfterAFailure) {
+  // Pins the documented abandonment semantics on the deterministic serial
+  // path: once an item throws, later items never run.
+  std::atomic<int> attempts{0};
+  EXPECT_THROW(parallel_for(nullptr, 10,
+                            [&](std::size_t i) {
+                              attempts.fetch_add(1);
+                              if (i == 4) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  EXPECT_EQ(attempts.load(), 5);  // items 5..9 were abandoned
+}
+
+TEST(ParallelForCollect, AttemptsEveryItemAndSortsFailures) {
+  ThreadPool pool(4);
+  std::atomic<int> attempts{0};
+  const auto errors =
+      clo::util::parallel_for_collect(&pool, 200, [&](std::size_t i) {
+        attempts.fetch_add(1);
+        if (i % 17 == 3) throw std::runtime_error("item " + std::to_string(i));
+      });
+  EXPECT_EQ(attempts.load(), 200);  // no abandonment, unlike parallel_for
+  ASSERT_EQ(errors.size(), 12u);    // i in {3, 20, 37, ..., 190}
+  for (std::size_t k = 0; k < errors.size(); ++k) {
+    EXPECT_EQ(errors[k].index, 3 + 17 * k);
+    EXPECT_EQ(errors[k].message, "item " + std::to_string(errors[k].index));
+    EXPECT_TRUE(errors[k].error != nullptr);
+    if (k > 0) {
+      EXPECT_LT(errors[k - 1].index, errors[k].index);
+    }
+  }
+}
+
+TEST(ParallelForCollect, NullPoolAttemptsEveryItemSerially) {
+  std::vector<int> order;
+  const auto errors =
+      clo::util::parallel_for_collect(nullptr, 6, [&](std::size_t i) {
+        order.push_back(static_cast<int>(i));
+        if (i == 1 || i == 4) throw std::logic_error("x");
+      });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_EQ(errors[0].index, 1u);
+  EXPECT_EQ(errors[1].index, 4u);
+}
+
+TEST(ParallelForCollect, AllSucceedingReturnsNoErrors) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  EXPECT_TRUE(clo::util::parallel_for_collect(&pool, 50, [&](std::size_t i) {
+                sum.fetch_add(static_cast<int>(i));
+              }).empty());
+  EXPECT_EQ(sum.load(), 49 * 50 / 2);
+  EXPECT_TRUE(
+      clo::util::parallel_for_collect(&pool, 0, [](std::size_t) {}).empty());
+}
+
+TEST(ParallelForCollect, DescribesNonStdExceptions) {
+  const auto errors = clo::util::parallel_for_collect(
+      nullptr, 1, [](std::size_t) { throw 42; });
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].message, "unknown exception");
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  // The destructor contract: tasks queued but not yet started still run,
+  // so submit-then-destroy never silently drops work.
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&completed] { completed.fetch_add(1); });
+    }
+  }  // destructor drains the queue before joining
+  EXPECT_EQ(completed.load(), 64);
+}
+
 TEST(ResolveThreads, LiteralAndHardwareRequests) {
   EXPECT_EQ(resolve_threads(1), 1u);
   EXPECT_EQ(resolve_threads(6), 6u);

@@ -14,6 +14,13 @@
 //   --report F    write the machine-readable "clo.report.v1" JSON of the
 //                 last `tune` run to F
 //   --metrics     print the metrics table to stderr on exit
+//   --checkpoint-dir D   persist `tune` phase checkpoints into D
+//   --resume      resume `tune` from valid checkpoints in the checkpoint
+//                 directory (bit-identical to an uninterrupted run)
+//   --fault SPEC  arm deterministic fault injection, e.g.
+//                 "evaluator.synthesize=2,optimizer.restart=p0.5,seed=7";
+//                 "--fault list" prints the registered sites and exits.
+//                 The CLO_FAULT environment variable is honored too.
 
 #include <cstdlib>
 #include <fstream>
@@ -23,10 +30,12 @@
 #include <vector>
 
 #include "clo/shell/shell.hpp"
+#include "clo/util/fault.hpp"
 
 int main(int argc, char** argv) {
   clo::shell::Shell shell;
   shell.set_threads(0);  // hardware concurrency unless overridden
+  clo::util::fault::arm_from_env();
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -60,6 +69,38 @@ int main(int argc, char** argv) {
     }
     if (arg == "--metrics") {
       shell.set_print_metrics(true);
+      continue;
+    }
+    if (arg == "--checkpoint-dir") {
+      if (i + 1 >= argc) {
+        std::cerr << "--checkpoint-dir needs a directory\n";
+        return 1;
+      }
+      shell.set_checkpoint_dir(argv[++i]);
+      continue;
+    }
+    if (arg == "--resume") {
+      shell.set_resume(true);
+      continue;
+    }
+    if (arg == "--fault") {
+      if (i + 1 >= argc) {
+        std::cerr << "--fault needs a spec (or 'list')\n";
+        return 1;
+      }
+      const std::string spec = argv[++i];
+      if (spec == "list") {
+        for (const auto& site : clo::util::fault::known_sites()) {
+          std::cout << site << "\n";
+        }
+        return 0;
+      }
+      try {
+        clo::util::fault::arm(spec);
+      } catch (const std::exception& e) {
+        std::cerr << "--fault: " << e.what() << "\n";
+        return 1;
+      }
       continue;
     }
     args.push_back(arg);
