@@ -1,0 +1,311 @@
+// Micro-benchmark for the clo::nn::kernel dispatch layer: times every
+// kernel on the shapes the real models hit (LSTM/MLP surrogate matmuls,
+// U-Net conv1d im2col dots, Adam slabs, embedding nearest-scan sqdist),
+// once per dispatch target, and records scalar-vs-SIMD speedups.
+//
+//   ./bench_kernels [--out BENCH_kernels.json] [--min-ms 50] [--large]
+//                   [--no-simd]
+//
+// Before timing anything it verifies the determinism contract the layer
+// documents: for every case the scalar and AVX2 targets must produce
+// BITWISE identical outputs (see kernel.hpp). A mismatch is a hard
+// failure, not a footnote — CI runs this as the cross-target parity gate.
+//
+// Output JSON (schema "clo.bench.kernels.v1"):
+//   { schema, simd_compiled, simd_supported, default_target,
+//     results: [ { name, flops_per_op, scalar_ns, simd_ns, speedup,
+//                  scalar_gflops, simd_gflops, parity } ] }
+// On hosts without AVX2 the simd columns are omitted and parity is
+// "scalar-only".
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clo/nn/kernel.hpp"
+#include "clo/util/aligned.hpp"
+#include "clo/util/cli.hpp"
+#include "clo/util/obs.hpp"
+#include "clo/util/rng.hpp"
+
+namespace {
+
+using clo::util::AlignedFloats;
+namespace kernel = clo::nn::kernel;
+
+AlignedFloats random_buf(std::size_t n, clo::Rng& rng) {
+  AlignedFloats v(n);
+  for (auto& x : v) x = static_cast<float>(rng.next_gaussian());
+  return v;
+}
+
+/// One benchmark case: `reset` restores the output buffer, `run` executes
+/// the kernel once, `output` exposes the bytes compared across targets.
+struct Case {
+  std::string name;
+  double flops_per_op = 0.0;
+  std::function<void()> reset;
+  std::function<void()> run;
+  std::function<const AlignedFloats&()> output;
+};
+
+double time_ns_per_op(const Case& c, double min_ms) {
+  using clock = std::chrono::steady_clock;
+  c.reset();
+  c.run();  // warm-up (page in buffers, settle dispatch)
+  std::size_t iters = 1;
+  for (;;) {
+    c.reset();
+    const auto begin = clock::now();
+    for (std::size_t i = 0; i < iters; ++i) c.run();
+    const double ms =
+        std::chrono::duration<double, std::milli>(clock::now() - begin)
+            .count();
+    if (ms >= min_ms) {
+      return ms * 1e6 / static_cast<double>(iters);
+    }
+    // Grow geometrically toward the time budget (at least 2x).
+    const double scale = ms > 0.0 ? (1.5 * min_ms) / ms : 2.0;
+    iters = static_cast<std::size_t>(
+        static_cast<double>(iters) * (scale < 2.0 ? 2.0 : scale));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace clo;
+  CliArgs args(argc, argv);
+  const std::string out_path = args.get("out", "BENCH_kernels.json");
+  const double min_ms = args.get_double("min-ms", 50.0);
+  const bool large = args.has("large");
+  if (args.has("no-simd")) kernel::set_simd_enabled(false);
+
+  Rng rng(7);
+  std::vector<Case> cases;
+
+  // --- matmul, non-transposed: the surrogate MLP/LSTM forward shapes.
+  // (m,k,n) = (batch, in, out): LSTM input 16x8x128, LSTM hidden
+  // 16x32x128, MLP head 16x32x32, plus square slabs for headline numbers.
+  struct MatmulShape {
+    const char* name;
+    int m, k, n;
+    bool transpose_b;
+  };
+  std::vector<MatmulShape> mm = {
+      {"matmul_lstm_input_16x8x128", 16, 8, 128, false},
+      {"matmul_lstm_hidden_16x32x128", 16, 32, 128, false},
+      {"matmul_mlp_16x32x32", 16, 32, 32, false},
+      {"matmul_64x64x64", 64, 64, 64, false},
+      // conv1d's im2col forward is exactly a transpose_b matmul
+      // (weights [Co, Ci*K] x patches [L, Ci*K]): U-Net shapes at K=3.
+      {"conv1d_im2col_co8_ci8_l20", 8, 24, 20, true},
+      {"conv1d_im2col_co32_ci32_l10", 32, 96, 10, true},
+      {"conv1d_im2col_co64_ci64_l5", 64, 192, 5, true},
+      {"matmul_t_64x64x64", 64, 64, 64, true},
+  };
+  if (large) {
+    mm.push_back({"matmul_128x128x128", 128, 128, 128, false});
+    mm.push_back({"matmul_t_128x128x128", 128, 128, 128, true});
+  }
+  for (const auto& s : mm) {
+    auto a = std::make_shared<AlignedFloats>(
+        random_buf(static_cast<std::size_t>(s.m) * s.k, rng));
+    auto b = std::make_shared<AlignedFloats>(
+        random_buf(static_cast<std::size_t>(s.k) * s.n, rng));
+    auto out = std::make_shared<AlignedFloats>(
+        static_cast<std::size_t>(s.m) * s.n);
+    const int m = s.m, k = s.k, n = s.n;
+    const bool tb = s.transpose_b;
+    cases.push_back(Case{
+        s.name,
+        2.0 * m * k * n,
+        [out] { std::fill(out->begin(), out->end(), 0.0f); },
+        [a, b, out, m, k, n, tb] {
+          kernel::matmul(a->data(), b->data(), out->data(), m, k, n, tb);
+        },
+        [out]() -> const AlignedFloats& { return *out; },
+    });
+  }
+
+  // --- Reductions on the latent-vector length the optimizer touches
+  // (L=20 x d=8 = 160) and a larger slab.
+  for (std::size_t n : {std::size_t{160}, std::size_t{4096}}) {
+    auto a = std::make_shared<AlignedFloats>(random_buf(n, rng));
+    auto b = std::make_shared<AlignedFloats>(random_buf(n, rng));
+    auto out = std::make_shared<AlignedFloats>(1);
+    const auto tag = std::to_string(n);
+    cases.push_back(Case{
+        "dot_n" + tag, 2.0 * static_cast<double>(n),
+        [out] { (*out)[0] = 0.0f; },
+        [a, b, out, n] { (*out)[0] = kernel::dot(a->data(), b->data(), n); },
+        [out]() -> const AlignedFloats& { return *out; },
+    });
+    cases.push_back(Case{
+        "sqdist_n" + tag, 3.0 * static_cast<double>(n),
+        [out] { (*out)[0] = 0.0f; },
+        [a, b, out, n] {
+          (*out)[0] = kernel::sqdist(a->data(), b->data(), n);
+        },
+        [out]() -> const AlignedFloats& { return *out; },
+    });
+    cases.push_back(Case{
+        "sum_n" + tag, static_cast<double>(n),
+        [out] { (*out)[0] = 0.0f; },
+        [a, out, n] { (*out)[0] = kernel::sum(a->data(), n); },
+        [out]() -> const AlignedFloats& { return *out; },
+    });
+    cases.push_back(Case{
+        "max_n" + tag, static_cast<double>(n),
+        [out] { (*out)[0] = 0.0f; },
+        [a, out, n] { (*out)[0] = kernel::max_value(a->data(), n); },
+        [out]() -> const AlignedFloats& { return *out; },
+    });
+    // axpy accumulates into its output, so reset restores a pristine copy
+    // before every timed batch and parity run.
+    auto y0 = std::make_shared<AlignedFloats>(random_buf(n, rng));
+    auto y = std::make_shared<AlignedFloats>(*y0);
+    cases.push_back(Case{
+        "axpy_n" + tag, 2.0 * static_cast<double>(n),
+        [y, y0] { *y = *y0; },
+        [a, y, n] { kernel::axpy(y->data(), 0.5f, a->data(), n); },
+        [y]() -> const AlignedFloats& { return *y; },
+    });
+  }
+
+  // --- Fused Adam step over a realistic parameter slab (~100k floats:
+  // the diffusion U-Net's biggest layers are this order of magnitude).
+  {
+    const std::size_t n = 100000;
+    auto p0 = std::make_shared<AlignedFloats>(random_buf(n, rng));
+    auto p = std::make_shared<AlignedFloats>(*p0);
+    auto m = std::make_shared<AlignedFloats>(n, 0.0f);
+    auto v = std::make_shared<AlignedFloats>(n, 0.0f);
+    auto g = std::make_shared<AlignedFloats>(random_buf(n, rng));
+    cases.push_back(Case{
+        "adam_n100000", 10.0 * static_cast<double>(n),
+        [p, p0, m, v] {
+          *p = *p0;
+          std::fill(m->begin(), m->end(), 0.0f);
+          std::fill(v->begin(), v->end(), 0.0f);
+        },
+        [p, m, v, g, n] {
+          kernel::adam_update(p->data(), m->data(), v->data(), g->data(), n,
+                              0.9f, 0.999f, 1e-3f, 1.0f, 1.0f, 1e-8f);
+        },
+        [p]() -> const AlignedFloats& { return *p; },
+    });
+  }
+
+  // --- Embedding nearest-scan: sqdist over a 7-entry table of dim-8 rows,
+  // L=20 positions — the discrepancy/rounding hot loop, as one case.
+  {
+    constexpr std::size_t dim = 8, table_n = 7, L = 20;
+    auto table =
+        std::make_shared<AlignedFloats>(random_buf(table_n * dim, rng));
+    auto pts = std::make_shared<AlignedFloats>(random_buf(L * dim, rng));
+    auto out = std::make_shared<AlignedFloats>(L);
+    cases.push_back(Case{
+        "nearest_scan_l20_d8_t7",
+        3.0 * static_cast<double>(dim) * table_n * L,
+        [out] { std::fill(out->begin(), out->end(), 0.0f); },
+        [table, pts, out] {
+          for (std::size_t l = 0; l < L; ++l) {
+            float best = 1e30f;
+            for (std::size_t t = 0; t < table_n; ++t) {
+              const float d = kernel::sqdist(pts->data() + l * dim,
+                                             table->data() + t * dim, dim);
+              if (d < best) best = d;
+            }
+            (*out)[l] = best;
+          }
+        },
+        [out]() -> const AlignedFloats& { return *out; },
+    });
+  }
+
+  const bool both_targets = kernel::simd_enabled();
+  std::printf("kernels: simd_compiled=%d simd_supported=%d target=%s\n",
+              kernel::simd_compiled() ? 1 : 0,
+              kernel::simd_supported() ? 1 : 0, kernel::active_target());
+
+  obs::Json results = obs::Json::array();
+  bool parity_ok = true;
+  for (const auto& c : cases) {
+    // Cross-target bitwise parity first (the contract CI gates on).
+    std::string parity = "scalar-only";
+    if (both_targets) {
+      kernel::set_simd_enabled(false);
+      c.reset();
+      c.run();
+      const AlignedFloats scalar_out = c.output();
+      kernel::set_simd_enabled(true);
+      c.reset();
+      c.run();
+      const AlignedFloats& simd_out = c.output();
+      const bool same =
+          scalar_out.size() == simd_out.size() &&
+          std::memcmp(scalar_out.data(), simd_out.data(),
+                      scalar_out.size() * sizeof(float)) == 0;
+      parity = same ? "bitwise" : "MISMATCH";
+      if (!same) parity_ok = false;
+    }
+
+    kernel::set_simd_enabled(false);
+    const double scalar_ns = time_ns_per_op(c, min_ms);
+    double simd_ns = 0.0;
+    if (both_targets) {
+      kernel::set_simd_enabled(true);
+      simd_ns = time_ns_per_op(c, min_ms);
+    }
+
+    obs::Json row = obs::Json::object();
+    row["name"] = obs::Json(c.name);
+    row["flops_per_op"] = obs::Json(c.flops_per_op);
+    row["scalar_ns"] = obs::Json(scalar_ns);
+    row["scalar_gflops"] = obs::Json(c.flops_per_op / scalar_ns);
+    if (both_targets) {
+      row["simd_ns"] = obs::Json(simd_ns);
+      row["simd_gflops"] = obs::Json(c.flops_per_op / simd_ns);
+      row["speedup"] = obs::Json(scalar_ns / simd_ns);
+    }
+    row["parity"] = obs::Json(parity);
+    results.push_back(std::move(row));
+
+    if (both_targets) {
+      std::printf("%-32s scalar %10.1f ns  simd %10.1f ns  x%5.2f  %s\n",
+                  c.name.c_str(), scalar_ns, simd_ns, scalar_ns / simd_ns,
+                  parity.c_str());
+    } else {
+      std::printf("%-32s scalar %10.1f ns\n", c.name.c_str(), scalar_ns);
+    }
+  }
+  // Leave the dispatch switch where the command line asked for it.
+  kernel::set_simd_enabled(both_targets);
+
+  obs::Json doc = obs::Json::object();
+  doc["schema"] = obs::Json(std::string("clo.bench.kernels.v1"));
+  doc["simd_compiled"] = obs::Json(kernel::simd_compiled());
+  doc["simd_supported"] = obs::Json(kernel::simd_supported());
+  doc["default_target"] =
+      obs::Json(std::string(both_targets ? "avx2" : "scalar"));
+  doc["min_ms"] = obs::Json(min_ms);
+  doc["results"] = std::move(results);
+  if (!obs::write_json_file(out_path, doc)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  if (!parity_ok) {
+    std::fprintf(stderr,
+                 "FATAL: scalar/simd outputs differ bitwise — the kernel "
+                 "determinism contract is broken\n");
+    return 1;
+  }
+  return 0;
+}

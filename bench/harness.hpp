@@ -11,6 +11,7 @@
 #include "clo/baselines/baseline.hpp"
 #include "clo/circuits/generators.hpp"
 #include "clo/core/pipeline.hpp"
+#include "clo/nn/kernel.hpp"
 #include "clo/util/cli.hpp"
 #include "clo/util/fault.hpp"
 #include "clo/util/log.hpp"
@@ -50,11 +51,14 @@ struct ObsOptions {
 };
 
 /// Parse --trace F / --report F / --metrics; any of them turns the obs
-/// layer on for the whole bench run. Also arms fault injection from
-/// --fault SPEC or the CLO_FAULT environment variable, so every bench can
-/// serve as a chaos-test target without its own plumbing.
+/// layer on for the whole bench run. --no-simd forces the portable scalar
+/// nn kernels (bitwise-identical results, useful for speedup baselines).
+/// Also arms fault injection from --fault SPEC or the CLO_FAULT
+/// environment variable, so every bench can serve as a chaos-test target
+/// without its own plumbing.
 inline ObsOptions obs_from_args(const CliArgs& args) {
   ObsOptions opts;
+  if (args.has("no-simd")) nn::kernel::set_simd_enabled(false);
   opts.trace_path = args.get("trace", "");
   opts.report_path = args.get("report", "");
   opts.metrics = args.has("metrics");

@@ -70,7 +70,7 @@ double ContinuousOptimizer::objective_and_grad(const std::vector<float>& x,
       nn::add(nn::scale(out.area, static_cast<float>(params_.weight_area)),
               nn::scale(out.delay, static_cast<float>(params_.weight_delay)));
   nn::backward(objective);
-  *grad = input.grad();
+  grad->assign(input.grad().begin(), input.grad().end());
   clip_gradient(grad, params_.grad_clip);
   return objective.item();
 }

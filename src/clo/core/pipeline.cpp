@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "clo/core/checkpoint.hpp"
+#include "clo/nn/kernel.hpp"
 #include "clo/nn/serialize.hpp"
 #include "clo/util/fault.hpp"
 #include "clo/util/log.hpp"
@@ -349,6 +350,10 @@ obs::Json pipeline_report(const PipelineResult& result,
   obs::Json report = obs::Json::object();
   report["schema"] = obs::Json(std::string("clo.report.v1"));
   report["status"] = obs::Json(std::string("ok"));
+  // Which nn kernel dispatch target produced these numbers ("avx2" or
+  // "scalar"). Both are bitwise identical by contract; recording the
+  // target lets CI diff a --no-simd run against a default run.
+  report["kernel_target"] = obs::Json(std::string(nn::kernel::active_target()));
 
   obs::Json resume = obs::Json::object();
   resume["resumed_phases"] = obs::Json(result.resumed_phases);

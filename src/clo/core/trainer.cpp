@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "clo/nn/kernel.hpp"
 #include "clo/nn/optim.hpp"
 #include "clo/util/fault.hpp"
 #include "clo/util/obs.hpp"
@@ -92,8 +93,8 @@ TrainReport train_surrogate(models::SurrogateModel& model,
                                 const Tensor& yd) -> double {
     const int B = x.dim(0);
     std::vector<double> sample_loss(B, 0.0);
-    std::vector<std::vector<std::vector<float>>> sample_grads(
-        B, std::vector<std::vector<float>>(master_params.size()));
+    std::vector<std::vector<nn::FloatBuf>> sample_grads(
+        B, std::vector<nn::FloatBuf>(master_params.size()));
     const std::size_t R = replicas.size();
     for (std::size_t r = 0; r < R; ++r) {
       sync_replica(master_params, replica_params[r]);
@@ -133,9 +134,7 @@ TrainReport train_surrogate(models::SurrogateModel& model,
       for (std::size_t p = 0; p < master_params.size(); ++p) {
         if (sample_grads[b][p].empty()) continue;
         auto& g = master_params[p].grad();
-        for (std::size_t k = 0; k < g.size(); ++k) {
-          g[k] += inv_b * sample_grads[b][p][k];
-        }
+        nn::kernel::axpy(g.data(), inv_b, sample_grads[b][p].data(), g.size());
       }
     }
     return batch_loss / B;
@@ -146,7 +145,7 @@ TrainReport train_surrogate(models::SurrogateModel& model,
   // optimizer moments), and training continues — so one poisoned batch or
   // an LR overshoot cannot waste the whole one-time pretraining run.
   std::vector<Tensor> live_params = model.parameters();
-  std::vector<std::vector<float>> last_good;
+  std::vector<nn::FloatBuf> last_good;
   last_good.reserve(live_params.size());
   for (const auto& p : live_params) last_good.push_back(p.impl()->data);
   float lr = config.lr;

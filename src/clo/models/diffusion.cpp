@@ -154,7 +154,7 @@ DiffusionModel::TrainStats DiffusionModel::train(
   // known to produce a finite loss, and on a NaN/Inf iteration roll back,
   // halve the LR (fresh optimizer moments), and keep going.
   std::vector<Tensor> params = unet_->parameters();
-  std::vector<std::vector<float>> last_good;
+  std::vector<nn::FloatBuf> last_good;
   last_good.reserve(params.size());
   for (const auto& p : params) last_good.push_back(p.impl()->data);
   auto opt = std::make_unique<nn::Adam>(unet_->parameters(), lr);
@@ -254,7 +254,9 @@ std::vector<float> DiffusionModel::predict_noise(
   nn::NoGradGuard no_grad;  // pure inference: skip the autograd graph
   Tensor x = Tensor::from_data({1, d, L}, to_channel_layout(x_flat, L, d));
   Tensor eps = unet_->forward(x, {t});
-  return from_channel_layout(eps.data(), L, d);
+  std::vector<float> out(eps.data().size());
+  from_channel_layout_into(eps.data().data(), L, d, out.data());
+  return out;
 }
 
 std::vector<std::vector<float>> DiffusionModel::predict_noise_batch(

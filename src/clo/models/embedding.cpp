@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "clo/nn/kernel.hpp"
+
 namespace clo::models {
 
 TransformEmbedding::TransformEmbedding(int dim, clo::Rng& rng) : dim_(dim) {
@@ -69,19 +71,17 @@ std::vector<float> TransformEmbedding::embed(const opt::Sequence& seq) const {
 namespace {
 
 /// One table scan: index of the nearest embedding row and (via out
-/// param) its squared distance. First-lowest tie-break, matching the
-/// historical nearest()/discrepancy() loops exactly.
+/// param) its squared distance. First-lowest tie-break; distances go
+/// through kernel::sqdist, whose fixed 8-lane reduction makes the winning
+/// index identical on both dispatch targets (this is the scan behind every
+/// retrieved sequence, so `--no-simd` must not change it).
 int nearest_scan(const float* point, int dim,
                  const std::vector<std::vector<float>>& table,
                  float* best_d2_out) {
   int best = 0;
   float best_d2 = 1e30f;
   for (int t = 0; t < opt::kNumTransforms; ++t) {
-    float d2 = 0.0f;
-    for (int i = 0; i < dim; ++i) {
-      const float d = point[i] - table[t][i];
-      d2 += d * d;
-    }
+    const float d2 = nn::kernel::sqdist(point, table[t].data(), dim);
     if (d2 < best_d2) {
       best_d2 = d2;
       best = t;

@@ -1,0 +1,271 @@
+#include "clo/nn/kernel.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "clo/nn/kernel_detail.hpp"
+
+// Portable blocked scalar kernels + the runtime dispatch layer. The AVX2
+// twins live in kernel_avx2.cpp (compiled only when the toolchain supports
+// -mavx2; CMake then defines CLO_KERNEL_AVX2). Both TUs are built with
+// -ffp-contract=off so no mul+add pair is ever fused into an FMA — fusion
+// would break the bitwise scalar/vector equality the dispatch contract
+// promises (see kernel.hpp).
+
+namespace clo::nn::kernel {
+
+using detail::fold_max8;
+using detail::reduce8;
+
+#ifdef CLO_KERNEL_AVX2
+namespace avx2 {
+float dot(const float* a, const float* b, std::size_t n);
+float sqdist(const float* a, const float* b, std::size_t n);
+float sum(const float* a, std::size_t n);
+float max_value(const float* a, std::size_t n);
+void axpy(float* y, float a, const float* x, std::size_t n);
+void acc(float* y, const float* x, std::size_t n);
+void add(float* out, const float* a, const float* b, std::size_t n);
+void sub(float* out, const float* a, const float* b, std::size_t n);
+void mul(float* out, const float* a, const float* b, std::size_t n);
+void scale(float* out, const float* a, float s, std::size_t n);
+void div_inplace(float* y, float z, std::size_t n);
+void adam_update(float* p, float* m, float* v, const float* g, std::size_t n,
+                 float beta1, float beta2, float lr, float bias_c1,
+                 float bias_c2, float eps);
+void matmul(const float* a, const float* b, float* out, int m, int k, int n,
+            bool transpose_b);
+}  // namespace avx2
+#endif
+
+// --- Dispatch state -----------------------------------------------------
+
+namespace {
+
+bool cpu_has_avx2_fma() {
+#if defined(CLO_KERNEL_AVX2) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+std::atomic<bool>& simd_flag() {
+  static std::atomic<bool> flag{cpu_has_avx2_fma()};
+  return flag;
+}
+
+}  // namespace
+
+bool simd_compiled() {
+#ifdef CLO_KERNEL_AVX2
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool simd_supported() {
+  static const bool supported = cpu_has_avx2_fma();
+  return supported;
+}
+
+bool simd_enabled() { return simd_flag().load(std::memory_order_relaxed); }
+
+void set_simd_enabled(bool on) {
+  simd_flag().store(on && simd_supported(), std::memory_order_relaxed);
+}
+
+const char* active_target() { return simd_enabled() ? "avx2" : "scalar"; }
+
+// --- Scalar reference kernels -------------------------------------------
+
+namespace scalar {
+namespace {
+
+float dot(const float* a, const float* b, std::size_t n) {
+  float lanes[8] = {};
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    for (int t = 0; t < 8; ++t) lanes[t] += a[i + t] * b[i + t];
+  float tail = 0.0f;
+  for (; i < n; ++i) tail += a[i] * b[i];
+  return reduce8(lanes, tail);
+}
+
+float sqdist(const float* a, const float* b, std::size_t n) {
+  float lanes[8] = {};
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    for (int t = 0; t < 8; ++t) {
+      const float d = a[i + t] - b[i + t];
+      lanes[t] += d * d;
+    }
+  float tail = 0.0f;
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    tail += d * d;
+  }
+  return reduce8(lanes, tail);
+}
+
+float sum(const float* a, std::size_t n) {
+  float lanes[8] = {};
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    for (int t = 0; t < 8; ++t) lanes[t] += a[i + t];
+  float tail = 0.0f;
+  for (; i < n; ++i) tail += a[i];
+  return reduce8(lanes, tail);
+}
+
+float max_value(const float* a, std::size_t n) {
+  if (n < 8) {
+    float m = a[0];
+    for (std::size_t i = 1; i < n; ++i) m = a[i] > m ? a[i] : m;
+    return m;
+  }
+  float lanes[8];
+  for (int t = 0; t < 8; ++t) lanes[t] = a[t];
+  std::size_t i = 8;
+  for (; i + 8 <= n; i += 8)
+    for (int t = 0; t < 8; ++t)
+      lanes[t] = a[i + t] > lanes[t] ? a[i + t] : lanes[t];
+  float m = fold_max8(lanes);
+  for (; i < n; ++i) m = a[i] > m ? a[i] : m;
+  return m;
+}
+
+void axpy(float* y, float a, const float* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void acc(float* y, const float* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+void add(float* out, const float* a, const float* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void sub(float* out, const float* a, const float* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void mul(float* out, const float* a, const float* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void scale(float* out, const float* a, float s, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] * s;
+}
+
+void div_inplace(float* y, float z, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] /= z;
+}
+
+void adam_update(float* p, float* m, float* v, const float* g, std::size_t n,
+                 float beta1, float beta2, float lr, float bias_c1,
+                 float bias_c2, float eps) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float gi = g[i];
+    m[i] = beta1 * m[i] + (1.0f - beta1) * gi;
+    v[i] = beta2 * v[i] + (1.0f - beta2) * (gi * gi);
+    const float mhat = m[i] / bias_c1;
+    const float vhat = v[i] / bias_c2;
+    p[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+void matmul(const float* a, const float* b, float* out, int m, int k, int n,
+            bool transpose_b) {
+  if (!transpose_b) {
+    // out[i,j] is a chain over l ascending; the axpy form streams whole
+    // rows of B and lets the compiler vectorize across j without touching
+    // any per-element order.
+    for (int i = 0; i < m; ++i) {
+      const float* arow = a + static_cast<std::size_t>(i) * k;
+      float* orow = out + static_cast<std::size_t>(i) * n;
+      for (int l = 0; l < k; ++l)
+        axpy(orow, arow[l], b + static_cast<std::size_t>(l) * n, n);
+    }
+  } else {
+    for (int i = 0; i < m; ++i) {
+      const float* arow = a + static_cast<std::size_t>(i) * k;
+      float* orow = out + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j)
+        orow[j] += dot(arow, b + static_cast<std::size_t>(j) * k, k);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scalar
+
+// --- Public entry points ------------------------------------------------
+
+#ifdef CLO_KERNEL_AVX2
+#define CLO_KERNEL_DISPATCH(call) \
+  if (simd_enabled()) return avx2::call; \
+  return scalar::call
+#else
+#define CLO_KERNEL_DISPATCH(call) return scalar::call
+#endif
+
+float dot(const float* a, const float* b, std::size_t n) {
+  CLO_KERNEL_DISPATCH(dot(a, b, n));
+}
+
+float sqdist(const float* a, const float* b, std::size_t n) {
+  CLO_KERNEL_DISPATCH(sqdist(a, b, n));
+}
+
+float sum(const float* a, std::size_t n) { CLO_KERNEL_DISPATCH(sum(a, n)); }
+
+float max_value(const float* a, std::size_t n) {
+  CLO_KERNEL_DISPATCH(max_value(a, n));
+}
+
+void axpy(float* y, float a, const float* x, std::size_t n) {
+  CLO_KERNEL_DISPATCH(axpy(y, a, x, n));
+}
+
+void acc(float* y, const float* x, std::size_t n) {
+  CLO_KERNEL_DISPATCH(acc(y, x, n));
+}
+
+void add(float* out, const float* a, const float* b, std::size_t n) {
+  CLO_KERNEL_DISPATCH(add(out, a, b, n));
+}
+
+void sub(float* out, const float* a, const float* b, std::size_t n) {
+  CLO_KERNEL_DISPATCH(sub(out, a, b, n));
+}
+
+void mul(float* out, const float* a, const float* b, std::size_t n) {
+  CLO_KERNEL_DISPATCH(mul(out, a, b, n));
+}
+
+void scale(float* out, const float* a, float s, std::size_t n) {
+  CLO_KERNEL_DISPATCH(scale(out, a, s, n));
+}
+
+void div_inplace(float* y, float z, std::size_t n) {
+  CLO_KERNEL_DISPATCH(div_inplace(y, z, n));
+}
+
+void adam_update(float* p, float* m, float* v, const float* g, std::size_t n,
+                 float beta1, float beta2, float lr, float bias_c1,
+                 float bias_c2, float eps) {
+  CLO_KERNEL_DISPATCH(
+      adam_update(p, m, v, g, n, beta1, beta2, lr, bias_c1, bias_c2, eps));
+}
+
+void matmul(const float* a, const float* b, float* out, int m, int k, int n,
+            bool transpose_b) {
+  CLO_KERNEL_DISPATCH(matmul(a, b, out, m, k, n, transpose_b));
+}
+
+#undef CLO_KERNEL_DISPATCH
+
+}  // namespace clo::nn::kernel

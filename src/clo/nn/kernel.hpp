@@ -1,0 +1,93 @@
+#pragma once
+// clo::nn::kernel — runtime-dispatched compute kernels for the nn hot path.
+//
+// Two implementations sit behind every entry point: a portable blocked
+// scalar path (always built) and an AVX2/FMA-gated vector path (built when
+// the compiler supports -mavx2, selected at runtime only when cpuid
+// reports AVX2+FMA). Dispatch is a single relaxed atomic load per call;
+// `--no-simd` (tool flag / `simd off` shell command) forces the scalar
+// path at runtime.
+//
+// Determinism contract: the floating-point result of every kernel is part
+// of its definition, not an implementation detail. Reductions use eight
+// interleaved partial sums — lane j accumulates elements j, j+8, j+16, ...
+// — folded by the fixed tree in reduce8() with a sequential tail (the
+// layout conv1d's forward has used since PR 3). Elementwise kernels and
+// matmul's non-transposed form are per-element chains in a fixed order.
+// Both targets implement exactly these orders with IEEE-754 single ops and
+// no FMA contraction (the AVX2 TU is compiled with -ffp-contract=off and
+// uses mul+add, not vfmadd; _mm256_sqrt_ps/_mm256_div_ps are correctly
+// rounded like their scalar counterparts), so results are BITWISE
+// IDENTICAL run-to-run and across dispatch targets — `--no-simd` cannot
+// change a retrieved sequence. The documented tolerance is relative to the
+// pre-kernel naive sequential loops: reassociating a length-k sum into 8
+// lanes perturbs it by at most ~k·eps relative, which is why op-level
+// tests compare against double-precision references rather than the old
+// scalar order.
+//
+// All kernels tolerate unaligned pointers (tensor interiors are sliced at
+// arbitrary offsets); Tensor storage is 32-byte aligned purely as a
+// performance property.
+
+#include <cstddef>
+
+namespace clo::nn::kernel {
+
+// --- Runtime dispatch ---------------------------------------------------
+
+/// True when the AVX2 translation unit was compiled into this binary.
+bool simd_compiled();
+/// True when simd_compiled() and the CPU reports AVX2 and FMA.
+bool simd_supported();
+/// True when simd_supported() and not disabled via set_simd_enabled.
+bool simd_enabled();
+/// Enable/disable the vector path at runtime. Enabling on an unsupported
+/// host is a no-op (stays scalar).
+void set_simd_enabled(bool on);
+/// "avx2" or "scalar" — whichever path calls currently dispatch to.
+const char* active_target();
+
+// --- Reductions (8-lane fixed-tree order) -------------------------------
+
+/// sum_i a[i]*b[i]
+float dot(const float* a, const float* b, std::size_t n);
+/// sum_i (a[i]-b[i])^2
+float sqdist(const float* a, const float* b, std::size_t n);
+/// sum_i a[i]
+float sum(const float* a, std::size_t n);
+/// max_i a[i]; n must be >= 1. NaN elements propagate (x>m ? x : m order).
+float max_value(const float* a, std::size_t n);
+
+// --- Elementwise --------------------------------------------------------
+
+/// y[i] += a * x[i]
+void axpy(float* y, float a, const float* x, std::size_t n);
+/// y[i] += x[i]
+void acc(float* y, const float* x, std::size_t n);
+void add(float* out, const float* a, const float* b, std::size_t n);
+void sub(float* out, const float* a, const float* b, std::size_t n);
+void mul(float* out, const float* a, const float* b, std::size_t n);
+/// out[i] = a[i] * s
+void scale(float* out, const float* a, float s, std::size_t n);
+/// y[i] /= z
+void div_inplace(float* y, float z, std::size_t n);
+
+/// One fused Adam step over a parameter slab:
+///   m = b1*m + (1-b1)*g;  v = b2*v + (1-b2)*g*g;
+///   p -= lr * (m/bias_c1) / (sqrt(v/bias_c2) + eps)
+/// in exactly that per-element operation order on both targets.
+void adam_update(float* p, float* m, float* v, const float* g, std::size_t n,
+                 float beta1, float beta2, float lr, float bias_c1,
+                 float bias_c2, float eps);
+
+// --- Matrix multiply ----------------------------------------------------
+
+/// out[m,n] += A[m,k] · B, where B is [k,n] (or [n,k] when transpose_b).
+/// Non-transposed: each out element is a sequential chain over l ascending
+/// (the AVX2 path blocks columns, which runs many chains in parallel
+/// without reassociating any of them). Transposed: each out element gets
+/// one full 8-lane-tree dot() added to it.
+void matmul(const float* a, const float* b, float* out, int m, int k, int n,
+            bool transpose_b);
+
+}  // namespace clo::nn::kernel

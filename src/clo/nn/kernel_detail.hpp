@@ -1,0 +1,26 @@
+#pragma once
+// Internal to the kernel TUs (kernel.cpp / kernel_avx2.cpp). The folds
+// here ARE the reduction semantics both dispatch targets must implement;
+// sharing one definition keeps them from drifting apart. Pure adds and
+// compares — nothing here is contractible into an FMA.
+
+namespace clo::nn::kernel::detail {
+
+/// Fixed tree over 8 interleaved partial sums plus the sequential tail
+/// (same layout conv1d's forward has used since PR 3).
+inline float reduce8(const float lanes[8], float tail) {
+  const float s04 = (lanes[0] + lanes[4]) + (lanes[1] + lanes[5]);
+  const float s26 = (lanes[2] + lanes[6]) + (lanes[3] + lanes[7]);
+  return (s04 + s26) + tail;
+}
+
+/// Fixed fold for 8-lane maxima; the `x > m ? x : m` order means NaN lanes
+/// are dropped by the max itself (softmax still propagates NaN through the
+/// exp that follows).
+inline float fold_max8(const float lanes[8]) {
+  float m = lanes[0];
+  for (int t = 1; t < 8; ++t) m = lanes[t] > m ? lanes[t] : m;
+  return m;
+}
+
+}  // namespace clo::nn::kernel::detail

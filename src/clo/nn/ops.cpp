@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "clo/nn/kernel.hpp"
+
 namespace clo::nn {
 namespace {
 
@@ -39,12 +41,10 @@ bool wants_grad(const TensorImpl& p) {
 }
 
 void accumulate(const std::shared_ptr<TensorImpl>& p,
-                const std::vector<float>& grad_piece) {
+                const FloatBuf& grad_piece) {
   if (!wants_grad(*p)) return;
   p->ensure_grad();
-  for (std::size_t i = 0; i < grad_piece.size(); ++i) {
-    p->grad[i] += grad_piece[i];
-  }
+  kernel::acc(p->grad.data(), grad_piece.data(), grad_piece.size());
 }
 
 }  // namespace
@@ -57,9 +57,8 @@ Tensor add(const Tensor& a, const Tensor& b) {
     accumulate(pa, self.grad);
     accumulate(pb, self.grad);
   });
-  for (std::size_t i = 0; i < out.numel(); ++i) {
-    out.data()[i] = pa->data[i] + pb->data[i];
-  }
+  kernel::add(out.data().data(), pa->data.data(), pb->data.data(),
+              out.numel());
   return out;
 }
 
@@ -76,13 +75,14 @@ Tensor add_bias(const Tensor& a, const Tensor& b) {
     if (!wants_grad(*pb)) return;
     pb->ensure_grad();
     for (int r = 0; r < rows; ++r) {
-      for (int c = 0; c < cols; ++c) pb->grad[c] += self.grad[r * cols + c];
+      kernel::acc(pb->grad.data(),
+                  self.grad.data() + static_cast<std::size_t>(r) * cols, cols);
     }
   });
   for (int r = 0; r < rows; ++r) {
-    for (int c = 0; c < cols; ++c) {
-      out.data()[r * cols + c] = pa->data[r * cols + c] + pb->data[c];
-    }
+    kernel::add(out.data().data() + static_cast<std::size_t>(r) * cols,
+                pa->data.data() + static_cast<std::size_t>(r) * cols,
+                pb->data.data(), cols);
   }
   return out;
 }
@@ -95,13 +95,10 @@ Tensor sub(const Tensor& a, const Tensor& b) {
     accumulate(pa, self.grad);
     if (!wants_grad(*pb)) return;
     pb->ensure_grad();
-    for (std::size_t i = 0; i < self.grad.size(); ++i) {
-      pb->grad[i] -= self.grad[i];
-    }
+    kernel::axpy(pb->grad.data(), -1.0f, self.grad.data(), self.grad.size());
   });
-  for (std::size_t i = 0; i < out.numel(); ++i) {
-    out.data()[i] = pa->data[i] - pb->data[i];
-  }
+  kernel::sub(out.data().data(), pa->data.data(), pb->data.data(),
+              out.numel());
   return out;
 }
 
@@ -118,9 +115,8 @@ Tensor mul(const Tensor& a, const Tensor& b) {
       if (gb) pb->grad[i] += self.grad[i] * pa->data[i];
     }
   });
-  for (std::size_t i = 0; i < out.numel(); ++i) {
-    out.data()[i] = pa->data[i] * pb->data[i];
-  }
+  kernel::mul(out.data().data(), pa->data.data(), pb->data.data(),
+              out.numel());
   return out;
 }
 
@@ -129,11 +125,9 @@ Tensor scale(const Tensor& a, float s) {
   Tensor out = make_result(a.shape(), {pa}, [pa, s](TensorImpl& self) {
     if (!wants_grad(*pa)) return;
     pa->ensure_grad();
-    for (std::size_t i = 0; i < self.grad.size(); ++i) {
-      pa->grad[i] += self.grad[i] * s;
-    }
+    kernel::axpy(pa->grad.data(), s, self.grad.data(), self.grad.size());
   });
-  for (std::size_t i = 0; i < out.numel(); ++i) out.data()[i] = pa->data[i] * s;
+  kernel::scale(out.data().data(), pa->data.data(), s, out.numel());
   return out;
 }
 
@@ -155,7 +149,7 @@ Tensor unary_op(const Tensor& a, Fwd fwd, Dfn dydx_from_y) {
   if (needs) {
     out.impl()->requires_grad = true;
     out.impl()->parents = {pa};
-    std::vector<float> y = out.data();
+    FloatBuf y = out.data();
     out.impl()->backward_fn = [pa, y = std::move(y),
                                dydx_from_y](TensorImpl& self) {
       pa->ensure_grad();
@@ -229,36 +223,40 @@ Tensor matmul(const Tensor& a, const Tensor& b, bool transpose_b) {
         const bool ga = wants_grad(*pa), gb = wants_grad(*pb);
         if (ga) pa->ensure_grad();
         if (gb) pb->ensure_grad();
-        // dA = dY * B^T (or dY * B when b was transposed)
-        for (int i = 0; i < m; ++i) {
-          for (int j = 0; j < n; ++j) {
-            const float gy = self.grad[i * n + j];
-            if (gy == 0.0f) continue;
-            for (int l = 0; l < k; ++l) {
-              const float bv =
-                  transpose_b ? pb->data[j * k + l] : pb->data[l * n + j];
-              if (ga) pa->grad[i * k + l] += gy * bv;
-              if (gb) {
-                if (transpose_b) {
-                  pb->grad[j * k + l] += gy * pa->data[i * k + l];
-                } else {
-                  pb->grad[l * n + j] += gy * pa->data[i * k + l];
-                }
+        // No zero-skip fast path anywhere below: 0 * Inf and 0 * NaN must
+        // produce NaN so a poisoned parameter always surfaces as a
+        // non-finite loss/grad (the PR 4 rollback guards depend on it).
+        if (ga) {
+          // dA = dY · Bᵀ (or dY · B when b was transposed).
+          kernel::matmul(self.grad.data(), pb->data.data(), pa->grad.data(),
+                         m, n, k, !transpose_b);
+        }
+        if (gb) {
+          if (transpose_b) {
+            // dB[j,:] += gy[i,j] * A[i,:]
+            for (int i = 0; i < m; ++i) {
+              for (int j = 0; j < n; ++j) {
+                kernel::axpy(pb->grad.data() + static_cast<std::size_t>(j) * k,
+                             self.grad[i * n + j],
+                             pa->data.data() + static_cast<std::size_t>(i) * k,
+                             k);
+              }
+            }
+          } else {
+            // dB[l,:] += A[i,l] * dY[i,:]
+            for (int i = 0; i < m; ++i) {
+              for (int l = 0; l < k; ++l) {
+                kernel::axpy(pb->grad.data() + static_cast<std::size_t>(l) * n,
+                             pa->data[i * k + l],
+                             self.grad.data() + static_cast<std::size_t>(i) * n,
+                             n);
               }
             }
           }
         }
       });
-  for (int i = 0; i < m; ++i) {
-    for (int l = 0; l < k; ++l) {
-      const float av = pa->data[i * k + l];
-      if (av == 0.0f) continue;
-      for (int j = 0; j < n; ++j) {
-        const float bv = transpose_b ? pb->data[j * k + l] : pb->data[l * n + j];
-        out.data()[i * n + j] += av * bv;
-      }
-    }
-  }
+  kernel::matmul(pa->data.data(), pb->data.data(), out.data().data(), m, k, n,
+                 transpose_b);
   return out;
 }
 
@@ -268,9 +266,7 @@ Tensor sum_all(const Tensor& a) {
     pa->ensure_grad();
     for (auto& g : pa->grad) g += self.grad[0];
   });
-  float s = 0.0f;
-  for (float v : pa->data) s += v;
-  out.data()[0] = s;
+  out.data()[0] = kernel::sum(pa->data.data(), pa->data.size());
   return out;
 }
 
@@ -314,12 +310,8 @@ Tensor mse_loss(const Tensor& pred, const Tensor& target) {
       if (gb) pb->grad[i] -= d;
     }
   });
-  float s = 0.0f;
-  for (std::size_t i = 0; i < pred.numel(); ++i) {
-    const float d = pa->data[i] - pb->data[i];
-    s += d * d;
-  }
-  out.data()[0] = s * inv;
+  out.data()[0] =
+      kernel::sqdist(pa->data.data(), pb->data.data(), pred.numel()) * inv;
   return out;
 }
 
@@ -424,28 +416,31 @@ Tensor softmax_rows(const Tensor& a) {
   auto pa = a.impl();
   Tensor out = Tensor::zeros(a.shape());
   for (int r = 0; r < rows; ++r) {
-    float mx = pa->data[r * cols];
-    for (int c = 1; c < cols; ++c) mx = std::max(mx, pa->data[r * cols + c]);
+    float* orow = out.data().data() + static_cast<std::size_t>(r) * cols;
+    const float* arow = pa->data.data() + static_cast<std::size_t>(r) * cols;
+    const float mx = kernel::max_value(arow, cols);
+    // exp stays scalar on both dispatch targets (libm transcendentals have
+    // no vector twin with identical rounding); max and the normalize go
+    // through the kernels.
     float z = 0.0f;
     for (int c = 0; c < cols; ++c) {
-      const float e = std::exp(pa->data[r * cols + c] - mx);
-      out.data()[r * cols + c] = e;
+      const float e = std::exp(arow[c] - mx);
+      orow[c] = e;
       z += e;
     }
-    for (int c = 0; c < cols; ++c) out.data()[r * cols + c] /= z;
+    kernel::div_inplace(orow, z, cols);
   }
   if ((pa->requires_grad || pa->backward_fn) && grad_enabled()) {
     out.impl()->requires_grad = true;
     out.impl()->parents = {pa};
-    std::vector<float> y = out.data();
+    FloatBuf y = out.data();
     out.impl()->backward_fn = [pa, y = std::move(y), rows,
                                cols](TensorImpl& self) {
       pa->ensure_grad();
       for (int r = 0; r < rows; ++r) {
-        float dot = 0.0f;
-        for (int c = 0; c < cols; ++c) {
-          dot += self.grad[r * cols + c] * y[r * cols + c];
-        }
+        const float dot =
+            kernel::dot(self.grad.data() + static_cast<std::size_t>(r) * cols,
+                        y.data() + static_cast<std::size_t>(r) * cols, cols);
         for (int c = 0; c < cols; ++c) {
           pa->grad[r * cols + c] +=
               y[r * cols + c] * (self.grad[r * cols + c] - dot);
@@ -557,11 +552,7 @@ Tensor conv1d(const Tensor& x, const Tensor& weight, const Tensor& bias) {
           for (int co = 0; co < Co; ++co) {
             const float* gy = self.grad.data() +
                               (static_cast<std::size_t>(b) * Co + co) * L;
-            if (gb) {
-              float s = 0.0f;
-              for (int l = 0; l < L; ++l) s += gy[l];
-              pb->grad[co] += s;
-            }
+            if (gb) pb->grad[co] += kernel::sum(gy, L);
             if (!gx && !gw) continue;
             for (int ci = 0; ci < Ci; ++ci) {
               const float* xi =
@@ -574,27 +565,25 @@ Tensor conv1d(const Tensor& x, const Tensor& weight, const Tensor& bias) {
                 const int lo = shift < 0 ? -shift : 0;
                 const int hi = shift > 0 ? L - shift : L;
                 if (gw) {
-                  float s = 0.0f;
-                  for (int l = lo; l < hi; ++l) s += gy[l] * xi[l + shift];
-                  pw->grad[(co * Ci + ci) * K + k] += s;
+                  pw->grad[(co * Ci + ci) * K + k] +=
+                      kernel::dot(gy + lo, xi + lo + shift, hi - lo);
                 }
                 if (gx) {
                   const float w = pw->data[(co * Ci + ci) * K + k];
-                  for (int l = lo; l < hi; ++l) dxi[l + shift] += w * gy[l];
+                  kernel::axpy(dxi + lo + shift, w, gy + lo, hi - lo);
                 }
               }
             }
           }
         }
       });
-  // im2col + lane-parallel dot products. The naive per-element tap loop
-  // spends most of its time on loop setup when L is short (the U-Net's
-  // bottleneck layers run at L = 5); gathering each output position's
-  // padded patch once turns every output element into one dense dot over
-  // Ci*K contiguous floats, shared by all Co filters. The eight explicit
-  // accumulator lanes and the fixed reduction tree keep results
-  // deterministic run to run (lanes are part of the op's definition, not
-  // a compiler choice).
+  // im2col + one transpose_b matmul per batch element: gathering each
+  // output position's padded patch once turns every output element into a
+  // dense dot over Ci*K contiguous floats, shared by all Co filters.
+  // kernel::matmul's transposed form computes exactly the 8-lane-tree dot
+  // this op used since PR 3 (bias first, then one full tree-reduced dot
+  // added to it), so values are unchanged — and identical on both dispatch
+  // targets.
   const int CK = Ci * K;
   std::vector<float> patch(static_cast<std::size_t>(L) * CK);
   for (int b = 0; b < B; ++b) {
@@ -609,25 +598,13 @@ Tensor conv1d(const Tensor& x, const Tensor& weight, const Tensor& bias) {
         }
       }
     }
+    float* ob = out.data().data() + static_cast<std::size_t>(b) * Co * L;
     for (int co = 0; co < Co; ++co) {
-      const float* w = pw->data.data() + static_cast<std::size_t>(co) * CK;
-      float* o =
-          out.data().data() + (static_cast<std::size_t>(b) * Co + co) * L;
-      const float bias_v = pb->data[co];
-      for (int l = 0; l < L; ++l) {
-        const float* row = patch.data() + static_cast<std::size_t>(l) * CK;
-        float acc[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
-        int ck = 0;
-        for (; ck + 8 <= CK; ck += 8) {
-          for (int j = 0; j < 8; ++j) acc[j] += w[ck + j] * row[ck + j];
-        }
-        float tail = 0.0f;
-        for (; ck < CK; ++ck) tail += w[ck] * row[ck];
-        const float s04 = (acc[0] + acc[4]) + (acc[1] + acc[5]);
-        const float s26 = (acc[2] + acc[6]) + (acc[3] + acc[7]);
-        o[l] = bias_v + ((s04 + s26) + tail);
-      }
+      std::fill(ob + static_cast<std::size_t>(co) * L,
+                ob + static_cast<std::size_t>(co + 1) * L, pb->data[co]);
     }
+    kernel::matmul(pw->data.data(), patch.data(), ob, Co, CK, L,
+                   /*transpose_b=*/true);
   }
   return out;
 }

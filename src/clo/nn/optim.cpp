@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "clo/nn/kernel.hpp"
+
 namespace clo::nn {
 
 Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
@@ -20,14 +22,9 @@ void Adam::step() {
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
   for (std::size_t i = 0; i < params_.size(); ++i) {
     auto& p = params_[i];
-    auto& g = p.grad();
-    for (std::size_t j = 0; j < p.numel(); ++j) {
-      m_[i][j] = beta1_ * m_[i][j] + (1.0f - beta1_) * g[j];
-      v_[i][j] = beta2_ * v_[i][j] + (1.0f - beta2_) * g[j] * g[j];
-      const float mhat = m_[i][j] / bc1;
-      const float vhat = v_[i][j] / bc2;
-      p.data()[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
-    }
+    kernel::adam_update(p.data().data(), m_[i].data(), v_[i].data(),
+                        p.grad().data(), p.numel(), beta1_, beta2_, lr_, bc1,
+                        bc2, eps_);
   }
   zero_grad();
 }

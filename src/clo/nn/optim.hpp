@@ -20,7 +20,7 @@ class Adam {
 
  private:
   std::vector<Tensor> params_;
-  std::vector<std::vector<float>> m_, v_;
+  std::vector<FloatBuf> m_, v_;
   float lr_, beta1_, beta2_, eps_;
   long step_count_ = 0;
 };

@@ -49,7 +49,7 @@ Tensor Tensor::from_data(std::vector<int> shape, std::vector<float> data,
   }
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = std::move(shape);
-  impl->data = std::move(data);
+  impl->data.assign(data.begin(), data.end());
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
 }

@@ -14,16 +14,21 @@
 #include <string>
 #include <vector>
 
+#include "clo/util/aligned.hpp"
 #include "clo/util/rng.hpp"
 
 namespace clo::nn {
 
 class Tensor;
 
+/// Tensor storage: 32-byte-aligned so the SIMD kernels (kernel.hpp) start
+/// every data/grad buffer on a vector boundary.
+using FloatBuf = util::AlignedFloats;
+
 struct TensorImpl {
   std::vector<int> shape;
-  std::vector<float> data;
-  std::vector<float> grad;   ///< same size as data once touched
+  FloatBuf data;
+  FloatBuf grad;   ///< same size as data once touched
   bool requires_grad = false;
   std::vector<std::shared_ptr<TensorImpl>> parents;
   std::function<void(TensorImpl&)> backward_fn;  ///< pushes grad to parents
@@ -56,9 +61,9 @@ class Tensor {
   int ndim() const { return static_cast<int>(impl_->shape.size()); }
   std::size_t numel() const { return impl_->numel(); }
 
-  std::vector<float>& data() { return impl_->data; }
-  const std::vector<float>& data() const { return impl_->data; }
-  std::vector<float>& grad() { impl_->ensure_grad(); return impl_->grad; }
+  FloatBuf& data() { return impl_->data; }
+  const FloatBuf& data() const { return impl_->data; }
+  FloatBuf& grad() { impl_->ensure_grad(); return impl_->grad; }
 
   float item() const { return impl_->data.at(0); }
 

@@ -108,7 +108,7 @@ std::vector<PassStats> run_sequence(aig::Aig& g, const Sequence& seq) {
   stats.reserve(seq.size());
   for (Transform t : seq) {
     if (CLO_OBS_RUNTIME_ENABLED()) {
-      const auto begin = std::chrono::steady_clock::now();
+      [[maybe_unused]] const auto begin = std::chrono::steady_clock::now();
       stats.push_back(apply_transform(g, t));
       CLO_OBS_OBSERVE(transform_metric_name(t),
                       std::chrono::duration<double>(

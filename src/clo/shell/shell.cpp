@@ -12,6 +12,7 @@
 #include "clo/aig/simulate.hpp"
 #include "clo/circuits/generators.hpp"
 #include "clo/core/pipeline.hpp"
+#include "clo/nn/kernel.hpp"
 #include "clo/opt/transform.hpp"
 #include "clo/techmap/tech_map.hpp"
 #include "clo/util/fault.hpp"
@@ -60,6 +61,10 @@ Shell::~Shell() {
     std::cerr << obs::Registry::instance().snapshot().format_table();
   }
 }
+
+void Shell::set_simd(bool on) { nn::kernel::set_simd_enabled(on); }
+
+bool Shell::simd() const { return nn::kernel::simd_enabled(); }
 
 void Shell::set_trace_path(std::string path) {
   trace_path_ = std::move(path);
@@ -342,6 +347,23 @@ void Shell::register_commands() {
            }
          }
          out << "batch = " << (sh.batch_ ? "on" : "off") << "\n";
+         return true;
+       }});
+  commands_.push_back(
+      {"simd",
+       "simd [on|off] — set/show the nn kernel SIMD dispatch switch",
+       [](Shell& sh, const auto& args, std::ostream& out) {
+         if (args.size() > 1) {
+           if (args[1] == "on") {
+             sh.set_simd(true);
+           } else if (args[1] == "off") {
+             sh.set_simd(false);
+           } else {
+             throw std::runtime_error("usage: simd [on|off]");
+           }
+         }
+         out << "simd = " << (sh.simd() ? "on" : "off") << " (target "
+             << nn::kernel::active_target() << ")\n";
          return true;
        }});
   commands_.push_back(

@@ -45,6 +45,14 @@ class Shell {
   void set_batch(bool on) { batch_ = on; }
   bool batch() const { return batch_; }
 
+  /// Whether the nn kernels may dispatch to the SIMD code paths
+  /// (`--no-simd` forces the portable scalar kernels). Forwards to the
+  /// process-wide clo::nn::kernel dispatch switch; also settable at
+  /// runtime with the `simd` command. Both targets produce bitwise
+  /// identical results — this exists for benchmarking and bisection.
+  void set_simd(bool on);
+  bool simd() const;
+
   /// Directory `tune` writes phase checkpoints into (empty = disabled).
   /// Also settable at runtime with the `checkpoint` command.
   void set_checkpoint_dir(std::string dir) { checkpoint_dir_ = std::move(dir); }

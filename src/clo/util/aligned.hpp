@@ -1,0 +1,55 @@
+#pragma once
+// 32-byte-aligned allocator for SIMD-friendly buffers. Tensor data/grad
+// storage uses this so the AVX2 kernels (clo/nn/kernel.hpp) start every
+// buffer on a cache-line-friendly vector boundary; the kernels themselves
+// still use unaligned loads (interior slices of a tensor are not aligned),
+// so alignment is a performance property, never a correctness requirement.
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace clo::util {
+
+template <typename T, std::size_t Alignment = 32>
+struct AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must be at least the type's natural alignment");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+};
+
+template <typename T, typename U, std::size_t A>
+bool operator==(const AlignedAllocator<T, A>&, const AlignedAllocator<U, A>&) {
+  return true;
+}
+template <typename T, typename U, std::size_t A>
+bool operator!=(const AlignedAllocator<T, A>&, const AlignedAllocator<U, A>&) {
+  return false;
+}
+
+/// 32-byte-aligned float buffer — the Tensor storage type.
+using AlignedFloats = std::vector<float, AlignedAllocator<float, 32>>;
+
+}  // namespace clo::util

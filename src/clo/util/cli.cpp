@@ -1,6 +1,6 @@
 #include "clo/util/cli.hpp"
 
-#include <cstdlib>
+#include "clo/util/numeric.hpp"
 
 namespace clo {
 
@@ -39,15 +39,22 @@ std::string CliArgs::get(const std::string& key,
 }
 
 int CliArgs::get_int(const std::string& key, int fallback) const {
+  // Locale-independent (atoi/atof honor the global C locale — see
+  // util/numeric.hpp); malformed values fall back instead of silently
+  // parsing a prefix.
   auto it = values_.find(key);
   if (it == values_.end() || it->second.empty()) return fallback;
-  return std::atoi(it->second.c_str());
+  int value = fallback;
+  util::parse_int(it->second, &value);
+  return value;
 }
 
 double CliArgs::get_double(const std::string& key, double fallback) const {
   auto it = values_.find(key);
   if (it == values_.end() || it->second.empty()) return fallback;
-  return std::atof(it->second.c_str());
+  double value = fallback;
+  util::parse_double(it->second, &value);
+  return value;
 }
 
 }  // namespace clo

@@ -5,6 +5,9 @@
 #include <cstdlib>
 #include <map>
 #include <mutex>
+#include <string_view>
+
+#include "clo/util/numeric.hpp"
 
 namespace clo::util::fault {
 namespace {
@@ -81,7 +84,10 @@ void arm(const std::string& specs) {
     const std::string site = item.substr(0, eq);
     const std::string trigger = item.substr(eq + 1);
     if (site == "seed") {
-      seed = std::strtoull(trigger.c_str(), nullptr, 10);
+      if (!util::parse_uint64(trigger, &seed)) {
+        throw std::invalid_argument("fault seed '" + trigger +
+                                    "' must be an unsigned integer");
+      }
       continue;
     }
     const auto& known = known_sites();
@@ -91,17 +97,16 @@ void arm(const std::string& specs) {
     }
     Spec spec;
     if (trigger[0] == 'p') {
-      char* parse_end = nullptr;
-      spec.probability = std::strtod(trigger.c_str() + 1, &parse_end);
-      if (parse_end == nullptr || *parse_end != '\0' ||
+      // parse_double is locale-independent: "p0.5" means 0.5 even under a
+      // comma-decimal global locale (strtod would stop at the '.').
+      if (!util::parse_double(std::string_view(trigger).substr(1),
+                              &spec.probability) ||
           spec.probability < 0.0 || spec.probability > 1.0) {
         throw std::invalid_argument("fault probability '" + trigger +
                                     "' must be p<0..1>");
       }
     } else {
-      char* parse_end = nullptr;
-      spec.nth = std::strtoull(trigger.c_str(), &parse_end, 10);
-      if (parse_end == nullptr || *parse_end != '\0' || spec.nth == 0) {
+      if (!util::parse_uint64(trigger, &spec.nth) || spec.nth == 0) {
         throw std::invalid_argument("fault trigger '" + trigger +
                                     "' must be a positive hit index or p<x>");
       }

@@ -1,0 +1,50 @@
+#include "clo/util/numeric.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace clo::util {
+
+namespace {
+
+/// from_chars rejects a leading '+', which strtod-based callers (CLI
+/// flags) historically accepted; strip at most one.
+std::string_view drop_leading_plus(std::string_view text) {
+  if (!text.empty() && text.front() == '+') text.remove_prefix(1);
+  return text;
+}
+
+template <typename T>
+bool parse_full(std::string_view text, T* out) {
+  if (text.empty()) return false;
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool parse_double(std::string_view text, double* out) {
+  return parse_full(drop_leading_plus(text), out);
+}
+
+bool parse_int(std::string_view text, int* out) {
+  return parse_full(drop_leading_plus(text), out);
+}
+
+bool parse_uint64(std::string_view text, std::uint64_t* out) {
+  return parse_full(drop_leading_plus(text), out);
+}
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  if (ec != std::errc()) return "0";  // cannot happen with this buffer size
+  return std::string(buf, ptr);
+}
+
+}  // namespace clo::util

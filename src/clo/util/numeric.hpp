@@ -1,0 +1,36 @@
+#pragma once
+// Locale-independent number parsing and formatting.
+//
+// std::atof / std::strtod / std::stod / printf("%g") all honor the global C
+// locale: under a comma-decimal locale (de_DE, fr_FR, ...) "4.5" parses as
+// 4 and 4.5 prints as "4,5", which silently corrupts CLI flags, fault
+// specs, and JSON. These helpers go through std::from_chars/std::to_chars,
+// which are defined to use the C locale's "classic" number format
+// regardless of any setlocale() call.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace clo::util {
+
+/// Parse the ENTIRE string as a decimal floating-point number (optional
+/// sign, fraction, exponent — the strtod subset minus locale, hex, inf and
+/// nan). Returns false (and leaves *out untouched) on empty input,
+/// trailing garbage, or overflow.
+bool parse_double(std::string_view text, double* out);
+
+/// Parse the entire string as a base-10 signed int. No whitespace, no
+/// trailing garbage, no overflow.
+bool parse_int(std::string_view text, int* out);
+
+/// Parse the entire string as a base-10 unsigned 64-bit int.
+bool parse_uint64(std::string_view text, std::uint64_t* out);
+
+/// Shortest decimal form that round-trips exactly: for every finite v,
+/// parse_double(format_double(v)) reproduces v bit for bit. Always uses
+/// '.' as the decimal separator. Non-finite values format as "0" (JSON has
+/// no inf/nan literals and callers sanitize upstream).
+std::string format_double(double v);
+
+}  // namespace clo::util

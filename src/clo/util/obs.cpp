@@ -11,10 +11,16 @@
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "clo/util/log.hpp"
+#include "clo/util/numeric.hpp"
 
 namespace clo::obs {
+
+using util::format_double;
+using util::parse_double;
+
 namespace {
 
 std::atomic<bool> g_enabled{false};
@@ -169,9 +175,11 @@ void append_number(std::string& out, double v) {
     out += buf;
     return;
   }
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", std::isfinite(v) ? v : 0.0);
-  out += buf;
+  // format_double (std::to_chars) is locale-independent — snprintf %g
+  // writes "4,5" under a comma-decimal locale, which is not JSON — and
+  // emits the shortest form that parses back to the same bits (>= the old
+  // fixed %.17g in fidelity, usually much shorter).
+  out += format_double(std::isfinite(v) ? v : 0.0);
 }
 
 struct Parser {
@@ -314,11 +322,14 @@ struct Parser {
       ++pos;
     }
     if (pos == start) fail("unexpected character");
-    try {
-      return Json(std::stod(text.substr(start, pos - start)));
-    } catch (const std::exception&) {
+    // parse_double (std::from_chars) rather than stod: the latter honors
+    // the global C locale and would reject "4.5" under de_DE.
+    double value = 0.0;
+    if (!parse_double(std::string_view(text).substr(start, pos - start),
+                      &value)) {
       fail("bad number");
     }
+    return Json(value);
   }
 };
 
@@ -467,10 +478,19 @@ double HistogramSummary::percentile(double p) const {
     const double before = static_cast<double>(cumulative);
     cumulative += buckets[b];
     if (rank > static_cast<double>(cumulative)) continue;
-    const double lower = b == 0 ? min : bounds[b - 1];
-    const double upper = b < bounds.size() ? bounds[b] : max;
+    double lower = b == 0 ? min : bounds[b - 1];
+    double upper = b < bounds.size() ? bounds[b] : max;
+    // Tighten the interpolation edges with the observed extremes: the
+    // FIRST occupied bucket's samples cannot sit below min even when that
+    // bucket is not bucket 0 (every histogram whose samples share one
+    // bucket hits this), and the LAST occupied bucket's cannot exceed max
+    // even when it is not the overflow bucket. Without the clamps a
+    // boundary-rank percentile could report values outside [min, max].
+    if (before == 0.0) lower = std::max(lower, min);
+    if (cumulative == count) upper = std::min(upper, max);
+    if (upper < lower) upper = lower;
     const double frac = (rank - before) / static_cast<double>(buckets[b]);
-    return std::max(lower + (upper - lower) * frac, min);
+    return std::min(std::max(lower + (upper - lower) * frac, min), max);
   }
   return max;
 }

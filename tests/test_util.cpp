@@ -1,10 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cmath>
+#include <limits>
 #include <set>
+#include <string>
 
 #include "clo/util/cli.hpp"
 #include "clo/util/csv.hpp"
+#include "clo/util/fault.hpp"
+#include "clo/util/numeric.hpp"
+#include "clo/util/obs.hpp"
 #include "clo/util/rng.hpp"
 #include "clo/util/stats.hpp"
 #include "clo/util/timer.hpp"
@@ -12,6 +18,10 @@
 namespace {
 
 using namespace clo;
+using util::format_double;
+using util::parse_double;
+using util::parse_int;
+using util::parse_uint64;
 
 TEST(Rng, Deterministic) {
   Rng a(42), b(42);
@@ -171,6 +181,127 @@ TEST(Stopwatch, AccumulatesAndResets) {
   EXPECT_DOUBLE_EQ(w.seconds(), t1);
   w.reset();
   EXPECT_DOUBLE_EQ(w.seconds(), 0.0);
+}
+
+TEST(Numeric, ParseDoubleAcceptsFullStringsOnly) {
+  double v = -1.0;
+  EXPECT_TRUE(parse_double("4.5", &v));
+  EXPECT_DOUBLE_EQ(v, 4.5);
+  EXPECT_TRUE(parse_double("+0.25", &v));
+  EXPECT_DOUBLE_EQ(v, 0.25);
+  EXPECT_TRUE(parse_double("-1e-3", &v));
+  EXPECT_DOUBLE_EQ(v, -1e-3);
+  // Rejections leave *out untouched.
+  v = 7.0;
+  EXPECT_FALSE(parse_double("", &v));
+  EXPECT_FALSE(parse_double("4.5x", &v));
+  EXPECT_FALSE(parse_double("x4.5", &v));
+  EXPECT_FALSE(parse_double("4.5 ", &v));
+  EXPECT_FALSE(parse_double("++1", &v));
+  EXPECT_DOUBLE_EQ(v, 7.0);
+}
+
+TEST(Numeric, ParseIntegers) {
+  int i = -1;
+  EXPECT_TRUE(parse_int("42", &i));
+  EXPECT_EQ(i, 42);
+  EXPECT_TRUE(parse_int("-7", &i));
+  EXPECT_EQ(i, -7);
+  EXPECT_TRUE(parse_int("+9", &i));
+  EXPECT_EQ(i, 9);
+  EXPECT_FALSE(parse_int("4.5", &i));
+  EXPECT_FALSE(parse_int("", &i));
+  EXPECT_FALSE(parse_int("999999999999999999999", &i));  // overflow
+  std::uint64_t u = 0;
+  EXPECT_TRUE(parse_uint64("18446744073709551615", &u));
+  EXPECT_EQ(u, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_FALSE(parse_uint64("-1", &u));
+  EXPECT_FALSE(parse_uint64("18446744073709551616", &u));  // overflow
+}
+
+TEST(Numeric, FormatDoubleRoundTripsExactly) {
+  // Shortest-round-trip formatting: format -> parse must be bit-exact for
+  // every representable double, including the awkward ones.
+  const double values[] = {
+      0.1,
+      1.0 / 3.0,
+      1e-300,
+      -2.5e300,
+      12345.6789,
+      6.02214076e23,
+      -0.0,
+      5e-324,  // min subnormal
+      std::numeric_limits<double>::max(),
+  };
+  for (double v : values) {
+    double back = 0.0;
+    ASSERT_TRUE(parse_double(format_double(v), &back)) << format_double(v);
+    EXPECT_EQ(back, v) << format_double(v);
+  }
+  // Non-finite values are flattened to a valid JSON-safe token.
+  EXPECT_EQ(format_double(std::numeric_limits<double>::quiet_NaN()), "0");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "0");
+}
+
+/// Switch LC_ALL+LC_NUMERIC to a decimal-comma locale if one is installed;
+/// returns false (leaving "C" active) when the host has none.
+bool set_comma_locale() {
+  const char* const candidates[] = {
+      "de_DE.UTF-8",
+      "de_DE.utf8",
+      "de_DE",
+      "fr_FR.UTF-8",
+      "fr_FR.utf8",
+      "fr_FR",
+      "it_IT.UTF-8",
+      "es_ES.UTF-8",
+  };
+  for (const char* name : candidates) {
+    if (std::setlocale(LC_ALL, name) != nullptr &&
+        std::localeconv()->decimal_point[0] == ',') {
+      return true;
+    }
+  }
+  std::setlocale(LC_ALL, "C");
+  return false;
+}
+
+// Regression for the locale-dependent atof/strtod/stod parsing the CLI,
+// fault-spec, and JSON layers used to do: under a decimal-comma locale
+// those silently truncated "4.5" to 4.0. Every numeric boundary must be
+// locale-independent.
+TEST(Numeric, ParsingIsLocaleIndependent) {
+  if (!set_comma_locale()) {
+    GTEST_SKIP() << "no decimal-comma locale installed";
+  }
+
+  double v = 0.0;
+  EXPECT_TRUE(parse_double("4.5", &v));
+  EXPECT_DOUBLE_EQ(v, 4.5);
+  EXPECT_EQ(format_double(2.5), "2.5");
+
+  const char* argv[] = {"prog", "--omega", "4.5"};
+  CliArgs args(3, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(args.get_double("omega", 0.0), 4.5);
+
+  // Fault-spec probabilities: "p0.5" must keep its fractional part (the
+  // described arming mentions the 5 regardless of how the locale would
+  // render it).
+  util::fault::arm("optimizer.restart=p0.5,seed=3");
+  const std::string desc = util::fault::describe();
+  EXPECT_NE(desc.find("optimizer.restart=p0"), std::string::npos) << desc;
+  EXPECT_NE(desc.find('5'), std::string::npos) << desc;
+  util::fault::disarm();
+
+  // JSON numbers: parse and dump both stay dot-separated.
+  const auto doc = obs::Json::parse("{\"x\": 1.5, \"y\": -2.25e1}");
+  EXPECT_DOUBLE_EQ(doc.find("x")->as_double(), 1.5);
+  EXPECT_DOUBLE_EQ(doc.find("y")->as_double(), -22.5);
+  const std::string dumped = obs::Json(0.1).dump();
+  EXPECT_EQ(dumped.find(','), std::string::npos) << dumped;
+  EXPECT_DOUBLE_EQ(obs::Json::parse(dumped).as_double(), 0.1);
+
+  std::setlocale(LC_ALL, "C");
 }
 
 }  // namespace

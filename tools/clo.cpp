@@ -9,6 +9,8 @@
 //                 concurrency; 1 runs fully serial)
 //   --no-batch    use the per-restart optimizer fallback instead of the
 //                 batched lockstep path (identical sequences, slower)
+//   --no-simd     force the portable scalar nn kernels instead of the
+//                 runtime-dispatched SIMD ones (identical results, slower)
 //   --trace F     write a Chrome trace-event JSON (chrome://tracing,
 //                 Perfetto) of the session to F on exit
 //   --report F    write the machine-readable "clo.report.v1" JSON of the
@@ -49,6 +51,10 @@ int main(int argc, char** argv) {
     }
     if (arg == "--no-batch") {
       shell.set_batch(false);
+      continue;
+    }
+    if (arg == "--no-simd") {
+      shell.set_simd(false);
       continue;
     }
     if (arg == "--trace") {
