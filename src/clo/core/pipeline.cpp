@@ -1,8 +1,10 @@
 #include "clo/core/pipeline.hpp"
 
+#include <set>
 #include <sstream>
 
 #include "clo/core/checkpoint.hpp"
+#include "clo/opt/transform.hpp"
 #include "clo/nn/kernel.hpp"
 #include "clo/nn/serialize.hpp"
 #include "clo/util/fault.hpp"
@@ -342,6 +344,57 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
     result.validate_seconds = w.seconds();
     CLO_OBS_GAUGE("pipeline.validate_seconds", result.validate_seconds);
   }
+
+  // ---- SAT equivalence verification (--verify) ---------------------------
+  // Replay every distinct surviving sequence on a copy of the original
+  // circuit and prove it equivalent with the miter-based checker. Like
+  // validation, this runs outside the optimization loop and is excluded
+  // from the Fig. 5 time.
+  if (config_.verify) {
+    CLO_TRACE_SPAN("pipeline.verify");
+    Stopwatch w;
+    ScopedTimer st(w);
+    std::vector<char> valid(result.restarts.size(), 1);
+    for (const auto& f : result.optimize_quarantined) valid[f.index] = 0;
+    for (const auto& f : result.validate_quarantined) valid[f.index] = 0;
+    std::vector<opt::Sequence> sequences;
+    std::set<std::string> seen;
+    for (std::size_t i = 0; i < result.restarts.size(); ++i) {
+      if (!valid[i]) continue;
+      const auto& seq = result.restarts[i].sequence;
+      if (seen.insert(opt::sequence_to_string(seq)).second) {
+        sequences.push_back(seq);
+      }
+    }
+    // When every restart was quarantined, `best` falls back to the
+    // original circuit with an empty sequence — still worth one (trivial)
+    // check so the report always carries a verdict.
+    if (sequences.empty()) sequences.push_back(result.best_sequence);
+    result.verify_verdict = "equivalent";
+    for (const auto& seq : sequences) {
+      Stopwatch check_watch;
+      ScopedTimer check_timer(check_watch);
+      aig::Aig optimized = evaluator.circuit();
+      opt::run_sequence(optimized, seq);
+      const auto outcome =
+          sat::check_equivalence(evaluator.circuit(), optimized);
+      result.verification.push_back({seq, outcome, check_watch.seconds()});
+      if (outcome.verdict == sat::CecVerdict::kNotEquivalent) {
+        result.verify_verdict = "not_equivalent";
+        CLO_LOG_ERROR << "verify: sequence '" << opt::sequence_to_string(seq)
+                      << "' is NOT equivalent to the original (PO "
+                      << outcome.failing_po << ")";
+      } else if (outcome.verdict == sat::CecVerdict::kUnknown &&
+                 result.verify_verdict == "equivalent") {
+        result.verify_verdict = "unknown";
+      }
+    }
+    result.verify_seconds = w.seconds();
+    CLO_OBS_GAUGE("pipeline.verify_seconds", result.verify_seconds);
+    CLO_LOG_INFO << evaluator.circuit().name() << ": verify "
+                 << result.verify_verdict << " (" << sequences.size()
+                 << " sequence(s), " << result.verify_seconds << " s)";
+  }
   return result;
 }
 
@@ -401,7 +454,35 @@ obs::Json pipeline_report(const PipelineResult& result,
   phases["diffusion_train"] = obs::Json(result.diffusion_train_seconds);
   phases["optimize"] = obs::Json(result.optimize_seconds);
   phases["validate"] = obs::Json(result.validate_seconds);
+  if (!result.verify_verdict.empty()) {
+    phases["verify"] = obs::Json(result.verify_seconds);
+  }
   report["phase_seconds"] = phases;
+
+  // SAT verification results (present only when --verify ran): the
+  // aggregate verdict plus one entry per checked sequence with its method
+  // ("interface"/"sim"/"sat") and per-check latency.
+  if (!result.verify_verdict.empty()) {
+    report["verify"] = obs::Json(result.verify_verdict);
+    obs::Json verification = obs::Json::object();
+    verification["seconds"] = obs::Json(result.verify_seconds);
+    obs::Json checks = obs::Json::array();
+    for (const auto& check : result.verification) {
+      obs::Json entry = obs::Json::object();
+      entry["sequence"] =
+          obs::Json(opt::sequence_to_string(check.sequence));
+      entry["verdict"] = obs::Json(
+          std::string(sat::cec_verdict_name(check.outcome.verdict)));
+      entry["method"] = obs::Json(check.outcome.method);
+      entry["patterns_simulated"] = obs::Json(
+          static_cast<std::uint64_t>(check.outcome.patterns_simulated));
+      entry["conflicts"] = obs::Json(check.outcome.solver_stats.conflicts);
+      entry["seconds"] = obs::Json(check.seconds);
+      checks.push_back(std::move(entry));
+    }
+    verification["checks"] = checks;
+    report["verification"] = verification;
+  }
 
   obs::Json ev = obs::Json::object();
   ev["queries"] = obs::Json(static_cast<std::uint64_t>(

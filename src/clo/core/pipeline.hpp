@@ -14,6 +14,7 @@
 #include "clo/core/optimizer.hpp"
 #include "clo/core/trainer.hpp"
 #include "clo/models/diffusion.hpp"
+#include "clo/sat/cec.hpp"
 #include "clo/util/obs.hpp"
 
 namespace clo::core {
@@ -53,6 +54,11 @@ struct PipelineConfig {
   /// config; stale or corrupt checkpoints silently fall back to
   /// recomputing the phase.
   bool resume = false;
+  /// After validation, prove every distinct surviving sequence equivalent
+  /// to the pre-optimization circuit with the SAT-based checker (`--verify`).
+  /// Verdicts and per-check latency land in the clo.report.v1 JSON; the
+  /// verify phase is excluded from the Fig. 5 optimization time.
+  bool verify = false;
 };
 
 struct PipelineResult {
@@ -81,6 +87,17 @@ struct PipelineResult {
   /// Pretraining phases restored from a checkpoint (0 = fresh run, 3 =
   /// dataset + surrogate + diffusion all resumed).
   int resumed_phases = 0;
+  /// One SAT equivalence check per distinct surviving sequence (--verify).
+  struct VerificationCheck {
+    opt::Sequence sequence;
+    sat::CecOutcome outcome;
+    double seconds = 0.0;
+  };
+  std::vector<VerificationCheck> verification;
+  /// Aggregate verify verdict: "equivalent", "not_equivalent", or
+  /// "unknown" (worst individual verdict wins); empty when verify was off.
+  std::string verify_verdict;
+  double verify_seconds = 0.0;
 };
 
 class CloPipeline {

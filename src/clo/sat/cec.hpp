@@ -1,0 +1,74 @@
+#pragma once
+// SAT-based combinational equivalence checking: the trust layer under the
+// rewrite engine. A check runs in two stages:
+//
+//  1. Simulation pre-filter — rounds of 64-pattern random simulation on
+//     both circuits with shared inputs. Most real inequivalences (a buggy
+//     rewrite) fall here in microseconds, with a concrete counterexample.
+//  2. SAT verdict — a miter (shared PIs, per-PO XOR, OR of all XORs forced
+//     true) is Tseitin-encoded and handed to the CDCL solver. UNSAT is a
+//     *proof* of equivalence — the thing random simulation can never give.
+//     A SAT answer is a counterexample, which is replayed through the
+//     simulator before being believed; a model the simulator rejects means
+//     the checker itself is broken, and throws.
+//
+// This is the role ABC's `cec` plays for sequence-search methods (DRiLLS,
+// BOiLS): every aggressive sequence is safe because every output is
+// checked. The shell's `cec` command, the pipeline's `--verify` gate, and
+// the clo_fuzz cross-checker all funnel into check_equivalence().
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clo/aig/aig.hpp"
+#include "clo/sat/solver.hpp"
+#include "clo/util/rng.hpp"
+
+namespace clo::sat {
+
+enum class CecVerdict {
+  kEquivalent,     ///< proven by SAT (UNSAT miter) or exhaustive patterns
+  kNotEquivalent,  ///< simulator-confirmed counterexample in hand
+  kUnknown,        ///< conflict budget exhausted before a verdict
+};
+
+const char* cec_verdict_name(CecVerdict v);
+
+struct CecOptions {
+  /// Rounds of 64-pattern random simulation before SAT (0 disables).
+  int sim_rounds = 32;
+  /// Seed for the pre-filter patterns (fixed default: checks reproduce).
+  std::uint64_t sim_seed = 0xC0FFEE5EEDULL;
+  /// CDCL conflict cap; 0 = unlimited (verdicts are then always exact).
+  std::uint64_t conflict_budget = 0;
+};
+
+struct CecOutcome {
+  CecVerdict verdict = CecVerdict::kUnknown;
+  /// Which stage decided: "interface" (PI/PO counts differ), "sim", "sat".
+  std::string method;
+  /// Valid when kNotEquivalent (and method != "interface").
+  std::vector<bool> counterexample;
+  std::size_t failing_po = 0;
+  /// Work accounting.
+  std::size_t patterns_simulated = 0;
+  SolveStats solver_stats;
+
+  bool equivalent() const { return verdict == CecVerdict::kEquivalent; }
+};
+
+/// Check combinational equivalence of `a` and `b`. Interfaces must match
+/// (same PI and PO counts); a mismatch is kNotEquivalent with method
+/// "interface" and no counterexample. Throws std::logic_error if the SAT
+/// stage produces a counterexample the simulator does not confirm.
+CecOutcome check_equivalence(const aig::Aig& a, const aig::Aig& b,
+                             const CecOptions& options = {});
+
+/// Build the miter CNF of `a` vs `b` (shared PI variables, OR of the
+/// per-PO XORs asserted true): SAT iff the circuits differ somewhere.
+/// Exposed for tests; `pi_vars` receives the shared input variables.
+Cnf build_miter(const aig::Aig& a, const aig::Aig& b,
+                std::vector<int>* pi_vars);
+
+}  // namespace clo::sat

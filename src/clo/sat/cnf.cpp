@@ -1,0 +1,50 @@
+#include "clo/sat/cnf.hpp"
+
+#include <stdexcept>
+
+namespace clo::sat {
+
+TseitinMap tseitin_encode(const aig::Aig& g, Cnf* cnf,
+                          const std::vector<int>* pi_vars) {
+  if (pi_vars != nullptr && pi_vars->size() != g.num_pis()) {
+    throw std::invalid_argument("tseitin_encode: pi_vars size mismatch");
+  }
+  TseitinMap map;
+  map.node_var.assign(g.num_slots(), 0);
+  map.pi_vars.resize(g.num_pis());
+  for (std::size_t i = 0; i < g.num_pis(); ++i) {
+    const int v = pi_vars != nullptr ? (*pi_vars)[i] : cnf->new_var();
+    map.pi_vars[i] = v;
+    map.node_var[g.pi_node(i)] = v;
+  }
+  // Only encode the constant node when something actually references it;
+  // a dangling always-false variable would be harmless but noisy.
+  bool const_used = false;
+  for (std::size_t i = 0; i < g.num_pos(); ++i) {
+    if (aig::lit_node(g.po(i)) == 0) const_used = true;
+  }
+  const auto topo = g.topo_order();
+  for (std::uint32_t n : topo) {
+    if (aig::lit_node(g.fanin0(n)) == 0 || aig::lit_node(g.fanin1(n)) == 0) {
+      const_used = true;
+    }
+  }
+  if (const_used) {
+    const int v = cnf->new_var();
+    map.node_var[0] = v;
+    cnf->add_unit(-v);  // node 0 is constant false
+  }
+  // Each AND node n = a & b becomes (-n a), (-n b), (n -a -b).
+  for (std::uint32_t n : topo) {
+    const int v = cnf->new_var();
+    map.node_var[n] = v;
+    const Lit a = map.cnf_lit(g.fanin0(n));
+    const Lit b = map.cnf_lit(g.fanin1(n));
+    cnf->add_binary(-v, a);
+    cnf->add_binary(-v, b);
+    cnf->add_ternary(v, -a, -b);
+  }
+  return map;
+}
+
+}  // namespace clo::sat

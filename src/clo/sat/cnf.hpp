@@ -1,0 +1,61 @@
+#pragma once
+// CNF formulas and the Tseitin transformation of an AIG into one — the
+// front end of the clo::sat equivalence checker. Variables are 1-based and
+// literals are signed DIMACS-style integers (+v = v true, -v = v false), so
+// hand-written test formulas and dumped instances read like standard CNF.
+
+#include <cstdint>
+#include <vector>
+
+#include "clo/aig/aig.hpp"
+
+namespace clo::sat {
+
+/// A DIMACS-style literal: +var or -var, var >= 1.
+using Lit = int;
+
+inline int lit_var(Lit l) { return l < 0 ? -l : l; }
+inline bool lit_sign(Lit l) { return l < 0; }
+
+/// A CNF formula under construction. Clauses are stored as written; the
+/// solver does its own preprocessing (dedup, tautology removal) on load.
+struct Cnf {
+  int num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+
+  /// Allocate a fresh variable; returns its index (1-based).
+  int new_var() { return ++num_vars; }
+
+  void add_clause(std::vector<Lit> lits) { clauses.push_back(std::move(lits)); }
+  void add_unit(Lit a) { clauses.push_back({a}); }
+  void add_binary(Lit a, Lit b) { clauses.push_back({a, b}); }
+  void add_ternary(Lit a, Lit b, Lit c) { clauses.push_back({a, b, c}); }
+
+  std::size_t num_clauses() const { return clauses.size(); }
+};
+
+/// Variable assignment of one AIG's nodes produced by tseitin_encode().
+struct TseitinMap {
+  /// CNF variable per AIG node slot (0 for dead/unencoded nodes).
+  std::vector<int> node_var;
+  /// CNF variable per primary input, in PI order.
+  std::vector<int> pi_vars;
+
+  /// Signed CNF literal for an AIG literal (applies the complement bit).
+  Lit cnf_lit(aig::Lit l) const {
+    const int v = node_var[aig::lit_node(l)];
+    return aig::lit_is_compl(l) ? -v : v;
+  }
+};
+
+/// Tseitin-encode the combinational logic of `g` into `cnf`: every live
+/// node reachable from a PO gets a variable, each AND node contributes the
+/// three standard clauses, and the constant-0 node (when referenced) is
+/// pinned false with a unit clause. When `pi_vars` is non-null its entries
+/// are used as the PI variables instead of allocating fresh ones — this is
+/// how a miter shares inputs between two circuits (size must match
+/// g.num_pis()). PO literals are NOT asserted; use map.cnf_lit(g.po(i)).
+TseitinMap tseitin_encode(const aig::Aig& g, Cnf* cnf,
+                          const std::vector<int>* pi_vars = nullptr);
+
+}  // namespace clo::sat

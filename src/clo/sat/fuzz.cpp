@@ -1,0 +1,196 @@
+#include "clo/sat/fuzz.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace clo::sat {
+namespace {
+
+aig::Lit xlate(const std::vector<aig::Lit>& map, aig::Lit l) {
+  return aig::lit_notc(map[aig::lit_node(l)], aig::lit_is_compl(l));
+}
+
+/// One topological re-walk serving every shrink move: optionally collapse
+/// one AND node (to const0 / fanin0 / fanin1), drop POs, prune dead PIs.
+struct RebuildSpec {
+  std::uint32_t replace_node = 0;  ///< 0 = none (node 0 is never an AND)
+  int replace_mode = 0;            ///< 0 const0, 1 fanin0, 2 fanin1
+  const std::vector<char>* keep_po = nullptr;
+  bool prune_unused_pis = false;
+};
+
+aig::Aig rebuild(const aig::Aig& g, const RebuildSpec& spec) {
+  aig::Aig out;
+  out.set_name(g.name());
+  std::vector<aig::Lit> map(g.num_slots(), aig::kLitNull);
+  map[0] = aig::kLitFalse;
+  for (std::size_t i = 0; i < g.num_pis(); ++i) {
+    if (spec.prune_unused_pis && g.nrefs(g.pi_node(i)) == 0) continue;
+    map[g.pi_node(i)] = out.add_pi(g.pi_name(i));
+  }
+  for (std::uint32_t n : g.topo_order()) {
+    const aig::Lit f0 = xlate(map, g.fanin0(n));
+    const aig::Lit f1 = xlate(map, g.fanin1(n));
+    if (n == spec.replace_node) {
+      map[n] = spec.replace_mode == 0   ? aig::kLitFalse
+               : spec.replace_mode == 1 ? f0
+                                        : f1;
+    } else {
+      map[n] = out.and_of(f0, f1);
+    }
+  }
+  for (std::size_t i = 0; i < g.num_pos(); ++i) {
+    if (spec.keep_po != nullptr && !(*spec.keep_po)[i]) continue;
+    out.add_po(xlate(map, g.po(i)), g.po_name(i));
+  }
+  out.cleanup();
+  return out;
+}
+
+void adopt(FuzzFailure* failure, const FuzzFailure& probe) {
+  failure->kind = probe.kind;
+  failure->detail = probe.detail;
+  failure->counterexample = probe.counterexample;
+}
+
+}  // namespace
+
+aig::Aig random_aig(clo::Rng& rng, int num_pis, int num_ands, int num_pos) {
+  aig::Aig g;
+  std::vector<aig::Lit> pool;
+  pool.reserve(static_cast<std::size_t>(num_pis) + num_ands);
+  for (int i = 0; i < num_pis; ++i) pool.push_back(g.add_pi());
+  for (int i = 0; i < num_ands; ++i) {
+    const aig::Lit a = pool[rng.next_below(pool.size())];
+    const aig::Lit b = pool[rng.next_below(pool.size())];
+    pool.push_back(g.and_of(aig::lit_notc(a, rng.next_bool()),
+                            aig::lit_notc(b, rng.next_bool())));
+  }
+  for (int i = 0; i < num_pos; ++i) {
+    // Bias toward recently built (deep) nodes so POs see real logic.
+    const std::size_t lo = pool.size() / 2;
+    const std::size_t idx = lo + rng.next_below(pool.size() - lo);
+    g.add_po(aig::lit_notc(pool[idx], rng.next_bool()));
+  }
+  g.cleanup();
+  return g;
+}
+
+bool check_case(const aig::Aig& circuit, const opt::Sequence& sequence,
+                const SequenceRunner& runner, const CecOptions& cec,
+                FuzzFailure* failure) {
+  aig::Aig optimized = circuit;
+  try {
+    if (runner) {
+      runner(optimized, sequence);
+    } else {
+      opt::run_sequence(optimized, sequence);
+    }
+    optimized.check();
+  } catch (const std::exception& e) {
+    failure->kind = "exception";
+    failure->detail = e.what();
+    failure->counterexample.clear();
+    return true;
+  }
+  const CecOutcome out = check_equivalence(circuit, optimized, cec);
+  if (out.verdict == CecVerdict::kNotEquivalent) {
+    failure->kind = "not_equivalent";
+    failure->detail = out.method == "interface"
+                          ? "interface changed"
+                          : "po " + std::to_string(out.failing_po) +
+                                " differs (found by " + out.method + ")";
+    failure->counterexample = out.counterexample;
+    return true;
+  }
+  return false;
+}
+
+void shrink_failure(FuzzFailure* failure, const SequenceRunner& runner,
+                    const CecOptions& cec) {
+  FuzzFailure probe;
+  // Stage 1: drop sequence steps (ddmin with single-element removals).
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t i = failure->sequence.size(); i-- > 0;) {
+      opt::Sequence cand = failure->sequence;
+      cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
+      if (check_case(failure->reproducer, cand, runner, cec, &probe)) {
+        failure->sequence = std::move(cand);
+        adopt(failure, probe);
+        improved = true;
+      }
+    }
+  }
+  // Stage 2: shrink the circuit — drop POs, collapse AND nodes. Restart
+  // after every accepted move (cleanup invalidates node indices).
+  improved = true;
+  while (improved) {
+    improved = false;
+    if (failure->reproducer.num_pos() > 1) {
+      for (std::size_t i = 0; i < failure->reproducer.num_pos(); ++i) {
+        std::vector<char> keep(failure->reproducer.num_pos(), 1);
+        keep[i] = 0;
+        RebuildSpec spec;
+        spec.keep_po = &keep;
+        aig::Aig cand = rebuild(failure->reproducer, spec);
+        if (check_case(cand, failure->sequence, runner, cec, &probe)) {
+          failure->reproducer = std::move(cand);
+          adopt(failure, probe);
+          improved = true;
+          break;
+        }
+      }
+      if (improved) continue;
+    }
+    const auto nodes = failure->reproducer.topo_order();
+    for (std::size_t k = nodes.size(); k-- > 0 && !improved;) {
+      for (int mode = 0; mode < 3 && !improved; ++mode) {
+        RebuildSpec spec;
+        spec.replace_node = nodes[k];
+        spec.replace_mode = mode;
+        aig::Aig cand = rebuild(failure->reproducer, spec);
+        if (cand.num_ands() >= failure->reproducer.num_ands()) continue;
+        if (check_case(cand, failure->sequence, runner, cec, &probe)) {
+          failure->reproducer = std::move(cand);
+          adopt(failure, probe);
+          improved = true;
+        }
+      }
+    }
+  }
+  // Stage 3: drop primary inputs nothing references anymore.
+  RebuildSpec spec;
+  spec.prune_unused_pis = true;
+  aig::Aig pruned = rebuild(failure->reproducer, spec);
+  if (pruned.num_pis() < failure->reproducer.num_pis() &&
+      check_case(pruned, failure->sequence, runner, cec, &probe)) {
+    failure->reproducer = std::move(pruned);
+    adopt(failure, probe);
+  }
+}
+
+std::optional<FuzzFailure> fuzz_one(std::uint64_t seed,
+                                    const FuzzOptions& options,
+                                    const SequenceRunner& runner) {
+  clo::Rng rng(seed ^ 0xF022ED5EEDULL);
+  const int pis = rng.next_int(options.min_pis, options.max_pis);
+  const int ands = rng.next_int(options.min_ands, options.max_ands);
+  const int pos = rng.next_int(1, options.max_pos);
+  aig::Aig g = random_aig(rng, pis, ands, pos);
+  g.set_name("fuzz_" + std::to_string(seed));
+  const int len = rng.next_int(options.min_seq_len, options.max_seq_len);
+  const opt::Sequence seq = opt::random_sequence(len, rng);
+  FuzzFailure failure;
+  failure.seed = seed;
+  failure.reproducer = g;
+  failure.sequence = seq;
+  if (!check_case(g, seq, runner, options.cec, &failure)) {
+    return std::nullopt;
+  }
+  shrink_failure(&failure, runner, options.cec);
+  return failure;
+}
+
+}  // namespace clo::sat

@@ -1,0 +1,82 @@
+#pragma once
+// Rewrite-engine fuzzing: generate random AIGs, run random transform
+// sequences over them, and cross-check every result against the original
+// with the SAT equivalence checker. A failing case (inequivalence, or a
+// pass that throws) is shrunk to a minimal reproducer — first the
+// sequence (delta-debugging each step away), then the circuit (dropping
+// POs, collapsing AND nodes to a fanin or to constant 0, pruning dead
+// PIs) — so the artifact a CI failure uploads is small enough to debug by
+// hand. The transform runner is pluggable: tests inject a deliberately
+// broken rewrite to prove the checker and shrinker actually catch bugs.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "clo/aig/aig.hpp"
+#include "clo/opt/transform.hpp"
+#include "clo/sat/cec.hpp"
+#include "clo/util/rng.hpp"
+
+namespace clo::sat {
+
+/// Uniformly random strashed AIG: `num_ands` AND attempts over random
+/// (possibly complemented) fanin pairs, POs biased toward deep nodes.
+/// Structural hashing and constant folding may make the result smaller
+/// than requested. Dead logic is cleaned up before returning.
+aig::Aig random_aig(clo::Rng& rng, int num_pis, int num_ands, int num_pos);
+
+/// Applies a sequence to a circuit in place. The default is
+/// opt::run_sequence; tests substitute broken variants.
+using SequenceRunner =
+    std::function<void(aig::Aig&, const opt::Sequence&)>;
+
+struct FuzzOptions {
+  int min_pis = 3;
+  int max_pis = 10;
+  int min_ands = 8;
+  int max_ands = 80;
+  int max_pos = 4;
+  int min_seq_len = 3;
+  int max_seq_len = 10;
+  /// CEC settings for the cross-check and for every shrink probe.
+  CecOptions cec;
+
+  FuzzOptions() {
+    cec.sim_rounds = 8;
+    cec.conflict_budget = 200000;
+  }
+};
+
+struct FuzzFailure {
+  std::uint64_t seed = 0;
+  aig::Aig reproducer;      ///< shrunk input circuit
+  opt::Sequence sequence;   ///< shrunk transform sequence
+  /// "not_equivalent" or "exception".
+  std::string kind;
+  std::string detail;       ///< failing PO / exception message
+  std::vector<bool> counterexample;  ///< when kind == "not_equivalent"
+};
+
+/// Does (circuit, sequence) fail under `runner`? A failure is either an
+/// exception out of the runner / the structural check, or a
+/// simulator-confirmed inequivalence vs the untouched circuit. Fills
+/// `kind`/`detail`/`counterexample` of `failure` when it returns true.
+bool check_case(const aig::Aig& circuit, const opt::Sequence& sequence,
+                const SequenceRunner& runner, const CecOptions& cec,
+                FuzzFailure* failure);
+
+/// Shrink a failing case in place: smaller sequence first, then circuit.
+/// Every accepted reduction re-runs check_case, so the reduced pair still
+/// fails the same way when this returns.
+void shrink_failure(FuzzFailure* failure, const SequenceRunner& runner,
+                    const CecOptions& cec);
+
+/// Run one fuzz seed end to end: derive sizes and contents from `seed`,
+/// cross-check, shrink on failure. std::nullopt means the seed passed.
+std::optional<FuzzFailure> fuzz_one(std::uint64_t seed,
+                                    const FuzzOptions& options,
+                                    const SequenceRunner& runner = nullptr);
+
+}  // namespace clo::sat

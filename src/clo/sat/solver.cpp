@@ -1,0 +1,393 @@
+#include "clo/sat/solver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace clo::sat {
+namespace {
+
+constexpr double kVarDecay = 0.95;
+constexpr double kActivityRescale = 1e100;
+constexpr std::uint64_t kRestartBase = 128;
+
+/// Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+std::uint64_t luby(std::uint64_t x) {
+  std::uint64_t size = 1, seq = 0;
+  while (size < x + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) / 2;
+    --seq;
+    x %= size;
+  }
+  return 1ULL << seq;
+}
+
+}  // namespace
+
+Solver::Solver(const Cnf& cnf) {
+  ensure_var(cnf.num_vars);
+  for (const auto& clause : cnf.clauses) add_clause(clause);
+}
+
+int Solver::new_var() {
+  ensure_var(num_vars() + 1);
+  return num_vars();
+}
+
+void Solver::ensure_var(int var) {
+  while (num_vars() < var) {
+    const int v = num_vars();
+    activity_.push_back(0.0);
+    value_.push_back(-1);
+    phase_.push_back(0);
+    level_.push_back(0);
+    reason_.push_back(-1);
+    seen_.push_back(0);
+    heap_pos_.push_back(-1);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    heap_insert(v);
+  }
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  if (decision_level() != 0) {
+    throw std::logic_error("add_clause: only allowed at decision level 0");
+  }
+  std::vector<ILit> c;
+  c.reserve(lits.size());
+  for (Lit l : lits) {
+    if (lit_var(l) == 0) throw std::invalid_argument("literal 0 in clause");
+    ensure_var(lit_var(l));
+    c.push_back(ilit(l));
+  }
+  std::sort(c.begin(), c.end());
+  c.erase(std::unique(c.begin(), c.end()), c.end());
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (i + 1 < c.size() && (c[i] ^ 1) == c[i + 1]) return true;  // tautology
+    const int v = lit_val(c[i]);
+    if (v == 1) return true;  // satisfied at level 0
+    if (v == 0) continue;     // falsified at level 0: drop the literal
+    c[j++] = c[i];
+  }
+  c.resize(j);
+  if (c.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (c.size() == 1) {
+    enqueue(c[0], -1);
+    if (propagate() != -1) ok_ = false;
+    return ok_;
+  }
+  clauses_.push_back(Clause{std::move(c)});
+  attach(static_cast<int>(clauses_.size()) - 1);
+  return true;
+}
+
+void Solver::attach(int cref) {
+  const auto& c = clauses_[cref].lits;
+  watches_[c[0]].push_back({cref, c[1]});
+  watches_[c[1]].push_back({cref, c[0]});
+}
+
+void Solver::enqueue(ILit p, int reason) {
+  const int v = ivar(p);
+  value_[v] = static_cast<std::int8_t>((p & 1) ^ 1);
+  level_[v] = decision_level();
+  reason_[v] = reason;
+  trail_.push_back(p);
+  ++stats_.propagations;
+}
+
+int Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const ILit p = trail_[qhead_++];  // p just became true
+    const ILit false_lit = p ^ 1;
+    auto& ws = watches_[false_lit];
+    std::size_t i = 0, j = 0;
+    while (i < ws.size()) {
+      const Watch w = ws[i++];
+      if (lit_val(w.blocker) == 1) {
+        ws[j++] = w;
+        continue;
+      }
+      auto& c = clauses_[w.cref].lits;
+      if (c[0] == false_lit) std::swap(c[0], c[1]);
+      if (lit_val(c[0]) == 1) {
+        ws[j++] = {w.cref, c[0]};
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < c.size(); ++k) {
+        if (lit_val(c[k]) != 0) {
+          std::swap(c[1], c[k]);
+          watches_[c[1]].push_back({w.cref, c[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflicting under the current assignment.
+      ws[j++] = {w.cref, c[0]};
+      if (lit_val(c[0]) == 0) {
+        while (i < ws.size()) ws[j++] = ws[i++];
+        ws.resize(j);
+        return w.cref;
+      }
+      enqueue(c[0], w.cref);
+    }
+    ws.resize(j);
+  }
+  return -1;
+}
+
+void Solver::analyze(int confl, std::vector<ILit>* learnt, int* bt_level) {
+  learnt->clear();
+  learnt->push_back(0);  // slot for the asserting literal
+  int path_count = 0;
+  ILit p = -1;
+  int idx = static_cast<int>(trail_.size()) - 1;
+  do {
+    const auto& c = clauses_[confl].lits;
+    for (std::size_t k = (p == -1 ? 0 : 1); k < c.size(); ++k) {
+      const ILit q = c[k];
+      const int v = ivar(q);
+      if (seen_[v] || level_[v] == 0) continue;
+      seen_[v] = 1;
+      to_clear_.push_back(v);
+      bump(v);
+      if (level_[v] >= decision_level()) {
+        ++path_count;
+      } else {
+        learnt->push_back(q);
+      }
+    }
+    while (!seen_[ivar(trail_[idx])]) --idx;
+    p = trail_[idx--];
+    confl = reason_[ivar(p)];
+    seen_[ivar(p)] = 0;
+    --path_count;
+  } while (path_count > 0);
+  (*learnt)[0] = p ^ 1;
+
+  // Local minimization: a literal is redundant when its reason clause is
+  // entirely covered by the rest of the learnt clause.
+  std::size_t j = 1;
+  for (std::size_t k = 1; k < learnt->size(); ++k) {
+    const int v = ivar((*learnt)[k]);
+    const int r = reason_[v];
+    bool redundant = r != -1;
+    if (redundant) {
+      const auto& rc = clauses_[r].lits;
+      for (std::size_t m = 1; m < rc.size(); ++m) {
+        const int u = ivar(rc[m]);
+        if (!seen_[u] && level_[u] > 0) {
+          redundant = false;
+          break;
+        }
+      }
+    }
+    if (!redundant) (*learnt)[j++] = (*learnt)[k];
+  }
+  learnt->resize(j);
+
+  if (learnt->size() == 1) {
+    *bt_level = 0;
+  } else {
+    // Second-highest decision level in the clause asserts at that level.
+    std::size_t max_i = 1;
+    for (std::size_t k = 2; k < learnt->size(); ++k) {
+      if (level_[ivar((*learnt)[k])] > level_[ivar((*learnt)[max_i])]) {
+        max_i = k;
+      }
+    }
+    std::swap((*learnt)[1], (*learnt)[max_i]);
+    *bt_level = level_[ivar((*learnt)[1])];
+  }
+  for (int v : to_clear_) seen_[v] = 0;
+  to_clear_.clear();
+}
+
+void Solver::backtrack(int level) {
+  if (decision_level() <= level) return;
+  const std::size_t keep = trail_lim_[level];
+  for (std::size_t k = trail_.size(); k-- > keep;) {
+    const int v = ivar(trail_[k]);
+    phase_[v] = value_[v];
+    value_[v] = -1;
+    if (heap_pos_[v] < 0) heap_insert(v);
+  }
+  trail_.resize(keep);
+  trail_lim_.resize(level);
+  qhead_ = keep;
+}
+
+void Solver::bump(int var) {
+  activity_[var] += var_inc_;
+  if (activity_[var] > kActivityRescale) {
+    for (double& a : activity_) a /= kActivityRescale;
+    var_inc_ /= kActivityRescale;
+  }
+  if (heap_pos_[var] >= 0) heap_up(heap_pos_[var]);
+}
+
+void Solver::decay() { var_inc_ /= kVarDecay; }
+
+void Solver::heap_insert(int var) {
+  heap_pos_[var] = static_cast<int>(heap_.size());
+  heap_.push_back(var);
+  heap_up(heap_pos_[var]);
+}
+
+void Solver::heap_up(int i) {
+  const int var = heap_[i];
+  while (i > 0) {
+    const int parent = (i - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[var]) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = i;
+    i = parent;
+  }
+  heap_[i] = var;
+  heap_pos_[var] = i;
+}
+
+void Solver::heap_down(int i) {
+  const int var = heap_[i];
+  const int n = static_cast<int>(heap_.size());
+  for (;;) {
+    int child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n &&
+        activity_[heap_[child + 1]] > activity_[heap_[child]]) {
+      ++child;
+    }
+    if (activity_[var] >= activity_[heap_[child]]) break;
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = i;
+    i = child;
+  }
+  heap_[i] = var;
+  heap_pos_[var] = i;
+}
+
+int Solver::heap_pop() {
+  const int var = heap_[0];
+  heap_pos_[var] = -1;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_pos_[heap_[0]] = 0;
+    heap_down(0);
+  }
+  return var;
+}
+
+Verdict Solver::search(std::uint64_t restart_budget,
+                       const std::vector<ILit>& assumptions,
+                       std::uint64_t conflict_budget) {
+  std::uint64_t conflicts_here = 0;
+  std::vector<ILit> learnt;
+  for (;;) {
+    const int confl = propagate();
+    if (confl != -1) {
+      ++stats_.conflicts;
+      ++conflicts_here;
+      if (decision_level() == 0) return Verdict::kUnsat;
+      int bt_level = 0;
+      analyze(confl, &learnt, &bt_level);
+      backtrack(bt_level);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], -1);
+      } else {
+        clauses_.push_back(Clause{learnt});
+        const int cref = static_cast<int>(clauses_.size()) - 1;
+        attach(cref);
+        ++stats_.learned;
+        enqueue(learnt[0], cref);
+      }
+      decay();
+      if (conflict_budget != 0 && stats_.conflicts >= conflict_budget) {
+        backtrack(0);
+        return Verdict::kUnknown;
+      }
+      if (conflicts_here >= restart_budget) {
+        ++stats_.restarts;
+        backtrack(0);
+        return Verdict::kUnknown;  // restart (caller loops)
+      }
+      continue;
+    }
+    if (decision_level() < static_cast<int>(assumptions.size())) {
+      // Re-establish the next assumption as a pseudo-decision.
+      const ILit a = assumptions[decision_level()];
+      const int v = lit_val(a);
+      if (v == 0) return Verdict::kUnsat;  // conflicts with learnt units
+      trail_lim_.push_back(static_cast<int>(trail_.size()));
+      if (v == -1) enqueue(a, -1);
+      continue;
+    }
+    ILit decision = -1;
+    while (!heap_.empty()) {
+      const int var = heap_pop();
+      if (value_[var] < 0) {
+        decision = 2 * var + (phase_[var] == 0 ? 1 : 0);
+        break;
+      }
+    }
+    if (decision == -1) {
+      model_.assign(value_.begin(), value_.end());
+      return Verdict::kSat;
+    }
+    ++stats_.decisions;
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    enqueue(decision, -1);
+  }
+}
+
+Verdict Solver::solve(std::uint64_t conflict_budget) {
+  return solve({}, conflict_budget);
+}
+
+Verdict Solver::solve(const std::vector<Lit>& assumptions,
+                      std::uint64_t conflict_budget) {
+  if (!ok_) return Verdict::kUnsat;
+  std::vector<ILit> assume;
+  assume.reserve(assumptions.size());
+  for (Lit l : assumptions) {
+    ensure_var(lit_var(l));
+    assume.push_back(ilit(l));
+  }
+  if (propagate() != -1) {
+    ok_ = false;
+    return Verdict::kUnsat;
+  }
+  const std::uint64_t budget_end =
+      conflict_budget == 0 ? 0 : stats_.conflicts + conflict_budget;
+  Verdict result = Verdict::kUnknown;
+  for (std::uint64_t round = 0; result == Verdict::kUnknown; ++round) {
+    result = search(luby(round) * kRestartBase, assume, budget_end);
+    if (result == Verdict::kUnknown && budget_end != 0 &&
+        stats_.conflicts >= budget_end) {
+      break;  // out of budget, not just restarting
+    }
+  }
+  backtrack(0);
+  return result;
+}
+
+bool Solver::model_value(Lit l) const {
+  const int v = lit_var(l) - 1;
+  if (v < 0 || v >= static_cast<int>(model_.size()) || model_[v] < 0) {
+    throw std::logic_error("model_value: no model for this literal");
+  }
+  return lit_sign(l) ? model_[v] == 0 : model_[v] == 1;
+}
+
+}  // namespace clo::sat

@@ -1,0 +1,120 @@
+#pragma once
+// A compact CDCL SAT solver in the MiniSat lineage: two-literal watches,
+// first-UIP conflict analysis with local clause minimization, VSIDS-style
+// variable activities with phase saving, and Luby restarts. It exists to
+// give the equivalence checker an exact UNSAT verdict (random simulation
+// can only ever refute); instances here are AIG miters, so the solver
+// favors simplicity over every last trick — no clause-database reduction,
+// no preprocessing beyond level-0 simplification. A conflict budget turns
+// "too hard" into an explicit kUnknown instead of an open-ended run.
+
+#include <cstdint>
+#include <vector>
+
+#include "clo/sat/cnf.hpp"
+
+namespace clo::sat {
+
+enum class Verdict { kSat, kUnsat, kUnknown };
+
+struct SolveStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned = 0;
+};
+
+class Solver {
+ public:
+  Solver() = default;
+  /// Load a whole formula (clauses are simplified against level-0 units).
+  explicit Solver(const Cnf& cnf);
+
+  /// Allocate a fresh variable; returns its (1-based) index.
+  int new_var();
+  int num_vars() const { return static_cast<int>(activity_.size()); }
+
+  /// Add one clause. Returns false when the formula became trivially
+  /// unsatisfiable (empty clause / conflicting units); the solver stays
+  /// usable and solve() will report kUnsat.
+  bool add_clause(std::vector<Lit> lits);
+
+  /// Solve, optionally under assumptions (each forced true for this call
+  /// only). `conflict_budget` of 0 means unlimited; when exhausted the
+  /// result is kUnknown and the solver can be re-solved with a larger
+  /// budget.
+  Verdict solve(std::uint64_t conflict_budget = 0);
+  Verdict solve(const std::vector<Lit>& assumptions,
+                std::uint64_t conflict_budget = 0);
+
+  /// Truth of `l` in the model of the last kSat solve().
+  bool model_value(Lit l) const;
+
+  const SolveStats& stats() const { return stats_; }
+
+ private:
+  // Internal literal: 2*var + sign with 0-based vars.
+  using ILit = int;
+  static ILit ilit(Lit l) {
+    return 2 * (lit_var(l) - 1) + (lit_sign(l) ? 1 : 0);
+  }
+  static int ivar(ILit p) { return p >> 1; }
+
+  struct Clause {
+    std::vector<ILit> lits;
+  };
+  struct Watch {
+    int cref;
+    ILit blocker;
+  };
+
+  // -1 = unassigned, else the value of the variable (0/1).
+  int lit_val(ILit p) const {
+    const int v = value_[ivar(p)];
+    return v < 0 ? -1 : (v ^ (p & 1));
+  }
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+
+  void ensure_var(int var);
+  void enqueue(ILit p, int reason);
+  int propagate();  ///< returns the conflicting clause index, or -1
+  void analyze(int confl, std::vector<ILit>* learnt, int* bt_level);
+  void backtrack(int level);
+  void attach(int cref);
+  void bump(int var);
+  void decay();
+  Verdict search(std::uint64_t restart_budget,
+                 const std::vector<ILit>& assumptions,
+                 std::uint64_t conflict_budget);
+
+  // Activity-ordered decision heap (indexed binary max-heap).
+  void heap_insert(int var);
+  void heap_up(int i);
+  void heap_down(int i);
+  int heap_pop();
+
+  bool ok_ = true;
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watch>> watches_;  ///< indexed by internal literal
+  std::vector<std::int8_t> value_;           ///< per var: -1/0/1
+  std::vector<std::int8_t> phase_;           ///< saved polarity per var
+  std::vector<int> level_;
+  std::vector<int> reason_;  ///< clause index or -1
+  std::vector<ILit> trail_;
+  std::vector<int> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  std::vector<int> heap_;
+  std::vector<int> heap_pos_;  ///< var -> heap index, -1 if absent
+
+  std::vector<char> seen_;
+  std::vector<int> to_clear_;
+
+  std::vector<std::int8_t> model_;
+  SolveStats stats_;
+};
+
+}  // namespace clo::sat

@@ -14,6 +14,7 @@
 #include "clo/core/pipeline.hpp"
 #include "clo/nn/kernel.hpp"
 #include "clo/opt/transform.hpp"
+#include "clo/sat/cec.hpp"
 #include "clo/techmap/tech_map.hpp"
 #include "clo/util/fault.hpp"
 #include "clo/util/obs.hpp"
@@ -185,13 +186,23 @@ void Shell::register_commands() {
          } else {
            throw std::runtime_error("cec: no snapshot (use `save`) or file");
          }
-         clo::Rng rng(0xCEC);
-         const auto r = aig::cec(g, other, rng);
-         out << (r.equivalent ? "Networks are equivalent" : "NOT EQUIVALENT")
-             << " (" << r.patterns_checked << " patterns"
-             << (r.exhaustive ? ", exhaustive" : "") << ")\n";
-         if (!r.equivalent) throw std::runtime_error("cec failed");
-         return true;
+         // Simulation pre-filter + miter SAT: "equivalent" is a proof
+         // (UNSAT miter), not a sampling argument.
+         const auto r = sat::check_equivalence(g, other);
+         if (r.verdict == sat::CecVerdict::kEquivalent) {
+           out << "Networks are equivalent (proved by " << r.method << ", "
+               << r.patterns_simulated << " patterns, "
+               << r.solver_stats.conflicts << " conflicts)\n";
+           return true;
+         }
+         if (r.verdict == sat::CecVerdict::kNotEquivalent) {
+           out << "NOT EQUIVALENT (found by " << r.method << ", PO "
+               << r.failing_po << ", inputs ";
+           for (bool b : r.counterexample) out << (b ? '1' : '0');
+           out << ")\n";
+           throw std::runtime_error("cec failed");
+         }
+         throw std::runtime_error("cec: inconclusive (budget exhausted)");
        }});
   // One command per transformation.
   for (opt::Transform t : opt::all_transforms()) {
@@ -259,6 +270,7 @@ void Shell::register_commands() {
          config.batch = sh.batch_;
          config.checkpoint_dir = sh.checkpoint_dir_;
          config.resume = sh.resume_;
+         config.verify = sh.verify_;
          core::QorEvaluator evaluator(sh.need_design());
          core::CloPipeline pipeline(config);
          core::PipelineResult r;
@@ -298,6 +310,12 @@ void Shell::register_commands() {
                       r.validate_quarantined.size()
                << " restart(s)\n";
          }
+         // No wall-clock in this line: tune's stdout is byte-identical
+         // across thread counts; per-check latency lives in the report.
+         if (!r.verify_verdict.empty()) {
+           out << "verify   : " << r.verify_verdict << " ("
+               << r.verification.size() << " check(s))\n";
+         }
          if (!sh.report_path_.empty()) {
            const auto report = core::pipeline_report(r, evaluator.snapshot());
            if (!obs::write_json_file(sh.report_path_, report)) {
@@ -305,6 +323,13 @@ void Shell::register_commands() {
                                       sh.report_path_);
            }
            out << "report   : " << sh.report_path_ << "\n";
+         }
+         // A disproof is fatal — but only after the report (with the
+         // counterexample's sequence and verdict) has been written.
+         if (r.verify_verdict == "not_equivalent") {
+           throw std::runtime_error(
+               "verify: an optimized circuit is NOT equivalent to the "
+               "original");
          }
          return true;
        }});
@@ -392,6 +417,22 @@ void Shell::register_commands() {
            }
          }
          out << "resume = " << (sh.resume_ ? "on" : "off") << "\n";
+         return true;
+       }});
+  commands_.push_back(
+      {"verify",
+       "verify [on|off] — set/show SAT verification of tuned sequences",
+       [](Shell& sh, const auto& args, std::ostream& out) {
+         if (args.size() > 1) {
+           if (args[1] == "on") {
+             sh.verify_ = true;
+           } else if (args[1] == "off") {
+             sh.verify_ = false;
+           } else {
+             throw std::runtime_error("usage: verify [on|off]");
+           }
+         }
+         out << "verify = " << (sh.verify_ ? "on" : "off") << "\n";
          return true;
        }});
   commands_.push_back(

@@ -62,6 +62,12 @@ class Shell {
   void set_resume(bool on) { resume_ = on; }
   bool resume() const { return resume_; }
 
+  /// Whether `tune` proves every surviving sequence equivalent to the
+  /// pre-optimization circuit with the SAT-based checker (`--verify`).
+  /// Also settable at runtime with the `verify` command.
+  void set_verify(bool on) { verify_ = on; }
+  bool verify() const { return verify_; }
+
   /// Observability hooks (each implies obs::set_enabled(true)):
   /// write a Chrome trace-event file on shutdown,
   void set_trace_path(std::string path);
@@ -84,6 +90,7 @@ class Shell {
   bool batch_ = true;
   std::string checkpoint_dir_;
   bool resume_ = false;
+  bool verify_ = false;
   std::string trace_path_;
   std::string report_path_;
   bool print_metrics_ = false;

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdlib>
 #include <stdexcept>
@@ -128,6 +130,27 @@ TEST_F(FaultTest, KnownSitesAreStableAndAllArm) {
   EXPECT_EQ(fault::known_sites(), expected);
   for (const auto& site : fault::known_sites()) {
     EXPECT_NO_THROW(fault::arm(site + "=1")) << site;
+  }
+}
+
+TEST_F(FaultTest, KnownSitesAreMachineStable) {
+  // `clo --fault list` prints exactly the registry, one site per line,
+  // with nothing else on stdout; CI word-splits that output to drive the
+  // fault matrix. Pin the properties that makes safe: the list is
+  // non-empty, sorted, duplicate-free, and every name is free of
+  // whitespace and of the '=' and ',' characters the spec grammar uses.
+  const auto sites = fault::known_sites();
+  ASSERT_FALSE(sites.empty());
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+  EXPECT_EQ(std::adjacent_find(sites.begin(), sites.end()), sites.end());
+  for (const auto& site : sites) {
+    EXPECT_FALSE(site.empty());
+    for (char c : site) {
+      EXPECT_FALSE(std::isspace(static_cast<unsigned char>(c)))
+          << site << " contains whitespace";
+      EXPECT_NE(c, '=') << site;
+      EXPECT_NE(c, ',') << site;
+    }
   }
 }
 

@@ -1,0 +1,398 @@
+// clo::sat unit tests: CDCL solver on hand-built CNFs (SAT with model
+// check, pigeonhole UNSAT cores, assumptions, conflict budgets), Tseitin
+// encoding consistency against exhaustive simulation, miter-based CEC on
+// known-equivalent pairs (every transform) and known-inequivalent mutants
+// (confirmed counterexamples), and the fuzz harness — including a
+// deliberately broken rewrite that must be caught and shrunk to a tiny
+// reproducer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "clo/aig/aig.hpp"
+#include "clo/aig/simulate.hpp"
+#include "clo/circuits/generators.hpp"
+#include "clo/opt/transform.hpp"
+#include "clo/sat/cec.hpp"
+#include "clo/sat/cnf.hpp"
+#include "clo/sat/fuzz.hpp"
+#include "clo/sat/solver.hpp"
+#include "clo/util/rng.hpp"
+
+namespace {
+
+using namespace clo;
+using sat::CecVerdict;
+using sat::Verdict;
+
+// ---- Solver on hand-built CNFs --------------------------------------------
+
+TEST(Solver, SatisfiableWithForcedModel) {
+  // (a | b) & (-a | b) & (a | -b) forces a = b = true.
+  sat::Cnf cnf;
+  const int a = cnf.new_var();
+  const int b = cnf.new_var();
+  cnf.add_binary(a, b);
+  cnf.add_binary(-a, b);
+  cnf.add_binary(a, -b);
+  sat::Solver solver(cnf);
+  ASSERT_EQ(solver.solve(), Verdict::kSat);
+  EXPECT_TRUE(solver.model_value(a));
+  EXPECT_TRUE(solver.model_value(b));
+  EXPECT_FALSE(solver.model_value(-a));
+}
+
+TEST(Solver, ConflictingUnitsAreUnsat) {
+  sat::Cnf cnf;
+  const int x = cnf.new_var();
+  cnf.add_unit(x);
+  cnf.add_unit(-x);
+  sat::Solver solver(cnf);
+  EXPECT_EQ(solver.solve(), Verdict::kUnsat);
+}
+
+/// n+1 pigeons into n holes: the classic small-but-nontrivial UNSAT core
+/// (resolution proofs are exponential, so it genuinely exercises conflict
+/// analysis and learning rather than unit propagation).
+sat::Cnf pigeonhole(int holes) {
+  sat::Cnf cnf;
+  const int pigeons = holes + 1;
+  std::vector<std::vector<int>> p(pigeons, std::vector<int>(holes));
+  for (auto& row : p) {
+    for (int& v : row) v = cnf.new_var();
+  }
+  for (int i = 0; i < pigeons; ++i) {
+    std::vector<sat::Lit> clause(p[i].begin(), p[i].end());
+    cnf.add_clause(clause);  // every pigeon sits somewhere
+  }
+  for (int j = 0; j < holes; ++j) {
+    for (int i = 0; i < pigeons; ++i) {
+      for (int k = i + 1; k < pigeons; ++k) {
+        cnf.add_binary(-p[i][j], -p[k][j]);  // no hole holds two
+      }
+    }
+  }
+  return cnf;
+}
+
+TEST(Solver, PigeonholeThreeIsUnsat) {
+  sat::Solver solver(pigeonhole(3));
+  EXPECT_EQ(solver.solve(), Verdict::kUnsat);
+  EXPECT_GT(solver.stats().conflicts, 0u);
+}
+
+TEST(Solver, PigeonholeFiveIsUnsat) {
+  sat::Solver solver(pigeonhole(5));
+  EXPECT_EQ(solver.solve(), Verdict::kUnsat);
+  EXPECT_GT(solver.stats().learned, 0u);
+}
+
+TEST(Solver, ConflictBudgetYieldsUnknownThenFinishes) {
+  sat::Solver solver(pigeonhole(5));
+  EXPECT_EQ(solver.solve(/*conflict_budget=*/1), Verdict::kUnknown);
+  // The solver stays usable: an unlimited re-solve completes the proof.
+  EXPECT_EQ(solver.solve(), Verdict::kUnsat);
+}
+
+TEST(Solver, RandomPlantedInstancesSatisfyEveryClause) {
+  clo::Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    const int num_vars = 20 + static_cast<int>(rng.next_below(30));
+    // Plant a solution, then emit clauses consistent with it plus noise.
+    std::vector<bool> planted(num_vars + 1);
+    for (int v = 1; v <= num_vars; ++v) planted[v] = rng.next_bool();
+    sat::Cnf cnf;
+    cnf.num_vars = num_vars;
+    for (int c = 0; c < num_vars * 4; ++c) {
+      std::vector<sat::Lit> clause;
+      bool satisfied = false;
+      for (int k = 0; k < 3; ++k) {
+        const int v = 1 + static_cast<int>(rng.next_below(num_vars));
+        const bool sign = rng.next_bool();
+        clause.push_back(sign ? -v : v);
+        satisfied = satisfied || (planted[v] != sign);
+      }
+      // Force at least one literal to agree with the planted model.
+      if (!satisfied) {
+        const int v = sat::lit_var(clause[0]);
+        clause[0] = planted[v] ? v : -v;
+      }
+      cnf.add_clause(clause);
+    }
+    sat::Solver solver(cnf);
+    ASSERT_EQ(solver.solve(), Verdict::kSat);
+    for (const auto& clause : cnf.clauses) {
+      bool sat_clause = false;
+      for (sat::Lit l : clause) {
+        sat_clause = sat_clause || solver.model_value(l);
+      }
+      EXPECT_TRUE(sat_clause) << "model violates a clause";
+    }
+  }
+}
+
+TEST(Solver, AssumptionsAreTemporary) {
+  sat::Cnf cnf;
+  const int a = cnf.new_var();
+  const int b = cnf.new_var();
+  cnf.add_binary(a, b);
+  sat::Solver solver(cnf);
+  ASSERT_EQ(solver.solve(std::vector<sat::Lit>{-a}), Verdict::kSat);
+  EXPECT_FALSE(solver.model_value(a));
+  EXPECT_TRUE(solver.model_value(b));
+  EXPECT_EQ(solver.solve(std::vector<sat::Lit>{-a, -b}), Verdict::kUnsat);
+  // Assumptions do not poison later calls.
+  EXPECT_EQ(solver.solve(), Verdict::kSat);
+  EXPECT_EQ(solver.solve(std::vector<sat::Lit>{a, b}), Verdict::kSat);
+}
+
+// ---- Tseitin encoding ------------------------------------------------------
+
+TEST(Tseitin, EncodingMatchesExhaustiveSimulation) {
+  // A mixed structure: xor, mux, majority over 4 inputs.
+  aig::Aig g;
+  const aig::Lit a = g.add_pi("a");
+  const aig::Lit b = g.add_pi("b");
+  const aig::Lit c = g.add_pi("c");
+  const aig::Lit d = g.add_pi("d");
+  g.add_po(g.xor_of(g.and_of(a, b), g.or_of(c, d)));
+  g.add_po(g.mux_of(a, g.maj_of(b, c, d), g.xnor_of(b, d)));
+
+  sat::Cnf cnf;
+  const sat::TseitinMap map = sat::tseitin_encode(g, &cnf);
+  sat::Solver solver(cnf);
+  for (int input = 0; input < 16; ++input) {
+    std::vector<bool> pattern(4);
+    std::vector<sat::Lit> assumptions;
+    for (int k = 0; k < 4; ++k) {
+      pattern[k] = ((input >> k) & 1) != 0;
+      assumptions.push_back(pattern[k] ? map.pi_vars[k] : -map.pi_vars[k]);
+    }
+    ASSERT_EQ(solver.solve(assumptions), Verdict::kSat);
+    const auto outputs = aig::simulate(g, pattern);
+    for (std::size_t i = 0; i < g.num_pos(); ++i) {
+      EXPECT_EQ(solver.model_value(map.cnf_lit(g.po(i))), outputs[i])
+          << "input " << input << " po " << i;
+    }
+  }
+}
+
+TEST(Tseitin, ConstantPoIsPinnedFalse) {
+  aig::Aig g;
+  const aig::Lit a = g.add_pi("a");
+  g.add_po(g.and_of(a, aig::lit_not(a)));  // folds to const0
+  g.add_po(aig::kLitTrue);
+  sat::Cnf cnf;
+  const sat::TseitinMap map = sat::tseitin_encode(g, &cnf);
+  sat::Solver solver(cnf);
+  ASSERT_EQ(solver.solve(), Verdict::kSat);
+  EXPECT_FALSE(solver.model_value(map.cnf_lit(g.po(0))));
+  EXPECT_TRUE(solver.model_value(map.cnf_lit(g.po(1))));
+}
+
+// ---- Equivalence checking --------------------------------------------------
+
+TEST(Cec, IdenticalCircuitsAreProvenEquivalent) {
+  const aig::Aig g = circuits::make_benchmark("c17");
+  const auto outcome = sat::check_equivalence(g, g);
+  EXPECT_EQ(outcome.verdict, CecVerdict::kEquivalent);
+  EXPECT_EQ(outcome.method, "sat");  // sim cannot prove, only refute
+}
+
+TEST(Cec, EveryTransformPreservesEquivalence) {
+  for (opt::Transform t : opt::all_transforms()) {
+    const aig::Aig original = circuits::make_benchmark("c17");
+    aig::Aig optimized = original;
+    opt::apply_transform(optimized, t);
+    const auto outcome = sat::check_equivalence(original, optimized);
+    EXPECT_EQ(outcome.verdict, CecVerdict::kEquivalent)
+        << "transform " << opt::transform_name(t);
+  }
+}
+
+TEST(Cec, EveryTransformPreservesEquivalenceOnRandomAigs) {
+  clo::Rng rng(21);
+  for (opt::Transform t : opt::all_transforms()) {
+    aig::Aig original = sat::random_aig(rng, 8, 60, 3);
+    aig::Aig optimized = original;
+    opt::apply_transform(optimized, t);
+    const auto outcome = sat::check_equivalence(original, optimized);
+    EXPECT_EQ(outcome.verdict, CecVerdict::kEquivalent)
+        << "transform " << opt::transform_name(t);
+  }
+}
+
+TEST(Cec, FullSequenceOnC432IsProvenEquivalent) {
+  const aig::Aig original = circuits::make_benchmark("c432");
+  aig::Aig optimized = original;
+  opt::run_sequence(optimized, opt::parse_sequence("rw;b;rf;rs;rwz"));
+  const auto outcome = sat::check_equivalence(original, optimized);
+  EXPECT_EQ(outcome.verdict, CecVerdict::kEquivalent);
+  EXPECT_EQ(outcome.method, "sat");
+}
+
+TEST(Cec, PolarityFlipYieldsConfirmedCounterexample) {
+  const aig::Aig original = circuits::make_benchmark("c17");
+  aig::Aig mutant = original;
+  mutant.set_po(1, aig::lit_not(mutant.po(1)));
+  const auto outcome = sat::check_equivalence(original, mutant);
+  ASSERT_EQ(outcome.verdict, CecVerdict::kNotEquivalent);
+  EXPECT_EQ(outcome.failing_po, 1u);
+  ASSERT_EQ(outcome.counterexample.size(), original.num_pis());
+  // check_equivalence already replays internally and throws on mismatch;
+  // confirm once more from the outside.
+  const auto oa = aig::simulate(original, outcome.counterexample);
+  const auto ob = aig::simulate(mutant, outcome.counterexample);
+  EXPECT_NE(oa[outcome.failing_po], ob[outcome.failing_po]);
+}
+
+TEST(Cec, SingleGateMutationIsCaughtBySatStage) {
+  // f = (a & b) & c vs mutant (a & b) & !c — and force the SAT stage by
+  // disabling the simulation pre-filter.
+  aig::Aig f;
+  {
+    const aig::Lit a = f.add_pi("a");
+    const aig::Lit b = f.add_pi("b");
+    const aig::Lit c = f.add_pi("c");
+    f.add_po(f.and_of(f.and_of(a, b), c));
+  }
+  aig::Aig m;
+  {
+    const aig::Lit a = m.add_pi("a");
+    const aig::Lit b = m.add_pi("b");
+    const aig::Lit c = m.add_pi("c");
+    m.add_po(m.and_of(m.and_of(a, b), aig::lit_not(c)));
+  }
+  sat::CecOptions options;
+  options.sim_rounds = 0;
+  const auto outcome = sat::check_equivalence(f, m, options);
+  ASSERT_EQ(outcome.verdict, CecVerdict::kNotEquivalent);
+  EXPECT_EQ(outcome.method, "sat");
+  // The counterexample must set a = b = 1 (c distinguishes).
+  ASSERT_EQ(outcome.counterexample.size(), 3u);
+  EXPECT_TRUE(outcome.counterexample[0]);
+  EXPECT_TRUE(outcome.counterexample[1]);
+}
+
+TEST(Cec, InterfaceMismatchIsNotEquivalent) {
+  aig::Aig a;
+  a.add_po(a.add_pi("x"));
+  aig::Aig b;
+  const aig::Lit x = b.add_pi("x");
+  b.add_po(x);
+  b.add_po(aig::lit_not(x));
+  const auto outcome = sat::check_equivalence(a, b);
+  EXPECT_EQ(outcome.verdict, CecVerdict::kNotEquivalent);
+  EXPECT_EQ(outcome.method, "interface");
+}
+
+TEST(Cec, MiterOfInequivalentPairIsSat) {
+  aig::Aig a;
+  const aig::Lit x = a.add_pi("x");
+  const aig::Lit y = a.add_pi("y");
+  a.add_po(a.and_of(x, y));
+  aig::Aig b;
+  const aig::Lit u = b.add_pi("x");
+  const aig::Lit v = b.add_pi("y");
+  b.add_po(b.or_of(u, v));
+  std::vector<int> pi_vars;
+  const sat::Cnf miter = sat::build_miter(a, b, &pi_vars);
+  ASSERT_EQ(pi_vars.size(), 2u);
+  sat::Solver solver(miter);
+  EXPECT_EQ(solver.solve(), Verdict::kSat);
+  // AND and OR differ exactly when x != y.
+  EXPECT_NE(solver.model_value(pi_vars[0]), solver.model_value(pi_vars[1]));
+}
+
+// ---- Fuzzing ---------------------------------------------------------------
+
+TEST(Fuzz, RandomAigIsWellFormed) {
+  clo::Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const aig::Aig g = sat::random_aig(rng, 6, 40, 3);
+    EXPECT_EQ(g.num_pis(), 6u);
+    EXPECT_EQ(g.num_pos(), 3u);
+    EXPECT_LE(g.num_ands(), 40u);
+    EXPECT_NO_THROW(g.check());
+  }
+}
+
+TEST(Fuzz, CleanSeedsPass) {
+  // The real rewrite engine over a small fixed-seed corpus: every seed
+  // must come back clean. (CI runs the full 200-seed corpus.)
+  sat::FuzzOptions options;
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const auto failure = sat::fuzz_one(seed, options);
+    ASSERT_FALSE(failure.has_value())
+        << "seed " << seed << ": " << failure->kind << " — "
+        << failure->detail << " (sequence "
+        << opt::sequence_to_string(failure->sequence) << ")";
+  }
+}
+
+TEST(Fuzz, BrokenRewriteIsCaughtAndShrunk) {
+  // A deliberately broken "rewrite": runs the real sequence, then flips
+  // the first PO's polarity whenever any AND is left. The fuzzer must
+  // catch it with a confirmed counterexample and shrink the case to a
+  // trivial reproducer.
+  sat::SequenceRunner broken = [](aig::Aig& g, const opt::Sequence& seq) {
+    opt::run_sequence(g, seq);
+    if (g.num_ands() >= 1) g.set_po(0, aig::lit_not(g.po(0)));
+  };
+  sat::FuzzOptions options;
+  const auto failure = sat::fuzz_one(0, options, broken);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(failure->kind, "not_equivalent");
+  // Acceptance gate: the reproducer is tiny.
+  EXPECT_LE(failure->reproducer.num_ands(), 30u);
+  EXPECT_LE(failure->sequence.size(), 2u);
+  // The shrunk case still fails, with a counterexample the simulator
+  // confirms end to end.
+  aig::Aig optimized = failure->reproducer;
+  broken(optimized, failure->sequence);
+  ASSERT_EQ(failure->counterexample.size(), failure->reproducer.num_pis());
+  const auto oa = aig::simulate(failure->reproducer, failure->counterexample);
+  const auto ob = aig::simulate(optimized, failure->counterexample);
+  EXPECT_NE(oa, ob);
+}
+
+TEST(Fuzz, ThrowingPassIsReportedAsException) {
+  sat::SequenceRunner crashing = [](aig::Aig&, const opt::Sequence&) {
+    throw std::runtime_error("boom: synthetic pass failure");
+  };
+  sat::FuzzOptions options;
+  const auto failure = sat::fuzz_one(1, options, crashing);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(failure->kind, "exception");
+  EXPECT_NE(failure->detail.find("boom"), std::string::npos);
+  // ddmin removes every step: the crash needs no sequence at all.
+  EXPECT_TRUE(failure->sequence.empty());
+}
+
+TEST(Fuzz, DroppedPoIsCaughtAsInterfaceChange) {
+  sat::SequenceRunner dropper = [](aig::Aig& g, const opt::Sequence& seq) {
+    opt::run_sequence(g, seq);
+    if (g.num_pos() > 1) {
+      // Rebuild without the last PO by abusing the public API: there is
+      // no PO removal, so emulate a pass that lost an output by pointing
+      // it at constant 0 AND at PO 0's function — detectable either way.
+      g.set_po(g.num_pos() - 1, aig::kLitFalse);
+    }
+  };
+  sat::FuzzOptions options;
+  options.max_pos = 4;
+  bool caught = false;
+  for (std::uint64_t seed = 0; seed < 10 && !caught; ++seed) {
+    const auto failure = sat::fuzz_one(seed, options, dropper);
+    if (failure.has_value()) {
+      caught = true;
+      EXPECT_EQ(failure->kind, "not_equivalent");
+    }
+  }
+  EXPECT_TRUE(caught);
+}
+
+}  // namespace

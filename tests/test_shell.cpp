@@ -48,6 +48,53 @@ TEST(Shell, TransformCommandsPreserveEquivalence) {
   EXPECT_FALSE(sh.last_failed());
 }
 
+TEST(Shell, CecIsAProofAndReportsCounterexamples) {
+  Shell sh;
+  run(sh, "gen c17");
+  run(sh, "save");
+  run(sh, "seq rw;b;rf");
+  EXPECT_NE(run(sh, "cec").find("proved by"), std::string::npos);
+  EXPECT_FALSE(sh.last_failed());
+  // A different circuit must be rejected (here: interface mismatch).
+  run(sh, "gen c17");
+  run(sh, "save");
+  run(sh, "gen ctrl");
+  const std::string out = run(sh, "cec");
+  EXPECT_NE(out.find("NOT EQUIVALENT"), std::string::npos);
+  EXPECT_TRUE(sh.last_failed());
+}
+
+TEST(Shell, VerifyCommandTogglesTheFlag) {
+  Shell sh;
+  EXPECT_FALSE(sh.verify());
+  EXPECT_NE(run(sh, "verify").find("verify = off"), std::string::npos);
+  EXPECT_NE(run(sh, "verify on").find("verify = on"), std::string::npos);
+  EXPECT_TRUE(sh.verify());
+  EXPECT_NE(run(sh, "verify off").find("verify = off"), std::string::npos);
+  EXPECT_FALSE(sh.verify());
+  run(sh, "verify maybe");
+  EXPECT_TRUE(sh.last_failed());
+  sh.set_verify(true);
+  EXPECT_NE(run(sh, "verify").find("verify = on"), std::string::npos);
+}
+
+TEST(Shell, TuneWithVerifyReportsTheVerdict) {
+  Shell sh;
+  const std::string report_path = testing::TempDir() + "/verify_report.json";
+  sh.set_report_path(report_path);
+  sh.set_verify(true);
+  run(sh, "gen c17");
+  const std::string out = run(sh, "tune 8 1");
+  EXPECT_FALSE(sh.last_failed()) << out;
+  EXPECT_NE(out.find("verify   : equivalent"), std::string::npos) << out;
+  std::ifstream f(report_path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string report = ss.str();
+  EXPECT_NE(report.find("\"verify\": \"equivalent\""), std::string::npos);
+  EXPECT_NE(report.find("\"verification\""), std::string::npos);
+}
+
 TEST(Shell, SeqCommand) {
   Shell sh;
   run(sh, "gen sqrt");

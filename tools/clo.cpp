@@ -19,6 +19,9 @@
 //   --checkpoint-dir D   persist `tune` phase checkpoints into D
 //   --resume      resume `tune` from valid checkpoints in the checkpoint
 //                 directory (bit-identical to an uninterrupted run)
+//   --verify      prove every sequence `tune` applies equivalent to the
+//                 pre-optimization circuit with the SAT-based checker;
+//                 verdict and per-check latency land in the report JSON
 //   --fault SPEC  arm deterministic fault injection, e.g.
 //                 "evaluator.synthesize=2,optimizer.restart=p0.5,seed=7";
 //                 "--fault list" prints the registered sites and exits.
@@ -35,6 +38,18 @@
 #include "clo/util/fault.hpp"
 
 int main(int argc, char** argv) {
+  // `--fault list` is a machine-readable query (CI word-splits the
+  // output): handle it before the Shell, logging, or fault arming can
+  // write anything, so stdout is exactly one site name per line.
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--fault" &&
+        std::string(argv[i + 1]) == "list") {
+      for (const auto& site : clo::util::fault::known_sites()) {
+        std::cout << site << "\n";
+      }
+      return 0;
+    }
+  }
   clo::shell::Shell shell;
   shell.set_threads(0);  // hardware concurrency unless overridden
   clo::util::fault::arm_from_env();
@@ -89,18 +104,16 @@ int main(int argc, char** argv) {
       shell.set_resume(true);
       continue;
     }
+    if (arg == "--verify") {
+      shell.set_verify(true);
+      continue;
+    }
     if (arg == "--fault") {
       if (i + 1 >= argc) {
         std::cerr << "--fault needs a spec (or 'list')\n";
         return 1;
       }
-      const std::string spec = argv[++i];
-      if (spec == "list") {
-        for (const auto& site : clo::util::fault::known_sites()) {
-          std::cout << site << "\n";
-        }
-        return 0;
-      }
+      const std::string spec = argv[++i];  // "list" was handled up front
       try {
         clo::util::fault::arm(spec);
       } catch (const std::exception& e) {
