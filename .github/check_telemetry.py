@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Validate the telemetry artifacts a run produced.
+
+Usage: check_telemetry.py METRICS.jsonl PROFILE.json [REPORT.json]
+
+Checks the clo.metrics.v1 stream (every line parses, schema/run/seq/t_ms
+fields are coherent, progress gauges are monotone within each phase) and
+the clo.profile.v1 span profile (schema, required node fields, self <=
+total). When the run report is given, the profiler's per-phase totals are
+cross-checked against the report's phase_seconds stopwatch — both measure
+the same wall time, so they must agree closely.
+
+Exits nonzero with a message on the first violation.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_telemetry: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_metrics(path: str) -> dict:
+    records = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{lineno}: not valid JSON: {e}")
+    if len(records) < 2:
+        fail(f"{path}: expected >= 2 records, got {len(records)}")
+
+    run_ids = set()
+    prev_t = -1.0
+    progress = {}  # gauge name -> last value, for monotonicity
+    for i, rec in enumerate(records):
+        where = f"{path}: record {i}"
+        if rec.get("schema") != "clo.metrics.v1":
+            fail(f"{where}: schema is {rec.get('schema')!r}")
+        run_ids.add(rec.get("run"))
+        if rec.get("seq") != i:
+            fail(f"{where}: seq {rec.get('seq')} != {i}")
+        t = rec.get("t_ms")
+        if not isinstance(t, (int, float)) or t < prev_t:
+            fail(f"{where}: t_ms {t!r} not monotone (prev {prev_t})")
+        prev_t = t
+        for section in ("counters", "gauges", "histograms"):
+            if not isinstance(rec.get(section), dict):
+                fail(f"{where}: missing {section} object")
+        for name, value in rec["gauges"].items():
+            if name.startswith("progress.") and (
+                name.endswith(".fraction") or name.endswith(".done")
+            ):
+                if value < progress.get(name, 0.0):
+                    fail(
+                        f"{where}: {name} went backwards "
+                        f"({progress[name]} -> {value})"
+                    )
+                progress[name] = value
+            if name == "proc.peak_rss_bytes" and value <= 0:
+                fail(f"{where}: proc.peak_rss_bytes = {value}")
+    if len(run_ids) != 1:
+        fail(f"{path}: multiple run ids in one stream: {run_ids}")
+
+    fractions = {
+        n: v for n, v in progress.items() if n.endswith(".fraction")
+    }
+    for name, final in fractions.items():
+        if not 0.0 <= final <= 1.0:
+            fail(f"{path}: final {name} = {final} outside [0, 1]")
+    print(
+        f"check_telemetry: {path}: {len(records)} records, run "
+        f"{run_ids.pop()}, {len(fractions)} progress phase(s) all monotone"
+    )
+    return records[-1]
+
+
+def check_profile(path: str) -> dict:
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "clo.profile.v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}")
+    nodes = doc.get("nodes")
+    if not isinstance(nodes, list) or not nodes:
+        fail(f"{path}: no profile nodes")
+    for node in nodes:
+        for key in ("path", "count", "total_s", "self_s", "p50_s", "p99_s"):
+            if key not in node:
+                fail(f"{path}: node {node.get('path')!r} missing {key}")
+        if node["self_s"] > node["total_s"] * (1 + 1e-9) + 1e-9:
+            fail(f"{path}: {node['path']}: self > total: {node}")
+        if node["count"] < 1:
+            fail(f"{path}: {node['path']}: count {node['count']}")
+    print(f"check_telemetry: {path}: {len(nodes)} profile nodes OK")
+    return doc
+
+
+def cross_check(profile: dict, report_path: str) -> None:
+    with open(report_path) as f:
+        report = json.load(f)
+    phase_seconds = report.get("phase_seconds", {})
+    totals = {n["path"]: n["total_s"] for n in profile["nodes"]}
+    # The pipeline wraps each phase in a span named pipeline.<phase>;
+    # the report's stopwatch times the same extent.
+    checked = 0
+    for phase, reported in phase_seconds.items():
+        span = totals.get(f"pipeline.{phase}")
+        if span is None or reported < 0.05:
+            continue  # too short to compare meaningfully
+        rel = abs(span - reported) / reported
+        if rel > 0.10:
+            fail(
+                f"profile pipeline.{phase} = {span:.3f}s but report "
+                f"phase_seconds.{phase} = {reported:.3f}s ({rel:.1%} off)"
+            )
+        checked += 1
+        print(
+            f"check_telemetry: phase {phase}: profile {span:.3f}s vs "
+            f"report {reported:.3f}s OK"
+        )
+    if checked == 0:
+        print("check_telemetry: no phase long enough to cross-check")
+    if report.get("run") and profile.get("run") != report["run"]:
+        fail(
+            f"profile run {profile.get('run')!r} != report run "
+            f"{report['run']!r}"
+        )
+
+
+def main() -> None:
+    if len(sys.argv) not in (3, 4):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    check_metrics(sys.argv[1])
+    profile = check_profile(sys.argv[2])
+    if len(sys.argv) == 4:
+        cross_check(profile, sys.argv[3])
+    print("check_telemetry: OK")
+
+
+if __name__ == "__main__":
+    main()

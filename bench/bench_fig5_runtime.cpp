@@ -26,6 +26,11 @@
 // --no-batch runs the per-restart optimizer fallback instead of the
 // batched lockstep path; both retrieve identical sequences, so comparing
 // the two runs isolates the batching speedup on the "Ours" column.
+//
+// Telemetry (shared harness flags): --metrics-out F streams clo.metrics.v1
+// JSONL while the bench runs (--metrics-interval-ms N), --metrics-port P
+// serves live Prometheus text on 127.0.0.1:P, --profile-out F writes the
+// clo.profile.v1 span profile on exit.
 
 #include <cstdio>
 #include <sstream>

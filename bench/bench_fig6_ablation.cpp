@@ -9,6 +9,11 @@
 //
 //   ./bench_fig6_ablation [--circuit router] [--dataset 120] [--no-batch]
 //   Output: console table + fig6_ablation.csv
+//
+// Telemetry (shared harness flags): --metrics-out F streams clo.metrics.v1
+// JSONL while the bench runs (--metrics-interval-ms N), --metrics-port P
+// serves live Prometheus text on 127.0.0.1:P, --profile-out F writes the
+// clo.profile.v1 span profile on exit.
 
 #include <cstdio>
 #include <memory>

@@ -6,6 +6,11 @@
 //   ./bench_table2_qor --full             all 31 circuits (long)
 //   ./bench_table2_qor --circuits ctrl,c17 --budget 24 --dataset 150
 //   Output: console table + table2_qor.csv
+//
+// Telemetry (shared harness flags): --metrics-out F streams clo.metrics.v1
+// JSONL while the bench runs (--metrics-interval-ms N), --metrics-port P
+// serves live Prometheus text on 127.0.0.1:P, --profile-out F writes the
+// clo.profile.v1 span profile on exit.
 
 #include <cstdio>
 #include <sstream>

@@ -4,6 +4,7 @@
 // paper's accounting (best-of-restarts QoR, algorithm-only runtime).
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "clo/core/pipeline.hpp"
 #include "clo/nn/kernel.hpp"
 #include "clo/util/cli.hpp"
+#include "clo/util/exporter.hpp"
 #include "clo/util/fault.hpp"
 #include "clo/util/log.hpp"
 #include "clo/util/obs.hpp"
@@ -48,22 +50,48 @@ struct ObsOptions {
   std::string trace_path;
   std::string report_path;
   bool metrics = false;
+  std::string metrics_out;   ///< clo.metrics.v1 JSONL stream
+  int metrics_interval_ms = 1000;
+  int metrics_port = -1;     ///< Prometheus listener (-1 = off)
+  std::string profile_path;  ///< clo.profile.v1 on finish
+  /// Live exporter started by obs_from_args (null when no --metrics-out /
+  /// --metrics-port); stopped by obs_finish or, failing that, its own
+  /// destructor at end of main.
+  std::shared_ptr<util::Exporter> exporter;
 };
 
-/// Parse --trace F / --report F / --metrics; any of them turns the obs
-/// layer on for the whole bench run. --no-simd forces the portable scalar
-/// nn kernels (bitwise-identical results, useful for speedup baselines).
-/// Also arms fault injection from --fault SPEC or the CLO_FAULT
-/// environment variable, so every bench can serve as a chaos-test target
-/// without its own plumbing.
+/// Parse --trace F / --report F / --metrics / --metrics-out F /
+/// --metrics-interval-ms N / --metrics-port P / --profile-out F; any of
+/// them turns the obs layer on for the whole bench run, and the
+/// --metrics-out / --metrics-port pair starts the live exporter
+/// immediately. --no-simd forces the portable scalar nn kernels
+/// (bitwise-identical results, useful for speedup baselines). Also arms
+/// fault injection from --fault SPEC or the CLO_FAULT environment
+/// variable, so every bench can serve as a chaos-test target without its
+/// own plumbing.
 inline ObsOptions obs_from_args(const CliArgs& args) {
   ObsOptions opts;
   if (args.has("no-simd")) nn::kernel::set_simd_enabled(false);
   opts.trace_path = args.get("trace", "");
   opts.report_path = args.get("report", "");
   opts.metrics = args.has("metrics");
-  if (!opts.trace_path.empty() || !opts.report_path.empty() || opts.metrics) {
+  opts.metrics_out = args.get("metrics-out", "");
+  opts.metrics_interval_ms =
+      std::atoi(args.get("metrics-interval-ms", "1000").c_str());
+  opts.metrics_port = std::atoi(args.get("metrics-port", "-1").c_str());
+  opts.profile_path = args.get("profile-out", "");
+  if (!opts.trace_path.empty() || !opts.report_path.empty() || opts.metrics ||
+      !opts.metrics_out.empty() || opts.metrics_port >= 0 ||
+      !opts.profile_path.empty()) {
     obs::set_enabled(true);
+  }
+  if (!opts.metrics_out.empty() || opts.metrics_port >= 0) {
+    util::ExporterOptions eopts;
+    eopts.metrics_path = opts.metrics_out;
+    eopts.interval_ms = opts.metrics_interval_ms;
+    eopts.port = opts.metrics_port;
+    opts.exporter = std::make_shared<util::Exporter>(std::move(eopts));
+    if (!opts.exporter->start()) opts.exporter.reset();
   }
   const std::string fault_spec = args.get("fault", "");
   if (!fault_spec.empty()) {
@@ -76,9 +104,12 @@ inline ObsOptions obs_from_args(const CliArgs& args) {
 
 /// Emit the requested artifacts at the end of a bench: the report JSON
 /// (with a metrics snapshot attached under "metrics" unless the caller
-/// already put one there), the Chrome trace, and the metrics table.
+/// already put one there), the Chrome trace, the span profile, and the
+/// metrics table; stops the live exporter so its final record lands
+/// before the process exits.
 inline void obs_finish(const ObsOptions& opts,
                        obs::Json report = obs::Json::object()) {
+  if (opts.exporter != nullptr) opts.exporter->stop();
   if (!opts.report_path.empty()) {
     if (report.find("metrics") == nullptr) {
       report["metrics"] = obs::Registry::instance().snapshot().to_json();
@@ -89,6 +120,11 @@ inline void obs_finish(const ObsOptions& opts,
   }
   if (!opts.trace_path.empty() && obs::write_trace_file(opts.trace_path)) {
     std::fprintf(stderr, "wrote trace to %s\n", opts.trace_path.c_str());
+  }
+  if (!opts.profile_path.empty() &&
+      obs::write_json_file(opts.profile_path,
+                           obs::build_profile().to_json())) {
+    std::fprintf(stderr, "wrote profile to %s\n", opts.profile_path.c_str());
   }
   if (opts.metrics) {
     std::fprintf(

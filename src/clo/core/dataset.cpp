@@ -19,9 +19,11 @@ Dataset generate_dataset(QorEvaluator& evaluator, int n, int length,
     ds.sequences.push_back(opt::random_sequence(length, rng));
   }
   ds.qor.resize(ds.sequences.size());
+  obs::Progress progress("dataset", ds.sequences.size());
   util::parallel_for(pool, ds.sequences.size(), [&](std::size_t i) {
     CLO_TRACE_SPAN("dataset.label");
     ds.qor[i] = evaluator.evaluate(ds.sequences[i]);
+    progress.tick();
   });
   double am = 0.0, dm = 0.0;
   for (const auto& q : ds.qor) {

@@ -31,6 +31,18 @@ void clip_gradient(std::vector<float>* grad, double max_norm) {
   }
 }
 
+/// Clears ContinuousOptimizer::progress_ on scope exit so the borrowed
+/// stack reporter can never dangle, even when a restart throws.
+struct ProgressInstall {
+  obs::Progress** slot;
+  ProgressInstall(obs::Progress** s, obs::Progress* p) : slot(s) {
+    *slot = p;
+  }
+  ~ProgressInstall() { *slot = nullptr; }
+  ProgressInstall(const ProgressInstall&) = delete;
+  ProgressInstall& operator=(const ProgressInstall&) = delete;
+};
+
 /// The non-finite-latent guard: a NaN/Inf latent would silently decode to
 /// a garbage nearest-embedding sequence, so surface it as a failure the
 /// tolerant restart driver can retry instead.
@@ -163,6 +175,7 @@ OptimizeResult ContinuousOptimizer::run_impl(const std::vector<float>& noise) {
     for (int t = T - 1; t >= 0; --t) {
       CLO_TRACE_SPAN("optimize.step");
       CLO_OBS_COUNT("optimizer.denoise_steps", 1);
+      if (progress_ != nullptr) progress_->tick();
       const double obj = objective_and_grad(x, &grad);
       for (std::size_t i = 0; i < x.size(); ++i) {
         x[i] -= static_cast<float>(params_.ablation_step *
@@ -181,6 +194,7 @@ OptimizeResult ContinuousOptimizer::run_impl(const std::vector<float>& noise) {
     for (int t = T - 1; t >= 0; --t) {
       CLO_TRACE_SPAN("optimize.step");
       CLO_OBS_COUNT("optimizer.denoise_steps", 1);
+      if (progress_ != nullptr) progress_->tick();
       const auto eps = diffusion_.predict_noise(x, t);
       const float ab = sched.alpha_bar(t);
       const float sqrt_ab = std::sqrt(ab);
@@ -261,6 +275,7 @@ void ContinuousOptimizer::run_impl_batch(
     for (int t = T - 1; t >= 0; --t) {
       CLO_TRACE_SPAN("optimize.step");
       CLO_OBS_COUNT("optimizer.denoise_steps", R);
+      if (progress_ != nullptr) progress_->tick(R);
       const auto objs = objective_and_grad_batch(x, &grads);
       const float step =
           static_cast<float>(params_.ablation_step * params_.omega);
@@ -283,6 +298,7 @@ void ContinuousOptimizer::run_impl_batch(
     for (int t = T - 1; t >= 0; --t) {
       CLO_TRACE_SPAN("optimize.step");
       CLO_OBS_COUNT("optimizer.denoise_steps", R);
+      if (progress_ != nullptr) progress_->tick(R);
       const auto eps = diffusion_.predict_noise_batch(x, t);
       const float ab = sched.alpha_bar(t);
       const float sqrt_ab = std::sqrt(ab);
@@ -372,6 +388,11 @@ std::vector<OptimizeResult> ContinuousOptimizer::run_restarts(
     frozen_params.insert(frozen_params.end(), dp.begin(), dp.end());
   }
   nn::GradFreeze freeze(frozen_params);
+  obs::Progress progress(
+      "optimize", static_cast<std::uint64_t>(
+                      diffusion_.schedule().num_steps()) *
+                      static_cast<std::uint64_t>(count > 0 ? count : 0));
+  ProgressInstall install(&progress_, &progress);
   std::vector<OptimizeResult> results(count);
   if (batched) {
     // One lockstep chunk per worker. Chunk composition cannot change the
@@ -417,6 +438,11 @@ std::vector<OptimizeResult> ContinuousOptimizer::run_restarts_tolerant(
     frozen_params.insert(frozen_params.end(), dp.begin(), dp.end());
   }
   nn::GradFreeze freeze(frozen_params);
+  obs::Progress progress(
+      "optimize", static_cast<std::uint64_t>(
+                      diffusion_.schedule().num_steps()) *
+                      static_cast<std::uint64_t>(count > 0 ? count : 0));
+  ProgressInstall install(&progress_, &progress);
 
   std::vector<OptimizeResult> results(count);
   std::vector<char> pending(count, 0);

@@ -21,6 +21,10 @@ namespace clo::util {
 class ThreadPool;
 }
 
+namespace clo::obs {
+class Progress;
+}
+
 namespace clo::core {
 
 struct OptimizeParams {
@@ -142,6 +146,12 @@ class ContinuousOptimizer {
   models::DiffusionModel& diffusion_;
   const models::TransformEmbedding& embedding_;
   OptimizeParams params_;
+  /// Restart-loop progress ("progress.optimize" gauges). Installed by
+  /// run_restarts / run_restarts_tolerant for their duration and ticked
+  /// once per denoising step by run_impl / run_impl_batch; tick() is
+  /// thread-safe, so the concurrent restarts share one reporter. Never
+  /// read by the math — purely observational.
+  obs::Progress* progress_ = nullptr;
 };
 
 }  // namespace clo::core

@@ -100,6 +100,7 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
         config_.embed_dim, rng);
     {
       CLO_TRACE_SPAN("pipeline.dataset");
+      clo::set_log_phase("dataset");
       Stopwatch w;
       ScopedTimer st(w);
       dataset_ = generate_dataset(evaluator, config_.dataset_size,
@@ -156,6 +157,7 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
                                         evaluator.circuit(), scfg, rng);
     {
       CLO_TRACE_SPAN("pipeline.surrogate_train");
+      clo::set_log_phase("surrogate_train");
       Stopwatch w;
       ScopedTimer st(w);
       // Replicas only borrow the master's architecture; their init weights
@@ -229,6 +231,7 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
     diffusion_ = std::make_unique<models::DiffusionModel>(dcfg, rng);
     {
       CLO_TRACE_SPAN("pipeline.diffusion_train");
+      clo::set_log_phase("diffusion_train");
       Stopwatch w;
       ScopedTimer st(w);
       std::vector<std::vector<float>> data;
@@ -272,6 +275,7 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
                                 config_.optimize);
   {
     CLO_TRACE_SPAN("pipeline.optimize");
+    clo::set_log_phase("optimize");
     Stopwatch w;
     ScopedTimer st(w);
     result.restarts = optimizer.run_restarts_tolerant(
@@ -288,6 +292,7 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
   // ---- Validation with real synthesis (outside the optimization loop) ----
   {
     CLO_TRACE_SPAN("pipeline.validate");
+    clo::set_log_phase("validate");
     Stopwatch w;
     ScopedTimer st(w);
     // Label every restart in parallel, then pick the winner serially so
@@ -297,11 +302,13 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
     result.restart_qor.resize(result.restarts.size());
     std::vector<char> valid(result.restarts.size(), 1);
     for (const auto& f : result.optimize_quarantined) valid[f.index] = 0;
+    obs::Progress progress("validate", result.restarts.size());
     const auto errors = util::parallel_for_collect(
         pool.get(), result.restarts.size(), [&](std::size_t i) {
           if (!valid[i]) return;
           result.restart_qor[i] =
               evaluator.evaluate(result.restarts[i].sequence);
+          progress.tick();
         });
     for (const auto& e : errors) {
       try {
@@ -352,6 +359,7 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
   // from the Fig. 5 time.
   if (config_.verify) {
     CLO_TRACE_SPAN("pipeline.verify");
+    clo::set_log_phase("verify");
     Stopwatch w;
     ScopedTimer st(w);
     std::vector<char> valid(result.restarts.size(), 1);
@@ -395,6 +403,7 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
                  << result.verify_verdict << " (" << sequences.size()
                  << " sequence(s), " << result.verify_seconds << " s)";
   }
+  clo::set_log_phase("");
   return result;
 }
 
@@ -402,6 +411,7 @@ obs::Json pipeline_report(const PipelineResult& result,
                           const EvaluatorStats& evaluator_stats) {
   obs::Json report = obs::Json::object();
   report["schema"] = obs::Json(std::string("clo.report.v1"));
+  report["run"] = obs::Json(clo::run_id());
   report["status"] = obs::Json(std::string("ok"));
   // Which nn kernel dispatch target produced these numbers ("avx2" or
   // "scalar"). Both are bitwise identical by contract; recording the

@@ -152,6 +152,9 @@ TrainReport train_surrogate(models::SurrogateModel& model,
   auto opt = std::make_unique<nn::Adam>(model.parameters(), lr);
   TrainReport report;
   report.epoch_loss.reserve(config.epochs);
+  obs::Progress progress("surrogate_train",
+                         static_cast<std::uint64_t>(
+                             config.epochs > 0 ? config.epochs : 0));
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     CLO_TRACE_SPAN("trainer.epoch");
     rng.shuffle(train);
@@ -201,6 +204,7 @@ TrainReport train_surrogate(models::SurrogateModel& model,
     }
     report.train_mse = epoch_loss / std::max(1, batches) / 2.0;
     report.epoch_loss.push_back(report.train_mse);
+    progress.tick();
     CLO_OBS_COUNT("trainer.epochs", 1);
     CLO_OBS_OBSERVE("trainer.epoch_loss", report.train_mse);
   }

@@ -162,6 +162,9 @@ DiffusionModel::TrainStats DiffusionModel::train(
   double loss_avg = 0.0;
   const int sample_every = std::max(1, iterations / 100);
   CLO_TRACE_SPAN("diffusion.train");
+  obs::Progress progress(
+      "diffusion_train",
+      static_cast<std::uint64_t>(iterations > 0 ? iterations : 0));
   for (int it = 0; it < iterations; ++it) {
     CLO_FAULT_POINT("diffusion.train_step");
     const int B = batch_size;
@@ -215,6 +218,7 @@ DiffusionModel::TrainStats DiffusionModel::train(
     if (it % sample_every == 0 || it == iterations - 1) {
       stats.loss_curve.push_back(loss_avg);
     }
+    progress.tick();
     CLO_OBS_COUNT("diffusion.iterations", 1);
   }
   CLO_OBS_GAUGE("diffusion.final_loss", stats.final_loss);

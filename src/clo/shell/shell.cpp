@@ -16,6 +16,7 @@
 #include "clo/opt/transform.hpp"
 #include "clo/sat/cec.hpp"
 #include "clo/techmap/tech_map.hpp"
+#include "clo/util/exporter.hpp"
 #include "clo/util/fault.hpp"
 #include "clo/util/obs.hpp"
 #include "clo/util/rng.hpp"
@@ -51,11 +52,21 @@ Shell::Shell() : library_(techmap::CellLibrary::asap7()) {
 }
 
 Shell::~Shell() {
+  // Stop the exporter first so its final JSONL record captures the
+  // complete run before the summary artifacts below are written.
+  if (exporter_ != nullptr) exporter_->stop();
   if (!trace_path_.empty()) {
     if (obs::write_trace_file(trace_path_)) {
       std::cerr << "wrote trace to " << trace_path_ << "\n";
     } else {
       std::cerr << "error: cannot write trace to " << trace_path_ << "\n";
+    }
+  }
+  if (!profile_path_.empty()) {
+    if (obs::write_json_file(profile_path_, obs::build_profile().to_json())) {
+      std::cerr << "wrote profile to " << profile_path_ << "\n";
+    } else {
+      std::cerr << "error: cannot write profile to " << profile_path_ << "\n";
     }
   }
   if (print_metrics_) {
@@ -80,6 +91,33 @@ void Shell::set_report_path(std::string path) {
 void Shell::set_print_metrics(bool on) {
   print_metrics_ = on;
   if (on) obs::set_enabled(true);
+}
+
+void Shell::set_metrics_out(std::string path) {
+  metrics_out_ = std::move(path);
+  obs::set_enabled(true);
+}
+
+void Shell::set_metrics_port(int port) {
+  metrics_port_ = port;
+  obs::set_enabled(true);
+}
+
+void Shell::set_profile_path(std::string path) {
+  profile_path_ = std::move(path);
+  obs::set_enabled(true);
+}
+
+void Shell::maybe_start_exporter() {
+  if (exporter_attempted_) return;
+  exporter_attempted_ = true;
+  if (metrics_out_.empty() && metrics_port_ < 0) return;
+  util::ExporterOptions options;
+  options.metrics_path = metrics_out_;
+  options.interval_ms = metrics_interval_ms_;
+  options.port = metrics_port_;
+  exporter_ = std::make_unique<util::Exporter>(std::move(options));
+  if (!exporter_->start()) exporter_.reset();
 }
 
 aig::Aig& Shell::need_design() {
@@ -335,7 +373,8 @@ void Shell::register_commands() {
        }});
   commands_.push_back(
       {"metrics",
-       "metrics [reset] — print the obs metrics table (or clear it)",
+       "metrics [reset] — print the obs metrics table, name-sorted (or "
+       "clear it)",
        [](Shell&, const auto& args, std::ostream& out) {
          if (args.size() > 1 && args[1] == "reset") {
            obs::Registry::instance().reset();
@@ -348,6 +387,19 @@ void Shell::register_commands() {
            return true;
          }
          out << obs::Registry::instance().snapshot().format_table();
+         return true;
+       }});
+  commands_.push_back(
+      {"profile",
+       "profile — print the span-derived profile (per-path total/self/p50/"
+       "p99)",
+       [](Shell&, const auto&, std::ostream& out) {
+         if (!obs::enabled()) {
+           out << "observability is disabled (run with --trace,"
+                  " --profile-out, or --metrics)\n";
+           return true;
+         }
+         out << obs::build_profile().format_table();
          return true;
        }});
   commands_.push_back(
@@ -483,6 +535,7 @@ void Shell::register_commands() {
 }
 
 bool Shell::execute(const std::string& line, std::ostream& out) {
+  maybe_start_exporter();
   last_failed_ = false;
   const auto hash = line.find('#');
   const auto tokens = tokenize(hash == std::string::npos

@@ -13,6 +13,10 @@
 #include "clo/aig/aig.hpp"
 #include "clo/techmap/cell_library.hpp"
 
+namespace clo::util {
+class Exporter;
+}
+
 namespace clo::shell {
 
 class Shell {
@@ -75,11 +79,23 @@ class Shell {
   void set_report_path(std::string path);
   /// print the metrics table to stderr on shutdown.
   void set_print_metrics(bool on);
+  /// stream clo.metrics.v1 JSONL records to `path` while commands run,
+  void set_metrics_out(std::string path);
+  /// at this period (default 1000 ms),
+  void set_metrics_interval_ms(int ms) { metrics_interval_ms_ = ms; }
+  /// serve Prometheus text on 127.0.0.1:<port> while commands run
+  /// (0 = ephemeral port),
+  void set_metrics_port(int port);
+  /// write the "clo.profile.v1" span profile on shutdown.
+  void set_profile_path(std::string path);
 
  private:
   struct Command;
   void register_commands();
   aig::Aig& need_design();
+  /// Start the telemetry exporter once, before the first command runs
+  /// (after every --metrics-* flag has been parsed).
+  void maybe_start_exporter();
 
   std::optional<aig::Aig> design_;
   std::optional<aig::Aig> saved_;  ///< snapshot for `cec` without a file
@@ -94,6 +110,12 @@ class Shell {
   std::string trace_path_;
   std::string report_path_;
   bool print_metrics_ = false;
+  std::string metrics_out_;
+  int metrics_interval_ms_ = 1000;
+  int metrics_port_ = -1;
+  std::string profile_path_;
+  std::unique_ptr<util::Exporter> exporter_;
+  bool exporter_attempted_ = false;
 };
 
 }  // namespace clo::shell

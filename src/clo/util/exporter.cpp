@@ -1,0 +1,186 @@
+#include "clo/util/exporter.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "clo/util/log.hpp"
+#include "clo/util/obs.hpp"
+#include "clo/util/proc.hpp"
+
+namespace clo::util {
+
+namespace {
+
+/// Build one clo.metrics.v1 record from a fresh registry snapshot.
+obs::Json build_record(std::uint64_t seq, double t_ms) {
+  proc::sample_into_registry();
+  const obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
+  obs::Json record = obs::Json::object();
+  record["schema"] = "clo.metrics.v1";
+  record["run"] = run_id();
+  record["seq"] = obs::Json(seq);
+  record["t_ms"] = obs::Json(t_ms);
+  record["phase"] = log_phase();
+  obs::Json snap_json = snap.to_json();
+  for (auto& [key, value] : snap_json.items()) {
+    record[key] = value;
+  }
+  return record;
+}
+
+}  // namespace
+
+bool Exporter::start() {
+  if (running_) return true;
+  const bool want_file = !options_.metrics_path.empty();
+  const bool want_listener = options_.port >= 0;
+  if (!want_file && !want_listener) return false;
+
+  if (want_file) {
+    out_.open(options_.metrics_path, std::ios::app);
+    if (!out_) {
+      CLO_LOG_ERROR << "exporter: cannot open " << options_.metrics_path;
+      return false;
+    }
+  }
+
+  if (want_listener) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      CLO_LOG_ERROR << "exporter: socket() failed: " << std::strerror(errno);
+      if (out_.is_open()) out_.close();
+      return false;
+    }
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+            0 ||
+        ::listen(listen_fd_, 4) < 0) {
+      CLO_LOG_ERROR << "exporter: cannot listen on port " << options_.port
+                    << ": " << std::strerror(errno);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      if (out_.is_open()) out_.close();
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      bound_port_ = ntohs(bound.sin_port);
+    }
+    CLO_LOG_INFO << "exporter: serving Prometheus text on 127.0.0.1:"
+                 << bound_port_;
+  }
+
+  obs::set_enabled(true);
+  stop_requested_ = false;
+  start_time_ = std::chrono::steady_clock::now();
+  records_.store(0, std::memory_order_relaxed);
+  running_ = true;
+  if (want_file) {
+    write_record_now();  // a record at t=0 so even instant runs export one
+    export_thread_ = std::thread([this] { export_loop(); });
+  }
+  if (want_listener) {
+    listener_thread_ = std::thread([this] { listener_loop(); });
+  }
+  return true;
+}
+
+void Exporter::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (export_thread_.joinable()) export_thread_.join();
+  if (listener_thread_.joinable()) listener_thread_.join();
+  if (out_.is_open()) {
+    write_record_now();  // final state of every counter/gauge
+    out_.close();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  bound_port_ = -1;
+  running_ = false;
+}
+
+void Exporter::write_record_now() {
+  std::lock_guard<std::mutex> lock(out_mu_);
+  write_record_locked();
+}
+
+void Exporter::write_record_locked() {
+  if (!out_.is_open()) return;
+  const double t_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count();
+  const std::uint64_t seq = records_.fetch_add(1, std::memory_order_relaxed);
+  out_ << build_record(seq, t_ms).dump(0) << "\n";
+  out_.flush();
+}
+
+void Exporter::export_loop() {
+  const auto interval =
+      std::chrono::milliseconds(options_.interval_ms > 0 ? options_.interval_ms
+                                                         : 1000);
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stop_cv_.wait_for(lock, interval, [this] { return stop_requested_; })) {
+    lock.unlock();
+    write_record_now();
+    lock.lock();
+  }
+}
+
+void Exporter::listener_loop() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(stop_mu_);
+      if (stop_requested_) return;
+    }
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    // Drain whatever request line arrived (we serve one fixed document for
+    // any request, GET / or otherwise), then respond and close.
+    char buf[1024];
+    (void)::recv(client, buf, sizeof buf, 0);
+    proc::sample_into_registry();
+    const std::string body =
+        obs::Registry::instance().snapshot().to_prometheus();
+    std::string response =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body;
+    std::size_t sent = 0;
+    while (sent < response.size()) {
+      const ssize_t n =
+          ::send(client, response.data() + sent, response.size() - sent, 0);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+    ::close(client);
+  }
+}
+
+}  // namespace clo::util

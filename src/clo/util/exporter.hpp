@@ -1,0 +1,100 @@
+#pragma once
+// Continuous telemetry exporter: a background thread that periodically
+// snapshots the global metrics Registry and appends one newline-delimited
+// clo.metrics.v1 JSON record per interval to a file, plus an optional
+// minimal HTTP/1.0 listener on 127.0.0.1 serving the same snapshot in
+// Prometheus text-exposition format — the scrape surface a long-running
+// `clo serve` will sit behind.
+//
+// Record schema (one compact JSON object per line):
+//   {"schema": "clo.metrics.v1", "run": "<run id>", "seq": N,
+//    "t_ms": <ms since exporter start>, "phase": "<current phase>",
+//    "counters": {...}, "gauges": {...},
+//    "histograms": {name: {count, sum, mean, min, max, p50, p90, p99}}}
+//
+// The exporter only ever *reads* the registry (snapshot() merges the
+// thread shards under their own mutexes) and samples /proc — it never
+// touches an Rng, model state, or any hot-path lock, so enabling it
+// cannot perturb results. Everything degrades to an inert object when
+// observability is compiled out (CLO_OBS_DISABLE) or the options name no
+// sink.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace clo::util {
+
+struct ExporterOptions {
+  /// JSONL sink; empty = no file export.
+  std::string metrics_path;
+  /// Snapshot period for the file exporter.
+  int interval_ms = 1000;
+  /// TCP port for the Prometheus listener on 127.0.0.1; -1 = no listener,
+  /// 0 = pick an ephemeral port (read it back via bound_port()).
+  int port = -1;
+};
+
+class Exporter {
+ public:
+  Exporter() = default;
+  explicit Exporter(ExporterOptions options) : options_(std::move(options)) {}
+  ~Exporter() { stop(); }
+  Exporter(const Exporter&) = delete;
+  Exporter& operator=(const Exporter&) = delete;
+
+  void set_options(ExporterOptions options) { options_ = std::move(options); }
+  const ExporterOptions& options() const { return options_; }
+
+  /// Start the export thread (and listener when a port is configured).
+  /// Idempotent; enables obs recording. Returns false when nothing could
+  /// be started (no sinks configured, file unwritable, or bind failed —
+  /// failures are logged).
+  bool start();
+
+  /// Stop both threads, write one final record (so short runs always
+  /// produce at least start + end records), and close the file.
+  /// Idempotent; called by the destructor.
+  void stop();
+
+  bool running() const { return running_; }
+  /// Port the listener actually bound (useful with port = 0); -1 when no
+  /// listener is running.
+  int bound_port() const { return bound_port_; }
+  /// Number of JSONL records written so far.
+  std::uint64_t records_written() const {
+    return records_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot and append one record immediately (also used internally for
+  /// the final record on stop()).
+  void write_record_now();
+
+ private:
+  void export_loop();
+  void listener_loop();
+  void write_record_locked();
+
+  ExporterOptions options_;
+  bool running_ = false;
+  int bound_port_ = -1;
+  int listen_fd_ = -1;
+
+  std::ofstream out_;
+  std::mutex out_mu_;  ///< serializes record writes (loop vs write_record_now)
+  std::atomic<std::uint64_t> records_{0};
+  std::chrono::steady_clock::time_point start_time_;
+
+  std::thread export_thread_;
+  std::thread listener_thread_;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+};
+
+}  // namespace clo::util

@@ -1,5 +1,7 @@
 #include "clo/util/log.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cctype>
 #include <chrono>
@@ -13,15 +15,20 @@ namespace {
 
 std::mutex g_mutex;
 
+std::string lower(const char* s) {
+  std::string out;
+  for (const char* p = s; *p != '\0'; ++p) {
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  return out;
+}
+
 /// Initial threshold: the CLO_LOG_LEVEL environment variable when set and
 /// recognized (debug/info/warn/error, case-insensitive), else kInfo.
 LogLevel level_from_env() {
   const char* env = std::getenv("CLO_LOG_LEVEL");
   if (env == nullptr) return LogLevel::kInfo;
-  std::string name;
-  for (const char* p = env; *p != '\0'; ++p) {
-    name += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
-  }
+  const std::string name = lower(env);
   if (name == "debug") return LogLevel::kDebug;
   if (name == "info") return LogLevel::kInfo;
   if (name == "warn" || name == "warning") return LogLevel::kWarn;
@@ -34,12 +41,39 @@ std::atomic<LogLevel>& level_ref() {
   return level;
 }
 
+/// Initial format: CLO_LOG_FORMAT=json switches to structured output.
+LogFormat format_from_env() {
+  const char* env = std::getenv("CLO_LOG_FORMAT");
+  if (env != nullptr && lower(env) == "json") return LogFormat::kJson;
+  return LogFormat::kText;
+}
+
+std::atomic<LogFormat>& format_ref() {
+  static std::atomic<LogFormat> format{format_from_env()};
+  return format;
+}
+
+std::atomic<const char*>& phase_ref() {
+  static std::atomic<const char*> phase{""};
+  return phase;
+}
+
 const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
     case LogLevel::kInfo: return "INFO";
     case LogLevel::kWarn: return "WARN";
     case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+const char* level_name_lower(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
   }
   return "?";
 }
@@ -52,7 +86,8 @@ int thread_tag() {
   return id;
 }
 
-/// ISO-8601 UTC timestamp with millisecond resolution.
+/// ISO-8601 UTC timestamp with millisecond resolution and an explicit 'Z'
+/// suffix — never local time, never ambiguous.
 void format_timestamp(char* buf, std::size_t size) {
   const auto now = std::chrono::system_clock::now();
   const std::time_t secs = std::chrono::system_clock::to_time_t(now);
@@ -68,18 +103,122 @@ void format_timestamp(char* buf, std::size_t size) {
   std::snprintf(buf, size, "%s.%03dZ", date, millis);
 }
 
+/// Minimal JSON string escaping (log.cpp cannot use obs::Json — obs sits
+/// above log in the dependency order).
+void append_json_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string generate_run_id() {
+  const char* env = std::getenv("CLO_RUN_ID");
+  if (env != nullptr && *env != '\0') return env;
+  // Wall clock (ns) mixed with the pid through splitmix64: unique enough
+  // across concurrent processes, and telemetry ids carry no determinism
+  // contract (results never read them).
+  std::uint64_t x = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  x ^= static_cast<std::uint64_t>(::getpid()) << 32;
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(x));
+  return buf;
+}
+
+std::string& run_id_ref() {
+  static std::string* id = new std::string(generate_run_id());
+  return *id;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { level_ref().store(level); }
 LogLevel log_level() { return level_ref().load(); }
 
-void log_line(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < static_cast<int>(level_ref().load())) return;
+void set_log_format(LogFormat format) { format_ref().store(format); }
+LogFormat log_format() { return format_ref().load(); }
+
+const std::string& run_id() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return run_id_ref();
+}
+
+void set_run_id(std::string id) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  run_id_ref() = std::move(id);
+}
+
+void set_log_phase(const char* phase) {
+  phase_ref().store(phase != nullptr ? phase : "",
+                    std::memory_order_relaxed);
+}
+
+const char* log_phase() {
+  return phase_ref().load(std::memory_order_relaxed);
+}
+
+std::string format_log_line(LogLevel level, const std::string& msg) {
   char stamp[48];
   format_timestamp(stamp, sizeof stamp);
+  if (log_format() == LogFormat::kText) {
+    char prefix[80];
+    std::snprintf(prefix, sizeof prefix, "%s [%-5s] [t%02d] ", stamp,
+                  level_name(level), thread_tag());
+    return std::string(prefix) + msg;
+  }
+  std::string out = "{\"ts\":\"";
+  out += stamp;
+  out += "\",\"level\":\"";
+  out += level_name_lower(level);
+  out += "\",\"tid\":";
+  out += std::to_string(thread_tag());
+  out += ",\"run\":";
+  append_json_escaped(out, run_id());
+  const char* phase = log_phase();
+  if (phase[0] != '\0') {
+    out += ",\"phase\":";
+    append_json_escaped(out, phase);
+  }
+  out += ",\"msg\":";
+  append_json_escaped(out, msg);
+  out += '}';
+  return out;
+}
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(level_ref().load())) return;
+  // Format outside the lock, then one write + flush under it: concurrent
+  // writers can neither interleave fragments nor reorder a line across a
+  // crash boundary (stderr is unbuffered by default, but a redirected
+  // stderr is not — the explicit flush keeps tail -f and crash logs live).
+  std::string line = format_log_line(level, msg);
+  line += '\n';
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "%s [%-5s] [t%02d] %s\n", stamp, level_name(level),
-               thread_tag(), msg.c_str());
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
 }
 
 }  // namespace clo

@@ -1,9 +1,21 @@
 #pragma once
-// Minimal leveled logging to stderr with a global threshold. Each line is
-// prefixed with an ISO-8601 UTC timestamp, the level tag, and a small
-// per-thread id, e.g.:
+// Minimal leveled logging to stderr with a global threshold and two wire
+// formats:
 //
-//   2026-08-05T12:34:56.789Z [INFO ] [t00] c432: surrogate ...
+//   text (default)
+//     2026-08-05T12:34:56.789Z [INFO ] [t00] c432: surrogate ...
+//
+//   json (CLO_LOG_FORMAT=json or set_log_format) — one JSON object per
+//   line carrying the same timestamp plus the run id, current pipeline
+//   phase, and thread id, so log lines correlate with spans, metrics
+//   records, and the run report:
+//     {"ts":"2026-08-05T12:34:56.789Z","level":"info","tid":0,
+//      "run":"8f2e...","phase":"optimize","msg":"c432: surrogate ..."}
+//
+// Timestamps are unambiguous UTC (ISO-8601 with a trailing 'Z',
+// millisecond resolution). Each line is formatted completely before a
+// single locked write + flush, so concurrent writers can never interleave
+// or lose a tail on crash.
 //
 // The initial threshold honors the CLO_LOG_LEVEL environment variable
 // (debug/info/warn/error, case-insensitive); set_log_level overrides it.
@@ -15,9 +27,33 @@ namespace clo {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
+enum class LogFormat { kText = 0, kJson = 1 };
+
 /// Set the minimum level that is emitted (default kInfo, or CLO_LOG_LEVEL).
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Set the wire format (default kText, or CLO_LOG_FORMAT=json|text).
+void set_log_format(LogFormat format);
+LogFormat log_format();
+
+/// The process run id: 16 lowercase hex chars, generated once per process
+/// from the wall clock and pid (or taken verbatim from CLO_RUN_ID). Shared
+/// by structured log lines, clo.metrics.v1 records, clo.profile.v1, and
+/// the clo.report.v1 run report so all four artifacts correlate.
+const std::string& run_id();
+/// Override the run id (tests; accepting a coordinator-assigned id).
+void set_run_id(std::string id);
+
+/// The current pipeline phase tag carried by json log lines and metrics
+/// records ("" = none). Must be a string literal or otherwise immortal.
+void set_log_phase(const char* phase);
+const char* log_phase();
+
+/// Render one log line exactly as log_line would write it (without the
+/// trailing newline) in the current format — exposed so tests can pin the
+/// format without capturing stderr.
+std::string format_log_line(LogLevel level, const std::string& msg);
 
 /// Emit a single log line at `level`.
 void log_line(LogLevel level, const std::string& msg);

@@ -637,6 +637,248 @@ std::string MetricsSnapshot::format_table() const {
   return os.str();
 }
 
+std::string prometheus_name(const std::string& name) {
+  std::string out = "clo_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_escape_label(const std::string& value) {
+  std::string out;
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  const auto value_str = [](double v) {
+    if (!std::isfinite(v)) return std::string(v > 0 ? "+Inf" : "-Inf");
+    return format_double(v);
+  };
+  for (const auto& [name, value] : counters) {
+    const std::string pn = prometheus_name(name) + "_total";
+    out += "# TYPE " + pn + " counter\n";
+    out += pn + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string pn = prometheus_name(name);
+    out += "# TYPE " + pn + " gauge\n";
+    out += pn + " " + value_str(value) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string pn = prometheus_name(name);
+    out += "# TYPE " + pn + " summary\n";
+    for (const auto& [label, p] :
+         {std::pair<const char*, double>{"0.5", 50.0},
+          {"0.9", 90.0},
+          {"0.99", 99.0}}) {
+      out += pn + "{quantile=\"" + label + "\"} " +
+             value_str(h.percentile(p)) + "\n";
+    }
+    out += pn + "_sum " + value_str(h.sum) + "\n";
+    out += pn + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Progress gauges.
+// ---------------------------------------------------------------------------
+
+Progress::Progress(const char* phase, std::uint64_t total)
+    : phase_(phase),
+      total_(total),
+      active_(enabled() && total > 0),
+      start_(std::chrono::steady_clock::now()) {
+  if (active_) {
+    Registry::instance().set_gauge(std::string("progress.") + phase_ +
+                                       ".total",
+                                   static_cast<double>(total_));
+    publish(0);
+  }
+}
+
+void Progress::tick(std::uint64_t delta) {
+  if (!active_) return;
+  const std::uint64_t done =
+      done_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  // Only publish when progress crosses the next 1/512 of the total (or
+  // completes), so tight loops do not serialize on the registry mutex.
+  const std::uint64_t bucket = done >= total_ ? 512 : done * 512 / total_;
+  std::uint64_t prev = bucket_.load(std::memory_order_relaxed);
+  if (bucket <= prev ||
+      !bucket_.compare_exchange_strong(prev, bucket,
+                                       std::memory_order_relaxed)) {
+    return;
+  }
+  publish(done);
+}
+
+void Progress::publish(std::uint64_t done) {
+  const double fraction =
+      std::min(1.0, static_cast<double>(done) / static_cast<double>(total_));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const double eta =
+      done == 0 ? 0.0
+                : elapsed * static_cast<double>(total_ - std::min(done, total_)) /
+                      static_cast<double>(done);
+  auto& reg = Registry::instance();
+  const std::string prefix = std::string("progress.") + phase_;
+  reg.set_gauge(prefix + ".fraction", fraction);
+  reg.set_gauge(prefix + ".eta_seconds", eta);
+  reg.set_gauge(prefix + ".done", static_cast<double>(done));
+}
+
+// ---------------------------------------------------------------------------
+// Span-derived self-profiler.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct ProfileAccumulator {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t self_ns = 0;
+  std::vector<std::uint64_t> durations_ns;
+};
+
+/// Exact nearest-rank percentile over a sorted sample.
+double exact_percentile(const std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size());
+  std::size_t idx = rank <= 1.0
+                        ? 0
+                        : static_cast<std::size_t>(std::ceil(rank)) - 1;
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return static_cast<double>(sorted[idx]) * 1e-9;
+}
+
+}  // namespace
+
+Profile build_profile() {
+  TraceState& state = trace_state();
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    buffers = state.buffers;
+  }
+  std::map<std::string, ProfileAccumulator> paths;
+  struct Frame {
+    const char* label;
+    std::uint64_t begin_ns;
+    std::uint64_t child_ns = 0;
+    std::string path;
+  };
+  for (const auto& buffer : buffers) {
+    std::vector<TraceEvent> events;
+    {
+      std::lock_guard<std::mutex> lock(buffer->mu);
+      events = buffer->events;
+    }
+    std::vector<Frame> stack;
+    for (const auto& event : events) {
+      if (event.phase == 'B') {
+        Frame frame;
+        frame.label = event.label;
+        frame.begin_ns = event.ts_ns;
+        frame.path = stack.empty()
+                         ? std::string(event.label)
+                         : stack.back().path + "/" + event.label;
+        stack.push_back(std::move(frame));
+        continue;
+      }
+      // ScopedSpan guarantees balanced pairs per thread, but tolerate
+      // arbitrary streams: an end with no matching begin is dropped.
+      if (stack.empty() || std::string_view(stack.back().label) !=
+                               std::string_view(event.label)) {
+        continue;
+      }
+      Frame frame = std::move(stack.back());
+      stack.pop_back();
+      const std::uint64_t duration =
+          event.ts_ns >= frame.begin_ns ? event.ts_ns - frame.begin_ns : 0;
+      ProfileAccumulator& acc = paths[frame.path];
+      ++acc.count;
+      acc.total_ns += duration;
+      acc.self_ns +=
+          duration >= frame.child_ns ? duration - frame.child_ns : 0;
+      acc.durations_ns.push_back(duration);
+      if (!stack.empty()) stack.back().child_ns += duration;
+    }
+    // Open frames (still-running spans) are intentionally dropped.
+  }
+  Profile profile;
+  profile.nodes.reserve(paths.size());
+  for (auto& [path, acc] : paths) {
+    std::sort(acc.durations_ns.begin(), acc.durations_ns.end());
+    ProfileNode node;
+    node.path = path;
+    node.count = acc.count;
+    node.total_s = static_cast<double>(acc.total_ns) * 1e-9;
+    node.self_s = static_cast<double>(acc.self_ns) * 1e-9;
+    node.p50_s = exact_percentile(acc.durations_ns, 50.0);
+    node.p99_s = exact_percentile(acc.durations_ns, 99.0);
+    profile.nodes.push_back(std::move(node));
+  }
+  return profile;
+}
+
+Json Profile::to_json() const {
+  Json root = Json::object();
+  root["schema"] = "clo.profile.v1";
+  root["run"] = run_id();
+  Json& node_arr = root["nodes"];
+  node_arr = Json::array();
+  for (const auto& node : nodes) {
+    Json entry = Json::object();
+    entry["path"] = node.path;
+    entry["count"] = Json(node.count);
+    entry["total_s"] = Json(node.total_s);
+    entry["self_s"] = Json(node.self_s);
+    entry["p50_s"] = Json(node.p50_s);
+    entry["p99_s"] = Json(node.p99_s);
+    node_arr.push_back(std::move(entry));
+  }
+  return root;
+}
+
+std::string Profile::format_table() const {
+  std::vector<const ProfileNode*> by_total;
+  by_total.reserve(nodes.size());
+  for (const auto& node : nodes) by_total.push_back(&node);
+  std::sort(by_total.begin(), by_total.end(),
+            [](const ProfileNode* a, const ProfileNode* b) {
+              if (a->total_s != b->total_s) return a->total_s > b->total_s;
+              return a->path < b->path;
+            });
+  std::ostringstream os;
+  os << "-- profile (total self count p50 p99) --\n";
+  for (const ProfileNode* node : by_total) {
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "  %-40s total=%.6gs self=%.6gs n=%llu p50=%.6gs "
+                  "p99=%.6gs\n",
+                  node->path.c_str(), node->total_s, node->self_s,
+                  static_cast<unsigned long long>(node->count), node->p50_s,
+                  node->p99_s);
+    os << line;
+  }
+  return os.str();
+}
+
 // ---------------------------------------------------------------------------
 // Tracing.
 // ---------------------------------------------------------------------------

@@ -17,6 +17,8 @@
 // bit-identical cross-thread determinism contract of the parallel
 // substrate is unaffected.
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
@@ -135,9 +137,21 @@ struct MetricsSnapshot {
 
   Json to_json() const;
   /// Human-readable fixed-width table (the `metrics` shell command and the
-  /// --metrics exit dump).
+  /// --metrics exit dump). Rows are sorted by metric name (the maps above
+  /// are ordered), so the output is deterministic for a given snapshot.
   std::string format_table() const;
+  /// Prometheus text-exposition rendering (version 0.0.4): counters as
+  /// `clo_<name>_total`, gauges as `clo_<name>`, histograms as summaries
+  /// with quantile labels. Served by the exporter's --metrics-port
+  /// listener.
+  std::string to_prometheus() const;
 };
+
+/// Sanitize an internal dotted metric name into a legal Prometheus metric
+/// name: "clo_" prefix, every character outside [a-zA-Z0-9_:] becomes '_'.
+std::string prometheus_name(const std::string& name);
+/// Escape a Prometheus label value (backslash, double-quote, newline).
+std::string prometheus_escape_label(const std::string& value);
 
 class Registry {
  public:
@@ -165,6 +179,75 @@ class Registry {
  private:
   Registry() = default;
 };
+
+// ---------------------------------------------------------------------------
+// Progress gauges.
+// ---------------------------------------------------------------------------
+
+/// Progress reporter for a long phase with a known step count. Publishes
+/// four gauges under "progress.<phase>." — fraction (0..1, monotone
+/// non-decreasing within the phase), eta_seconds, done, and total — so the
+/// exporter stream shows where a multi-minute run is and how long is left.
+///
+/// tick() is thread-safe (workers share one Progress through a pointer)
+/// and cheap in tight loops: it bumps one relaxed atomic and only touches
+/// the registry when progress crosses the next 1/512 of the total, so the
+/// registry mutex is taken at most ~512 times per phase regardless of the
+/// step count. Inert when observability is off or total == 0.
+class Progress {
+ public:
+  /// `phase` must be a string literal (stored by pointer).
+  Progress(const char* phase, std::uint64_t total);
+  Progress(const Progress&) = delete;
+  Progress& operator=(const Progress&) = delete;
+
+  void tick(std::uint64_t delta = 1);
+  bool active() const { return active_; }
+
+ private:
+  void publish(std::uint64_t done);
+
+  const char* phase_;
+  std::uint64_t total_ = 0;
+  bool active_ = false;
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::uint64_t> bucket_{0};  ///< last published done*512/total
+  std::chrono::steady_clock::time_point start_;
+};
+
+// ---------------------------------------------------------------------------
+// Span-derived self-profiler.
+// ---------------------------------------------------------------------------
+
+/// One aggregated call path in the profile. `path` joins the span labels
+/// from the root with '/' (a top-level span's path is its label), so the
+/// same label reached through different parents stays distinct.
+struct ProfileNode {
+  std::string path;
+  std::uint64_t count = 0;  ///< completed spans on this path
+  double total_s = 0.0;     ///< wall time including children
+  double self_s = 0.0;      ///< wall time excluding child spans
+  double p50_s = 0.0;       ///< exact (nearest-rank) median span duration
+  double p99_s = 0.0;
+};
+
+struct Profile {
+  std::vector<ProfileNode> nodes;  ///< sorted by path
+
+  /// clo.profile.v1: {"schema", "run", "nodes": [{path, count, total_s,
+  /// self_s, p50_s, p99_s}, ...]}.
+  Json to_json() const;
+  /// Human-readable table sorted by total time descending (the `profile`
+  /// shell command).
+  std::string format_table() const;
+};
+
+/// Aggregate the recorded span stream into a hierarchical profile: walk
+/// each thread's begin/end events with a stack, accumulate per-path count,
+/// total and self time, and exact p50/p99 over span durations, then merge
+/// the per-thread results by path. Spans still open (or truncated by a
+/// mid-span trace toggle) are skipped, never mispaired.
+Profile build_profile();
 
 // ---------------------------------------------------------------------------
 // Tracing.

@@ -1,0 +1,143 @@
+#include "clo/util/proc.hpp"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "clo/util/obs.hpp"
+
+namespace clo::util::proc {
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+/// Parse "VmHWM:   12345 kB" style lines from /proc/self/status.
+std::uint64_t status_field_kb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, key_len) != 0 || line[key_len] != ':') {
+      continue;
+    }
+    unsigned long long value = 0;
+    if (std::sscanf(line + key_len + 1, "%llu", &value) == 1) kb = value;
+    break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+std::uint64_t peak_rss_bytes() {
+  if (const std::uint64_t kb = status_field_kb("VmHWM")) return kb * 1024;
+  // Fallback (containers without /proc): ru_maxrss is in kilobytes on
+  // Linux.
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+  }
+  return 0;
+}
+
+std::uint64_t current_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size_pages = 0, resident_pages = 0;
+  const int n = std::fscanf(f, "%llu %llu", &size_pages, &resident_pages);
+  std::fclose(f);
+  if (n != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return resident_pages * static_cast<std::uint64_t>(page > 0 ? page : 4096);
+}
+
+std::uint64_t alloc_count() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+std::uint64_t alloc_bytes() {
+  return g_alloc_bytes.load(std::memory_order_relaxed);
+}
+
+void sample_into_registry() {
+  auto& reg = obs::Registry::instance();
+  reg.set_gauge("proc.peak_rss_bytes",
+                static_cast<double>(peak_rss_bytes()));
+  reg.set_gauge("proc.current_rss_bytes",
+                static_cast<double>(current_rss_bytes()));
+  reg.set_gauge("proc.alloc_count", static_cast<double>(alloc_count()));
+  reg.set_gauge("proc.alloc_bytes", static_cast<double>(alloc_bytes()));
+}
+
+}  // namespace clo::util::proc
+
+#if !defined(CLO_OBS_DISABLE)
+
+// ---------------------------------------------------------------------------
+// Global allocation counting. Replacing the four basic forms is enough —
+// the aligned and placement forms keep their default behavior (and simply
+// go uncounted). The counters are relaxed atomics: two uncontended
+// fetch_adds per allocation, invisible next to the allocation itself.
+// ASan/LSan still interpose malloc below us, so sanitized builds keep
+// their full checking.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  clo::util::proc::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  clo::util::proc::g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  for (;;) {
+    if (void* p = std::malloc(size)) return p;
+    if (std::new_handler handler = std::get_new_handler()) {
+      handler();
+    } else {
+      throw std::bad_alloc();
+    }
+  }
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // !CLO_OBS_DISABLE

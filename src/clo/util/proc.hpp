@@ -1,0 +1,39 @@
+#pragma once
+// Process resource sampling for the telemetry exporter: resident-set-size
+// readings from /proc (with a getrusage fallback) and global heap
+// allocation counters maintained by the operator new/delete replacements
+// in proc.cpp. Everything here is read-only with respect to the
+// computation — sampling never touches an Rng, a lock shared with the hot
+// path, or any model state, so the determinism contract is unaffected.
+//
+// The allocation counters are two relaxed atomics bumped on every scalar /
+// array operator new; under -DCLO_OBS=OFF the replacements are compiled
+// out entirely and the accessors return 0.
+
+#include <cstdint>
+
+namespace clo::util::proc {
+
+/// Peak resident set size in bytes (VmHWM from /proc/self/status, falling
+/// back to getrusage's ru_maxrss). 0 when neither source is available.
+std::uint64_t peak_rss_bytes();
+
+/// Current resident set size in bytes (/proc/self/statm). 0 when
+/// unavailable.
+std::uint64_t current_rss_bytes();
+
+/// Number of operator new / new[] calls since process start (0 when the
+/// counting replacements are compiled out under CLO_OBS_DISABLE).
+std::uint64_t alloc_count();
+
+/// Total bytes requested from operator new / new[] since process start.
+/// Requested, not resident: freed memory is never subtracted, making this
+/// a monotonic churn counter (rate = allocation pressure).
+std::uint64_t alloc_bytes();
+
+/// Set the "proc.*" gauges (peak/current RSS, alloc count/bytes) on the
+/// global metrics registry. Called by the exporter before each snapshot;
+/// callable directly for one-shot reports.
+void sample_into_registry();
+
+}  // namespace clo::util::proc

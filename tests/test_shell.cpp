@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "clo/shell/shell.hpp"
+#include "clo/util/obs.hpp"
 
 namespace {
 
@@ -182,9 +183,60 @@ TEST(Shell, ListShowsCatalog) {
 TEST(Shell, HelpListsCommands) {
   Shell sh;
   const std::string out = run(sh, "help");
-  for (const char* cmd : {"gen", "read", "write", "map", "cec", "tune"}) {
+  for (const char* cmd :
+       {"gen", "read", "write", "map", "cec", "tune", "metrics", "profile"}) {
     EXPECT_NE(out.find(cmd), std::string::npos) << cmd;
   }
+}
+
+TEST(Shell, MetricsCommandIsDeterministicAndNameSorted) {
+  clo::obs::Registry::instance().reset();
+  clo::obs::set_enabled(true);
+  clo::obs::Registry::instance().add_counter("zeta.counter", 2);
+  clo::obs::Registry::instance().add_counter("alpha.counter", 1);
+  Shell sh;
+  const std::string out = run(sh, "metrics");
+  EXPECT_NE(out.find("-- counters --"), std::string::npos) << out;
+  const auto alpha = out.find("alpha.counter = 1");
+  const auto zeta = out.find("zeta.counter = 2");
+  ASSERT_NE(alpha, std::string::npos) << out;
+  ASSERT_NE(zeta, std::string::npos) << out;
+  EXPECT_LT(alpha, zeta) << "metrics output must be name-sorted";
+  EXPECT_EQ(out, run(sh, "metrics")) << "metrics output must be stable";
+  EXPECT_NE(run(sh, "metrics reset").find("metrics reset"),
+            std::string::npos);
+  EXPECT_EQ(run(sh, "metrics").find("alpha.counter"), std::string::npos);
+  clo::obs::set_enabled(false);
+  clo::obs::Registry::instance().reset();
+}
+
+TEST(Shell, MetricsAndProfileReportDisabledObservability) {
+  clo::obs::set_enabled(false);
+  Shell sh;
+  EXPECT_NE(run(sh, "metrics").find("observability is disabled"),
+            std::string::npos);
+  EXPECT_NE(run(sh, "profile").find("observability is disabled"),
+            std::string::npos);
+  EXPECT_FALSE(sh.last_failed());
+}
+
+TEST(Shell, ProfileCommandPrintsSpanTable) {
+  clo::obs::Registry::instance().reset();
+  clo::obs::reset_trace();
+  clo::obs::set_enabled(true);
+  {
+    clo::obs::ScopedSpan span("shelltest.span");
+  }
+  Shell sh;
+  const std::string out = run(sh, "profile");
+  EXPECT_NE(out.find("-- profile (total self count p50 p99) --"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("shelltest.span"), std::string::npos) << out;
+  EXPECT_NE(out.find("n=1"), std::string::npos) << out;
+  clo::obs::set_enabled(false);
+  clo::obs::reset_trace();
+  clo::obs::Registry::instance().reset();
 }
 
 }  // namespace

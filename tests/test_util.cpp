@@ -1,14 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <clocale>
 #include <cmath>
 #include <limits>
+#include <regex>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "clo/util/cli.hpp"
 #include "clo/util/csv.hpp"
 #include "clo/util/fault.hpp"
+#include "clo/util/log.hpp"
 #include "clo/util/numeric.hpp"
 #include "clo/util/obs.hpp"
 #include "clo/util/rng.hpp"
@@ -302,6 +307,111 @@ TEST(Numeric, ParsingIsLocaleIndependent) {
   EXPECT_DOUBLE_EQ(obs::Json::parse(dumped).as_double(), 0.1);
 
   std::setlocale(LC_ALL, "C");
+}
+
+// ---------------------------------------------------------------------------
+// Structured logging: the wire formats are pinned here — a change to
+// either line shape is a breaking change for downstream log consumers.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// RAII guard restoring global log state mutated by a test.
+struct LogStateGuard {
+  LogLevel level = log_level();
+  LogFormat format = log_format();
+  std::string run = run_id();
+  ~LogStateGuard() {
+    set_log_level(level);
+    set_log_format(format);
+    set_run_id(run);
+    set_log_phase("");
+  }
+};
+
+}  // namespace
+
+TEST(Log, TextFormatIsPinned) {
+  LogStateGuard guard;
+  set_log_format(LogFormat::kText);
+  const std::string line = format_log_line(LogLevel::kWarn, "hello world");
+  // 2026-08-05T12:34:56.789Z [WARN ] [tNN] hello world
+  ASSERT_GE(line.size(), 25u) << line;
+  const std::string ts = line.substr(0, 24);
+  EXPECT_TRUE(std::regex_match(
+      ts, std::regex(R"(\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z)")))
+      << ts;
+  EXPECT_TRUE(std::regex_match(
+      line.substr(24),
+      std::regex(R"( \[WARN \] \[t\d{2,}\] hello world)")))
+      << line;
+  // Level names pad to a fixed 5-char column.
+  EXPECT_NE(format_log_line(LogLevel::kInfo, "x").find("[INFO ]"),
+            std::string::npos);
+  EXPECT_NE(format_log_line(LogLevel::kError, "x").find("[ERROR]"),
+            std::string::npos);
+}
+
+TEST(Log, JsonFormatIsPinned) {
+  LogStateGuard guard;
+  set_log_format(LogFormat::kJson);
+  set_run_id("deadbeefdeadbeef");
+  set_log_phase("optimize");
+  const std::string line =
+      format_log_line(LogLevel::kInfo, "msg with \"quotes\"\nand newline");
+  const auto doc = obs::Json::parse(line);  // throws if not valid JSON
+  EXPECT_TRUE(std::regex_match(
+      doc.find("ts")->as_string(),
+      std::regex(R"(\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z)")));
+  EXPECT_EQ(doc.find("level")->as_string(), "info");
+  EXPECT_GE(doc.find("tid")->as_double(), 0.0);
+  EXPECT_EQ(doc.find("run")->as_string(), "deadbeefdeadbeef");
+  EXPECT_EQ(doc.find("phase")->as_string(), "optimize");
+  EXPECT_EQ(doc.find("msg")->as_string(), "msg with \"quotes\"\nand newline");
+  // With no phase set, the key is omitted entirely.
+  set_log_phase("");
+  const auto bare = obs::Json::parse(format_log_line(LogLevel::kInfo, "m"));
+  EXPECT_EQ(bare.find("phase"), nullptr);
+}
+
+TEST(Log, RunIdIsStableAndOverridable) {
+  LogStateGuard guard;
+  const std::string id = run_id();
+  EXPECT_EQ(id.size(), 16u);
+  for (const char c : id) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << id;
+  }
+  EXPECT_EQ(run_id(), id);  // stable across calls
+  set_run_id("0123456789abcdef");
+  EXPECT_EQ(run_id(), "0123456789abcdef");
+}
+
+TEST(Log, ConcurrentWritersProduceWholeLines) {
+  LogStateGuard guard;
+  set_log_format(LogFormat::kJson);
+  // Hammer format_log_line from several threads: every result must parse
+  // on its own (no interleaving inside the formatter's shared state).
+  constexpr int kThreads = 4;
+  constexpr int kIters = 500;
+  std::vector<std::thread> workers;
+  std::atomic<int> bad{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &bad] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::string line = format_log_line(
+            LogLevel::kInfo, "t" + std::to_string(t) + " i" +
+                                 std::to_string(i));
+        try {
+          const auto doc = obs::Json::parse(line);
+          if (doc.find("msg") == nullptr) ++bad;
+        } catch (...) {
+          ++bad;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(bad.load(), 0);
 }
 
 }  // namespace

@@ -16,6 +16,14 @@
 //   --report F    write the machine-readable "clo.report.v1" JSON of the
 //                 last `tune` run to F
 //   --metrics     print the metrics table to stderr on exit
+//   --metrics-out F       stream "clo.metrics.v1" JSONL records to F while
+//                 the session runs (one snapshot per interval)
+//   --metrics-interval-ms N   export period for --metrics-out (default
+//                 1000)
+//   --metrics-port P      serve the live metrics snapshot as Prometheus
+//                 text on http://127.0.0.1:P/ (0 = ephemeral port)
+//   --profile-out F       write the "clo.profile.v1" span-derived profile
+//                 JSON to F on exit
 //   --checkpoint-dir D   persist `tune` phase checkpoints into D
 //   --resume      resume `tune` from valid checkpoints in the checkpoint
 //                 directory (bit-identical to an uninterrupted run)
@@ -90,6 +98,38 @@ int main(int argc, char** argv) {
     }
     if (arg == "--metrics") {
       shell.set_print_metrics(true);
+      continue;
+    }
+    if (arg == "--metrics-out") {
+      if (i + 1 >= argc) {
+        std::cerr << "--metrics-out needs a file name\n";
+        return 1;
+      }
+      shell.set_metrics_out(argv[++i]);
+      continue;
+    }
+    if (arg == "--metrics-interval-ms") {
+      if (i + 1 >= argc) {
+        std::cerr << "--metrics-interval-ms needs a value\n";
+        return 1;
+      }
+      shell.set_metrics_interval_ms(std::atoi(argv[++i]));
+      continue;
+    }
+    if (arg == "--metrics-port") {
+      if (i + 1 >= argc) {
+        std::cerr << "--metrics-port needs a port\n";
+        return 1;
+      }
+      shell.set_metrics_port(std::atoi(argv[++i]));
+      continue;
+    }
+    if (arg == "--profile-out") {
+      if (i + 1 >= argc) {
+        std::cerr << "--profile-out needs a file name\n";
+        return 1;
+      }
+      shell.set_profile_path(argv[++i]);
       continue;
     }
     if (arg == "--checkpoint-dir") {

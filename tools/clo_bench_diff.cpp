@@ -1,0 +1,140 @@
+// clo_bench_diff — the bench regression tracker: compare two BENCH_*.json
+// artifacts (clo.bench.kernels.v1 today; any future clo.bench.* schema
+// with a results[] array of named timings) and fail when the geometric
+// mean of the per-case time ratios regresses past a threshold.
+//
+//   clo_bench_diff OLD.json NEW.json [--max-regress PCT]
+//
+// For every case name present in both files the timing is taken from the
+// first of {simd_ns, scalar_ns, ns, seconds} each record carries, and the
+// ratio new/old is computed (> 1 = slower). The verdict is on the geomean
+// of those ratios: exit 1 when it exceeds 1 + PCT/100 (default 10%), exit
+// 0 otherwise. Per-case regressions are listed either way so the CI log
+// shows *what* moved even when the aggregate gate passes. Cases present
+// in only one file are reported and skipped — adding or removing a bench
+// must not fail the gate.
+//
+// CI runs this as a soft gate on the bench-smoke job (absolute
+// nanoseconds are noisy across shared runners); the threshold knob is
+// documented in README.md.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "clo/util/obs.hpp"
+
+namespace {
+
+using clo::obs::Json;
+
+/// name -> representative time for every entry in the file's results[].
+std::map<std::string, double> load_times(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const Json root = Json::parse(ss.str());
+  const Json* results = root.find("results");
+  if (results == nullptr || !results->is_array()) {
+    throw std::runtime_error(path + ": no results[] array");
+  }
+  std::map<std::string, double> times;
+  for (std::size_t i = 0; i < results->size(); ++i) {
+    const Json& entry = results->at(i);
+    const Json* name = entry.find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    for (const char* key : {"simd_ns", "scalar_ns", "ns", "seconds"}) {
+      const Json* t = entry.find(key);
+      if (t != nullptr && t->is_number() && t->as_double() > 0.0) {
+        times[name->as_string()] = t->as_double();
+        break;
+      }
+    }
+  }
+  if (times.empty()) {
+    throw std::runtime_error(path + ": no timed cases in results[]");
+  }
+  return times;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  double max_regress_pct = 10.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--max-regress") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--max-regress needs a percentage\n");
+        return 2;
+      }
+      max_regress_pct = std::atof(argv[++i]);
+      continue;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: clo_bench_diff OLD.json NEW.json "
+                 "[--max-regress PCT]\n");
+    return 2;
+  }
+
+  std::map<std::string, double> old_times, new_times;
+  try {
+    old_times = load_times(paths[0]);
+    new_times = load_times(paths[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "clo_bench_diff: %s\n", e.what());
+    return 2;
+  }
+
+  double log_sum = 0.0;
+  int shared = 0;
+  std::printf("%-40s %12s %12s %8s\n", "case", "old", "new", "ratio");
+  for (const auto& [name, old_t] : old_times) {
+    const auto it = new_times.find(name);
+    if (it == new_times.end()) {
+      std::printf("%-40s %12.4g %12s %8s\n", name.c_str(), old_t, "-",
+                  "gone");
+      continue;
+    }
+    const double ratio = it->second / old_t;
+    log_sum += std::log(ratio);
+    ++shared;
+    std::printf("%-40s %12.4g %12.4g %7.3fx%s\n", name.c_str(), old_t,
+                it->second, ratio,
+                ratio > 1.0 + max_regress_pct / 100.0 ? "  <-- regressed"
+                                                      : "");
+  }
+  for (const auto& [name, new_t] : new_times) {
+    if (old_times.find(name) == old_times.end()) {
+      std::printf("%-40s %12s %12.4g %8s\n", name.c_str(), "-", new_t,
+                  "new");
+    }
+  }
+  if (shared == 0) {
+    std::fprintf(stderr, "clo_bench_diff: no shared cases to compare\n");
+    return 2;
+  }
+  const double geomean = std::exp(log_sum / shared);
+  const double limit = 1.0 + max_regress_pct / 100.0;
+  std::printf("geomean ratio over %d case(s): %.4fx (limit %.4fx)\n", shared,
+              geomean, limit);
+  if (geomean > limit) {
+    std::printf("FAIL: geomean regression %.1f%% exceeds --max-regress "
+                "%.1f%%\n",
+                (geomean - 1.0) * 100.0, max_regress_pct);
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}
