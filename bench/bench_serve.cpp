@@ -1,0 +1,215 @@
+// Measures the serving path: an in-process `clo serve` daemon is warmed
+// with one circuit, then concurrent clients hammer it with QoR queries
+// that must be answered from the model registry + the evaluator's memo
+// cache — zero synthesis runs after warm-up. Reported numbers are the
+// sustained queries/sec and the per-query latency distribution, i.e. the
+// gap between a cold `tune` (seconds to minutes) and a warm registry
+// answer (milliseconds) that makes optimization-as-a-service viable.
+//
+//   ./bench_serve [--circuit ctrl] [--dataset 16] [--restarts 1]
+//                 [--clients 4] [--requests 200] [--threads 0]
+//                 [--out BENCH_serve.json]
+//
+// Output JSON (schema "clo.bench.serve.v1"):
+//   {"schema": ..., "circuit", "clients", "requests",
+//    "warmup_seconds",          // one-time cost: pretrain + first optimize
+//    "queries_per_second",
+//    "latency_ms": {"p50", "p90", "p99", "max"},
+//    "unique_runs_delta"}       // synthesis runs during the query storm
+//                               //   (MUST be 0: warm queries never synth)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "clo/serve/client.hpp"
+#include "clo/serve/server.hpp"
+#include "clo/util/cli.hpp"
+#include "clo/util/obs.hpp"
+#include "clo/util/timer.hpp"
+
+namespace {
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace clo;
+  CliArgs args(argc, argv);
+  const std::string circuit = args.get("circuit", "ctrl");
+  const int dataset = args.get_int("dataset", 16);
+  const int restarts = args.get_int("restarts", 1);
+  const int clients = args.get_int("clients", 4);
+  const int requests = args.get_int("requests", 200);
+  const std::string out_path = args.get("out", "BENCH_serve.json");
+
+  serve::ServerOptions options;
+  options.port = 0;  // ephemeral
+  options.sessions = clients;
+  options.max_queue = clients * 2;
+  options.threads = args.get_int("threads", 0);
+  serve::Server server(options);
+  if (!server.start()) {
+    std::fprintf(stderr, "cannot start server\n");
+    return 1;
+  }
+
+  // Warm-up: one cold tune pays pretraining + the first optimization;
+  // everything after answers from the registry.
+  obs::Json tune_req = obs::Json::object();
+  tune_req["op"] = "tune";
+  tune_req["circuit"] = circuit;
+  tune_req["dataset"] = dataset;
+  tune_req["restarts"] = restarts;
+  Stopwatch warm_watch;
+  warm_watch.start();
+  {
+    serve::Client client;
+    if (!client.connect(server.port())) {
+      std::fprintf(stderr, "cannot connect\n");
+      return 1;
+    }
+    obs::Json resp;
+    if (!client.request(tune_req, &resp) ||
+        resp.find("status") == nullptr ||
+        resp.find("status")->as_string() != "ok") {
+      std::fprintf(stderr, "warm-up tune failed\n");
+      return 1;
+    }
+  }
+  warm_watch.stop();
+  const double warmup_seconds = warm_watch.seconds();
+
+  obs::Json qor_req = obs::Json::object();
+  qor_req["op"] = "qor";
+  qor_req["circuit"] = circuit;
+  qor_req["dataset"] = dataset;
+  qor_req["restarts"] = restarts;
+  const std::string qor_line = qor_req.dump();
+
+  // Synthesis-run counter before the storm: a warm query storm must not
+  // move it (every answer comes from the registry + the memo cache).
+  std::uint64_t runs_before = 0;
+  {
+    serve::Client probe;
+    probe.connect(server.port());
+    obs::Json resp;
+    probe.request(qor_req, &resp);
+    const obs::Json* ev = resp.find("evaluator");
+    if (ev != nullptr && ev->find("unique_runs") != nullptr) {
+      runs_before =
+          static_cast<std::uint64_t>(ev->find("unique_runs")->as_double());
+    }
+  }
+
+  std::vector<std::vector<double>> per_client_ms(
+      static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  std::vector<int> failures(static_cast<std::size_t>(clients), 0);
+  Stopwatch storm;
+  storm.start();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::Client client;
+      if (!client.connect(server.port())) {
+        failures[static_cast<std::size_t>(c)] = requests;
+        return;
+      }
+      auto& lat = per_client_ms[static_cast<std::size_t>(c)];
+      lat.reserve(static_cast<std::size_t>(requests));
+      std::string response;
+      for (int i = 0; i < requests; ++i) {
+        const auto begin = std::chrono::steady_clock::now();
+        const bool ok = client.request_line(qor_line, &response);
+        const auto end = std::chrono::steady_clock::now();
+        if (!ok) {
+          ++failures[static_cast<std::size_t>(c)];
+          if (!client.connect(server.port())) break;
+          continue;
+        }
+        lat.push_back(
+            std::chrono::duration<double, std::milli>(end - begin).count());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  storm.stop();
+
+  std::uint64_t runs_after = 0;
+  {
+    serve::Client probe;
+    probe.connect(server.port());
+    obs::Json resp;
+    probe.request(qor_req, &resp);
+    const obs::Json* ev = resp.find("evaluator");
+    if (ev != nullptr && ev->find("unique_runs") != nullptr) {
+      runs_after =
+          static_cast<std::uint64_t>(ev->find("unique_runs")->as_double());
+    }
+  }
+  server.stop();
+
+  std::vector<double> all_ms;
+  int failed = 0;
+  for (int c = 0; c < clients; ++c) {
+    const auto& lat = per_client_ms[static_cast<std::size_t>(c)];
+    all_ms.insert(all_ms.end(), lat.begin(), lat.end());
+    failed += failures[static_cast<std::size_t>(c)];
+  }
+  std::sort(all_ms.begin(), all_ms.end());
+  const double qps =
+      storm.seconds() > 0.0
+          ? static_cast<double>(all_ms.size()) / storm.seconds()
+          : 0.0;
+  const double p50 = percentile(all_ms, 0.50);
+  const double p90 = percentile(all_ms, 0.90);
+  const double p99 = percentile(all_ms, 0.99);
+  const double worst = all_ms.empty() ? 0.0 : all_ms.back();
+  const std::uint64_t runs_delta = runs_after - runs_before;
+
+  std::printf("bench_serve: %s  %d client(s) x %d request(s)\n",
+              circuit.c_str(), clients, requests);
+  std::printf("  warm-up           %10.3f s (pretrain + first optimize)\n",
+              warmup_seconds);
+  std::printf("  sustained         %10.1f queries/s\n", qps);
+  std::printf("  latency p50/p90/p99  %.3f / %.3f / %.3f ms (max %.3f)\n",
+              p50, p90, p99, worst);
+  std::printf("  synthesis runs during storm: %llu%s\n",
+              static_cast<unsigned long long>(runs_delta),
+              runs_delta == 0 ? " (all served from registry)" : "");
+  if (failed > 0) std::printf("  FAILED requests: %d\n", failed);
+
+  obs::Json doc = obs::Json::object();
+  doc["schema"] = "clo.bench.serve.v1";
+  doc["circuit"] = circuit;
+  doc["clients"] = clients;
+  doc["requests"] = requests;
+  doc["warmup_seconds"] = warmup_seconds;
+  doc["queries_per_second"] = qps;
+  obs::Json lat = obs::Json::object();
+  lat["p50"] = p50;
+  lat["p90"] = p90;
+  lat["p99"] = p99;
+  lat["max"] = worst;
+  doc["latency_ms"] = std::move(lat);
+  doc["unique_runs_delta"] = static_cast<double>(runs_delta);
+  doc["failed_requests"] = failed;
+  if (!obs::write_json_file(out_path, doc)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  // A warm storm that synthesized, or dropped requests, is a failed run.
+  return (runs_delta == 0 && failed == 0) ? 0 : 1;
+}

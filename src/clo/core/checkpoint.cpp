@@ -1,5 +1,9 @@
 #include "clo/core/checkpoint.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -151,20 +155,48 @@ bool CheckpointManager::write_file(const std::string& phase,
 
     const std::string path = path_for(phase);
     const std::string tmp = path + ".tmp";
+    // Durable atomic publish: write + fsync the temp file BEFORE the
+    // rename (so the final name can never point at bytes the kernel has
+    // not persisted — without this, a power loss shortly after the rename
+    // can leave a zero-length "committed" checkpoint), then fsync the
+    // directory AFTER the rename (so the name change itself survives the
+    // same crash). A kill at any point leaves the previous checkpoint or
+    // none, never a torn or empty file under the final name.
     {
-      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-      if (!os) return false;
-      os.write(file.data(), static_cast<std::streamsize>(file.size()));
-      os.flush();
-      if (!os) {
-        os.close();
+      const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd < 0) return false;
+      std::size_t written = 0;
+      while (written < file.size()) {
+        const ssize_t n = ::write(fd, file.data() + written,
+                                  file.size() - written);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          ::close(fd);
+          std::remove(tmp.c_str());
+          return false;
+        }
+        written += static_cast<std::size_t>(n);
+      }
+      if (::fsync(fd) != 0) {
+        ::close(fd);
         std::remove(tmp.c_str());
         return false;
       }
+      ::close(fd);
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
       std::remove(tmp.c_str());
       return false;
+    }
+    {
+      const int dir_fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+      if (dir_fd >= 0) {
+        // Directory fsync failures (e.g. filesystems that reject it) are
+        // not fatal: the data itself is already durable, only the rename's
+        // durability window widens back to the kernel's writeback horizon.
+        (void)::fsync(dir_fd);
+        ::close(dir_fd);
+      }
     }
     return true;
   } catch (const std::exception&) {

@@ -22,13 +22,11 @@ obs::Json series_json(const std::vector<double>& values) {
   return arr;
 }
 
-/// The checkpoint identity: every knob (plus the circuit fingerprint) that
-/// changes the bits a pretraining phase produces. Thread count is
-/// deliberately excluded — only the surrogate's parallelism *mode*
-/// (serial batched vs data-parallel, whose float rounding differs) is
-/// part of the identity.
-std::uint64_t checkpoint_hash(const PipelineConfig& config,
-                              const aig::Aig& circuit, bool data_parallel) {
+}  // namespace
+
+std::uint64_t pipeline_config_hash(const PipelineConfig& config,
+                                   const aig::Aig& circuit,
+                                   bool data_parallel) {
   ConfigHasher h;
   h.add(circuit.name())
       .add(static_cast<std::uint64_t>(circuit.num_pis()))
@@ -51,22 +49,41 @@ std::uint64_t checkpoint_hash(const PipelineConfig& config,
   return h.hash();
 }
 
-}  // namespace
+util::ThreadPool* CloPipeline::acquire_pool(
+    std::unique_ptr<util::ThreadPool>* owned) const {
+  if (external_pool_ != nullptr) {
+    return external_pool_->size() >= 2 ? external_pool_ : nullptr;
+  }
+  const std::size_t workers = util::resolve_threads(config_.threads);
+  if (workers < 2) return nullptr;
+  *owned = std::make_unique<util::ThreadPool>(workers);
+  return owned->get();
+}
+
+bool CloPipeline::data_parallel() const {
+  if (external_pool_ != nullptr) return external_pool_->size() >= 2;
+  return util::resolve_threads(config_.threads) >= 2;
+}
 
 PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
+  pretrain(evaluator);
+  return optimize(evaluator);
+}
+
+void CloPipeline::pretrain(QorEvaluator& evaluator) {
+  if (pretrained_) return;
   PipelineResult result;
   clo::Rng rng(config_.seed);
   // A pool only exists when parallelism was actually requested; every
   // consumer below treats a null pool as "run serially".
-  const std::size_t workers = util::resolve_threads(config_.threads);
-  std::unique_ptr<util::ThreadPool> pool;
-  if (workers >= 2) pool = std::make_unique<util::ThreadPool>(workers);
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  util::ThreadPool* pool = acquire_pool(&owned_pool);
 
   std::unique_ptr<CheckpointManager> ckpt;
   if (!config_.checkpoint_dir.empty()) {
     ckpt = std::make_unique<CheckpointManager>(
         config_.checkpoint_dir,
-        checkpoint_hash(config_, evaluator.circuit(), workers >= 2));
+        pipeline_config_hash(config_, evaluator.circuit(), data_parallel()));
   }
   DatasetCheckpoint dck;
   SurrogateCheckpoint sck;
@@ -104,7 +121,7 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
       Stopwatch w;
       ScopedTimer st(w);
       dataset_ = generate_dataset(evaluator, config_.dataset_size,
-                                  config_.seq_len, rng, pool.get());
+                                  config_.seq_len, rng, pool);
       result.dataset_seconds = w.seconds();
       CLO_OBS_GAUGE("pipeline.dataset_seconds", result.dataset_seconds);
     }
@@ -169,7 +186,7 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
       };
       result.surrogate_report =
           train_surrogate(*surrogate_, *embedding_, dataset_,
-                          config_.surrogate_train, rng, pool.get(), factory);
+                          config_.surrogate_train, rng, pool, factory);
       result.surrogate_train_seconds = w.seconds();
       CLO_OBS_GAUGE("pipeline.surrogate_train_seconds",
                     result.surrogate_train_seconds);
@@ -269,6 +286,22 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
       }
     }
   }
+  clo::set_log_phase("");
+  boundary_rng_ = rng.state();
+  pretrain_result_ = std::move(result);
+  pretrained_ = true;
+}
+
+PipelineResult CloPipeline::optimize(QorEvaluator& evaluator) {
+  pretrain(evaluator);
+  // Start from a copy of the pretraining result and the boundary Rng
+  // state: every optimize() call replays the identical stream, so a warm
+  // query's best_sequence is byte-identical to a cold run().
+  PipelineResult result = pretrain_result_;
+  clo::Rng rng(config_.seed);
+  rng.set_state(boundary_rng_);
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  util::ThreadPool* pool = acquire_pool(&owned_pool);
 
   // ---- Continuous optimization (lower half of Fig. 1) --------------------
   ContinuousOptimizer optimizer(*surrogate_, *diffusion_, *embedding_,
@@ -279,7 +312,7 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
     Stopwatch w;
     ScopedTimer st(w);
     result.restarts = optimizer.run_restarts_tolerant(
-        rng, config_.restarts, pool.get(), config_.batch,
+        rng, config_.restarts, pool, config_.batch,
         &result.optimize_quarantined);
     result.optimize_seconds = w.seconds();
     CLO_OBS_GAUGE("pipeline.optimize_seconds", result.optimize_seconds);
@@ -304,7 +337,7 @@ PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
     for (const auto& f : result.optimize_quarantined) valid[f.index] = 0;
     obs::Progress progress("validate", result.restarts.size());
     const auto errors = util::parallel_for_collect(
-        pool.get(), result.restarts.size(), [&](std::size_t i) {
+        pool, result.restarts.size(), [&](std::size_t i) {
           if (!valid[i]) return;
           result.restart_qor[i] =
               evaluator.evaluate(result.restarts[i].sequence);

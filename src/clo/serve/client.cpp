@@ -1,0 +1,61 @@
+#include "clo/serve/client.hpp"
+
+#include <unistd.h>
+
+#include <stdexcept>
+
+#include "clo/util/net.hpp"
+
+namespace clo::serve {
+
+bool Client::connect(int port) {
+  close();
+  util::net::ignore_sigpipe();
+  fd_ = util::net::connect_localhost(port);
+  return fd_ >= 0;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::request_line(const std::string& request, std::string* response,
+                          int timeout_ms) {
+  if (fd_ < 0) return false;
+  std::string line = request;
+  if (line.empty() || line.back() != '\n') line += '\n';
+  if (!util::net::send_all(fd_, line)) {
+    close();
+    return false;
+  }
+  if (!util::net::recv_line(fd_, response, timeout_ms)) {
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::request(const obs::Json& req, obs::Json* response,
+                     int timeout_ms) {
+  std::string raw;
+  if (!request_line(req.dump(), &raw, timeout_ms)) return false;
+  try {
+    *response = obs::Json::parse(raw);
+  } catch (const std::exception&) {
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool query_once(int port, const std::string& request, std::string* response,
+                int timeout_ms) {
+  Client client;
+  if (!client.connect(port)) return false;
+  return client.request_line(request, response, timeout_ms);
+}
+
+}  // namespace clo::serve

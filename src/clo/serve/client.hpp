@@ -1,0 +1,45 @@
+#pragma once
+// Tiny clo.serve.v1 client used by `clo query`, the serve tests, and
+// bench_serve. One connection, line-in/line-out; no retries, no threads —
+// callers that want concurrency open one Client per thread.
+
+#include <string>
+
+#include "clo/util/obs.hpp"
+
+namespace clo::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to 127.0.0.1:`port`. Returns false when the daemon is not
+  /// there.
+  bool connect(int port);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Send one request line and read the one response line, each bounded by
+  /// `timeout_ms`. Returns false on any socket failure (connection is
+  /// closed afterwards — reconnect to continue).
+  bool request_line(const std::string& request, std::string* response,
+                    int timeout_ms = 30000);
+
+  /// JSON-in/JSON-out convenience over request_line(). A transport failure
+  /// returns false; a daemon-side "status":"error" still returns true —
+  /// inspect the response.
+  bool request(const obs::Json& req, obs::Json* response,
+               int timeout_ms = 30000);
+
+ private:
+  int fd_ = -1;
+};
+
+/// One-shot: connect, one request, one response, close.
+bool query_once(int port, const std::string& request, std::string* response,
+                int timeout_ms = 30000);
+
+}  // namespace clo::serve

@@ -1,0 +1,122 @@
+#include "clo/serve/protocol.hpp"
+
+#include <stdexcept>
+
+namespace clo::serve {
+
+namespace {
+
+/// Fetch an integer field, defaulting when absent; rejects non-numbers and
+/// values outside [lo, hi] (a hostile peer must not be able to request a
+/// 2^31-restart pipeline).
+int get_int_field(const obs::Json& doc, const std::string& key, int fallback,
+                  int lo, int hi) {
+  const obs::Json* v = doc.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    throw std::runtime_error("field '" + key + "' must be a number");
+  }
+  const double d = v->as_double();
+  if (d < lo || d > hi) {
+    throw std::runtime_error("field '" + key + "' out of range [" +
+                             std::to_string(lo) + ", " + std::to_string(hi) +
+                             "]");
+  }
+  return static_cast<int>(d);
+}
+
+std::string get_string_field(const obs::Json& doc, const std::string& key) {
+  const obs::Json* v = doc.find(key);
+  if (v == nullptr) return "";
+  if (!v->is_string()) {
+    throw std::runtime_error("field '" + key + "' must be a string");
+  }
+  return v->as_string();
+}
+
+bool get_bool_field(const obs::Json& doc, const std::string& key,
+                    bool fallback) {
+  const obs::Json* v = doc.find(key);
+  if (v == nullptr) return fallback;
+  if (v->kind() != obs::Json::Kind::kBool) {
+    throw std::runtime_error("field '" + key + "' must be a boolean");
+  }
+  return v->as_bool();
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  obs::Json doc;
+  try {
+    doc = obs::Json::parse(line);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("malformed JSON: ") + e.what());
+  }
+  if (!doc.is_object()) {
+    throw std::runtime_error("request must be a JSON object");
+  }
+  Request req;
+  const std::string op = get_string_field(doc, "op");
+  if (op == "tune") {
+    req.op = Request::Op::kTune;
+  } else if (op == "qor") {
+    req.op = Request::Op::kQor;
+  } else if (op == "status") {
+    req.op = Request::Op::kStatus;
+  } else if (op == "shutdown") {
+    req.op = Request::Op::kShutdown;
+  } else if (op.empty()) {
+    throw std::runtime_error("missing required field 'op'");
+  } else {
+    throw std::runtime_error("unknown op '" + op +
+                             "' (expected tune|qor|status|shutdown)");
+  }
+  req.id = get_string_field(doc, "id");
+  req.circuit = get_string_field(doc, "circuit");
+  req.sequence = get_string_field(doc, "sequence");
+  req.dataset = get_int_field(doc, "dataset", req.dataset, 4, 100000);
+  req.restarts = get_int_field(doc, "restarts", req.restarts, 1, 1000);
+  req.seed = static_cast<std::uint64_t>(
+      get_int_field(doc, "seed", static_cast<int>(req.seed), 0, 1 << 30));
+  req.verify = get_bool_field(doc, "verify", false);
+  req.want_report = get_bool_field(doc, "report", false);
+  if ((req.op == Request::Op::kTune || req.op == Request::Op::kQor) &&
+      req.circuit.empty()) {
+    throw std::runtime_error("op '" + op +
+                             "' requires a 'circuit' field (see `list`)");
+  }
+  return req;
+}
+
+core::PipelineConfig pipeline_config(const Request& req) {
+  // Mirrors the shell `tune` command exactly: a serve answer for
+  // (circuit, dataset, restarts, seed) must be byte-identical to
+  // `clo -c "gen <circuit>; tune <dataset> <restarts>"`.
+  core::PipelineConfig config;
+  config.dataset_size = req.dataset;
+  config.restarts = req.restarts;
+  config.diffusion_steps = 60;
+  config.seed = req.seed;
+  config.verify = req.verify;
+  return config;
+}
+
+obs::Json ok_response(const Request* req) {
+  obs::Json r = obs::Json::object();
+  r["schema"] = kSchema;
+  if (req != nullptr && !req->id.empty()) r["id"] = req->id;
+  r["status"] = "ok";
+  return r;
+}
+
+obs::Json error_response(const std::string& message, const Request* req) {
+  obs::Json r = obs::Json::object();
+  r["schema"] = kSchema;
+  if (req != nullptr && !req->id.empty()) r["id"] = req->id;
+  r["status"] = "error";
+  r["error"] = message;
+  return r;
+}
+
+}  // namespace clo::serve

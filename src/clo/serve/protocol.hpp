@@ -1,0 +1,67 @@
+#pragma once
+// The clo.serve.v1 wire protocol: one JSON object per line over a
+// localhost TCP connection, strictly request/response. The daemon never
+// trusts the peer — malformed JSON, unknown ops, or out-of-range knobs
+// produce an "error" response on the same connection, never an exception
+// that escapes a session worker.
+//
+// Request:
+//   {"op": "tune" | "qor" | "status" | "shutdown",
+//    "id": "<optional client tag, echoed back>",
+//    "circuit": "<benchmark name>",          // tune, qor
+//    "sequence": "rw;rf;b",                  // qor (omit = registry best)
+//    "dataset": 80, "restarts": 2,           // pipeline knobs; defaults
+//    "seed": 1, "verify": false,             //   mirror the shell `tune`
+//    "report": false}                        // tune: attach clo.report.v1
+//
+// Response (always one line):
+//   {"schema": "clo.serve.v1", "id": ..., "req": "<per-request run id>",
+//    "status": "ok" | "error", ["error": "<message>"], ...op fields...}
+//
+// tune adds:  best_sequence, best_area_um2, best_delay_ps,
+//             original_area_um2, original_delay_ps, warm (bool: answered
+//             from the registry's cached result), train_seconds,
+//             optimize_seconds, resumed_phases, [report]
+// qor adds:   sequence, area_um2, delay_ps, evaluator {queries,
+//             unique_runs, cache_hits} — unique_runs is the synthesis-run
+//             counter a warm query must NOT advance
+// status adds: circuits [keys], trainings, accepted/served/rejected,
+//             queue_depth, uptime_s
+
+#include <string>
+
+#include "clo/core/pipeline.hpp"
+#include "clo/util/obs.hpp"
+
+namespace clo::serve {
+
+inline constexpr const char* kSchema = "clo.serve.v1";
+
+struct Request {
+  enum class Op { kTune, kQor, kStatus, kShutdown };
+  Op op = Op::kStatus;
+  std::string id;        ///< client-chosen tag, echoed verbatim
+  std::string circuit;   ///< benchmark name (tune/qor)
+  std::string sequence;  ///< qor: sequence text; empty = registry best
+  int dataset = 80;      ///< defaults mirror the shell `tune` command
+  int restarts = 2;
+  std::uint64_t seed = 1;
+  bool verify = false;
+  bool want_report = false;
+};
+
+/// Parse one request line. Throws std::runtime_error with a
+/// client-presentable message on malformed input (bad JSON, missing or
+/// unknown "op", out-of-range knobs).
+Request parse_request(const std::string& line);
+
+/// The pipeline configuration a request maps to — identical to the shell
+/// `tune` command's defaults so a warm serve answer is byte-comparable
+/// with a cold CLI run of the same circuit/config.
+core::PipelineConfig pipeline_config(const Request& req);
+
+/// Response skeletons; `req` may be null (unparseable request).
+obs::Json ok_response(const Request* req);
+obs::Json error_response(const std::string& message, const Request* req);
+
+}  // namespace clo::serve

@@ -1,0 +1,127 @@
+#include "clo/serve/registry.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "clo/circuits/generators.hpp"
+#include "clo/util/log.hpp"
+#include "clo/util/obs.hpp"
+#include "clo/util/thread_pool.hpp"
+#include "clo/util/timer.hpp"
+
+namespace clo::serve {
+
+namespace {
+
+std::string hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+ModelRegistry::Entry::Entry(std::string key_, aig::Aig circuit,
+                            core::PipelineConfig config)
+    : key(std::move(key_)),
+      evaluator(std::move(circuit)),
+      pipeline(std::move(config)) {}
+
+std::string ModelRegistry::key_for(const aig::Aig& circuit,
+                                   const core::PipelineConfig& config) const {
+  const bool data_parallel =
+      options_.pool != nullptr && options_.pool->size() >= 2;
+  return circuit.name() + "-" +
+         hex16(core::pipeline_config_hash(config, circuit, data_parallel));
+}
+
+std::shared_ptr<ModelRegistry::Entry> ModelRegistry::get_or_train(
+    const std::string& circuit_name, core::PipelineConfig config) {
+  // Unknown benchmark names throw before any registry state is touched.
+  aig::Aig circuit = circuits::make_benchmark(circuit_name);
+  const std::string key = key_for(circuit, config);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      auto it = ready_.find(key);
+      if (it != ready_.end()) {
+        CLO_OBS_COUNT("serve.registry_hits", 1);
+        return it->second;
+      }
+      if (inflight_.insert(key).second) break;  // we train
+      // Someone else is training this key: wait for their result instead
+      // of duplicating hundreds of synthesis runs (single-flight).
+      cv_.wait(lock);
+    }
+  }
+
+  try {
+    if (!options_.dir.empty()) {
+      config.checkpoint_dir = options_.dir + "/" + key;
+      config.resume = true;
+    }
+    auto entry = std::make_shared<Entry>(key, std::move(circuit),
+                                         std::move(config));
+    entry->pipeline.set_external_pool(options_.pool);
+    const bool on_disk =
+        !options_.dir.empty() &&
+        std::filesystem::exists(entry->pipeline.config().checkpoint_dir +
+                                "/dataset.ckpt");
+    Stopwatch watch;
+    {
+      ScopedTimer timer(watch);
+      entry->pipeline.pretrain(entry->evaluator);
+    }
+    entry->pretrain_seconds = watch.seconds();
+    entry->resumed_phases = entry->pipeline.resumed_phases();
+    if (on_disk && entry->resumed_phases == 0) {
+      // The directory held an entry but none of it was usable (corrupt,
+      // truncated, or written under a different config): skip and warn,
+      // never abort — the retrained entry overwrites it below.
+      CLO_LOG_WARN << "registry: entry '" << key
+                   << "' on disk was unreadable or stale; retrained";
+    }
+    trainings_.fetch_add(1, std::memory_order_relaxed);
+    CLO_OBS_COUNT("serve.registry_trainings", 1);
+    CLO_OBS_GAUGE("serve.registry_pretrain_seconds",
+                  entry->pretrain_seconds);
+    CLO_LOG_INFO << "registry: entry '" << key << "' ready in "
+                 << entry->pretrain_seconds << " s (" << entry->resumed_phases
+                 << " phase(s) from disk)";
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ready_[key] = entry;
+      inflight_.erase(key);
+    }
+    cv_.notify_all();
+    return entry;
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight_.erase(key);
+    }
+    cv_.notify_all();
+    throw;
+  }
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ready_.size();
+}
+
+std::vector<std::string> ModelRegistry::keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(ready_.size());
+  for (const auto& [key, entry] : ready_) out.push_back(key);
+  return out;
+}
+
+}  // namespace clo::serve

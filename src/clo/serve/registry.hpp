@@ -1,0 +1,108 @@
+#pragma once
+// The persistent model registry behind `clo serve`: one entry per
+// (circuit, config) pair — keyed by the circuit name plus the
+// pipeline_config_hash — holding the trained surrogate + diffusion models,
+// the labeled dataset, and the sharded-cache QorEvaluator whose memo table
+// answers warm QoR queries in microseconds.
+//
+// Semantics:
+//   * get-or-train: the first request for a key pays pretraining (or a
+//     checkpoint load when the registry directory already holds the
+//     entry); every later request reuses the in-memory entry.
+//   * single-flight: concurrent requests for the same key train ONCE —
+//     racers wait on a condition variable for the trainer, exactly the
+//     QorEvaluator in-flight discipline, so a thundering herd of identical
+//     circuits costs one pretraining run.
+//   * durable: with a registry directory, entries persist through the
+//     CLOCKPT1 phase-checkpoint container (dataset/surrogate/diffusion
+//     files under <dir>/<key>/) and survive daemon restarts; the fsynced
+//     atomic write makes a committed entry survive power loss. A corrupt
+//     or stale entry is skipped with a warning and retrained — never a
+//     crash, never a daemon that refuses to start.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clo/core/evaluator.hpp"
+#include "clo/core/pipeline.hpp"
+
+namespace clo::util {
+class ThreadPool;
+}
+
+namespace clo::serve {
+
+class ModelRegistry {
+ public:
+  struct Options {
+    /// Persistence root; empty = in-memory only (entries die with the
+    /// process).
+    std::string dir;
+    /// Shared worker pool every entry's pipeline fans out on (may be
+    /// null = serial). Owned by the caller (the Server), must outlive the
+    /// registry.
+    util::ThreadPool* pool = nullptr;
+  };
+
+  /// One trained (circuit, config) pair. `mu` serializes optimization and
+  /// the result cache; the evaluator is internally thread-safe.
+  struct Entry {
+    Entry(std::string key_, aig::Aig circuit, core::PipelineConfig config);
+
+    std::string key;
+    core::QorEvaluator evaluator;
+    core::CloPipeline pipeline;
+
+    std::mutex mu;
+    /// First optimize() result, cached: optimize() is deterministic from
+    /// the pretrain boundary, so every warm tune answers from here.
+    bool has_result = false;
+    core::PipelineResult result;
+
+    double pretrain_seconds = 0.0;
+    int resumed_phases = 0;  ///< 3 = fully loaded from the registry dir
+  };
+
+  explicit ModelRegistry(Options options) : options_(std::move(options)) {}
+
+  /// Look up (or build) the entry for `circuit_name` under `config`.
+  /// Blocks while another thread trains the same key (single-flight).
+  /// Throws std::invalid_argument for an unknown benchmark name and
+  /// propagates training failures (after releasing the in-flight slot so
+  /// racers can retry).
+  std::shared_ptr<Entry> get_or_train(const std::string& circuit_name,
+                                      core::PipelineConfig config);
+
+  /// Registry key for one (circuit, config) pair:
+  /// "<circuit>-<16-hex config hash>".
+  std::string key_for(const aig::Aig& circuit,
+                      const core::PipelineConfig& config) const;
+
+  std::size_t size() const;
+  std::vector<std::string> keys() const;
+  /// Pretraining runs actually executed (a single-flight race counts
+  /// once; a fully checkpoint-resumed build still counts — check the
+  /// entry's resumed_phases to distinguish).
+  std::uint64_t trainings() const {
+    return trainings_.load(std::memory_order_relaxed);
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< signaled when an in-flight key lands
+  std::map<std::string, std::shared_ptr<Entry>> ready_;
+  std::set<std::string> inflight_;
+  std::atomic<std::uint64_t> trainings_{0};
+};
+
+}  // namespace clo::serve

@@ -1,0 +1,313 @@
+#include "clo/serve/server.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <exception>
+#include <utility>
+
+#include "clo/opt/transform.hpp"
+#include "clo/util/log.hpp"
+#include "clo/util/net.hpp"
+#include "clo/util/obs.hpp"
+
+namespace clo::serve {
+
+namespace {
+
+/// How often blocked loops re-check the stop flag.
+constexpr int kPollMs = 200;
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  const std::size_t workers = util::resolve_threads(options_.threads);
+  if (workers >= 2) pool_ = std::make_unique<util::ThreadPool>(workers);
+  ModelRegistry::Options reg;
+  reg.dir = options_.registry_dir;
+  reg.pool = pool_.get();
+  registry_ = std::make_unique<ModelRegistry>(reg);
+  if (options_.sessions < 1) options_.sessions = 1;
+  if (options_.max_queue < 0) options_.max_queue = 0;
+  if (options_.idle_timeout_ms <= 0) options_.idle_timeout_ms = 5000;
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+  util::net::ignore_sigpipe();
+  listen_fd_ = util::net::listen_localhost(options_.port, 16, &port_);
+  if (listen_fd_ < 0) {
+    CLO_LOG_ERROR << "serve: cannot bind 127.0.0.1:" << options_.port;
+    return false;
+  }
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  uptime_.reset();
+  uptime_.start();
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(static_cast<std::size_t>(options_.sessions));
+  for (int i = 0; i < options_.sessions; ++i) {
+    workers_.emplace_back([this] { session_loop(); });
+  }
+  CLO_LOG_INFO << "serve: listening on 127.0.0.1:" << port_ << " ("
+               << options_.sessions << " session(s), pool="
+               << (pool_ ? pool_->size() : 1) << ", max_queue="
+               << options_.max_queue << ")";
+  return true;
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [this] {
+    return stop_requested_.load(std::memory_order_acquire);
+  });
+}
+
+void Server::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  shutdown_cv_.notify_all();
+  queue_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // Reject-and-close anything still queued (workers are gone).
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (int fd : pending_) {
+      util::net::send_all(
+          fd, error_response("server shutting down", nullptr).dump() + "\n");
+      ::close(fd);
+    }
+    pending_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  uptime_.stop();
+  CLO_LOG_INFO << "serve: stopped (served "
+               << served_.load(std::memory_order_relaxed) << " request(s))";
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.served = served_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    s.queue_depth = pending_.size();
+  }
+  s.uptime_s = uptime_.seconds();
+  return s;
+}
+
+void Server::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    if (!util::net::wait_readable(listen_fd_, kPollMs)) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    bool reject = false;
+    {
+      // Capacity = max_queue waiting connections on top of however many
+      // workers are idle right now; max_queue == 0 therefore rejects
+      // exactly when every session worker is occupied.
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      const std::size_t capacity =
+          static_cast<std::size_t>(options_.max_queue) +
+          static_cast<std::size_t>(idle_workers_);
+      if (pending_.size() >= capacity) {
+        reject = true;
+      } else {
+        pending_.push_back(client);
+      }
+    }
+    if (reject) {
+      // Backpressure, not OOM: one line of JSON, then a clean close. The
+      // client can retry; the daemon's memory stays bounded.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      CLO_OBS_COUNT("serve.rejected", 1);
+      util::net::send_all(
+          client,
+          error_response("server busy (queue full, retry later)", nullptr)
+                  .dump() +
+              "\n");
+      ::close(client);
+      continue;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    CLO_OBS_COUNT("serve.accepted", 1);
+    queue_cv_.notify_one();
+  }
+}
+
+void Server::session_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      ++idle_workers_;
+      queue_cv_.wait(lock, [this] {
+        return !pending_.empty() ||
+               !running_.load(std::memory_order_acquire);
+      });
+      --idle_workers_;
+      if (pending_.empty()) return;  // shutting down
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    handle_connection(fd);
+  }
+}
+
+void Server::handle_connection(int fd) {
+  std::string line;
+  while (running_.load(std::memory_order_acquire)) {
+    if (!util::net::recv_line(fd, &line, options_.idle_timeout_ms)) {
+      break;  // EOF, idle timeout, or oversized line: close quietly
+    }
+    if (line.empty()) continue;
+    if (!handle_line(fd, line)) break;
+  }
+  ::close(fd);
+}
+
+bool Server::handle_line(int fd, const std::string& line) {
+  const std::string req_id =
+      run_id() + "-" + std::to_string(next_request_.fetch_add(
+                           1, std::memory_order_relaxed));
+  obs::Json response;
+  bool keep_open = true;
+  Request req;
+  bool parsed = false;
+  try {
+    req = parse_request(line);
+    parsed = true;
+  } catch (const std::exception& e) {
+    response = error_response(e.what(), nullptr);
+  }
+  if (parsed) {
+    try {
+      switch (req.op) {
+        case Request::Op::kTune:
+          response = do_tune(req);
+          break;
+        case Request::Op::kQor:
+          response = do_qor(req);
+          break;
+        case Request::Op::kStatus:
+          response = do_status(req);
+          break;
+        case Request::Op::kShutdown:
+          response = ok_response(&req);
+          response["shutting_down"] = true;
+          keep_open = false;
+          stop_requested_.store(true, std::memory_order_release);
+          shutdown_cv_.notify_all();
+          break;
+      }
+    } catch (const std::exception& e) {
+      // A bad circuit name or a failed pipeline is the request's problem,
+      // never the daemon's: report and keep serving.
+      response = error_response(e.what(), &req);
+    }
+  }
+  response["req"] = req_id;
+  served_.fetch_add(1, std::memory_order_relaxed);
+  CLO_OBS_COUNT("serve.served", 1);
+  if (!util::net::send_all(fd, response.dump() + "\n")) {
+    // Peer went away mid-response; MSG_NOSIGNAL turned the would-be
+    // SIGPIPE into this false return. Close and move on.
+    CLO_LOG_DEBUG << "serve: client disconnected mid-response";
+    return false;
+  }
+  return keep_open;
+}
+
+obs::Json Server::do_tune(const Request& req) {
+  auto entry = registry_->get_or_train(req.circuit, pipeline_config(req));
+  bool warm = true;
+  core::PipelineResult result;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (!entry->has_result) {
+      // First tune for this entry: run the (deterministic-from-boundary)
+      // optimization once and cache it; every later tune answers from the
+      // cache, byte-identical to this run and to a cold CLI `tune`.
+      warm = false;
+      entry->result = entry->pipeline.optimize(entry->evaluator);
+      entry->has_result = true;
+    }
+    result = entry->result;
+  }
+  obs::Json r = ok_response(&req);
+  r["circuit"] = req.circuit;
+  r["warm"] = warm;
+  r["best_sequence"] = opt::sequence_to_string(result.best_sequence);
+  r["best_area_um2"] = result.best.area_um2;
+  r["best_delay_ps"] = result.best.delay_ps;
+  r["original_area_um2"] = result.original.area_um2;
+  r["original_delay_ps"] = result.original.delay_ps;
+  r["train_seconds"] = entry->pretrain_seconds;
+  r["optimize_seconds"] = result.optimize_seconds;
+  r["resumed_phases"] = entry->resumed_phases;
+  if (!result.verify_verdict.empty()) {
+    r["verify_verdict"] = result.verify_verdict;
+  }
+  if (req.want_report) {
+    r["report"] = core::pipeline_report(result, entry->evaluator.snapshot());
+  }
+  return r;
+}
+
+obs::Json Server::do_qor(const Request& req) {
+  auto entry = registry_->get_or_train(req.circuit, pipeline_config(req));
+  opt::Sequence seq;
+  if (!req.sequence.empty()) {
+    seq = opt::parse_sequence(req.sequence);
+  } else {
+    // Empty sequence = "the registry's best for this circuit": run the
+    // one-time optimization if nobody has yet.
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (!entry->has_result) {
+      entry->result = entry->pipeline.optimize(entry->evaluator);
+      entry->has_result = true;
+    }
+    seq = entry->result.best_sequence;
+  }
+  const core::Qor qor = entry->evaluator.evaluate(seq);
+  const core::EvaluatorStats stats = entry->evaluator.snapshot();
+  obs::Json r = ok_response(&req);
+  r["circuit"] = req.circuit;
+  r["sequence"] = opt::sequence_to_string(seq);
+  r["area_um2"] = qor.area_um2;
+  r["delay_ps"] = qor.delay_ps;
+  obs::Json ev = obs::Json::object();
+  ev["queries"] = static_cast<double>(stats.queries);
+  ev["unique_runs"] = static_cast<double>(stats.unique_runs);
+  ev["cache_hits"] = static_cast<double>(stats.cache_hits);
+  r["evaluator"] = std::move(ev);
+  return r;
+}
+
+obs::Json Server::do_status(const Request& req) {
+  const Stats s = stats();
+  obs::Json r = ok_response(&req);
+  obs::Json circuits = obs::Json::array();
+  for (const auto& key : registry_->keys()) circuits.push_back(obs::Json(key));
+  r["circuits"] = std::move(circuits);
+  r["trainings"] = static_cast<double>(registry_->trainings());
+  r["accepted"] = static_cast<double>(s.accepted);
+  r["served"] = static_cast<double>(s.served);
+  r["rejected"] = static_cast<double>(s.rejected);
+  r["queue_depth"] = static_cast<double>(s.queue_depth);
+  r["uptime_s"] = s.uptime_s;
+  return r;
+}
+
+}  // namespace clo::serve

@@ -1,0 +1,134 @@
+#pragma once
+// The `clo serve` daemon: a localhost TCP listener speaking clo.serve.v1
+// (one JSON object per line), a bounded queue of accepted connections, and
+// a small crew of session workers that multiplex tune/QoR requests onto a
+// single shared ThreadPool through the persistent ModelRegistry.
+//
+// Failure discipline (the bugs this server exists to not have):
+//   * every socket write goes through net::send_all (MSG_NOSIGNAL) and
+//     SIGPIPE is ignored process-wide — a client that disconnects
+//     mid-response costs one closed fd, never the process;
+//   * every socket read polls with a timeout — a silent client is closed
+//     after idle_timeout_ms and cannot stall a worker forever;
+//   * when the session queue is full, new connections get one line of
+//     backpressure JSON and a clean close — never an unbounded queue.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "clo/serve/protocol.hpp"
+#include "clo/serve/registry.hpp"
+#include "clo/util/thread_pool.hpp"
+#include "clo/util/timer.hpp"
+
+namespace clo::serve {
+
+struct ServerOptions {
+  /// Listen port; 0 = ephemeral (read the bound port from port()).
+  int port = 0;
+  /// Model registry persistence root; empty = in-memory only.
+  std::string registry_dir;
+  /// Maximum accepted-but-unserved connections; beyond this new clients
+  /// are rejected with a "server busy" error line. 0 rejects whenever all
+  /// session workers are occupied.
+  int max_queue = 32;
+  /// Concurrent session workers (each owns one client connection at a
+  /// time; pipelines inside them share the worker pool).
+  int sessions = 2;
+  /// Worker threads in the shared pipeline pool: 1 = serial, 0 = hardware
+  /// concurrency. This is part of the registry key (serial vs
+  /// data-parallel surrogate training differ in float rounding).
+  int threads = 0;
+  /// Idle limit for client reads; a connection with no complete request
+  /// line for this long is closed.
+  int idle_timeout_ms = 5000;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind the listener and start the accept thread + session workers.
+  /// Returns false (with a log line) when the port cannot be bound.
+  bool start();
+
+  /// Block until a shutdown request arrives (or stop() is called from
+  /// another thread). Does not tear down — call stop() after.
+  void wait();
+
+  /// Stop accepting, drain workers, close the listener. Idempotent; safe
+  /// after wait() or standalone.
+  void stop();
+
+  int port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// True once a shutdown request has arrived (wait() has unblocked or is
+  /// about to) — pollable by owners that cannot block in wait(), e.g. a
+  /// main() that also watches for SIGINT.
+  bool stop_requested() const {
+    return stop_requested_.load(std::memory_order_acquire);
+  }
+
+  ModelRegistry& registry() { return *registry_; }
+  util::ThreadPool* pool() { return pool_.get(); }
+
+  struct Stats {
+    std::uint64_t accepted = 0;  ///< connections handed to a worker
+    std::uint64_t served = 0;    ///< requests answered (ok or error)
+    std::uint64_t rejected = 0;  ///< connections refused by backpressure
+    std::size_t queue_depth = 0;
+    double uptime_s = 0.0;
+  };
+  Stats stats() const;
+
+ private:
+  void accept_loop();
+  void session_loop();
+  /// Serve one client connection until EOF/idle/shutdown; closes the fd.
+  void handle_connection(int fd);
+  /// One request line -> one response line. Returns false when the
+  /// connection should close (shutdown op or write failure).
+  bool handle_line(int fd, const std::string& line);
+
+  obs::Json do_tune(const Request& req);
+  obs::Json do_qor(const Request& req);
+  obs::Json do_status(const Request& req);
+
+  ServerOptions options_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<ModelRegistry> registry_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  ///< accepted fds awaiting a session worker
+  int idle_workers_ = 0;     ///< guarded by queue_mu_; part of capacity
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  mutable std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> next_request_{0};
+  Stopwatch uptime_;
+};
+
+}  // namespace clo::serve

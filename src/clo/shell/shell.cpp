@@ -15,6 +15,7 @@
 #include "clo/nn/kernel.hpp"
 #include "clo/opt/transform.hpp"
 #include "clo/sat/cec.hpp"
+#include "clo/serve/server.hpp"
 #include "clo/techmap/tech_map.hpp"
 #include "clo/util/exporter.hpp"
 #include "clo/util/fault.hpp"
@@ -52,6 +53,9 @@ Shell::Shell() : library_(techmap::CellLibrary::asap7()) {
 }
 
 Shell::~Shell() {
+  // A still-running in-shell daemon is torn down before the telemetry
+  // artifacts so its counters are included in them.
+  if (serve_server_ != nullptr) serve_server_->stop();
   // Stop the exporter first so its final JSONL record captures the
   // complete run before the summary artifacts below are written.
   if (exporter_ != nullptr) exporter_->stop();
@@ -530,6 +534,59 @@ void Shell::register_commands() {
                          out << "\n";
                          return true;
                        }});
+  commands_.push_back(
+      {"serve",
+       "serve start [port] [registry-dir] | status | stop — clo.serve.v1 "
+       "daemon",
+       [](Shell& sh, const auto& args, std::ostream& out) {
+         const std::string sub = args.size() >= 2 ? args[1] : "status";
+         if (sub == "start") {
+           if (sh.serve_server_ != nullptr) {
+             throw std::runtime_error(
+                 "serve: already running on 127.0.0.1:" +
+                 std::to_string(sh.serve_server_->port()));
+           }
+           serve::ServerOptions options;
+           options.port = args.size() >= 3 ? std::stoi(args[2]) : 0;
+           if (args.size() >= 4) options.registry_dir = args[3];
+           options.threads = sh.threads_;
+           auto server = std::make_unique<serve::Server>(options);
+           if (!server->start()) {
+             throw std::runtime_error("serve: cannot bind 127.0.0.1:" +
+                                      std::to_string(options.port));
+           }
+           sh.serve_server_ = std::move(server);
+           out << "serving clo.serve.v1 on 127.0.0.1:"
+               << sh.serve_server_->port() << "\n";
+           return true;
+         }
+         if (sub == "stop") {
+           if (sh.serve_server_ == nullptr) {
+             throw std::runtime_error("serve: not running");
+           }
+           const auto s = sh.serve_server_->stats();
+           sh.serve_server_->stop();
+           sh.serve_server_.reset();
+           out << "serve stopped (" << s.served << " request(s) served)\n";
+           return true;
+         }
+         if (sub == "status") {
+           if (sh.serve_server_ == nullptr) {
+             out << "serve: not running\n";
+             return true;
+           }
+           const auto s = sh.serve_server_->stats();
+           out << "serving on 127.0.0.1:" << sh.serve_server_->port()
+               << ": " << s.served << " served, " << s.rejected
+               << " rejected, queue " << s.queue_depth << ", "
+               << sh.serve_server_->registry().size() << " model(s), "
+               << sh.serve_server_->registry().trainings()
+               << " training(s)\n";
+           return true;
+         }
+         throw std::runtime_error(
+             "usage: serve start [port] [registry-dir] | status | stop");
+       }});
   commands_.push_back({"quit", "quit — leave the shell",
                        [](Shell&, const auto&, std::ostream&) { return false; }});
 }

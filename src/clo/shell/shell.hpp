@@ -17,6 +17,10 @@ namespace clo::util {
 class Exporter;
 }
 
+namespace clo::serve {
+class Server;
+}
+
 namespace clo::shell {
 
 class Shell {
@@ -116,6 +120,8 @@ class Shell {
   std::string profile_path_;
   std::unique_ptr<util::Exporter> exporter_;
   bool exporter_attempted_ = false;
+  /// In-shell clo.serve.v1 daemon (`serve start`); stopped on shutdown.
+  std::unique_ptr<serve::Server> serve_server_;
 };
 
 }  // namespace clo::shell

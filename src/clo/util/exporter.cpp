@@ -1,7 +1,5 @@
 #include "clo/util/exporter.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -10,6 +8,7 @@
 #include <cstring>
 
 #include "clo/util/log.hpp"
+#include "clo/util/net.hpp"
 #include "clo/util/obs.hpp"
 #include "clo/util/proc.hpp"
 
@@ -51,33 +50,16 @@ bool Exporter::start() {
   }
 
   if (want_listener) {
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    // A scraper disconnecting mid-response must never kill the process: we
+    // both write with MSG_NOSIGNAL (net::send_all) and blank the process
+    // SIGPIPE handler once, here, where the long-running surface starts.
+    net::ignore_sigpipe();
+    listen_fd_ = net::listen_localhost(options_.port, 4, &bound_port_);
     if (listen_fd_ < 0) {
-      CLO_LOG_ERROR << "exporter: socket() failed: " << std::strerror(errno);
-      if (out_.is_open()) out_.close();
-      return false;
-    }
-    int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
-            0 ||
-        ::listen(listen_fd_, 4) < 0) {
       CLO_LOG_ERROR << "exporter: cannot listen on port " << options_.port
                     << ": " << std::strerror(errno);
-      ::close(listen_fd_);
-      listen_fd_ = -1;
       if (out_.is_open()) out_.close();
       return false;
-    }
-    sockaddr_in bound{};
-    socklen_t len = sizeof bound;
-    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                      &len) == 0) {
-      bound_port_ = ntohs(bound.sin_port);
     }
     CLO_LOG_INFO << "exporter: serving Prometheus text on 127.0.0.1:"
                  << bound_port_;
@@ -160,6 +142,17 @@ void Exporter::listener_loop() {
     if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) continue;
+    // A client that connects and never sends ("silent client") must not
+    // stall the listener: wait for the request with a bounded poll and
+    // close idle connections instead of blocking in recv forever.
+    const int idle_ms =
+        options_.idle_timeout_ms > 0 ? options_.idle_timeout_ms : 5000;
+    if (!net::wait_readable(client, idle_ms)) {
+      CLO_LOG_DEBUG << "exporter: closing idle client (no request within "
+                    << idle_ms << " ms)";
+      ::close(client);
+      continue;
+    }
     // Drain whatever request line arrived (we serve one fixed document for
     // any request, GET / or otherwise), then respond and close.
     char buf[1024];
@@ -167,18 +160,14 @@ void Exporter::listener_loop() {
     proc::sample_into_registry();
     const std::string body =
         obs::Registry::instance().snapshot().to_prometheus();
-    std::string response =
+    const std::string response =
         "HTTP/1.0 200 OK\r\n"
         "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
         "Content-Length: " +
         std::to_string(body.size()) + "\r\n\r\n" + body;
-    std::size_t sent = 0;
-    while (sent < response.size()) {
-      const ssize_t n =
-          ::send(client, response.data() + sent, response.size() - sent, 0);
-      if (n <= 0) break;
-      sent += static_cast<std::size_t>(n);
-    }
+    // send_all writes with MSG_NOSIGNAL: a scraper that disconnects
+    // mid-response produces a false return here, not a fatal SIGPIPE.
+    (void)net::send_all(client, response);
     ::close(client);
   }
 }

@@ -38,6 +38,10 @@ struct ExporterOptions {
   /// TCP port for the Prometheus listener on 127.0.0.1; -1 = no listener,
   /// 0 = pick an ephemeral port (read it back via bound_port()).
   int port = -1;
+  /// How long an accepted connection may sit without sending a request
+  /// before the listener closes it (<= 0 = the 5000 ms default). A silent
+  /// client must never stall the scrape endpoint.
+  int idle_timeout_ms = 5000;
 };
 
 class Exporter {

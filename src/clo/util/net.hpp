@@ -1,0 +1,58 @@
+#pragma once
+// Minimal localhost TCP helpers shared by the telemetry exporter's
+// Prometheus listener and the `clo serve` daemon. Everything here encodes
+// the socket discipline a long-running process needs on Linux:
+//
+//   * writes never raise SIGPIPE — send_all() passes MSG_NOSIGNAL on every
+//     ::send, and ignore_sigpipe() additionally blanks the handler once per
+//     process (belt and suspenders: a disconnecting peer must never be able
+//     to kill the daemon);
+//   * reads never block forever — wait_readable()/recv_line() poll with a
+//     caller-chosen timeout, so a client that connects and sends nothing
+//     ("silent client") gets closed instead of stalling a listener thread;
+//   * listeners bind 127.0.0.1 only (the serving surface is deliberately
+//     local; remote access goes through a reverse proxy or SSH tunnel).
+//
+// All functions return -1 / false on failure and never throw; callers that
+// want diagnostics read errno immediately.
+
+#include <cstddef>
+#include <string>
+
+namespace clo::util::net {
+
+/// Ignore SIGPIPE for the whole process (idempotent, thread-safe). Called
+/// by every daemon-ish entry point (exporter listener, serve::Server) so a
+/// peer disconnecting mid-write surfaces as an EPIPE error return instead
+/// of a fatal signal.
+void ignore_sigpipe();
+
+/// Create a TCP socket bound to 127.0.0.1:`port` (0 = ephemeral) and
+/// listening with `backlog`. Returns the listen fd, or -1 on failure. When
+/// `bound_port` is non-null it receives the actually bound port.
+int listen_localhost(int port, int backlog, int* bound_port);
+
+/// Blocking connect to 127.0.0.1:`port`. Returns the fd or -1.
+int connect_localhost(int port);
+
+/// Poll `fd` for readability for up to `timeout_ms` (<0 = wait forever).
+/// Returns true when readable (or the peer hung up — the next read
+/// observes EOF), false on timeout or poll error.
+bool wait_readable(int fd, int timeout_ms);
+
+/// Write all `len` bytes with MSG_NOSIGNAL, retrying short writes and
+/// EINTR. Returns false when the peer is gone (EPIPE/ECONNRESET/...) —
+/// never raises a signal.
+bool send_all(int fd, const char* data, std::size_t len);
+inline bool send_all(int fd, const std::string& data) {
+  return send_all(fd, data.data(), data.size());
+}
+
+/// Read one '\n'-terminated line (the newline is consumed, not returned).
+/// Each wait for more bytes honors `timeout_ms`; `max_len` caps the line
+/// (oversize input fails rather than buffering unboundedly). Returns false
+/// on timeout, EOF before a newline, overflow, or a read error.
+bool recv_line(int fd, std::string* line, int timeout_ms,
+               std::size_t max_len = 1 << 20);
+
+}  // namespace clo::util::net

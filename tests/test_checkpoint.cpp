@@ -511,6 +511,31 @@ TEST_F(CheckpointTest, CorruptCheckpointFallsBackToRecompute) {
   expect_same_outcome(resumed, baseline);
 }
 
+TEST_F(CheckpointTest, DurableWriteLeavesNoTmpAndSurvivesOverwrite) {
+  // The atomic write path now fsyncs the tmp file before renaming it and
+  // the directory after: the final name must never point at unpersisted
+  // bytes. Observable contract here: round-trips are exact, repeated saves
+  // overwrite in place, and no .tmp staging file is ever left behind.
+  const std::string dir = fresh_dir("ckpt_durable");
+  core::CheckpointManager mgr(dir, 7);
+  const auto first = sample_dataset_checkpoint();
+  ASSERT_TRUE(mgr.save_dataset(first));
+  auto second = sample_dataset_checkpoint();
+  second.seconds = 99.0;  // distinguishable payload
+  ASSERT_TRUE(mgr.save_dataset(second));  // overwrite, same path
+
+  std::size_t files = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    EXPECT_EQ(e.path().extension(), ".ckpt") << e.path();
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);  // exactly the committed file, no staging debris
+
+  core::DatasetCheckpoint loaded;
+  ASSERT_TRUE(mgr.load_dataset(&loaded));
+  EXPECT_DOUBLE_EQ(loaded.seconds, 99.0);
+}
+
 TEST_F(CheckpointTest, ConfigChangeInvalidatesCheckpoints) {
   auto cfg = resume_config();
   cfg.checkpoint_dir = fresh_dir("resume_config_change");

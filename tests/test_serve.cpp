@@ -1,0 +1,406 @@
+// Serving-path acceptance tests: the clo.serve.v1 protocol (parsing and
+// hostile-input rejection), the model registry (single-flight get-or-train
+// under a thundering herd, persistence across registry instances, corrupt
+// entries skipped not fatal), and the daemon end to end (warm answers
+// byte-identical to a cold pipeline run, warm QoR queries that never touch
+// synthesis, silent clients that cannot stall a session worker, clients
+// that disconnect mid-response without killing the daemon, and bounded
+// backpressure when every worker is busy).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "clo/circuits/generators.hpp"
+#include "clo/core/pipeline.hpp"
+#include "clo/opt/transform.hpp"
+#include "clo/serve/client.hpp"
+#include "clo/serve/protocol.hpp"
+#include "clo/serve/registry.hpp"
+#include "clo/serve/server.hpp"
+#include "clo/util/net.hpp"
+#include "clo/util/thread_pool.hpp"
+
+namespace {
+
+using namespace clo;
+
+std::string temp_dir(const char* name) {
+  const std::string path = testing::TempDir() + name;
+  std::filesystem::remove_all(path);
+  return path;
+}
+
+/// Small-but-real pipeline config for registry tests (a few hundred ms).
+core::PipelineConfig tiny_config() {
+  core::PipelineConfig config;
+  config.dataset_size = 8;
+  config.diffusion_steps = 8;
+  config.diffusion_iters = 20;
+  config.restarts = 1;
+  config.surrogate_train.epochs = 4;
+  config.seed = 1;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol.
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocol, ParsesTuneRequestWithDefaults) {
+  const auto req = serve::parse_request(
+      R"({"op":"tune","circuit":"ctrl","id":"r1"})");
+  EXPECT_EQ(req.op, serve::Request::Op::kTune);
+  EXPECT_EQ(req.circuit, "ctrl");
+  EXPECT_EQ(req.id, "r1");
+  // Defaults mirror the shell `tune` command.
+  EXPECT_EQ(req.dataset, 80);
+  EXPECT_EQ(req.restarts, 2);
+  EXPECT_EQ(req.seed, 1u);
+  EXPECT_FALSE(req.verify);
+  const auto config = serve::pipeline_config(req);
+  EXPECT_EQ(config.dataset_size, 80);
+  EXPECT_EQ(config.restarts, 2);
+  EXPECT_EQ(config.diffusion_steps, 60);
+}
+
+TEST(ServeProtocol, ParsesExplicitKnobs) {
+  const auto req = serve::parse_request(
+      R"({"op":"qor","circuit":"c432","sequence":"rw;rf;b","dataset":16,)"
+      R"("restarts":3,"seed":7,"verify":true})");
+  EXPECT_EQ(req.op, serve::Request::Op::kQor);
+  EXPECT_EQ(req.sequence, "rw;rf;b");
+  EXPECT_EQ(req.dataset, 16);
+  EXPECT_EQ(req.restarts, 3);
+  EXPECT_EQ(req.seed, 7u);
+  EXPECT_TRUE(req.verify);
+}
+
+TEST(ServeProtocol, RejectsHostileInput) {
+  EXPECT_THROW(serve::parse_request("not json at all"), std::runtime_error);
+  EXPECT_THROW(serve::parse_request("[1,2,3]"), std::runtime_error);
+  EXPECT_THROW(serve::parse_request(R"({"circuit":"ctrl"})"),
+               std::runtime_error);  // missing op
+  EXPECT_THROW(serve::parse_request(R"({"op":"explode"})"),
+               std::runtime_error);  // unknown op
+  EXPECT_THROW(serve::parse_request(R"({"op":"tune"})"),
+               std::runtime_error);  // tune without circuit
+  EXPECT_THROW(
+      serve::parse_request(R"({"op":"tune","circuit":"ctrl","dataset":2})"),
+      std::runtime_error);  // below range
+  EXPECT_THROW(serve::parse_request(
+                   R"({"op":"tune","circuit":"ctrl","restarts":99999})"),
+               std::runtime_error);  // above range
+  EXPECT_THROW(
+      serve::parse_request(R"({"op":"tune","circuit":"ctrl","seed":"x"})"),
+      std::runtime_error);  // wrong type
+}
+
+TEST(ServeProtocol, StatusAndShutdownNeedNoCircuit) {
+  EXPECT_EQ(serve::parse_request(R"({"op":"status"})").op,
+            serve::Request::Op::kStatus);
+  EXPECT_EQ(serve::parse_request(R"({"op":"shutdown"})").op,
+            serve::Request::Op::kShutdown);
+}
+
+// ---------------------------------------------------------------------------
+// Model registry.
+// ---------------------------------------------------------------------------
+
+TEST(ServeRegistry, GetOrTrainRaceTrainsExactlyOnce) {
+  serve::ModelRegistry registry({/*dir=*/"", /*pool=*/nullptr});
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<serve::ModelRegistry::Entry>> entries(kThreads);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        entries[static_cast<std::size_t>(i)] =
+            registry.get_or_train("ctrl", tiny_config());
+      } catch (...) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  // Single-flight: one pretraining run, every thread got the same entry.
+  EXPECT_EQ(registry.trainings(), 1u);
+  EXPECT_EQ(registry.size(), 1u);
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(entries[static_cast<std::size_t>(i)].get(), entries[0].get());
+  }
+}
+
+TEST(ServeRegistry, UnknownCircuitThrowsAndReleasesInflight) {
+  serve::ModelRegistry registry({/*dir=*/"", /*pool=*/nullptr});
+  EXPECT_THROW(registry.get_or_train("no-such-circuit", tiny_config()),
+               std::invalid_argument);
+  // The failure must not leave a stuck in-flight slot behind.
+  auto entry = registry.get_or_train("ctrl", tiny_config());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ServeRegistry, PersistsAcrossInstances) {
+  const std::string dir = temp_dir("serve_registry_persist");
+  opt::Sequence first_best;
+  {
+    serve::ModelRegistry registry({dir, /*pool=*/nullptr});
+    auto entry = registry.get_or_train("ctrl", tiny_config());
+    EXPECT_EQ(entry->resumed_phases, 0);  // cold: nothing on disk yet
+    entry->result = entry->pipeline.optimize(entry->evaluator);
+    entry->has_result = true;
+    first_best = entry->result.best_sequence;
+  }
+  {
+    // A fresh registry (daemon restart) must load all three phases from
+    // the CLOCKPT1 files and optimize to the identical sequence.
+    serve::ModelRegistry registry({dir, /*pool=*/nullptr});
+    auto entry = registry.get_or_train("ctrl", tiny_config());
+    EXPECT_EQ(entry->resumed_phases, 3);
+    const auto result = entry->pipeline.optimize(entry->evaluator);
+    EXPECT_EQ(opt::sequence_to_string(result.best_sequence),
+              opt::sequence_to_string(first_best));
+  }
+}
+
+TEST(ServeRegistry, CorruptEntryIsSkippedAndRetrained) {
+  const std::string dir = temp_dir("serve_registry_corrupt");
+  {
+    serve::ModelRegistry registry({dir, /*pool=*/nullptr});
+    registry.get_or_train("ctrl", tiny_config());
+  }
+  // Truncate/garbage every checkpoint in the entry.
+  for (const auto& file : std::filesystem::recursive_directory_iterator(dir)) {
+    if (!file.is_regular_file()) continue;
+    std::ofstream f(file.path(), std::ios::trunc | std::ios::binary);
+    f << "garbage, not a CLOCKPT1 container";
+  }
+  // A corrupt entry must be skipped (warn + retrain), never abort the
+  // daemon or poison the registry.
+  serve::ModelRegistry registry({dir, /*pool=*/nullptr});
+  auto entry = registry.get_or_train("ctrl", tiny_config());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->resumed_phases, 0);
+  EXPECT_EQ(registry.trainings(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Daemon end to end.
+// ---------------------------------------------------------------------------
+
+class ServeE2E : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    serve::ServerOptions options;
+    options.port = 0;  // ephemeral
+    options.sessions = 2;
+    options.max_queue = 4;
+    // Two pool workers on both the serve and the cold side: surrogate
+    // training's float rounding differs between serial and data-parallel
+    // modes, and byte-parity requires matching modes.
+    options.threads = 2;
+    options.idle_timeout_ms = 2000;
+    server = std::make_unique<serve::Server>(options);
+    ASSERT_TRUE(server->start());
+    ASSERT_GT(server->port(), 0);
+  }
+  void TearDown() override { server->stop(); }
+
+  static obs::Json request(serve::Client& client, const std::string& line) {
+    obs::Json response;
+    const obs::Json req = obs::Json::parse(line);
+    EXPECT_TRUE(client.request(req, &response, /*timeout_ms=*/120000));
+    return response;
+  }
+
+  static const obs::Json* field(const obs::Json& doc, const char* key) {
+    const obs::Json* v = doc.find(key);
+    EXPECT_NE(v, nullptr) << "missing field " << key << " in " << doc.dump();
+    return v;
+  }
+
+  std::unique_ptr<serve::Server> server;
+};
+
+TEST_F(ServeE2E, WarmTuneIsByteIdenticalToColdPipelineRun) {
+  serve::Client client;
+  ASSERT_TRUE(client.connect(server->port()));
+  const std::string tune_line =
+      R"({"op":"tune","circuit":"ctrl","dataset":16,"restarts":1})";
+
+  const obs::Json cold = request(client, tune_line);
+  ASSERT_EQ(field(cold, "status")->as_string(), "ok") << cold.dump();
+  EXPECT_FALSE(field(cold, "warm")->as_bool());
+  const std::string served_seq = field(cold, "best_sequence")->as_string();
+
+  // Same connection, same request: answered from the registry cache.
+  const obs::Json warm = request(client, tune_line);
+  ASSERT_EQ(field(warm, "status")->as_string(), "ok");
+  EXPECT_TRUE(field(warm, "warm")->as_bool());
+  EXPECT_EQ(field(warm, "best_sequence")->as_string(), served_seq);
+  EXPECT_EQ(field(warm, "best_area_um2")->as_double(),
+            field(cold, "best_area_um2")->as_double());
+  EXPECT_EQ(server->registry().trainings(), 1u);
+
+  // Cold reference: the same config through CloPipeline::run directly —
+  // the serve answer must be byte-identical to what the CLI would print.
+  auto req = serve::parse_request(tune_line);
+  auto config = serve::pipeline_config(req);
+  config.threads = 2;  // match the server pool's data-parallel mode
+  core::QorEvaluator evaluator(circuits::make_benchmark("ctrl"));
+  core::CloPipeline pipeline(config);
+  const auto reference = pipeline.run(evaluator);
+  EXPECT_EQ(opt::sequence_to_string(reference.best_sequence), served_seq);
+}
+
+TEST_F(ServeE2E, WarmQorQueriesNeverTouchSynthesis) {
+  serve::Client client;
+  ASSERT_TRUE(client.connect(server->port()));
+  const std::string qor_line =
+      R"({"op":"qor","circuit":"ctrl","dataset":16,"restarts":1})";
+  const obs::Json first = request(client, qor_line);
+  ASSERT_EQ(field(first, "status")->as_string(), "ok") << first.dump();
+  const double runs_before =
+      field(*field(first, "evaluator"), "unique_runs")->as_double();
+  for (int i = 0; i < 5; ++i) {
+    const obs::Json again = request(client, qor_line);
+    ASSERT_EQ(field(again, "status")->as_string(), "ok");
+    EXPECT_EQ(field(again, "area_um2")->as_double(),
+              field(first, "area_um2")->as_double());
+    // The synthesis-run counter must not move: every warm answer comes
+    // from the registry's cached result + the evaluator memo table.
+    EXPECT_EQ(
+        field(*field(again, "evaluator"), "unique_runs")->as_double(),
+        runs_before);
+  }
+  EXPECT_EQ(server->registry().trainings(), 1u);
+}
+
+TEST_F(ServeE2E, BadRequestsAnswerErrorsAndKeepServing) {
+  serve::Client client;
+  ASSERT_TRUE(client.connect(server->port()));
+  std::string raw;
+  ASSERT_TRUE(client.request_line("this is not json", &raw));
+  obs::Json err = obs::Json::parse(raw);
+  EXPECT_EQ(field(err, "status")->as_string(), "error");
+  // Unknown circuit: error response, same connection keeps working.
+  const obs::Json bad =
+      request(client, R"({"op":"qor","circuit":"nope","dataset":16})");
+  EXPECT_EQ(field(bad, "status")->as_string(), "error");
+  const obs::Json status = request(client, R"({"op":"status"})");
+  EXPECT_EQ(field(status, "status")->as_string(), "ok");
+}
+
+TEST_F(ServeE2E, ClientDisconnectMidResponseDoesNotKillDaemon) {
+  // A client that sends a request and slams the connection shut before
+  // reading the response used to SIGPIPE the whole process. Run several:
+  // one failed write must not take down the daemon or any worker.
+  for (int i = 0; i < 4; ++i) {
+    const int fd = util::net::connect_localhost(server->port());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(util::net::send_all(fd, "{\"op\":\"status\"}\n"));
+    ::close(fd);  // gone before the response is written
+  }
+  // Daemon must still answer. The slammed connections may still be
+  // queued (max_queue backpressure legitimately answers "server busy"
+  // while they drain), so retry until the queue clears — what must NOT
+  // happen is the daemon dying or a worker wedging.
+  bool answered = false;
+  for (int attempt = 0; attempt < 50 && !answered; ++attempt) {
+    serve::Client client;
+    ASSERT_TRUE(client.connect(server->port()));
+    obs::Json status;
+    if (client.request(obs::Json::parse(R"({"op":"status"})"), &status) &&
+        status.find("status") != nullptr &&
+        status.find("status")->as_string() == "ok") {
+      answered = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_TRUE(answered);
+  EXPECT_TRUE(server->running());
+}
+
+TEST_F(ServeE2E, SilentClientIsClosedAndDoesNotStallWorkers) {
+  // Connect and send nothing: the worker must give up after
+  // idle_timeout_ms, not camp on ::recv forever.
+  const int silent = util::net::connect_localhost(server->port());
+  ASSERT_GE(silent, 0);
+  // A real client must be served while the silent one idles.
+  serve::Client client;
+  ASSERT_TRUE(client.connect(server->port()));
+  const obs::Json status = request(client, R"({"op":"status"})");
+  EXPECT_EQ(field(status, "status")->as_string(), "ok");
+  // After the idle timeout the silent connection is closed by the server
+  // (read observes EOF).
+  std::this_thread::sleep_for(std::chrono::milliseconds(2500));
+  char byte = 0;
+  EXPECT_EQ(::read(silent, &byte, 1), 0);
+  ::close(silent);
+}
+
+TEST_F(ServeE2E, ShutdownRequestStopsAccepting) {
+  serve::Client client;
+  ASSERT_TRUE(client.connect(server->port()));
+  const obs::Json resp = request(client, R"({"op":"shutdown"})");
+  EXPECT_EQ(field(resp, "status")->as_string(), "ok");
+  EXPECT_TRUE(server->stop_requested());
+  server->stop();
+  EXPECT_FALSE(server->running());
+}
+
+TEST(ServeBackpressure, FullQueueRejectsWithOneErrorLine) {
+  serve::ServerOptions options;
+  options.port = 0;
+  options.sessions = 1;
+  options.max_queue = 0;  // reject whenever the only worker is busy
+  options.idle_timeout_ms = 3000;
+  serve::Server server(options);
+  ASSERT_TRUE(server.start());
+
+  // Occupy the single session worker with an open connection. A full
+  // status round-trip (retried: with max_queue=0 even this connect is
+  // rejected until the worker reaches its queue wait) proves the worker
+  // owns the connection and is now camped on its next recv.
+  serve::Client holder;
+  bool held = false;
+  for (int attempt = 0; attempt < 50 && !held; ++attempt) {
+    ASSERT_TRUE(holder.connect(server.port()));
+    obs::Json status;
+    held = holder.request(obs::Json::parse(R"({"op":"status"})"), &status,
+                          /*timeout_ms=*/2000) &&
+           status.find("status") != nullptr &&
+           status.find("status")->as_string() == "ok";
+    if (!held) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_TRUE(held);
+
+  // The next client gets a clean one-line rejection, not a hang or an
+  // unbounded queue.
+  const int fd = util::net::connect_localhost(server.port());
+  ASSERT_GE(fd, 0);
+  std::string line;
+  ASSERT_TRUE(util::net::recv_line(fd, &line, /*timeout_ms=*/3000));
+  const obs::Json err = obs::Json::parse(line);
+  ASSERT_NE(err.find("status"), nullptr);
+  EXPECT_EQ(err.find("status")->as_string(), "error");
+  ::close(fd);
+  holder.close();
+  const auto stats = server.stats();
+  EXPECT_GE(stats.rejected, 1u);
+  server.stop();
+}
+
+}  // namespace

@@ -247,6 +247,101 @@ TEST_F(TelemetryTest, ListenerServesPrometheusOverHttp) {
             body.size());
 }
 
+TEST_F(TelemetryTest, ListenerSurvivesClientDisconnectMidResponse) {
+  // Enough metrics that the response body far exceeds a socket send
+  // buffer: the listener is guaranteed to still be writing when the
+  // client slams the connection shut. Before MSG_NOSIGNAL (and the
+  // process-wide SIGPIPE ignore) this killed the whole process.
+  for (int i = 0; i < 20000; ++i) {
+    obs::Registry::instance().add_counter(
+        "disconnect.stress.metric_number_" + std::to_string(i), i);
+  }
+  util::ExporterOptions opts;
+  opts.port = 0;
+  util::Exporter exporter(opts);
+  ASSERT_TRUE(exporter.start());
+
+  for (int round = 0; round < 3; ++round) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(exporter.bound_port()));
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0);
+    const char request[] = "GET / HTTP/1.0\r\n\r\n";
+    ASSERT_GT(::send(fd, request, sizeof request - 1, 0), 0);
+    ::close(fd);  // disconnect before reading a single response byte
+  }
+
+  // The listener thread must still be alive and serving.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(exporter.bound_port()));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  const char request[] = "GET / HTTP/1.0\r\n\r\n";
+  ASSERT_GT(::send(fd, request, sizeof request - 1, 0), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  exporter.stop();
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+  EXPECT_NE(response.find("disconnect_stress_metric_number_19999"),
+            std::string::npos);
+}
+
+TEST_F(TelemetryTest, ListenerClosesSilentClientsInsteadOfStalling) {
+  obs::Registry::instance().add_counter("silent.test", 1);
+  util::ExporterOptions opts;
+  opts.port = 0;
+  opts.idle_timeout_ms = 200;  // close do-nothing clients quickly
+  util::Exporter exporter(opts);
+  ASSERT_TRUE(exporter.start());
+
+  // A client that connects and never sends a request used to park the
+  // single listener thread in a blocking ::recv forever.
+  const int silent = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(silent, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(exporter.bound_port()));
+  ASSERT_EQ(
+      ::connect(silent, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+
+  // A real scrape right behind it must still be answered (the silent
+  // client costs at most idle_timeout_ms).
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  const char request[] = "GET / HTTP/1.0\r\n\r\n";
+  ASSERT_GT(::send(fd, request, sizeof request - 1, 0), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << response;
+
+  // And the silent client was closed by the server, not left hanging.
+  char byte = 0;
+  EXPECT_EQ(::recv(silent, &byte, 1, 0), 0);  // EOF
+  ::close(silent);
+  exporter.stop();
+}
+
 // ---------------------------------------------------------------------------
 // Span-derived profiler.
 // ---------------------------------------------------------------------------

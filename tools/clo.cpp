@@ -3,6 +3,8 @@
 //   clo                      interactive session
 //   clo -c "gen c432; rw; map"   run ';'-separated commands and exit
 //   clo script.clo           run a script file
+//   clo serve [flags]        optimization-as-a-service daemon (clo.serve.v1)
+//   clo query [flags]        one request against a running daemon
 //
 // Options:
 //   --threads N   worker threads for `tune` (default 0 = hardware
@@ -35,17 +37,132 @@
 //                 "--fault list" prints the registered sites and exits.
 //                 The CLO_FAULT environment variable is honored too.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "clo/serve/client.hpp"
+#include "clo/serve/protocol.hpp"
+#include "clo/serve/server.hpp"
 #include "clo/shell/shell.hpp"
+#include "clo/util/cli.hpp"
 #include "clo/util/fault.hpp"
+#include "clo/util/obs.hpp"
+
+namespace {
+
+std::atomic<bool> g_signal{false};
+
+void on_signal(int) { g_signal.store(true, std::memory_order_release); }
+
+// `clo serve`: run the optimization daemon until SIGINT/SIGTERM or a
+// client's shutdown request.
+//   --serve-port P       listen port (default 0 = ephemeral)
+//   --registry-dir D     persistent model registry root (default: memory)
+//   --max-queue N        waiting connections beyond busy workers (def 32)
+//   --sessions N         concurrent session workers (default 2)
+//   --threads N          shared pipeline pool (0 = hardware concurrency)
+//   --idle-timeout-ms N  close silent clients after N ms (default 5000)
+//   --port-file F        write the bound port to F once listening
+int run_serve(int argc, char** argv) {
+  clo::CliArgs args(argc, argv);
+  clo::serve::ServerOptions options;
+  options.port = args.get_int("serve-port", 0);
+  options.registry_dir = args.get("registry-dir", "");
+  options.max_queue = args.get_int("max-queue", 32);
+  options.sessions = args.get_int("sessions", 2);
+  options.threads = args.get_int("threads", 0);
+  options.idle_timeout_ms = args.get_int("idle-timeout-ms", 5000);
+  clo::serve::Server server(options);
+  if (!server.start()) {
+    std::cerr << "clo serve: cannot bind 127.0.0.1:" << options.port << "\n";
+    return 1;
+  }
+  const std::string port_file = args.get("port-file", "");
+  if (!port_file.empty()) {
+    std::ofstream f(port_file);
+    f << server.port() << "\n";
+  }
+  std::cout << "clo serve: listening on 127.0.0.1:" << server.port()
+            << std::endl;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  // Poll instead of Server::wait(): a signal handler cannot safely notify
+  // the server's condition variable, so the main thread watches both the
+  // signal flag and the protocol-level shutdown request.
+  while (!g_signal.load(std::memory_order_acquire) &&
+         !server.stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.stop();
+  return 0;
+}
+
+// `clo query`: one request to a running daemon, response line on stdout.
+//   --port P        daemon port (required)
+//   --op OP         tune | qor | status | shutdown (default status)
+//   --circuit C     benchmark name (tune/qor)
+//   --sequence S    "rw;rf;b" for qor (default: registry best)
+//   --dataset N / --restarts N / --seed N   pipeline knobs
+//   --report        attach the clo.report.v1 JSON to a tune response
+//   --json RAW      send RAW verbatim instead of building the request
+//   --timeout-ms N  response wait (default 600000 — cold tunes train)
+// Exit status: 0 iff the daemon answered with "status": "ok".
+int run_query(int argc, char** argv) {
+  clo::CliArgs args(argc, argv);
+  const int port = args.get_int("port", 0);
+  if (port <= 0) {
+    std::cerr << "clo query: --port is required\n";
+    return 1;
+  }
+  std::string request = args.get("json", "");
+  if (request.empty()) {
+    clo::obs::Json req = clo::obs::Json::object();
+    req["op"] = args.get("op", "status");
+    const std::string circuit = args.get("circuit", "");
+    if (!circuit.empty()) req["circuit"] = circuit;
+    const std::string sequence = args.get("sequence", "");
+    if (!sequence.empty()) req["sequence"] = sequence;
+    if (args.has("dataset")) req["dataset"] = args.get_int("dataset", 80);
+    if (args.has("restarts")) req["restarts"] = args.get_int("restarts", 2);
+    if (args.has("seed")) req["seed"] = args.get_int("seed", 1);
+    if (args.has("report")) req["report"] = true;
+    request = req.dump();
+  }
+  std::string response;
+  if (!clo::serve::query_once(port, request, &response,
+                              args.get_int("timeout-ms", 600000))) {
+    std::cerr << "clo query: no response from 127.0.0.1:" << port << "\n";
+    return 1;
+  }
+  std::cout << response << "\n";
+  try {
+    const clo::obs::Json doc = clo::obs::Json::parse(response);
+    const clo::obs::Json* status = doc.find("status");
+    return status != nullptr && status->is_string() &&
+                   status->as_string() == "ok"
+               ? 0
+               : 1;
+  } catch (const std::exception&) {
+    return 1;
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2) {
+    const std::string mode = argv[1];
+    if (mode == "serve") return run_serve(argc - 1, argv + 1);
+    if (mode == "query") return run_query(argc - 1, argv + 1);
+  }
   // `--fault list` is a machine-readable query (CI word-splits the
   // output): handle it before the Shell, logging, or fault arming can
   // write anything, so stdout is exactly one site name per line.
