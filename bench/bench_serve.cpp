@@ -8,7 +8,7 @@
 //
 //   ./bench_serve [--circuit ctrl] [--dataset 16] [--restarts 1]
 //                 [--clients 4] [--requests 200] [--threads 0]
-//                 [--out BENCH_serve.json]
+//                 [--overload] [--out BENCH_serve.json]
 //
 // Output JSON (schema "clo.bench.serve.v1"):
 //   {"schema": ..., "circuit", "clients", "requests",
@@ -17,6 +17,15 @@
 //    "latency_ms": {"p50", "p90", "p99", "max"},
 //    "unique_runs_delta"}       // synthesis runs during the query storm
 //                               //   (MUST be 0: warm queries never synth)
+//
+// --overload instead drives a deliberately under-provisioned daemon
+// (2 sessions, queue of 2) with more clients than capacity, a third of
+// the requests carrying a 1 ms deadline and every client retrying "busy"
+// sheds with jittered backoff. It reports how the daemon degraded —
+// completed/shed/cancelled/deadline_exceeded counts plus the completed-
+// request p99 — and fails only if the daemon stopped answering or
+// returned an "internal" error; shedding and deadline kills are the
+// expected, bounded behaviors under overload, not failures.
 
 #include <algorithm>
 #include <chrono>
@@ -42,11 +51,199 @@ double percentile(std::vector<double> sorted, double p) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+/// The --overload scenario: saturate a small daemon, measure degradation.
+int run_overload(clo::CliArgs& args) {
+  using namespace clo;
+  const std::string circuit = args.get("circuit", "ctrl");
+  const int dataset = args.get_int("dataset", 16);
+  const int restarts = args.get_int("restarts", 1);
+  const int clients = args.get_int("clients", 8);
+  const int requests = args.get_int("requests", 50);
+  const std::string out_path = args.get("out", "BENCH_serve.json");
+
+  serve::ServerOptions options;
+  options.port = 0;
+  options.sessions = 2;   // deliberately under-provisioned
+  options.max_queue = 2;  // shed early, shed often
+  options.threads = args.get_int("threads", 0);
+  serve::Server server(options);
+  if (!server.start()) {
+    std::fprintf(stderr, "cannot start server\n");
+    return 1;
+  }
+
+  // Warm the registry so the storm measures overload handling, not
+  // pretraining.
+  obs::Json tune_req = obs::Json::object();
+  tune_req["op"] = "tune";
+  tune_req["circuit"] = circuit;
+  tune_req["dataset"] = dataset;
+  tune_req["restarts"] = restarts;
+  {
+    serve::Client client;
+    obs::Json resp;
+    if (!client.connect(server.port()) || !client.request(tune_req, &resp) ||
+        resp.find("status") == nullptr ||
+        resp.find("status")->as_string() != "ok") {
+      std::fprintf(stderr, "warm-up tune failed\n");
+      return 1;
+    }
+  }
+
+  struct ClientTally {
+    int completed = 0;
+    int shed = 0;  ///< still busy / transport-dead after retries
+    int cancelled = 0;
+    int deadline_exceeded = 0;
+    int internal = 0;
+    int attempts = 0;
+    std::vector<double> latency_ms;
+  };
+  std::vector<ClientTally> tallies(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  Stopwatch storm;
+  storm.start();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto& tally = tallies[static_cast<std::size_t>(c)];
+      serve::RetryPolicy policy;
+      policy.retries = 3;
+      policy.base_backoff_ms = 5;
+      policy.max_backoff_ms = 40;
+      policy.jitter_seed = static_cast<std::uint64_t>(c) + 1;
+      for (int i = 0; i < requests; ++i) {
+        obs::Json req = obs::Json::object();
+        req["op"] = "qor";
+        req["circuit"] = circuit;
+        req["dataset"] = dataset;
+        req["restarts"] = restarts;
+        // Every third request carries a deadline tight enough that queue
+        // wait under saturation can kill it: the mixed-deadline workload.
+        if (i % 3 == 0) req["deadline_ms"] = 1;
+        obs::Json resp;
+        int attempts = 0;
+        const auto begin = std::chrono::steady_clock::now();
+        const bool got = serve::query_with_retry(
+            server.port(), req, &resp, policy, /*timeout_ms=*/30000,
+            &attempts);
+        const auto end = std::chrono::steady_clock::now();
+        tally.attempts += attempts;
+        if (!got) {
+          ++tally.shed;
+          continue;
+        }
+        const obs::Json* status = resp.find("status");
+        const obs::Json* code = resp.find("code");
+        const std::string code_s =
+            code != nullptr && code->is_string() ? code->as_string() : "";
+        if (status != nullptr && status->is_string() &&
+            status->as_string() == "ok") {
+          ++tally.completed;
+          tally.latency_ms.push_back(
+              std::chrono::duration<double, std::milli>(end - begin)
+                  .count());
+        } else if (code_s == "busy") {
+          ++tally.shed;
+        } else if (code_s == "cancelled") {
+          ++tally.cancelled;
+        } else if (code_s == "deadline_exceeded") {
+          ++tally.deadline_exceeded;
+        } else {
+          ++tally.internal;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  storm.stop();
+
+  // The gate: after the storm the daemon must still answer, coherently.
+  obs::Json status;
+  bool alive = false;
+  {
+    serve::Client probe;
+    obs::Json req = obs::Json::object();
+    req["op"] = "status";
+    alive = probe.connect(server.port()) && probe.request(req, &status) &&
+            status.find("status") != nullptr &&
+            status.find("status")->as_string() == "ok";
+  }
+  const auto counter = [&](const char* key) -> double {
+    const obs::Json* v = status.find(key);
+    return v != nullptr && v->is_number() ? v->as_double() : 0.0;
+  };
+  server.stop();
+
+  ClientTally total;
+  std::vector<double> all_ms;
+  for (const auto& tally : tallies) {
+    total.completed += tally.completed;
+    total.shed += tally.shed;
+    total.cancelled += tally.cancelled;
+    total.deadline_exceeded += tally.deadline_exceeded;
+    total.internal += tally.internal;
+    total.attempts += tally.attempts;
+    all_ms.insert(all_ms.end(), tally.latency_ms.begin(),
+                  tally.latency_ms.end());
+  }
+  std::sort(all_ms.begin(), all_ms.end());
+  const double p50 = percentile(all_ms, 0.50);
+  const double p99 = percentile(all_ms, 0.99);
+  const int issued = clients * requests;
+
+  std::printf("bench_serve --overload: %d client(s) x %d request(s) "
+              "against 2 sessions + queue 2\n",
+              clients, requests);
+  std::printf("  completed         %6d (p50 %.3f ms, p99 %.3f ms)\n",
+              total.completed, p50, p99);
+  std::printf("  shed              %6d (after retries; server shed %.0f "
+              "connection(s))\n",
+              total.shed, counter("shed"));
+  std::printf("  deadline_exceeded %6d (server counted %.0f)\n",
+              total.deadline_exceeded, counter("deadline_exceeded"));
+  std::printf("  cancelled         %6d\n", total.cancelled);
+  std::printf("  internal errors   %6d\n", total.internal);
+  std::printf("  attempts          %6d for %d request(s)\n", total.attempts,
+              issued);
+  std::printf("  daemon alive after storm: %s\n", alive ? "yes" : "NO");
+
+  obs::Json doc = obs::Json::object();
+  doc["schema"] = "clo.bench.serve.v1";
+  doc["scenario"] = "overload";
+  doc["circuit"] = circuit;
+  doc["clients"] = clients;
+  doc["requests"] = requests;
+  doc["completed"] = total.completed;
+  doc["shed"] = total.shed;
+  doc["cancelled"] = total.cancelled;
+  doc["deadline_exceeded"] = total.deadline_exceeded;
+  doc["internal_errors"] = total.internal;
+  doc["attempts"] = total.attempts;
+  doc["server_shed"] = counter("shed");
+  doc["server_deadline_exceeded"] = counter("deadline_exceeded");
+  doc["alive_after_storm"] = alive;
+  obs::Json lat = obs::Json::object();
+  lat["p50"] = p50;
+  lat["p99"] = p99;
+  lat["max"] = all_ms.empty() ? 0.0 : all_ms.back();
+  doc["latency_ms"] = std::move(lat);
+  doc["seconds"] = storm.seconds();
+  if (!obs::write_json_file(out_path, doc)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  // Shedding and deadline kills are expected degradation; a dead daemon,
+  // an internal error, or zero completions is a failed run.
+  return (alive && total.internal == 0 && total.completed > 0) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace clo;
   CliArgs args(argc, argv);
+  if (args.has("overload")) return run_overload(args);
   const std::string circuit = args.get("circuit", "ctrl");
   const int dataset = args.get_int("dataset", 16);
   const int restarts = args.get_int("restarts", 1);

@@ -8,7 +8,8 @@
 namespace clo::core {
 
 Dataset generate_dataset(QorEvaluator& evaluator, int n, int length,
-                         clo::Rng& rng, util::ThreadPool* pool) {
+                         clo::Rng& rng, util::ThreadPool* pool,
+                         const util::CancelToken* cancel) {
   Dataset ds;
   // Sample every sequence up front from the main rng stream; labeling
   // consumes no randomness, so this draws exactly the values the old
@@ -22,9 +23,10 @@ Dataset generate_dataset(QorEvaluator& evaluator, int n, int length,
   obs::Progress progress("dataset", ds.sequences.size());
   util::parallel_for(pool, ds.sequences.size(), [&](std::size_t i) {
     CLO_TRACE_SPAN("dataset.label");
-    ds.qor[i] = evaluator.evaluate(ds.sequences[i]);
+    ds.qor[i] = evaluator.evaluate(ds.sequences[i], cancel);
     progress.tick();
   });
+  if (cancel != nullptr) cancel->check();
   double am = 0.0, dm = 0.0;
   for (const auto& q : ds.qor) {
     am += q.area_um2;

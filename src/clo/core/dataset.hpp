@@ -7,6 +7,7 @@
 
 #include "clo/core/evaluator.hpp"
 #include "clo/opt/transform.hpp"
+#include "clo/util/cancel.hpp"
 #include "clo/util/rng.hpp"
 
 namespace clo::util {
@@ -37,8 +38,11 @@ struct Dataset {
 /// Sample `n` random length-`length` sequences and label them. Sequences
 /// are drawn serially from `rng`; labeling fans out over `pool` when one
 /// is given. The result is bit-identical for any worker count (including
-/// the serial `pool == nullptr` path).
+/// the serial `pool == nullptr` path). `cancel` is polled per labeled
+/// item; a fired token aborts with util::CancelledError (parallel_for
+/// rethrows the first worker exception).
 Dataset generate_dataset(QorEvaluator& evaluator, int n, int length,
-                         clo::Rng& rng, util::ThreadPool* pool = nullptr);
+                         clo::Rng& rng, util::ThreadPool* pool = nullptr,
+                         const util::CancelToken* cancel = nullptr);
 
 }  // namespace clo::core

@@ -18,7 +18,9 @@ QorEvaluator::Shard& QorEvaluator::shard_for(const std::string& key) {
   return shards_[std::hash<std::string>{}(key) % kNumShards];
 }
 
-Qor QorEvaluator::evaluate(const opt::Sequence& seq) {
+Qor QorEvaluator::evaluate(const opt::Sequence& seq,
+                           const util::CancelToken* cancel) {
+  if (cancel != nullptr) cancel->check();
   num_queries_.fetch_add(1, std::memory_order_relaxed);
   CLO_OBS_COUNT("evaluator.queries", 1);
   const std::string key = opt::sequence_to_string(seq);
@@ -37,7 +39,15 @@ Qor QorEvaluator::evaluate(const opt::Sequence& seq) {
       // cache on every wake (the wake may be for a different key of this
       // shard, or the owner may have failed and handed the miss back).
       if (shard.inflight.count(key) == 0) break;
-      shard.cv.wait(lock);
+      if (cancel != nullptr) {
+        // A cancellable waiter must not sleep past its deadline just
+        // because another request owns the miss; wake periodically to
+        // poll the token.
+        cancel->check();
+        shard.cv.wait_for(lock, std::chrono::milliseconds(50));
+      } else {
+        shard.cv.wait(lock);
+      }
     }
     shard.inflight.insert(key);
   }
@@ -50,6 +60,10 @@ Qor QorEvaluator::evaluate(const opt::Sequence& seq) {
   Qor qor;
   try {
     CLO_FAULT_POINT("evaluator.synthesize");
+    if (cancel != nullptr) cancel->check();
+    // Make the request's token ambient for this thread so per-transform
+    // and in-synthesis cancel_point() calls observe it.
+    util::ScopedCancelToken ambient(cancel);
     aig::Aig g = circuit_;
     opt::run_sequence(g, seq);
     // Report the Pareto endpoints, like ABC's map + area recovery: the

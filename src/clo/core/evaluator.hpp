@@ -31,6 +31,7 @@
 #include "clo/aig/aig.hpp"
 #include "clo/opt/transform.hpp"
 #include "clo/techmap/tech_map.hpp"
+#include "clo/util/cancel.hpp"
 #include "clo/util/timer.hpp"
 
 namespace clo::core {
@@ -57,7 +58,14 @@ class QorEvaluator {
 
   /// Synthesize with `seq` and map; memoized per distinct sequence.
   /// Safe to call concurrently (see thread-safety contract above).
-  Qor evaluate(const opt::Sequence& seq);
+  /// `cancel` is polled on entry, while waiting on another thread's
+  /// in-flight synthesis of the same key, and (via the thread-local
+  /// ambient token) inside the synthesis transforms themselves; a fired
+  /// token throws util::CancelledError. A cancelled miss owner hands the
+  /// miss back exactly like any other failure, so racing threads retry
+  /// and the cache never holds partial results.
+  Qor evaluate(const opt::Sequence& seq,
+               const util::CancelToken* cancel = nullptr);
 
   /// QoR of the unoptimized circuit (empty sequence).
   Qor original();

@@ -43,6 +43,18 @@ struct ProgressInstall {
   ProgressInstall& operator=(const ProgressInstall&) = delete;
 };
 
+/// Same discipline for the borrowed cancellation token.
+struct CancelInstall {
+  const util::CancelToken** slot;
+  CancelInstall(const util::CancelToken** s, const util::CancelToken* t)
+      : slot(s) {
+    *slot = t;
+  }
+  ~CancelInstall() { *slot = nullptr; }
+  CancelInstall(const CancelInstall&) = delete;
+  CancelInstall& operator=(const CancelInstall&) = delete;
+};
+
 /// The non-finite-latent guard: a NaN/Inf latent would silently decode to
 /// a garbage nearest-embedding sequence, so surface it as a failure the
 /// tolerant restart driver can retry instead.
@@ -176,6 +188,7 @@ OptimizeResult ContinuousOptimizer::run_impl(const std::vector<float>& noise) {
       CLO_TRACE_SPAN("optimize.step");
       CLO_OBS_COUNT("optimizer.denoise_steps", 1);
       if (progress_ != nullptr) progress_->tick();
+      if (cancel_ != nullptr) cancel_->check();
       const double obj = objective_and_grad(x, &grad);
       for (std::size_t i = 0; i < x.size(); ++i) {
         x[i] -= static_cast<float>(params_.ablation_step *
@@ -195,6 +208,7 @@ OptimizeResult ContinuousOptimizer::run_impl(const std::vector<float>& noise) {
       CLO_TRACE_SPAN("optimize.step");
       CLO_OBS_COUNT("optimizer.denoise_steps", 1);
       if (progress_ != nullptr) progress_->tick();
+      if (cancel_ != nullptr) cancel_->check();
       const auto eps = diffusion_.predict_noise(x, t);
       const float ab = sched.alpha_bar(t);
       const float sqrt_ab = std::sqrt(ab);
@@ -276,6 +290,7 @@ void ContinuousOptimizer::run_impl_batch(
       CLO_TRACE_SPAN("optimize.step");
       CLO_OBS_COUNT("optimizer.denoise_steps", R);
       if (progress_ != nullptr) progress_->tick(R);
+      if (cancel_ != nullptr) cancel_->check();
       const auto objs = objective_and_grad_batch(x, &grads);
       const float step =
           static_cast<float>(params_.ablation_step * params_.omega);
@@ -299,6 +314,7 @@ void ContinuousOptimizer::run_impl_batch(
       CLO_TRACE_SPAN("optimize.step");
       CLO_OBS_COUNT("optimizer.denoise_steps", R);
       if (progress_ != nullptr) progress_->tick(R);
+      if (cancel_ != nullptr) cancel_->check();
       const auto eps = diffusion_.predict_noise_batch(x, t);
       const float ab = sched.alpha_bar(t);
       const float sqrt_ab = std::sqrt(ab);
@@ -367,7 +383,8 @@ void ContinuousOptimizer::run_impl_batch(
 }
 
 std::vector<OptimizeResult> ContinuousOptimizer::run_restarts(
-    clo::Rng& rng, int count, util::ThreadPool* pool, bool batched) {
+    clo::Rng& rng, int count, util::ThreadPool* pool, bool batched,
+    const util::CancelToken* cancel) {
   // Pre-draw every Gaussian serially, restart by restart, in the exact
   // order a sequential `run(rng)` loop would consume them (including the
   // Box-Muller cache carried across restarts). The trajectories are then a
@@ -393,6 +410,7 @@ std::vector<OptimizeResult> ContinuousOptimizer::run_restarts(
                       diffusion_.schedule().num_steps()) *
                       static_cast<std::uint64_t>(count > 0 ? count : 0));
   ProgressInstall install(&progress_, &progress);
+  CancelInstall cancel_install(&cancel_, cancel);
   std::vector<OptimizeResult> results(count);
   if (batched) {
     // One lockstep chunk per worker. Chunk composition cannot change the
@@ -417,7 +435,7 @@ std::vector<OptimizeResult> ContinuousOptimizer::run_restarts(
 
 std::vector<OptimizeResult> ContinuousOptimizer::run_restarts_tolerant(
     clo::Rng& rng, int count, util::ThreadPool* pool, bool batched,
-    std::vector<RestartFailure>* failures) {
+    std::vector<RestartFailure>* failures, const util::CancelToken* cancel) {
   // Primary draws come first, in the exact run_restarts order, so the
   // fault-free trajectories are bit-identical to run_restarts. The retry
   // Rngs are forked only afterwards: they perturb the main stream's state
@@ -443,6 +461,7 @@ std::vector<OptimizeResult> ContinuousOptimizer::run_restarts_tolerant(
                       diffusion_.schedule().num_steps()) *
                       static_cast<std::uint64_t>(count > 0 ? count : 0));
   ProgressInstall install(&progress_, &progress);
+  CancelInstall cancel_install(&cancel_, cancel);
 
   std::vector<OptimizeResult> results(count);
   std::vector<char> pending(count, 0);
@@ -475,6 +494,12 @@ std::vector<OptimizeResult> ContinuousOptimizer::run_restarts_tolerant(
     for (const auto& e : errors) pending[e.index] = 1;
   }
 
+  // Cancellation bypasses recovery entirely: the parallel pass above may
+  // have marked every restart pending (each worker threw CancelledError),
+  // and retrying/quarantining them would fabricate an all-quarantined
+  // "result" that a caller could cache. Surface the cancellation instead.
+  if (cancel != nullptr) cancel->check();
+
   // Serial recovery: original noise first (recovers chunk neighbors and
   // one-shot faults without changing any trajectory), then one fresh-noise
   // retry from the restart's own pre-forked Rng (the escape hatch for a
@@ -485,6 +510,8 @@ std::vector<OptimizeResult> ContinuousOptimizer::run_restarts_tolerant(
     try {
       results[r] = run_impl(noise[r]);
       continue;
+    } catch (const util::CancelledError&) {
+      throw;  // never quarantine a cancellation
     } catch (const std::exception&) {
       // Fall through to the fresh-noise retry.
     }
@@ -495,6 +522,8 @@ std::vector<OptimizeResult> ContinuousOptimizer::run_restarts_tolerant(
       }
       results[r] = run_impl(fresh);
       CLO_OBS_COUNT("optimizer.restart_retries", 1);
+    } catch (const util::CancelledError&) {
+      throw;  // never quarantine a cancellation
     } catch (const std::exception& e) {
       results[r] = OptimizeResult{};
       if (failures != nullptr) {

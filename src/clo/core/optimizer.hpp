@@ -15,6 +15,7 @@
 #include "clo/models/embedding.hpp"
 #include "clo/models/surrogate.hpp"
 #include "clo/opt/transform.hpp"
+#include "clo/util/cancel.hpp"
 #include "clo/util/rng.hpp"
 
 namespace clo::util {
@@ -88,9 +89,14 @@ class ContinuousOptimizer {
   /// in the `batched == false` per-restart fan-out — both modes retrieve
   /// identical sequences. `batched == false` keeps the historical
   /// one-thread-per-restart path (the `--no-batch` fallback).
-  std::vector<OptimizeResult> run_restarts(clo::Rng& rng, int count,
-                                           util::ThreadPool* pool = nullptr,
-                                           bool batched = true);
+  /// `cancel` (both overloads' trailing parameter) is polled once per
+  /// denoising timestep; a fired token aborts every in-flight restart with
+  /// util::CancelledError. Cancellation deliberately bypasses the tolerant
+  /// driver's retry/quarantine machinery — a cancelled run must surface as
+  /// an error, never as a quarantined-but-cacheable result.
+  std::vector<OptimizeResult> run_restarts(
+      clo::Rng& rng, int count, util::ThreadPool* pool = nullptr,
+      bool batched = true, const util::CancelToken* cancel = nullptr);
 
   /// A restart that failed both its normal run and its fresh-noise retry,
   /// and was therefore quarantined (its result slot left default).
@@ -113,7 +119,8 @@ class ContinuousOptimizer {
   /// they would have produced with no failures present.
   std::vector<OptimizeResult> run_restarts_tolerant(
       clo::Rng& rng, int count, util::ThreadPool* pool = nullptr,
-      bool batched = true, std::vector<RestartFailure>* failures = nullptr);
+      bool batched = true, std::vector<RestartFailure>* failures = nullptr,
+      const util::CancelToken* cancel = nullptr);
 
   /// Surrogate objective and its gradient at a flattened latent. With
   /// `grad == nullptr` this is a pure inference query: no autograd graph
@@ -152,6 +159,11 @@ class ContinuousOptimizer {
   /// thread-safe, so the concurrent restarts share one reporter. Never
   /// read by the math — purely observational.
   obs::Progress* progress_ = nullptr;
+  /// Cancellation token borrowed for the duration of run_restarts /
+  /// run_restarts_tolerant (same install/clear discipline as progress_)
+  /// and polled per denoising timestep by run_impl / run_impl_batch.
+  /// Checks are pure reads: an unfired token cannot perturb results.
+  const util::CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace clo::core

@@ -65,13 +65,16 @@ bool CloPipeline::data_parallel() const {
   return util::resolve_threads(config_.threads) >= 2;
 }
 
-PipelineResult CloPipeline::run(QorEvaluator& evaluator) {
-  pretrain(evaluator);
-  return optimize(evaluator);
+PipelineResult CloPipeline::run(QorEvaluator& evaluator,
+                                const util::CancelToken* cancel) {
+  pretrain(evaluator, cancel);
+  return optimize(evaluator, cancel);
 }
 
-void CloPipeline::pretrain(QorEvaluator& evaluator) {
+void CloPipeline::pretrain(QorEvaluator& evaluator,
+                           const util::CancelToken* cancel) {
   if (pretrained_) return;
+  if (cancel != nullptr) cancel->check();
   PipelineResult result;
   clo::Rng rng(config_.seed);
   // A pool only exists when parallelism was actually requested; every
@@ -121,7 +124,7 @@ void CloPipeline::pretrain(QorEvaluator& evaluator) {
       Stopwatch w;
       ScopedTimer st(w);
       dataset_ = generate_dataset(evaluator, config_.dataset_size,
-                                  config_.seq_len, rng, pool);
+                                  config_.seq_len, rng, pool, cancel);
       result.dataset_seconds = w.seconds();
       CLO_OBS_GAUGE("pipeline.dataset_seconds", result.dataset_seconds);
     }
@@ -170,6 +173,8 @@ void CloPipeline::pretrain(QorEvaluator& evaluator) {
     }
   }
   if (!have_surrogate) {
+    // Phase boundary: don't start a training phase that is already doomed.
+    if (cancel != nullptr) cancel->check();
     surrogate_ = models::make_surrogate(config_.surrogate,
                                         evaluator.circuit(), scfg, rng);
     {
@@ -186,7 +191,8 @@ void CloPipeline::pretrain(QorEvaluator& evaluator) {
       };
       result.surrogate_report =
           train_surrogate(*surrogate_, *embedding_, dataset_,
-                          config_.surrogate_train, rng, pool, factory);
+                          config_.surrogate_train, rng, pool, factory,
+                          cancel);
       result.surrogate_train_seconds = w.seconds();
       CLO_OBS_GAUGE("pipeline.surrogate_train_seconds",
                     result.surrogate_train_seconds);
@@ -245,6 +251,7 @@ void CloPipeline::pretrain(QorEvaluator& evaluator) {
     }
   }
   if (!have_diffusion) {
+    if (cancel != nullptr) cancel->check();
     diffusion_ = std::make_unique<models::DiffusionModel>(dcfg, rng);
     {
       CLO_TRACE_SPAN("pipeline.diffusion_train");
@@ -258,7 +265,7 @@ void CloPipeline::pretrain(QorEvaluator& evaluator) {
       }
       result.diffusion_report = diffusion_->train(
           data, config_.diffusion_iters, config_.diffusion_batch,
-          config_.diffusion_lr, rng);
+          config_.diffusion_lr, rng, cancel);
       result.diffusion_train_seconds = w.seconds();
       CLO_OBS_GAUGE("pipeline.diffusion_train_seconds",
                     result.diffusion_train_seconds);
@@ -292,8 +299,10 @@ void CloPipeline::pretrain(QorEvaluator& evaluator) {
   pretrained_ = true;
 }
 
-PipelineResult CloPipeline::optimize(QorEvaluator& evaluator) {
-  pretrain(evaluator);
+PipelineResult CloPipeline::optimize(QorEvaluator& evaluator,
+                                     const util::CancelToken* cancel) {
+  pretrain(evaluator, cancel);
+  if (cancel != nullptr) cancel->check();
   // Start from a copy of the pretraining result and the boundary Rng
   // state: every optimize() call replays the identical stream, so a warm
   // query's best_sequence is byte-identical to a cold run().
@@ -313,7 +322,7 @@ PipelineResult CloPipeline::optimize(QorEvaluator& evaluator) {
     ScopedTimer st(w);
     result.restarts = optimizer.run_restarts_tolerant(
         rng, config_.restarts, pool, config_.batch,
-        &result.optimize_quarantined);
+        &result.optimize_quarantined, cancel);
     result.optimize_seconds = w.seconds();
     CLO_OBS_GAUGE("pipeline.optimize_seconds", result.optimize_seconds);
     for (const auto& f : result.optimize_quarantined) {
@@ -340,13 +349,18 @@ PipelineResult CloPipeline::optimize(QorEvaluator& evaluator) {
         pool, result.restarts.size(), [&](std::size_t i) {
           if (!valid[i]) return;
           result.restart_qor[i] =
-              evaluator.evaluate(result.restarts[i].sequence);
+              evaluator.evaluate(result.restarts[i].sequence, cancel);
           progress.tick();
         });
+    // Cancellation bypasses the serial retry: a cancelled validation pass
+    // must surface as an error, not as a wave of quarantined restarts.
+    if (cancel != nullptr) cancel->check();
     for (const auto& e : errors) {
       try {
         result.restart_qor[e.index] =
-            evaluator.evaluate(result.restarts[e.index].sequence);
+            evaluator.evaluate(result.restarts[e.index].sequence, cancel);
+      } catch (const util::CancelledError&) {
+        throw;
       } catch (const std::exception& ex) {
         valid[e.index] = 0;
         result.validate_quarantined.push_back({e.index, ex.what()});
@@ -413,6 +427,7 @@ PipelineResult CloPipeline::optimize(QorEvaluator& evaluator) {
     if (sequences.empty()) sequences.push_back(result.best_sequence);
     result.verify_verdict = "equivalent";
     for (const auto& seq : sequences) {
+      if (cancel != nullptr) cancel->check();
       Stopwatch check_watch;
       ScopedTimer check_timer(check_watch);
       aig::Aig optimized = evaluator.circuit();

@@ -15,6 +15,7 @@
 #include "clo/core/trainer.hpp"
 #include "clo/models/diffusion.hpp"
 #include "clo/sat/cec.hpp"
+#include "clo/util/cancel.hpp"
 #include "clo/util/obs.hpp"
 #include "clo/util/rng.hpp"
 
@@ -110,7 +111,15 @@ class CloPipeline {
   explicit CloPipeline(PipelineConfig config) : config_(std::move(config)) {}
 
   /// Full run against one circuit — exactly pretrain() + optimize().
-  PipelineResult run(QorEvaluator& evaluator);
+  /// The optional `cancel` token is polled at phase boundaries, per
+  /// training batch/iteration, per optimizer timestep, and per validation
+  /// synthesis; when it fires, the run aborts with util::CancelledError.
+  /// Cancellation never perturbs an uncancelled run (checks are pure
+  /// reads) and never leaves partial state behind: pretrained_ only flips
+  /// after every phase completed, and on-disk phase checkpoints are
+  /// atomic, so a cancelled run simply resumes or retrains cleanly.
+  PipelineResult run(QorEvaluator& evaluator,
+                     const util::CancelToken* cancel = nullptr);
 
   /// Run only the one-time pretraining phases (dataset labeling, surrogate
   /// training, diffusion training), honoring checkpoint_dir/resume, and
@@ -118,7 +127,8 @@ class CloPipeline {
   /// a second call is a no-op — this is what lets a long-running server
   /// pay the pretraining cost once per (circuit, config) and answer every
   /// later query from the trained models.
-  void pretrain(QorEvaluator& evaluator);
+  void pretrain(QorEvaluator& evaluator,
+                const util::CancelToken* cancel = nullptr);
   bool pretrained() const { return pretrained_; }
 
   /// Continuous optimization + validation (+ --verify) from the pretrained
@@ -126,7 +136,8 @@ class CloPipeline {
   /// the Rng from the recorded boundary state, so repeated calls — and in
   /// particular a registry-warm serve query — return results byte-identical
   /// to a cold run() with the same config.
-  PipelineResult optimize(QorEvaluator& evaluator);
+  PipelineResult optimize(QorEvaluator& evaluator,
+                          const util::CancelToken* cancel = nullptr);
 
   /// Pretraining phases restored from a checkpoint by pretrain()
   /// (0 before pretrain() or on a fresh run, 3 = fully resumed).

@@ -38,7 +38,8 @@ TrainReport train_surrogate(models::SurrogateModel& model,
                             const models::TransformEmbedding& embedding,
                             const Dataset& dataset, const TrainConfig& config,
                             clo::Rng& rng, util::ThreadPool* pool,
-                            const SurrogateFactory& replica_factory) {
+                            const SurrogateFactory& replica_factory,
+                            const util::CancelToken* cancel) {
   Stopwatch watch;
   watch.start();
   const int n = static_cast<int>(dataset.size());
@@ -162,6 +163,7 @@ TrainReport train_surrogate(models::SurrogateModel& model,
     int batches = 0;
     for (std::size_t begin = 0; begin < train.size();
          begin += config.batch_size) {
+      if (cancel != nullptr) cancel->check();
       CLO_FAULT_POINT("surrogate.train_step");
       const std::size_t count =
           std::min<std::size_t>(config.batch_size, train.size() - begin);

@@ -56,10 +56,14 @@ using SurrogateFactory =
 /// order — deterministic for any worker count, though its float rounding
 /// differs from the serial batched path (which every other configuration
 /// uses and which matches the historical behavior exactly).
+/// `cancel` is polled once per minibatch; a fired token aborts training
+/// with util::CancelledError (the model is abandoned by the caller, so no
+/// partial-weight hazard).
 TrainReport train_surrogate(models::SurrogateModel& model,
                             const models::TransformEmbedding& embedding,
                             const Dataset& dataset, const TrainConfig& config,
                             clo::Rng& rng, util::ThreadPool* pool = nullptr,
-                            const SurrogateFactory& replica_factory = nullptr);
+                            const SurrogateFactory& replica_factory = nullptr,
+                            const util::CancelToken* cancel = nullptr);
 
 }  // namespace clo::core

@@ -147,7 +147,8 @@ DiffusionModel::DiffusionModel(const DiffusionConfig& cfg, clo::Rng& rng)
 
 DiffusionModel::TrainStats DiffusionModel::train(
     const std::vector<std::vector<float>>& data, int iterations,
-    int batch_size, float lr, clo::Rng& rng) {
+    int batch_size, float lr, clo::Rng& rng,
+    const util::CancelToken* cancel) {
   if (data.empty()) throw std::invalid_argument("diffusion train: no data");
   const int L = cfg_.seq_len, d = cfg_.embed_dim;
   // Divergence guard: mirror the surrogate trainer — keep the last weights
@@ -166,6 +167,7 @@ DiffusionModel::TrainStats DiffusionModel::train(
       "diffusion_train",
       static_cast<std::uint64_t>(iterations > 0 ? iterations : 0));
   for (int it = 0; it < iterations; ++it) {
+    if (cancel != nullptr) cancel->check();
     CLO_FAULT_POINT("diffusion.train_step");
     const int B = batch_size;
     Tensor x = Tensor::zeros({B, d, L});

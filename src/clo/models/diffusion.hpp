@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "clo/nn/modules.hpp"
+#include "clo/util/cancel.hpp"
 #include "clo/util/rng.hpp"
 
 namespace clo::models {
@@ -102,8 +103,11 @@ class DiffusionModel {
   static constexpr int kMaxLrBackoffs = 6;
 
   /// Algorithm 1: train the denoiser on N flattened [L*d] sequences.
+  /// `cancel` is polled once per iteration; a fired token aborts with
+  /// util::CancelledError.
   TrainStats train(const std::vector<std::vector<float>>& data,
-                   int iterations, int batch_size, float lr, clo::Rng& rng);
+                   int iterations, int batch_size, float lr, clo::Rng& rng,
+                   const util::CancelToken* cancel = nullptr);
 
   /// Unguided ancestral sampling (Eq. 7): returns a flattened [L*d] latent.
   std::vector<float> sample(clo::Rng& rng);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "clo/util/cancel.hpp"
+
 namespace clo::opt {
 
 using aig::Cube;
@@ -90,6 +92,9 @@ Lit build_sop(MiniAig& mini, const std::vector<Cube>& cubes, int num_vars) {
 
 /// Build both strategies in `mini`; return the cheaper output literal.
 Lit build_best(MiniAig& mini, const TruthTable& tt) {
+  // Innermost synthesis hot path: honor the ambient request token so a
+  // cancel/deadline fires mid-rewrite, not only between passes.
+  util::cancel_point();
   Memo memo;
   const Lit by_decomp = build_decomp(mini, tt, memo);
   const int cost_decomp = mini.cone_size(by_decomp);

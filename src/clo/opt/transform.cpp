@@ -3,6 +3,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "clo/util/cancel.hpp"
 #include "clo/util/obs.hpp"
 
 namespace clo::opt {
@@ -107,6 +108,9 @@ std::vector<PassStats> run_sequence(aig::Aig& g, const Sequence& seq) {
   std::vector<PassStats> stats;
   stats.reserve(seq.size());
   for (Transform t : seq) {
+    // Per-transform cancellation: a request's deadline fires between
+    // passes instead of waiting out the remainder of the sequence.
+    util::cancel_point();
     if (CLO_OBS_RUNTIME_ENABLED()) {
       [[maybe_unused]] const auto begin = std::chrono::steady_clock::now();
       stats.push_back(apply_transform(g, t));

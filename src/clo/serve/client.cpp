@@ -2,16 +2,46 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "clo/util/net.hpp"
 
 namespace clo::serve {
 
-bool Client::connect(int port) {
+namespace {
+
+/// splitmix64: cheap, well-mixed, deterministic — the jitter source.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+int retry_backoff_ms(const RetryPolicy& policy, int attempt) {
+  const int base = std::max(1, policy.base_backoff_ms);
+  const int cap = std::max(base, policy.max_backoff_ms);
+  // base * 2^attempt without overflow: stop doubling once past the cap.
+  std::int64_t raw = base;
+  for (int i = 0; i < attempt && raw < cap; ++i) raw *= 2;
+  raw = std::min<std::int64_t>(raw, cap);
+  // Deterministic jitter in [0.5, 1.0]: decorrelates a herd of clients
+  // with different seeds while keeping any one client reproducible.
+  const std::uint64_t h =
+      mix64(policy.jitter_seed ^ (static_cast<std::uint64_t>(attempt) << 32));
+  const double jitter = 0.5 + 0.5 * (static_cast<double>(h % 1024) / 1023.0);
+  return std::max(1, static_cast<int>(static_cast<double>(raw) * jitter));
+}
+
+bool Client::connect(int port, int connect_timeout_ms) {
   close();
   util::net::ignore_sigpipe();
-  fd_ = util::net::connect_localhost(port);
+  fd_ = util::net::connect_localhost(port, connect_timeout_ms);
   return fd_ >= 0;
 }
 
@@ -27,11 +57,24 @@ bool Client::request_line(const std::string& request, std::string* response,
   if (fd_ < 0) return false;
   std::string line = request;
   if (line.empty() || line.back() != '\n') line += '\n';
-  if (!util::net::send_all(fd_, line)) {
+  // One wall-clock budget across send AND receive: whatever the send
+  // spends (a peer draining its buffer slowly) is no longer available to
+  // the receive, so the call returns within ~timeout_ms regardless of how
+  // the peer misbehaves. Negative = unbounded, matching the net layer.
+  const auto start = std::chrono::steady_clock::now();
+  const auto remaining = [&]() -> int {
+    if (timeout_ms < 0) return -1;
+    const auto spent = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+    return static_cast<int>(
+        std::max<std::int64_t>(0, timeout_ms - spent));
+  };
+  if (!util::net::send_all(fd_, line, remaining())) {
     close();
     return false;
   }
-  if (!util::net::recv_line(fd_, response, timeout_ms)) {
+  if (!util::net::recv_line(fd_, response, remaining())) {
     close();
     return false;
   }
@@ -56,6 +99,36 @@ bool query_once(int port, const std::string& request, std::string* response,
   Client client;
   if (!client.connect(port)) return false;
   return client.request_line(request, response, timeout_ms);
+}
+
+bool query_with_retry(int port, const obs::Json& req, obs::Json* response,
+                      const RetryPolicy& policy, int timeout_ms,
+                      int* attempts_out) {
+  const int attempts = 1 + std::max(0, policy.retries);
+  bool got_response = false;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(retry_backoff_ms(policy, attempt - 1)));
+    }
+    Client client;
+    if (!client.connect(port)) continue;  // daemon absent/restarting
+    if (!client.request(req, response, timeout_ms)) continue;
+    got_response = true;
+    const obs::Json* status = response->find("status");
+    const obs::Json* code = response->find("code");
+    const bool busy = status != nullptr && status->is_string() &&
+                      status->as_string() == "error" && code != nullptr &&
+                      code->is_string() && code->as_string() == "busy";
+    if (!busy) {
+      if (attempts_out != nullptr) *attempts_out = attempt + 1;
+      return true;
+    }
+  }
+  if (attempts_out != nullptr) *attempts_out = attempts;
+  // All attempts failed or the last one was still "busy": report whether
+  // the caller has anything to inspect.
+  return got_response;
 }
 
 }  // namespace clo::serve

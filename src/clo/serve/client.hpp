@@ -1,13 +1,38 @@
 #pragma once
 // Tiny clo.serve.v1 client used by `clo query`, the serve tests, and
-// bench_serve. One connection, line-in/line-out; no retries, no threads —
-// callers that want concurrency open one Client per thread.
+// bench_serve. One connection, line-in/line-out; no threads — callers that
+// want concurrency open one Client per thread.
+//
+// Retry discipline: transport failures (daemon restarting, connection
+// refused, mid-response disconnect) and the "busy" error code are the ONLY
+// retryable outcomes — both mean "nothing happened yet, try again".
+// Semantic errors ("bad_request", "cancelled", "deadline_exceeded",
+// "internal") are final: retrying a malformed request can never succeed,
+// and retrying cancelled work would resurrect what the user just killed.
+// Backoff is exponential with deterministic jitter (seeded, reproducible
+// in tests) so a thundering herd of shed clients decorrelates instead of
+// re-stampeding the queue in lockstep.
 
+#include <cstdint>
 #include <string>
 
 #include "clo/util/obs.hpp"
 
 namespace clo::serve {
+
+/// Backoff schedule for query_with_retry: attempt k (0-based) sleeps
+/// jitter(base * 2^k) capped at max_backoff_ms, where jitter multiplies by
+/// a deterministic value in [0.5, 1.0] derived from (jitter_seed, k).
+struct RetryPolicy {
+  int retries = 0;  ///< extra attempts after the first (0 = no retry)
+  int base_backoff_ms = 50;
+  int max_backoff_ms = 2000;
+  std::uint64_t jitter_seed = 1;
+};
+
+/// Backoff before retry attempt `attempt` (0-based), in ms — exposed for
+/// tests (the schedule is part of the client's contract).
+int retry_backoff_ms(const RetryPolicy& policy, int attempt);
 
 class Client {
  public:
@@ -16,15 +41,18 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connect to 127.0.0.1:`port`. Returns false when the daemon is not
-  /// there.
-  bool connect(int port);
+  /// Connect to 127.0.0.1:`port`, giving up after `connect_timeout_ms`
+  /// (-1 = the OS default). Returns false when the daemon is not there.
+  bool connect(int port, int connect_timeout_ms = 2000);
   bool connected() const { return fd_ >= 0; }
   void close();
 
-  /// Send one request line and read the one response line, each bounded by
-  /// `timeout_ms`. Returns false on any socket failure (connection is
-  /// closed afterwards — reconnect to continue).
+  /// Send one request line and read the one response line under a single
+  /// end-to-end wall-clock budget of `timeout_ms` — the send and the
+  /// receive share it, so a peer that accepts bytes slowly cannot stretch
+  /// the call past the budget. Returns false on any socket failure or
+  /// budget exhaustion (connection is closed afterwards — reconnect to
+  /// continue).
   bool request_line(const std::string& request, std::string* response,
                     int timeout_ms = 30000);
 
@@ -41,5 +69,15 @@ class Client {
 /// One-shot: connect, one request, one response, close.
 bool query_once(int port, const std::string& request, std::string* response,
                 int timeout_ms = 30000);
+
+/// One request with retry/backoff: reconnects per attempt, retries on
+/// connect failure, transport failure, and the "busy" error code (see the
+/// header comment for why nothing else retries). Returns true when a
+/// response was obtained (even an error response — inspect it); false when
+/// every attempt failed at the transport level. `attempts_out` (optional)
+/// reports how many attempts ran.
+bool query_with_retry(int port, const obs::Json& req, obs::Json* response,
+                      const RetryPolicy& policy, int timeout_ms = 30000,
+                      int* attempts_out = nullptr);
 
 }  // namespace clo::serve

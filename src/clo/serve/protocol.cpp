@@ -64,27 +64,38 @@ Request parse_request(const std::string& line) {
     req.op = Request::Op::kQor;
   } else if (op == "status") {
     req.op = Request::Op::kStatus;
+  } else if (op == "cancel") {
+    req.op = Request::Op::kCancel;
   } else if (op == "shutdown") {
     req.op = Request::Op::kShutdown;
   } else if (op.empty()) {
     throw std::runtime_error("missing required field 'op'");
   } else {
     throw std::runtime_error("unknown op '" + op +
-                             "' (expected tune|qor|status|shutdown)");
+                             "' (expected tune|qor|status|cancel|shutdown)");
   }
   req.id = get_string_field(doc, "id");
   req.circuit = get_string_field(doc, "circuit");
   req.sequence = get_string_field(doc, "sequence");
+  req.target = get_string_field(doc, "target");
   req.dataset = get_int_field(doc, "dataset", req.dataset, 4, 100000);
   req.restarts = get_int_field(doc, "restarts", req.restarts, 1, 1000);
   req.seed = static_cast<std::uint64_t>(
       get_int_field(doc, "seed", static_cast<int>(req.seed), 0, 1 << 30));
   req.verify = get_bool_field(doc, "verify", false);
   req.want_report = get_bool_field(doc, "report", false);
+  // A day-long deadline is the sane ceiling; anything larger is a typo or
+  // an attack, and 0 keeps the pre-deadline behavior (unbounded).
+  req.deadline_ms = get_int_field(doc, "deadline_ms", 0, 0, 86400000);
   if ((req.op == Request::Op::kTune || req.op == Request::Op::kQor) &&
       req.circuit.empty()) {
     throw std::runtime_error("op '" + op +
                              "' requires a 'circuit' field (see `list`)");
+  }
+  if (req.op == Request::Op::kCancel && req.target.empty() &&
+      req.circuit.empty()) {
+    throw std::runtime_error(
+        "op 'cancel' requires a 'target' (request id) or 'circuit' field");
   }
   return req;
 }
@@ -110,12 +121,14 @@ obs::Json ok_response(const Request* req) {
   return r;
 }
 
-obs::Json error_response(const std::string& message, const Request* req) {
+obs::Json error_response(const std::string& message, const Request* req,
+                         const std::string& code) {
   obs::Json r = obs::Json::object();
   r["schema"] = kSchema;
   if (req != nullptr && !req->id.empty()) r["id"] = req->id;
   r["status"] = "error";
   r["error"] = message;
+  r["code"] = code;
   return r;
 }
 

@@ -6,17 +6,33 @@
 // that escapes a session worker.
 //
 // Request:
-//   {"op": "tune" | "qor" | "status" | "shutdown",
+//   {"op": "tune" | "qor" | "status" | "cancel" | "shutdown",
 //    "id": "<optional client tag, echoed back>",
-//    "circuit": "<benchmark name>",          // tune, qor
+//    "circuit": "<benchmark name>",          // tune, qor, cancel
 //    "sequence": "rw;rf;b",                  // qor (omit = registry best)
 //    "dataset": 80, "restarts": 2,           // pipeline knobs; defaults
 //    "seed": 1, "verify": false,             //   mirror the shell `tune`
-//    "report": false}                        // tune: attach clo.report.v1
+//    "report": false,                        // tune: attach clo.report.v1
+//    "deadline_ms": 0,                       // tune/qor: 0 = unbounded;
+//                                            //   the server cancels work
+//                                            //   past its deadline
+//    "target": "<id tag>"}                   // cancel: id of the request
+//                                            //   to cancel (or use
+//                                            //   "circuit" to cancel all
+//                                            //   work on one circuit)
 //
 // Response (always one line):
 //   {"schema": "clo.serve.v1", "id": ..., "req": "<per-request run id>",
-//    "status": "ok" | "error", ["error": "<message>"], ...op fields...}
+//    "status": "ok" | "error",
+//    ["error": "<message>", "code": "<machine-readable class>"],
+//    ...op fields...}
+//
+// Error codes (clients key retry policy off these, not the message):
+//   "busy"              — queue full; transient, retry with backoff
+//   "cancelled"         — work stopped by a cancel op
+//   "deadline_exceeded" — work stopped by its own deadline_ms
+//   "bad_request"       — malformed input; never retry
+//   "internal"          — anything else
 //
 // tune adds:  best_sequence, best_area_um2, best_delay_ps,
 //             original_area_um2, original_delay_ps, warm (bool: answered
@@ -25,8 +41,10 @@
 // qor adds:   sequence, area_um2, delay_ps, evaluator {queries,
 //             unique_runs, cache_hits} — unique_runs is the synthesis-run
 //             counter a warm query must NOT advance
+// cancel adds: cancelled (count of in-flight requests signalled)
 // status adds: circuits [keys], trainings, accepted/served/rejected,
-//             queue_depth, uptime_s
+//             shed, cancelled, deadline_exceeded, evictions,
+//             queue_depth, inflight, uptime_s
 
 #include <string>
 
@@ -38,16 +56,21 @@ namespace clo::serve {
 inline constexpr const char* kSchema = "clo.serve.v1";
 
 struct Request {
-  enum class Op { kTune, kQor, kStatus, kShutdown };
+  enum class Op { kTune, kQor, kStatus, kCancel, kShutdown };
   Op op = Op::kStatus;
   std::string id;        ///< client-chosen tag, echoed verbatim
-  std::string circuit;   ///< benchmark name (tune/qor)
+  std::string circuit;   ///< benchmark name (tune/qor/cancel)
   std::string sequence;  ///< qor: sequence text; empty = registry best
+  std::string target;    ///< cancel: id of the in-flight request to stop
   int dataset = 80;      ///< defaults mirror the shell `tune` command
   int restarts = 2;
   std::uint64_t seed = 1;
   bool verify = false;
   bool want_report = false;
+  /// Wall-clock budget for tune/qor; 0 = unbounded. The server arms the
+  /// request's CancelToken with it and a watchdog enforces it even while
+  /// the request waits in queue.
+  std::int64_t deadline_ms = 0;
 };
 
 /// Parse one request line. Throws std::runtime_error with a
@@ -60,8 +83,11 @@ Request parse_request(const std::string& line);
 /// with a cold CLI run of the same circuit/config.
 core::PipelineConfig pipeline_config(const Request& req);
 
-/// Response skeletons; `req` may be null (unparseable request).
+/// Response skeletons; `req` may be null (unparseable request). `code` is
+/// the machine-readable error class listed in the header comment; clients
+/// retry only "busy" (and transport failures), never semantic errors.
 obs::Json ok_response(const Request* req);
-obs::Json error_response(const std::string& message, const Request* req);
+obs::Json error_response(const std::string& message, const Request* req,
+                         const std::string& code = "internal");
 
 }  // namespace clo::serve

@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <exception>
 #include <utility>
 
@@ -17,6 +18,8 @@ namespace {
 
 /// How often blocked loops re-check the stop flag.
 constexpr int kPollMs = 200;
+/// How often the watchdog scans the in-flight table for expired deadlines.
+constexpr int kWatchdogMs = 100;
 
 }  // namespace
 
@@ -26,6 +29,8 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {
   ModelRegistry::Options reg;
   reg.dir = options_.registry_dir;
   reg.pool = pool_.get();
+  reg.max_entries = options_.registry_max_entries;
+  reg.max_mb = options_.registry_max_mb;
   registry_ = std::make_unique<ModelRegistry>(reg);
   if (options_.sessions < 1) options_.sessions = 1;
   if (options_.max_queue < 0) options_.max_queue = 0;
@@ -47,6 +52,7 @@ bool Server::start() {
   uptime_.reset();
   uptime_.start();
   accept_thread_ = std::thread([this] { accept_loop(); });
+  watchdog_thread_ = std::thread([this] { watchdog_loop(); });
   workers_.reserve(static_cast<std::size_t>(options_.sessions));
   for (int i = 0; i < options_.sessions; ++i) {
     workers_.emplace_back([this] { session_loop(); });
@@ -70,7 +76,15 @@ void Server::stop() {
   stop_requested_.store(true, std::memory_order_release);
   shutdown_cv_.notify_all();
   queue_cv_.notify_all();
+  // Fire every in-flight token so workers blocked inside a pipeline
+  // unwind within one cancellation-poll step instead of finishing
+  // (possibly minutes of) doomed work.
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    for (auto& [slot, entry] : inflight_) entry.token.cancel();
+  }
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -98,10 +112,16 @@ Server::Stats Server::stats() const {
   Stats s;
   s.accepted = accepted_.load(std::memory_order_relaxed);
   s.served = served_.load(std::memory_order_relaxed);
-  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     s.queue_depth = pending_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    s.inflight = inflight_.size();
   }
   s.uptime_s = uptime_.seconds();
   return s;
@@ -128,13 +148,14 @@ void Server::accept_loop() {
       }
     }
     if (reject) {
-      // Backpressure, not OOM: one line of JSON, then a clean close. The
-      // client can retry; the daemon's memory stays bounded.
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-      CLO_OBS_COUNT("serve.rejected", 1);
+      // Load shedding, not OOM: one line of JSON with code "busy" (the
+      // one code clients are allowed to retry on), then a clean close.
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      CLO_OBS_COUNT("serve.shed", 1);
       util::net::send_all(
           client,
-          error_response("server busy (queue full, retry later)", nullptr)
+          error_response("server busy (queue full, retry later)", nullptr,
+                         "busy")
                   .dump() +
               "\n");
       ::close(client);
@@ -189,19 +210,33 @@ bool Server::handle_line(int fd, const std::string& line) {
     req = parse_request(line);
     parsed = true;
   } catch (const std::exception& e) {
-    response = error_response(e.what(), nullptr);
+    response = error_response(e.what(), nullptr, "bad_request");
   }
   if (parsed) {
+    // tune/qor run under a fresh CancelToken: armed with the request's
+    // deadline_ms, registered in the in-flight table (so `cancel` ops and
+    // the watchdog can fire it), unregistered on every exit path.
+    const bool tracked =
+        req.op == Request::Op::kTune || req.op == Request::Op::kQor;
+    util::CancelToken token;
+    std::uint64_t slot = 0;
+    if (tracked) {
+      if (req.deadline_ms > 0) token.set_deadline_ms(req.deadline_ms);
+      slot = inflight_add(req, token);
+    }
     try {
       switch (req.op) {
         case Request::Op::kTune:
-          response = do_tune(req);
+          response = do_tune(req, &token);
           break;
         case Request::Op::kQor:
-          response = do_qor(req);
+          response = do_qor(req, &token);
           break;
         case Request::Op::kStatus:
           response = do_status(req);
+          break;
+        case Request::Op::kCancel:
+          response = do_cancel(req);
           break;
         case Request::Op::kShutdown:
           response = ok_response(&req);
@@ -211,11 +246,25 @@ bool Server::handle_line(int fd, const std::string& line) {
           shutdown_cv_.notify_all();
           break;
       }
+    } catch (const util::CancelledError& e) {
+      // Cancelled work unwound cleanly: the registry holds no partial
+      // entry and the worker is free again. Tell the client which kind.
+      const bool deadline = e.reason() == util::CancelReason::kDeadline;
+      if (deadline) {
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        CLO_OBS_COUNT("serve.deadline_exceeded", 1);
+      } else {
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        CLO_OBS_COUNT("serve.cancelled", 1);
+      }
+      response = error_response(e.what(), &req,
+                                deadline ? "deadline_exceeded" : "cancelled");
     } catch (const std::exception& e) {
       // A bad circuit name or a failed pipeline is the request's problem,
       // never the daemon's: report and keep serving.
       response = error_response(e.what(), &req);
     }
+    if (tracked) inflight_remove(slot);
   }
   response["req"] = req_id;
   served_.fetch_add(1, std::memory_order_relaxed);
@@ -229,22 +278,61 @@ bool Server::handle_line(int fd, const std::string& line) {
   return keep_open;
 }
 
-obs::Json Server::do_tune(const Request& req) {
-  auto entry = registry_->get_or_train(req.circuit, pipeline_config(req));
-  bool warm = true;
-  core::PipelineResult result;
-  {
-    std::lock_guard<std::mutex> lock(entry->mu);
-    if (!entry->has_result) {
-      // First tune for this entry: run the (deterministic-from-boundary)
-      // optimization once and cache it; every later tune answers from the
-      // cache, byte-identical to this run and to a cold CLI `tune`.
-      warm = false;
-      entry->result = entry->pipeline.optimize(entry->evaluator);
-      entry->has_result = true;
+namespace {
+
+/// The Entry single-flight protocol for the one-time optimize(): exactly
+/// one session runs it (flagged by `optimizing`); everyone else does timed
+/// cv waits polling their own token, so a waiter's deadline or cancel
+/// fires promptly without disturbing the runner. Throwing (cancellation
+/// included) clears the flag and wakes a waiter to take over — `result`
+/// is only ever written from a completed optimize(), so no partial result
+/// can be cached.
+core::PipelineResult optimize_once(ModelRegistry::Entry& entry,
+                                   const util::CancelToken* cancel,
+                                   bool* warm) {
+  std::unique_lock<std::mutex> lock(entry.mu);
+  while (!entry.has_result && entry.optimizing) {
+    if (cancel != nullptr) {
+      cancel->check();
+      entry.cv.wait_for(lock, std::chrono::milliseconds(50));
+    } else {
+      entry.cv.wait(lock);
     }
-    result = entry->result;
   }
+  if (entry.has_result) {
+    if (warm != nullptr) *warm = true;
+    return entry.result;
+  }
+  if (warm != nullptr) *warm = false;
+  entry.optimizing = true;
+  lock.unlock();
+  core::PipelineResult result;
+  try {
+    // Deterministic from the pretrain boundary: this run is
+    // byte-identical to a cold CLI `tune` of the same circuit/config.
+    result = entry.pipeline.optimize(entry.evaluator, cancel);
+  } catch (...) {
+    lock.lock();
+    entry.optimizing = false;
+    entry.cv.notify_all();
+    throw;
+  }
+  lock.lock();
+  entry.result = result;
+  entry.has_result = true;
+  entry.optimizing = false;
+  entry.cv.notify_all();
+  return result;
+}
+
+}  // namespace
+
+obs::Json Server::do_tune(const Request& req,
+                          const util::CancelToken* cancel) {
+  auto entry =
+      registry_->get_or_train(req.circuit, pipeline_config(req), cancel);
+  bool warm = true;
+  const core::PipelineResult result = optimize_once(*entry, cancel, &warm);
   obs::Json r = ok_response(&req);
   r["circuit"] = req.circuit;
   r["warm"] = warm;
@@ -265,22 +353,19 @@ obs::Json Server::do_tune(const Request& req) {
   return r;
 }
 
-obs::Json Server::do_qor(const Request& req) {
-  auto entry = registry_->get_or_train(req.circuit, pipeline_config(req));
+obs::Json Server::do_qor(const Request& req,
+                         const util::CancelToken* cancel) {
+  auto entry =
+      registry_->get_or_train(req.circuit, pipeline_config(req), cancel);
   opt::Sequence seq;
   if (!req.sequence.empty()) {
     seq = opt::parse_sequence(req.sequence);
   } else {
     // Empty sequence = "the registry's best for this circuit": run the
     // one-time optimization if nobody has yet.
-    std::lock_guard<std::mutex> lock(entry->mu);
-    if (!entry->has_result) {
-      entry->result = entry->pipeline.optimize(entry->evaluator);
-      entry->has_result = true;
-    }
-    seq = entry->result.best_sequence;
+    seq = optimize_once(*entry, cancel, nullptr).best_sequence;
   }
-  const core::Qor qor = entry->evaluator.evaluate(seq);
+  const core::Qor qor = entry->evaluator.evaluate(seq, cancel);
   const core::EvaluatorStats stats = entry->evaluator.snapshot();
   obs::Json r = ok_response(&req);
   r["circuit"] = req.circuit;
@@ -295,6 +380,35 @@ obs::Json Server::do_qor(const Request& req) {
   return r;
 }
 
+obs::Json Server::do_cancel(const Request& req) {
+  // Fire the token of every in-flight request matching the target id (or,
+  // without a target, every request on the named circuit). The work
+  // unwinds at its next cancellation poll; the match count tells the
+  // client how many requests were signalled (0 = nothing matched, e.g.
+  // the request already finished — not an error).
+  int matched = 0;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    for (auto& [slot, entry] : inflight_) {
+      const bool by_id = !req.target.empty() && entry.id == req.target;
+      const bool by_circuit =
+          req.target.empty() && entry.circuit == req.circuit;
+      if (by_id || by_circuit) {
+        entry.token.cancel();
+        ++matched;
+      }
+    }
+  }
+  CLO_OBS_COUNT("serve.cancel_ops", 1);
+  CLO_LOG_INFO << "serve: cancel "
+               << (req.target.empty() ? "circuit '" + req.circuit + "'"
+                                      : "target '" + req.target + "'")
+               << " signalled " << matched << " request(s)";
+  obs::Json r = ok_response(&req);
+  r["cancelled"] = static_cast<double>(matched);
+  return r;
+}
+
 obs::Json Server::do_status(const Request& req) {
   const Stats s = stats();
   obs::Json r = ok_response(&req);
@@ -304,10 +418,63 @@ obs::Json Server::do_status(const Request& req) {
   r["trainings"] = static_cast<double>(registry_->trainings());
   r["accepted"] = static_cast<double>(s.accepted);
   r["served"] = static_cast<double>(s.served);
-  r["rejected"] = static_cast<double>(s.rejected);
+  // "rejected" is the clo.serve.v1 name for shed connections; "shed" is
+  // the same counter under the overload-hardening vocabulary.
+  r["rejected"] = static_cast<double>(s.shed);
+  r["shed"] = static_cast<double>(s.shed);
+  r["cancelled"] = static_cast<double>(s.cancelled);
+  r["deadline_exceeded"] = static_cast<double>(s.deadline_exceeded);
+  r["evictions"] = static_cast<double>(registry_->evictions());
   r["queue_depth"] = static_cast<double>(s.queue_depth);
+  r["inflight"] = static_cast<double>(s.inflight);
   r["uptime_s"] = s.uptime_s;
   return r;
+}
+
+std::uint64_t Server::inflight_add(const Request& req,
+                                   const util::CancelToken& token) {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  const std::uint64_t slot = ++inflight_seq_;
+  Inflight entry;
+  entry.id = req.id;
+  entry.circuit = req.circuit;
+  entry.token = token;
+  inflight_.emplace(slot, std::move(entry));
+  CLO_OBS_GAUGE("serve.inflight", static_cast<double>(inflight_.size()));
+  return slot;
+}
+
+void Server::inflight_remove(std::uint64_t slot) {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  inflight_.erase(slot);
+  CLO_OBS_GAUGE("serve.inflight", static_cast<double>(inflight_.size()));
+}
+
+void Server::watchdog_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      for (auto& [slot, entry] : inflight_) {
+        if (entry.deadline_logged || !entry.token.has_deadline()) continue;
+        // cancelled() latches kDeadline on an expired token, so this scan
+        // IS the enforcement — it fires the token even when the worker is
+        // between polls, and the worker's next check() unwinds the work.
+        if (entry.token.cancelled()) {
+          entry.deadline_logged = true;
+          CLO_LOG_WARN << "serve: request "
+                       << (entry.id.empty() ? "on circuit '" + entry.circuit +
+                                                  "'"
+                                            : "'" + entry.id + "'")
+                       << " exceeded its deadline; cancelling";
+        }
+      }
+    }
+    std::unique_lock<std::mutex> lock(shutdown_mu_);
+    shutdown_cv_.wait_for(lock, std::chrono::milliseconds(kWatchdogMs),
+                          [this] {
+                            return !running_.load(std::memory_order_acquire);
+                          });
+  }
 }
 
 }  // namespace clo::serve

@@ -11,12 +11,20 @@
 //   * every socket read polls with a timeout — a silent client is closed
 //     after idle_timeout_ms and cannot stall a worker forever;
 //   * when the session queue is full, new connections get one line of
-//     backpressure JSON and a clean close — never an unbounded queue.
+//     backpressure JSON (code "busy") and a clean close — never an
+//     unbounded queue;
+//   * every tune/qor carries a CancelToken registered in an in-flight
+//     table. A request's own deadline_ms, a client `cancel` op, or the
+//     watchdog thread fires the token; the pipeline polls it at phase /
+//     batch / timestep granularity and unwinds with a clean error line,
+//     handing the session worker back — one runaway pretrain can no
+//     longer occupy a worker forever.
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -25,6 +33,7 @@
 
 #include "clo/serve/protocol.hpp"
 #include "clo/serve/registry.hpp"
+#include "clo/util/cancel.hpp"
 #include "clo/util/thread_pool.hpp"
 #include "clo/util/timer.hpp"
 
@@ -49,6 +58,11 @@ struct ServerOptions {
   /// Idle limit for client reads; a connection with no complete request
   /// line for this long is closed.
   int idle_timeout_ms = 5000;
+  /// Registry LRU budgets, forwarded to ModelRegistry::Options: maximum
+  /// in-memory entries and maximum registry-directory size in MiB
+  /// (0 = unlimited).
+  std::size_t registry_max_entries = 0;
+  std::size_t registry_max_mb = 0;
 };
 
 class Server {
@@ -86,24 +100,48 @@ class Server {
   struct Stats {
     std::uint64_t accepted = 0;  ///< connections handed to a worker
     std::uint64_t served = 0;    ///< requests answered (ok or error)
-    std::uint64_t rejected = 0;  ///< connections refused by backpressure
+    std::uint64_t shed = 0;      ///< connections refused by backpressure
+    std::uint64_t cancelled = 0;          ///< requests stopped by cancel op
+    std::uint64_t deadline_exceeded = 0;  ///< requests past deadline_ms
     std::size_t queue_depth = 0;
+    std::size_t inflight = 0;  ///< tune/qor requests currently executing
     double uptime_s = 0.0;
   };
   Stats stats() const;
 
  private:
+  /// One executing tune/qor, addressable by the cancel op (via the
+  /// client-chosen id tag or the circuit name) and watched by the
+  /// watchdog. The CancelToken is a shared handle: firing it here is seen
+  /// by every pipeline check downstream.
+  struct Inflight {
+    std::string id;       ///< client tag ("" = not addressable by target)
+    std::string circuit;  ///< benchmark name (tune/qor)
+    util::CancelToken token;
+    bool deadline_logged = false;  ///< watchdog warns once per request
+  };
+
   void accept_loop();
   void session_loop();
+  /// Cancels over-deadline in-flight requests every ~100 ms. Enforcement
+  /// is cooperative (the pipeline polls the token), but the watchdog makes
+  /// it independent of which phase the work is in and logs the expiry.
+  void watchdog_loop();
   /// Serve one client connection until EOF/idle/shutdown; closes the fd.
   void handle_connection(int fd);
   /// One request line -> one response line. Returns false when the
   /// connection should close (shutdown op or write failure).
   bool handle_line(int fd, const std::string& line);
 
-  obs::Json do_tune(const Request& req);
-  obs::Json do_qor(const Request& req);
+  obs::Json do_tune(const Request& req, const util::CancelToken* cancel);
+  obs::Json do_qor(const Request& req, const util::CancelToken* cancel);
+  obs::Json do_cancel(const Request& req);
   obs::Json do_status(const Request& req);
+
+  /// Register/unregister one executing request in the in-flight table.
+  std::uint64_t inflight_add(const Request& req,
+                             const util::CancelToken& token);
+  void inflight_remove(std::uint64_t slot);
 
   ServerOptions options_;
   std::unique_ptr<util::ThreadPool> pool_;
@@ -124,9 +162,16 @@ class Server {
   mutable std::mutex shutdown_mu_;
   std::condition_variable shutdown_cv_;
 
+  std::thread watchdog_thread_;
+  mutable std::mutex inflight_mu_;
+  std::map<std::uint64_t, Inflight> inflight_;  ///< slot -> request
+  std::uint64_t inflight_seq_ = 0;
+
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> served_{0};
-  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
   std::atomic<std::uint64_t> next_request_{0};
   Stopwatch uptime_;
 };

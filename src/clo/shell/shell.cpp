@@ -577,8 +577,8 @@ void Shell::register_commands() {
            }
            const auto s = sh.serve_server_->stats();
            out << "serving on 127.0.0.1:" << sh.serve_server_->port()
-               << ": " << s.served << " served, " << s.rejected
-               << " rejected, queue " << s.queue_depth << ", "
+               << ": " << s.served << " served, " << s.shed
+               << " shed, queue " << s.queue_depth << ", "
                << sh.serve_server_->registry().size() << " model(s), "
                << sh.serve_server_->registry().trainings()
                << " training(s)\n";

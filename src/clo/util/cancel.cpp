@@ -1,0 +1,22 @@
+#include "clo/util/cancel.hpp"
+
+namespace clo::util {
+
+namespace {
+thread_local const CancelToken* g_current_token = nullptr;
+}  // namespace
+
+const CancelToken* current_cancel_token() { return g_current_token; }
+
+void cancel_point() {
+  if (g_current_token != nullptr) g_current_token->check();
+}
+
+ScopedCancelToken::ScopedCancelToken(const CancelToken* token)
+    : previous_(g_current_token) {
+  g_current_token = token;
+}
+
+ScopedCancelToken::~ScopedCancelToken() { g_current_token = previous_; }
+
+}  // namespace clo::util

@@ -32,26 +32,37 @@ void ignore_sigpipe();
 /// `bound_port` is non-null it receives the actually bound port.
 int listen_localhost(int port, int backlog, int* bound_port);
 
-/// Blocking connect to 127.0.0.1:`port`. Returns the fd or -1.
-int connect_localhost(int port);
+/// Connect to 127.0.0.1:`port`. `timeout_ms` bounds the connect itself
+/// (non-blocking connect + poll for writability; <0 = block forever, the
+/// pre-timeout behavior). Returns the fd (restored to blocking mode) or
+/// -1. A SYN to a dropped port can otherwise hang for minutes.
+int connect_localhost(int port, int timeout_ms = -1);
 
 /// Poll `fd` for readability for up to `timeout_ms` (<0 = wait forever).
 /// Returns true when readable (or the peer hung up — the next read
 /// observes EOF), false on timeout or poll error.
 bool wait_readable(int fd, int timeout_ms);
 
+/// Poll `fd` for writability for up to `timeout_ms` (<0 = wait forever).
+bool wait_writable(int fd, int timeout_ms);
+
 /// Write all `len` bytes with MSG_NOSIGNAL, retrying short writes and
 /// EINTR. Returns false when the peer is gone (EPIPE/ECONNRESET/...) —
-/// never raises a signal.
-bool send_all(int fd, const char* data, std::size_t len);
-inline bool send_all(int fd, const std::string& data) {
-  return send_all(fd, data.data(), data.size());
+/// never raises a signal. `timeout_ms` is an end-to-end budget for the
+/// whole write (<0 = no bound): a peer that stops draining its receive
+/// buffer makes us fail instead of blocking a worker thread forever.
+bool send_all(int fd, const char* data, std::size_t len,
+              int timeout_ms = -1);
+inline bool send_all(int fd, const std::string& data, int timeout_ms = -1) {
+  return send_all(fd, data.data(), data.size(), timeout_ms);
 }
 
 /// Read one '\n'-terminated line (the newline is consumed, not returned).
-/// Each wait for more bytes honors `timeout_ms`; `max_len` caps the line
-/// (oversize input fails rather than buffering unboundedly). Returns false
-/// on timeout, EOF before a newline, overflow, or a read error.
+/// `timeout_ms` is an end-to-end wall-clock budget for the whole line
+/// (<0 = wait forever): a peer dripping one byte per poll interval cannot
+/// stretch the wait beyond the budget. `max_len` caps the line (oversize
+/// input fails rather than buffering unboundedly). Returns false on
+/// timeout, EOF before a newline, overflow, or a read error.
 bool recv_line(int fd, std::string* line, int timeout_ms,
                std::size_t max_len = 1 << 20);
 

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -399,8 +400,305 @@ TEST(ServeBackpressure, FullQueueRejectsWithOneErrorLine) {
   ::close(fd);
   holder.close();
   const auto stats = server.stats();
-  EXPECT_GE(stats.rejected, 1u);
+  EXPECT_GE(stats.shed, 1u);
   server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Registry LRU eviction.
+// ---------------------------------------------------------------------------
+
+TEST(ServeRegistry, MaxEntriesLruEvictsAndWarmReloadsFromDisk) {
+  const std::string dir = temp_dir("serve_registry_lru");
+  serve::ModelRegistry registry(
+      {dir, /*pool=*/nullptr, /*max_entries=*/1, /*max_mb=*/0});
+  registry.get_or_train("ctrl", tiny_config());
+  EXPECT_EQ(registry.size(), 1u);
+  // A second circuit evicts the first from memory — but NOT from disk.
+  registry.get_or_train("c17", tiny_config());
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.evictions(), 1u);
+  EXPECT_EQ(registry.keys().front().rfind("c17-", 0), 0u);
+  // Re-requesting the evicted circuit warm-loads all three phases from
+  // its surviving checkpoints instead of retraining.
+  auto entry = registry.get_or_train("ctrl", tiny_config());
+  EXPECT_EQ(entry->resumed_phases, 3);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.evictions(), 2u);  // and c17 is out in turn
+}
+
+TEST(ServeRegistry, MaxMbEvictsStaleDiskEntriesButProtectsJustTrained) {
+  const std::string dir = temp_dir("serve_registry_disk_budget");
+  // A 2 MiB entry directory "left by an earlier daemon run" — never
+  // touched this process, so it is the LRU victim.
+  std::filesystem::create_directories(dir + "/stale-key");
+  {
+    std::ofstream f(dir + "/stale-key/blob", std::ios::binary);
+    const std::vector<char> junk(2 * 1024 * 1024, 'x');
+    f.write(junk.data(), static_cast<std::streamsize>(junk.size()));
+  }
+  serve::ModelRegistry registry(
+      {dir, /*pool=*/nullptr, /*max_entries=*/0, /*max_mb=*/1});
+  registry.get_or_train("ctrl", tiny_config());
+  EXPECT_FALSE(std::filesystem::exists(dir + "/stale-key"));
+  EXPECT_GE(registry.evictions(), 1u);
+  // The just-trained entry's directory must survive its own eviction pass.
+  EXPECT_TRUE(std::filesystem::exists(dir + "/" + registry.keys().front()));
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation and deadlines.
+// ---------------------------------------------------------------------------
+
+/// Poll the daemon until `pred(status)` holds (or ~2 s passes).
+template <typename Pred>
+bool wait_for_status(int port, Pred pred) {
+  for (int i = 0; i < 400; ++i) {
+    serve::Client client;
+    obs::Json status;
+    if (client.connect(port) &&
+        client.request(obs::Json::parse(R"({"op":"status"})"), &status) &&
+        pred(status)) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+TEST(ServeCancel, CancelMidTrainLeavesNoPartialEntryAndRetrainMatchesCold) {
+  serve::ServerOptions options;
+  options.port = 0;
+  options.sessions = 2;
+  options.threads = 2;  // match the cold reference's data-parallel mode
+  serve::Server server(options);
+  ASSERT_TRUE(server.start());
+  const std::string tune_line =
+      R"({"op":"tune","id":"victim","circuit":"ctrl","dataset":16,)"
+      R"("restarts":1})";
+
+  // Client A starts a cold tune; the cancel lands while it pretrains.
+  obs::Json victim_response;
+  std::thread victim([&] {
+    serve::Client client;
+    ASSERT_TRUE(client.connect(server.port()));
+    ASSERT_TRUE(
+        client.request(obs::Json::parse(tune_line), &victim_response,
+                       /*timeout_ms=*/120000));
+  });
+  ASSERT_TRUE(wait_for_status(server.port(), [](const obs::Json& s) {
+    const obs::Json* inflight = s.find("inflight");
+    return inflight != nullptr && inflight->as_double() >= 1.0;
+  }));
+  serve::Client canceller;
+  ASSERT_TRUE(canceller.connect(server.port()));
+  obs::Json cancel_response;
+  ASSERT_TRUE(canceller.request(
+      obs::Json::parse(R"({"op":"cancel","target":"victim"})"),
+      &cancel_response));
+  ASSERT_NE(cancel_response.find("status"), nullptr);
+  EXPECT_EQ(cancel_response.find("status")->as_string(), "ok");
+  ASSERT_NE(cancel_response.find("cancelled"), nullptr);
+  EXPECT_EQ(cancel_response.find("cancelled")->as_double(), 1.0);
+  victim.join();
+
+  // The victim saw a clean, machine-readable cancellation...
+  ASSERT_NE(victim_response.find("status"), nullptr);
+  ASSERT_EQ(victim_response.find("status")->as_string(), "error")
+      << victim_response.dump();
+  ASSERT_NE(victim_response.find("code"), nullptr);
+  EXPECT_EQ(victim_response.find("code")->as_string(), "cancelled");
+  // ...and the registry holds NO partial entry.
+  EXPECT_EQ(server.registry().size(), 0u);
+  obs::Json status;
+  {
+    serve::Client client;
+    ASSERT_TRUE(client.connect(server.port()));
+    ASSERT_TRUE(
+        client.request(obs::Json::parse(R"({"op":"status"})"), &status));
+  }
+  EXPECT_GE(status.find("cancelled")->as_double(), 1.0);
+
+  // Cancelling a request that no longer exists matches nothing — ok, 0.
+  obs::Json noop;
+  ASSERT_TRUE(canceller.request(
+      obs::Json::parse(R"({"op":"cancel","circuit":"ctrl"})"), &noop));
+  EXPECT_EQ(noop.find("cancelled")->as_double(), 0.0);
+
+  // Re-issuing the identical tune trains from scratch and is
+  // byte-identical to a cold CLI-style pipeline run: the cancelled train
+  // left no state that could perturb determinism.
+  serve::Client retry;
+  ASSERT_TRUE(retry.connect(server.port()));
+  obs::Json redo;
+  ASSERT_TRUE(retry.request(obs::Json::parse(tune_line), &redo,
+                            /*timeout_ms=*/120000));
+  ASSERT_NE(redo.find("status"), nullptr);
+  ASSERT_EQ(redo.find("status")->as_string(), "ok") << redo.dump();
+
+  auto req = serve::parse_request(tune_line);
+  auto config = serve::pipeline_config(req);
+  config.threads = 2;
+  core::QorEvaluator evaluator(circuits::make_benchmark("ctrl"));
+  core::CloPipeline pipeline(config);
+  const auto reference = pipeline.run(evaluator);
+  EXPECT_EQ(redo.find("best_sequence")->as_string(),
+            opt::sequence_to_string(reference.best_sequence));
+  server.stop();
+}
+
+TEST(ServeCancel, DeadlineExceededIsPromptAndLeavesDaemonHealthy) {
+  serve::ServerOptions options;
+  options.port = 0;
+  options.sessions = 2;
+  serve::Server server(options);
+  ASSERT_TRUE(server.start());
+
+  // A tune that would take seconds, budgeted at 100 ms: the response must
+  // arrive within one cancellation-poll step of the deadline (the <500 ms
+  // promptness contract), carrying the deadline_exceeded code.
+  serve::Client client;
+  ASSERT_TRUE(client.connect(server.port()));
+  const auto start = std::chrono::steady_clock::now();
+  obs::Json response;
+  ASSERT_TRUE(client.request(
+      obs::Json::parse(R"({"op":"tune","circuit":"ctrl","dataset":64,)"
+                       R"("restarts":2,"deadline_ms":100})"),
+      &response, /*timeout_ms=*/120000));
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_NE(response.find("status"), nullptr);
+  ASSERT_EQ(response.find("status")->as_string(), "error")
+      << response.dump();
+  ASSERT_NE(response.find("code"), nullptr);
+  EXPECT_EQ(response.find("code")->as_string(), "deadline_exceeded");
+  EXPECT_LT(elapsed_ms, 100 + 500) << "cancellation was not prompt";
+  // No partial entry; the daemon keeps serving.
+  EXPECT_EQ(server.registry().size(), 0u);
+  obs::Json status;
+  ASSERT_TRUE(
+      client.request(obs::Json::parse(R"({"op":"status"})"), &status));
+  EXPECT_EQ(status.find("status")->as_string(), "ok");
+  EXPECT_GE(status.find("deadline_exceeded")->as_double(), 1.0);
+  EXPECT_EQ(server.stats().deadline_exceeded, 1u);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Client retry/backoff and end-to-end timeouts.
+// ---------------------------------------------------------------------------
+
+TEST(ServeRetry, BackoffIsDeterministicBoundedAndGrows) {
+  serve::RetryPolicy policy;
+  policy.base_backoff_ms = 50;
+  policy.max_backoff_ms = 400;
+  policy.jitter_seed = 7;
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    const int a = serve::retry_backoff_ms(policy, attempt);
+    const int b = serve::retry_backoff_ms(policy, attempt);
+    EXPECT_EQ(a, b) << "jitter must be deterministic";
+    // Jitter keeps every delay in [raw/2, raw] with raw capped at max.
+    EXPECT_GE(a, 25);
+    EXPECT_LE(a, 400);
+  }
+  // Different seeds decorrelate (not all identical across attempts).
+  int differs = 0;
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    serve::RetryPolicy other = policy;
+    other.jitter_seed = 8;
+    if (serve::retry_backoff_ms(other, attempt) !=
+        serve::retry_backoff_ms(policy, attempt)) {
+      ++differs;
+    }
+  }
+  EXPECT_GE(differs, 1);
+}
+
+TEST(ServeRetry, QueryWithRetryRidesOutBusy) {
+  serve::ServerOptions options;
+  options.port = 0;
+  options.sessions = 1;
+  options.max_queue = 0;  // shed whenever the only worker is busy
+  options.idle_timeout_ms = 5000;
+  serve::Server server(options);
+  ASSERT_TRUE(server.start());
+
+  // Occupy the single worker (same discipline as the backpressure test).
+  serve::Client holder;
+  bool held = false;
+  for (int attempt = 0; attempt < 50 && !held; ++attempt) {
+    ASSERT_TRUE(holder.connect(server.port()));
+    obs::Json status;
+    held = holder.request(obs::Json::parse(R"({"op":"status"})"), &status,
+                          /*timeout_ms=*/2000) &&
+           status.find("status") != nullptr &&
+           status.find("status")->as_string() == "ok";
+    if (!held) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_TRUE(held);
+
+  // Release the worker after ~300 ms; a retrying client must ride the
+  // "busy" responses out and land once capacity frees up.
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    holder.close();
+  });
+  serve::RetryPolicy policy;
+  policy.retries = 30;
+  policy.base_backoff_ms = 25;
+  policy.max_backoff_ms = 100;
+  obs::Json response;
+  int attempts = 0;
+  ASSERT_TRUE(serve::query_with_retry(
+      server.port(), obs::Json::parse(R"({"op":"status"})"), &response,
+      policy, /*timeout_ms=*/5000, &attempts));
+  releaser.join();
+  ASSERT_NE(response.find("status"), nullptr);
+  EXPECT_EQ(response.find("status")->as_string(), "ok") << response.dump();
+  EXPECT_GT(attempts, 1) << "the first attempt should have been shed";
+  EXPECT_GE(server.stats().shed, 1u);
+  server.stop();
+}
+
+TEST(ServeClient, RequestLineTimeoutIsEndToEndWallClock) {
+  // A hostile "server" that drips one byte every 50 ms and never sends a
+  // newline. With a per-read timeout (the old bug) every byte would reset
+  // the clock and the call would hang for the duration of the drip; the
+  // end-to-end budget must bound the whole call.
+  int port = 0;
+  const int listener = util::net::listen_localhost(0, 4, &port);
+  ASSERT_GE(listener, 0);
+  std::atomic<bool> stop{false};
+  std::thread dripper([&] {
+    if (!util::net::wait_readable(listener, 5000)) return;
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) return;
+    std::string junk;
+    util::net::recv_line(fd, &junk, 1000);  // swallow the request
+    for (int i = 0; i < 60 && !stop.load(); ++i) {
+      if (!util::net::send_all(fd, "x")) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ::close(fd);
+  });
+
+  serve::Client client;
+  ASSERT_TRUE(client.connect(port));
+  std::string response;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client.request_line(R"({"op":"status"})", &response,
+                                   /*timeout_ms=*/500));
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed_ms, 400) << "gave up before the budget was spent";
+  EXPECT_LT(elapsed_ms, 2500) << "per-read timeout reset the clock";
+  stop.store(true);
+  dripper.join();
+  ::close(listener);
 }
 
 }  // namespace

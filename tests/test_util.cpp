@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "clo/util/cancel.hpp"
 #include "clo/util/cli.hpp"
 #include "clo/util/csv.hpp"
 #include "clo/util/fault.hpp"
@@ -412,6 +413,89 @@ TEST(Log, ConcurrentWritersProduceWholeLines) {
   }
   for (auto& w : workers) w.join();
   EXPECT_EQ(bad.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative cancellation.
+// ---------------------------------------------------------------------------
+
+TEST(Cancel, FreshTokenIsNotCancelled) {
+  util::CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_EQ(token.reason(), util::CancelReason::kNone);
+  EXPECT_NO_THROW(token.check());
+  EXPECT_EQ(token.remaining_ms(-7), -7);  // fallback when no deadline
+}
+
+TEST(Cancel, ExplicitCancelLatchesAndThrows) {
+  util::CancelToken token;
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), util::CancelReason::kExplicit);
+  try {
+    token.check();
+    FAIL() << "check() must throw once cancelled";
+  } catch (const util::CancelledError& e) {
+    EXPECT_EQ(e.reason(), util::CancelReason::kExplicit);
+  }
+}
+
+TEST(Cancel, ExpiredDeadlineLatchesDeadlineReason) {
+  util::CancelToken token;
+  token.set_deadline_ms(0);  // already expired
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), util::CancelReason::kDeadline);
+  EXPECT_EQ(token.remaining_ms(), 0);
+  EXPECT_THROW(token.check(), util::CancelledError);
+}
+
+TEST(Cancel, ExplicitCancelIsNotOverwrittenByDeadline) {
+  util::CancelToken token;
+  token.cancel();
+  token.set_deadline_ms(0);
+  EXPECT_TRUE(token.cancelled());
+  // The first reason wins: a user cancel must not be re-reported as a
+  // deadline just because the deadline also expired later.
+  EXPECT_EQ(token.reason(), util::CancelReason::kExplicit);
+}
+
+TEST(Cancel, FutureDeadlineIsNotYetCancelled) {
+  util::CancelToken token;
+  token.set_deadline_ms(60000);
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_FALSE(token.cancelled());
+  const auto left = token.remaining_ms();
+  EXPECT_GT(left, 0);
+  EXPECT_LE(left, 60000);
+}
+
+TEST(Cancel, CopiesShareOneState) {
+  util::CancelToken token;
+  util::CancelToken copy = token;
+  copy.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), util::CancelReason::kExplicit);
+}
+
+TEST(Cancel, ScopedAmbientTokenNestsAndRestores) {
+  EXPECT_EQ(util::current_cancel_token(), nullptr);
+  EXPECT_NO_THROW(util::cancel_point());  // no ambient token: no-op
+  util::CancelToken outer;
+  util::CancelToken inner;
+  inner.cancel();
+  {
+    util::ScopedCancelToken install_outer(&outer);
+    EXPECT_EQ(util::current_cancel_token(), &outer);
+    EXPECT_NO_THROW(util::cancel_point());
+    {
+      util::ScopedCancelToken install_inner(&inner);
+      EXPECT_EQ(util::current_cancel_token(), &inner);
+      EXPECT_THROW(util::cancel_point(), util::CancelledError);
+    }
+    EXPECT_EQ(util::current_cancel_token(), &outer);
+  }
+  EXPECT_EQ(util::current_cancel_token(), nullptr);
 }
 
 }  // namespace

@@ -70,8 +70,14 @@ void on_signal(int) { g_signal.store(true, std::memory_order_release); }
 //   --sessions N         concurrent session workers (default 2)
 //   --threads N          shared pipeline pool (0 = hardware concurrency)
 //   --idle-timeout-ms N  close silent clients after N ms (default 5000)
+//   --registry-max-entries N  LRU cap on in-memory models (0 = unlimited)
+//   --registry-max-mb N       LRU cap on the registry dir (0 = unlimited)
 //   --port-file F        write the bound port to F once listening
 int run_serve(int argc, char** argv) {
+  // Chaos CI arms fault injection on a live daemon via CLO_FAULT; the
+  // daemon must survive every armed site (shed/fail the request, never
+  // crash).
+  clo::util::fault::arm_from_env();
   clo::CliArgs args(argc, argv);
   clo::serve::ServerOptions options;
   options.port = args.get_int("serve-port", 0);
@@ -80,6 +86,10 @@ int run_serve(int argc, char** argv) {
   options.sessions = args.get_int("sessions", 2);
   options.threads = args.get_int("threads", 0);
   options.idle_timeout_ms = args.get_int("idle-timeout-ms", 5000);
+  options.registry_max_entries =
+      static_cast<std::size_t>(args.get_int("registry-max-entries", 0));
+  options.registry_max_mb =
+      static_cast<std::size_t>(args.get_int("registry-max-mb", 0));
   clo::serve::Server server(options);
   if (!server.start()) {
     std::cerr << "clo serve: cannot bind 127.0.0.1:" << options.port << "\n";
@@ -107,10 +117,14 @@ int run_serve(int argc, char** argv) {
 
 // `clo query`: one request to a running daemon, response line on stdout.
 //   --port P        daemon port (required)
-//   --op OP         tune | qor | status | shutdown (default status)
-//   --circuit C     benchmark name (tune/qor)
+//   --op OP         tune | qor | status | cancel | shutdown (def status)
+//   --circuit C     benchmark name (tune/qor/cancel)
 //   --sequence S    "rw;rf;b" for qor (default: registry best)
 //   --dataset N / --restarts N / --seed N   pipeline knobs
+//   --id TAG        client tag, echoed back (cancel targets it)
+//   --target TAG    cancel: id of the in-flight request to stop
+//   --deadline-ms N server-side wall-clock budget (0 = unbounded)
+//   --retries N     retry busy/transport failures N times with backoff
 //   --report        attach the clo.report.v1 JSON to a tune response
 //   --json RAW      send RAW verbatim instead of building the request
 //   --timeout-ms N  response wait (default 600000 — cold tunes train)
@@ -122,37 +136,65 @@ int run_query(int argc, char** argv) {
     std::cerr << "clo query: --port is required\n";
     return 1;
   }
-  std::string request = args.get("json", "");
-  if (request.empty()) {
-    clo::obs::Json req = clo::obs::Json::object();
+  const std::string raw_json = args.get("json", "");
+  if (!raw_json.empty()) {
+    // Raw mode stays byte-verbatim (and retry-free): it exists so tests
+    // and CI can send arbitrary — including malformed — lines.
+    std::string response;
+    if (!clo::serve::query_once(port, raw_json, &response,
+                                args.get_int("timeout-ms", 600000))) {
+      std::cerr << "clo query: no response from 127.0.0.1:" << port << "\n";
+      return 1;
+    }
+    std::cout << response << "\n";
+    try {
+      const clo::obs::Json doc = clo::obs::Json::parse(response);
+      const clo::obs::Json* status = doc.find("status");
+      return status != nullptr && status->is_string() &&
+                     status->as_string() == "ok"
+                 ? 0
+                 : 1;
+    } catch (const std::exception&) {
+      return 1;
+    }
+  }
+  clo::obs::Json req;
+  {
+    req = clo::obs::Json::object();
     req["op"] = args.get("op", "status");
     const std::string circuit = args.get("circuit", "");
     if (!circuit.empty()) req["circuit"] = circuit;
     const std::string sequence = args.get("sequence", "");
     if (!sequence.empty()) req["sequence"] = sequence;
+    const std::string id = args.get("id", "");
+    if (!id.empty()) req["id"] = id;
+    const std::string target = args.get("target", "");
+    if (!target.empty()) req["target"] = target;
     if (args.has("dataset")) req["dataset"] = args.get_int("dataset", 80);
     if (args.has("restarts")) req["restarts"] = args.get_int("restarts", 2);
     if (args.has("seed")) req["seed"] = args.get_int("seed", 1);
+    if (args.has("deadline-ms")) {
+      req["deadline_ms"] = args.get_int("deadline-ms", 0);
+    }
     if (args.has("report")) req["report"] = true;
-    request = req.dump();
   }
-  std::string response;
-  if (!clo::serve::query_once(port, request, &response,
-                              args.get_int("timeout-ms", 600000))) {
-    std::cerr << "clo query: no response from 127.0.0.1:" << port << "\n";
+  clo::serve::RetryPolicy policy;
+  policy.retries = args.get_int("retries", 0);
+  clo::obs::Json response;
+  int attempts = 0;
+  if (!clo::serve::query_with_retry(port, req, &response, policy,
+                                    args.get_int("timeout-ms", 600000),
+                                    &attempts)) {
+    std::cerr << "clo query: no response from 127.0.0.1:" << port << " ("
+              << attempts << " attempt(s))\n";
     return 1;
   }
-  std::cout << response << "\n";
-  try {
-    const clo::obs::Json doc = clo::obs::Json::parse(response);
-    const clo::obs::Json* status = doc.find("status");
-    return status != nullptr && status->is_string() &&
-                   status->as_string() == "ok"
-               ? 0
-               : 1;
-  } catch (const std::exception&) {
-    return 1;
-  }
+  std::cout << response.dump() << "\n";
+  const clo::obs::Json* status = response.find("status");
+  return status != nullptr && status->is_string() &&
+                 status->as_string() == "ok"
+             ? 0
+             : 1;
 }
 
 }  // namespace
