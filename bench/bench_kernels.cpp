@@ -1,22 +1,31 @@
 // Micro-benchmark for the clo::nn::kernel dispatch layer: times every
 // kernel on the shapes the real models hit (LSTM/MLP surrogate matmuls,
-// U-Net conv1d im2col dots, Adam slabs, embedding nearest-scan sqdist),
-// once per dispatch target, and records scalar-vs-SIMD speedups.
+// U-Net conv1d im2col dots, matmul_ta backward slabs, Adam slabs,
+// embedding nearest-scan sqdist), once per dispatch target, and records
+// speedups against the scalar target at the same thread count.
 //
 //   ./bench_kernels [--out BENCH_kernels.json] [--min-ms 50] [--large]
-//                   [--no-simd]
+//                   [--full] [--threads N] [--kernel-target T] [--no-simd]
+//
+// --threads N runs the tiled GEMM fan-out on an N-worker pool (1 =
+// serial); --full adds the paper-scale batched shapes (R=30 restarts over
+// [R, L*d] latents against full-width layers). --kernel-target restricts
+// timing to one named target (scalar is always also run: it is the parity
+// reference and the speedup baseline).
 //
 // Before timing anything it verifies the determinism contract the layer
-// documents: for every case the scalar and AVX2 targets must produce
-// BITWISE identical outputs (see kernel.hpp). A mismatch is a hard
-// failure, not a footnote — CI runs this as the cross-target parity gate.
+// documents: for every case, every compiled-and-supported target at every
+// thread count in {1, N} must produce BITWISE identical output to the
+// serial scalar run (see kernel.hpp). A mismatch is a hard failure, not a
+// footnote — CI runs this as the cross-target/cross-thread parity gate.
 //
 // Output JSON (schema "clo.bench.kernels.v1"):
-//   { schema, simd_compiled, simd_supported, default_target,
-//     results: [ { name, flops_per_op, scalar_ns, simd_ns, speedup,
-//                  scalar_gflops, simd_gflops, parity } ] }
-// On hosts without AVX2 the simd columns are omitted and parity is
-// "scalar-only".
+//   { schema, simd_compiled, simd_supported, default_target, threads,
+//     host_cores, min_ms,
+//     results: [ { name, target, threads, flops_per_op, ns, gflops,
+//                  speedup, parity } ] }
+// One row per (case, target); `speedup` is scalar_ns / ns at the same
+// thread count (1.0 for the scalar rows themselves).
 
 #include <algorithm>
 #include <chrono>
@@ -25,6 +34,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "clo/nn/kernel.hpp"
@@ -32,6 +42,7 @@
 #include "clo/util/cli.hpp"
 #include "clo/util/obs.hpp"
 #include "clo/util/rng.hpp"
+#include "clo/util/thread_pool.hpp"
 
 namespace {
 
@@ -76,6 +87,19 @@ double time_ns_per_op(const Case& c, double min_ms) {
   }
 }
 
+/// Capture the case's output bytes after one run under the current
+/// dispatch target and kernel pool.
+AlignedFloats run_once(const Case& c) {
+  c.reset();
+  c.run();
+  return c.output();
+}
+
+bool same_bytes(const AlignedFloats& a, const AlignedFloats& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -84,7 +108,37 @@ int main(int argc, char** argv) {
   const std::string out_path = args.get("out", "BENCH_kernels.json");
   const double min_ms = args.get_double("min-ms", 50.0);
   const bool large = args.has("large");
+  const bool full = args.has("full");
+  const int threads = std::atoi(args.get("threads", "1").c_str());
   if (args.has("no-simd")) kernel::set_simd_enabled(false);
+
+  // The targets to time: every compiled-and-supported one, or just the
+  // named one (plus scalar, the reference) behind --kernel-target.
+  std::vector<kernel::Target> targets = {kernel::Target::kScalar};
+  const std::string only = args.get("kernel-target", "");
+  const bool all_targets = only.empty() || only == "auto";
+  if (!all_targets && only != "scalar") {
+    kernel::Target parsed;
+    if (!kernel::parse_target(only.c_str(), &parsed)) {
+      std::fprintf(stderr, "unknown --kernel-target %s\n", only.c_str());
+      return 2;
+    }
+  }
+  for (kernel::Target t : {kernel::Target::kAvx2, kernel::Target::kAvx512}) {
+    if (!kernel::target_compiled(t) || !kernel::target_supported(t)) continue;
+    if (!all_targets && only != kernel::target_name(t)) continue;
+    if (kernel::simd_enabled()) targets.push_back(t);
+  }
+  if (!all_targets && only != "scalar" && targets.size() == 1) {
+    std::fprintf(stderr, "note: target %s not supported here; scalar only\n",
+                 only.c_str());
+  }
+
+  // Worker pool for the tiled GEMM fan-out (null = serial). The pool is
+  // installed per timing/parity run via PoolGuard so `threads 1` rows
+  // really measure the serial path.
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads >= 2) pool = std::make_unique<util::ThreadPool>(threads);
 
   Rng rng(7);
   std::vector<Case> cases;
@@ -109,9 +163,19 @@ int main(int argc, char** argv) {
       {"conv1d_im2col_co64_ci64_l5", 64, 192, 5, true},
       {"matmul_t_64x64x64", 64, 64, 64, true},
   };
-  if (large) {
+  if (large || full) {
     mm.push_back({"matmul_128x128x128", 128, 128, 128, false});
     mm.push_back({"matmul_t_128x128x128", 128, 128, 128, true});
+  }
+  if (full) {
+    // Paper-scale batched shapes: all 30 restarts advance in lockstep, so
+    // the denoiser/surrogate see [R, L*d] = [30, 160] activations against
+    // full-width layer matrices. The square 256 slab is the headline
+    // threaded-GEMM number.
+    mm.push_back({"matmul_batch30_160x256", 30, 160, 256, false});
+    mm.push_back({"matmul_batch30_256x256", 30, 256, 256, false});
+    mm.push_back({"matmul_t_batch30_160x256", 30, 160, 256, true});
+    mm.push_back({"matmul_256x256x256", 256, 256, 256, false});
   }
   for (const auto& s : mm) {
     auto a = std::make_shared<AlignedFloats>(
@@ -128,6 +192,35 @@ int main(int argc, char** argv) {
         [out] { std::fill(out->begin(), out->end(), 0.0f); },
         [a, b, out, m, k, n, tb] {
           kernel::matmul(a->data(), b->data(), out->data(), m, k, n, tb);
+        },
+        [out]() -> const AlignedFloats& { return *out; },
+    });
+  }
+
+  // --- matmul_ta: the backward-pass dB slabs (out[k,n] += A^T B). Shapes
+  // mirror the forward matmuls above: (m,k,n) = (batch, in, out).
+  std::vector<MatmulShape> ta = {
+      {"matmul_ta_16x32x128", 16, 32, 128, false},
+      {"matmul_ta_64x64x64", 64, 64, 64, false},
+  };
+  if (full) {
+    ta.push_back({"matmul_ta_batch30_160x256", 30, 160, 256, false});
+    ta.push_back({"matmul_ta_256x256x256", 256, 256, 256, false});
+  }
+  for (const auto& s : ta) {
+    auto a = std::make_shared<AlignedFloats>(
+        random_buf(static_cast<std::size_t>(s.m) * s.k, rng));
+    auto b = std::make_shared<AlignedFloats>(
+        random_buf(static_cast<std::size_t>(s.m) * s.n, rng));
+    auto out = std::make_shared<AlignedFloats>(
+        static_cast<std::size_t>(s.k) * s.n);
+    const int m = s.m, k = s.k, n = s.n;
+    cases.push_back(Case{
+        s.name,
+        2.0 * m * k * n,
+        [out] { std::fill(out->begin(), out->end(), 0.0f); },
+        [a, b, out, m, k, n] {
+          kernel::matmul_ta(a->data(), b->data(), out->data(), m, k, n);
         },
         [out]() -> const AlignedFloats& { return *out; },
     });
@@ -229,71 +322,81 @@ int main(int argc, char** argv) {
     });
   }
 
-  const bool both_targets = kernel::simd_enabled();
-  std::printf("kernels: simd_compiled=%d simd_supported=%d target=%s\n",
-              kernel::simd_compiled() ? 1 : 0,
-              kernel::simd_supported() ? 1 : 0, kernel::active_target());
+  std::printf(
+      "kernels: simd_compiled=%d simd_supported=%d target=%s threads=%d\n",
+      kernel::simd_compiled() ? 1 : 0, kernel::simd_supported() ? 1 : 0,
+      kernel::active_target(), threads);
 
+  const kernel::Target default_target = kernel::current_target();
   obs::Json results = obs::Json::array();
   bool parity_ok = true;
   for (const auto& c : cases) {
-    // Cross-target bitwise parity first (the contract CI gates on).
-    std::string parity = "scalar-only";
-    if (both_targets) {
-      kernel::set_simd_enabled(false);
-      c.reset();
-      c.run();
-      const AlignedFloats scalar_out = c.output();
-      kernel::set_simd_enabled(true);
-      c.reset();
-      c.run();
-      const AlignedFloats& simd_out = c.output();
-      const bool same =
-          scalar_out.size() == simd_out.size() &&
-          std::memcmp(scalar_out.data(), simd_out.data(),
-                      scalar_out.size() * sizeof(float)) == 0;
-      parity = same ? "bitwise" : "MISMATCH";
-      if (!same) parity_ok = false;
+    // Reference bytes: serial scalar run — the portable ground truth every
+    // (target, thread-count) combination must reproduce bit-for-bit.
+    kernel::set_target(kernel::Target::kScalar);
+    AlignedFloats reference;
+    {
+      kernel::PoolGuard serial(nullptr);
+      reference = run_once(c);
     }
 
-    kernel::set_simd_enabled(false);
-    const double scalar_ns = time_ns_per_op(c, min_ms);
-    double simd_ns = 0.0;
-    if (both_targets) {
-      kernel::set_simd_enabled(true);
-      simd_ns = time_ns_per_op(c, min_ms);
+    // Parity gate: every target x every thread count in {1, threads}.
+    std::vector<std::string> parity(targets.size(), "bitwise");
+    for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+      kernel::set_target(targets[ti]);
+      bool ok = true;
+      {
+        kernel::PoolGuard serial(nullptr);
+        ok = ok && same_bytes(reference, run_once(c));
+      }
+      if (pool != nullptr) {
+        kernel::PoolGuard threaded(pool.get());
+        ok = ok && same_bytes(reference, run_once(c));
+      }
+      if (!ok) {
+        parity[ti] = "MISMATCH";
+        parity_ok = false;
+      }
     }
 
-    obs::Json row = obs::Json::object();
-    row["name"] = obs::Json(c.name);
-    row["flops_per_op"] = obs::Json(c.flops_per_op);
-    row["scalar_ns"] = obs::Json(scalar_ns);
-    row["scalar_gflops"] = obs::Json(c.flops_per_op / scalar_ns);
-    if (both_targets) {
-      row["simd_ns"] = obs::Json(simd_ns);
-      row["simd_gflops"] = obs::Json(c.flops_per_op / simd_ns);
-      row["speedup"] = obs::Json(scalar_ns / simd_ns);
-    }
-    row["parity"] = obs::Json(parity);
-    results.push_back(std::move(row));
+    // Timing: each target at the requested thread count; scalar at the
+    // same count is the speedup baseline.
+    kernel::PoolGuard timing_pool(pool.get());
+    double scalar_ns = 0.0;
+    for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+      kernel::set_target(targets[ti]);
+      const double ns = time_ns_per_op(c, min_ms);
+      if (targets[ti] == kernel::Target::kScalar) scalar_ns = ns;
 
-    if (both_targets) {
-      std::printf("%-32s scalar %10.1f ns  simd %10.1f ns  x%5.2f  %s\n",
-                  c.name.c_str(), scalar_ns, simd_ns, scalar_ns / simd_ns,
-                  parity.c_str());
-    } else {
-      std::printf("%-32s scalar %10.1f ns\n", c.name.c_str(), scalar_ns);
+      obs::Json row = obs::Json::object();
+      row["name"] = obs::Json(c.name);
+      row["target"] =
+          obs::Json(std::string(kernel::target_name(targets[ti])));
+      row["threads"] = obs::Json(static_cast<double>(threads));
+      row["flops_per_op"] = obs::Json(c.flops_per_op);
+      row["ns"] = obs::Json(ns);
+      row["gflops"] = obs::Json(c.flops_per_op / ns);
+      row["speedup"] = obs::Json(scalar_ns > 0.0 ? scalar_ns / ns : 1.0);
+      row["parity"] = obs::Json(parity[ti]);
+      results.push_back(std::move(row));
+
+      std::printf("%-32s %-7s t%-2d %12.1f ns  x%5.2f  %s\n", c.name.c_str(),
+                  kernel::target_name(targets[ti]), threads, ns,
+                  scalar_ns > 0.0 ? scalar_ns / ns : 1.0,
+                  parity[ti].c_str());
     }
   }
   // Leave the dispatch switch where the command line asked for it.
-  kernel::set_simd_enabled(both_targets);
+  kernel::set_target(default_target);
 
   obs::Json doc = obs::Json::object();
   doc["schema"] = obs::Json(std::string("clo.bench.kernels.v1"));
   doc["simd_compiled"] = obs::Json(kernel::simd_compiled());
   doc["simd_supported"] = obs::Json(kernel::simd_supported());
-  doc["default_target"] =
-      obs::Json(std::string(both_targets ? "avx2" : "scalar"));
+  doc["default_target"] = obs::Json(std::string(kernel::active_target()));
+  doc["threads"] = obs::Json(static_cast<double>(threads));
+  doc["host_cores"] = obs::Json(
+      static_cast<double>(std::thread::hardware_concurrency()));
   doc["min_ms"] = obs::Json(min_ms);
   doc["results"] = std::move(results);
   if (!obs::write_json_file(out_path, doc)) {
@@ -303,8 +406,8 @@ int main(int argc, char** argv) {
   std::printf("wrote %s\n", out_path.c_str());
   if (!parity_ok) {
     std::fprintf(stderr,
-                 "FATAL: scalar/simd outputs differ bitwise — the kernel "
-                 "determinism contract is broken\n");
+                 "FATAL: cross-target/cross-thread outputs differ bitwise — "
+                 "the kernel determinism contract is broken\n");
     return 1;
   }
   return 0;

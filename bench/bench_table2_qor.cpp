@@ -3,9 +3,18 @@
 // arithmetic mean, geometric mean, and per-method ratio rows.
 //
 //   ./bench_table2_qor                    quick subset (seconds/method)
-//   ./bench_table2_qor --full             all 31 circuits (long)
+//   ./bench_table2_qor --full             all 31 circuits at paper scale
 //   ./bench_table2_qor --circuits ctrl,c17 --budget 24 --dataset 150
-//   Output: console table + table2_qor.csv
+//   Output: console table + table2_qor.csv (+ --bench-out JSON)
+//
+// --full is the paper-scale configuration the nightly job tracks: every
+// circuit at full width (128-bit adder, 64x64 multiplier, ... — see
+// circuits::make_benchmark), T=500 diffusion steps, and 30 restarts
+// (each individually overridable with --steps/--restarts). --bench-out F
+// additionally writes a machine-readable per-(circuit, method) record
+// file ("clo.bench.table2.v1", BENCH_full.json in the nightly) whose
+// entries carry the worker thread count and kernel dispatch target so
+// clo_bench_diff only compares like against like.
 //
 // Telemetry (shared harness flags): --metrics-out F streams clo.metrics.v1
 // JSONL while the bench runs (--metrics-interval-ms N), --metrics-port P
@@ -38,17 +47,20 @@ std::vector<std::string> split_csv_list(const std::string& s) {
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
+  const bool full = args.has("full");
   bench::ExperimentScale scale;
   scale.baseline_budget = args.get_int("budget", 16);
   scale.dataset_size = args.get_int("dataset", 200);
-  scale.diffusion_steps = args.get_int("steps", 60);
-  scale.restarts = args.get_int("restarts", 8);
+  // --full defaults to the paper's scale (T=500, 30 repeats); explicit
+  // --steps/--restarts still win so partial-scale runs stay possible.
+  scale.diffusion_steps = args.get_int("steps", full ? 500 : 60);
+  scale.restarts = args.get_int("restarts", full ? 30 : 8);
   scale.surrogate = args.get("surrogate", "cnn");
   scale.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   scale.threads = args.get_int("threads", 0);
   const bench::ObsOptions obs_opts = bench::obs_from_args(args);
 
-  std::vector<std::string> names = bench::circuit_selection(args.has("full"));
+  std::vector<std::string> names = bench::circuit_selection(full);
   if (args.has("circuits")) names = split_csv_list(args.get("circuits", ""));
 
   const std::vector<std::string> methods = {"Original", "DRiLLS", "abcRL",
@@ -64,9 +76,15 @@ int main(int argc, char** argv) {
   core::PipelineResult last_result;
   core::EvaluatorStats last_stats;
 
+  obs::Json bench_rows = obs::Json::array();
+  const std::string kernel_target = nn::kernel::active_target();
+  const int resolved_threads =
+      static_cast<int>(util::resolve_threads(scale.threads));
+
   for (const auto& name : names) {
     std::fprintf(stderr, "[table2] %s ...\n", name.c_str());
-    const aig::Aig circuit = circuits::make_benchmark(name);
+    // --full also selects the full-width circuit variants.
+    const aig::Aig circuit = circuits::make_benchmark(name, full);
     std::vector<bench::MethodResult> row;
     {
       core::QorEvaluator ev(circuit);
@@ -88,6 +106,17 @@ int main(int argc, char** argv) {
                    fmt_double(row[m].delay, 4),
                    fmt_double(row[m].algorithm_seconds, 4),
                    fmt_double(row[m].training_seconds, 4)});
+      obs::Json rec = obs::Json::object();
+      rec["name"] = obs::Json(name + "/" + methods[m]);
+      rec["circuit"] = obs::Json(name);
+      rec["method"] = obs::Json(methods[m]);
+      rec["area_um2"] = obs::Json(row[m].area);
+      rec["delay_ps"] = obs::Json(row[m].delay);
+      rec["seconds"] = obs::Json(row[m].algorithm_seconds);
+      rec["training_seconds"] = obs::Json(row[m].training_seconds);
+      rec["threads"] = obs::Json(static_cast<double>(resolved_threads));
+      rec["target"] = obs::Json(kernel_target);
+      bench_rows.push_back(std::move(rec));
     }
     table.add_row(cells);
   }
@@ -120,6 +149,23 @@ int main(int argc, char** argv) {
               "geomean area and delay (all ratios >= 1.000).\n");
   const std::string out = args.get("out", "table2_qor.csv");
   if (csv.write(out)) std::printf("wrote %s\n", out.c_str());
+  const std::string bench_out = args.get("bench-out", "");
+  if (!bench_out.empty()) {
+    obs::Json doc = obs::Json::object();
+    doc["schema"] = obs::Json(std::string("clo.bench.table2.v1"));
+    doc["full"] = obs::Json(full);
+    doc["diffusion_steps"] = obs::Json(
+        static_cast<double>(scale.diffusion_steps));
+    doc["restarts"] = obs::Json(static_cast<double>(scale.restarts));
+    doc["threads"] = obs::Json(static_cast<double>(resolved_threads));
+    doc["kernel_target"] = obs::Json(kernel_target);
+    doc["results"] = std::move(bench_rows);
+    if (obs::write_json_file(bench_out, doc)) {
+      std::printf("wrote %s\n", bench_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", bench_out.c_str());
+    }
+  }
   obs::Json report = core::pipeline_report(last_result, last_stats);
   report["bench"] = obs::Json(std::string("table2_qor"));
   bench::obs_finish(obs_opts, std::move(report));

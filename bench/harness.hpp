@@ -64,14 +64,25 @@ struct ObsOptions {
 /// --metrics-interval-ms N / --metrics-port P / --profile-out F; any of
 /// them turns the obs layer on for the whole bench run, and the
 /// --metrics-out / --metrics-port pair starts the live exporter
-/// immediately. --no-simd forces the portable scalar nn kernels
-/// (bitwise-identical results, useful for speedup baselines). Also arms
-/// fault injection from --fault SPEC or the CLO_FAULT environment
+/// immediately. --no-simd forces the portable scalar nn kernels and
+/// --kernel-target pins a named dispatch target (bitwise-identical
+/// results either way, useful for speedup baselines and bisection). Also
+/// arms fault injection from --fault SPEC or the CLO_FAULT environment
 /// variable, so every bench can serve as a chaos-test target without its
 /// own plumbing.
 inline ObsOptions obs_from_args(const CliArgs& args) {
   ObsOptions opts;
   if (args.has("no-simd")) nn::kernel::set_simd_enabled(false);
+  const std::string kernel_target = args.get("kernel-target", "");
+  if (!kernel_target.empty()) {
+    nn::kernel::Target target;
+    if (nn::kernel::parse_target(kernel_target.c_str(), &target)) {
+      nn::kernel::set_target(target);
+    } else {
+      std::fprintf(stderr, "unknown --kernel-target %s (ignored)\n",
+                   kernel_target.c_str());
+    }
+  }
   opts.trace_path = args.get("trace", "");
   opts.report_path = args.get("report", "");
   opts.metrics = args.has("metrics");
@@ -241,7 +252,10 @@ inline MethodResult run_ours(const aig::Aig& circuit,
                         result.surrogate_train_seconds +
                         result.diffusion_train_seconds;
   // Objective-specialized restarts reusing the already-trained models.
+  // The kernel layer fans its tiled GEMMs over the same pool the restarts
+  // run on (bitwise-identical at any worker count).
   const auto pool = make_pool(scale);
+  nn::kernel::PoolGuard kernel_pool(pool.get());
   clo::Rng rng(scale.seed + 77);
   for (const bool area_run : {true, false}) {
     core::OptimizeParams params;

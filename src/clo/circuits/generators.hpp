@@ -25,6 +25,14 @@ bool has_benchmark(const std::string& name);
 
 /// Build a benchmark circuit by name. Throws std::invalid_argument for
 /// unknown names.
-aig::Aig make_benchmark(const std::string& name);
+///
+/// `full_width` selects the paper-scale variants of the EPFL arithmetic
+/// benchmarks (adder 128, bar 128, div 64, hyp 32, max 4x128,
+/// multiplier 64x64, sqrt 64, square 64 — the `--full` bench
+/// configuration). Benchmarks without a widened variant (the control/random
+/// suite, ISCAS85, and the hand-tuned log2/sin generators whose constant
+/// tables are width-specific) are identical at either setting. Both
+/// settings are deterministic.
+aig::Aig make_benchmark(const std::string& name, bool full_width = false);
 
 }  // namespace clo::circuits

@@ -81,6 +81,9 @@ void CloPipeline::pretrain(QorEvaluator& evaluator,
   // consumer below treats a null pool as "run serially".
   std::unique_ptr<util::ThreadPool> owned_pool;
   util::ThreadPool* pool = acquire_pool(&owned_pool);
+  // Let the nn kernels tile large matmuls over the same pool for the
+  // duration of this phase (bytes are pool-invariant by contract).
+  nn::kernel::PoolGuard kernel_pool(pool);
 
   std::unique_ptr<CheckpointManager> ckpt;
   if (!config_.checkpoint_dir.empty()) {
@@ -311,6 +314,8 @@ PipelineResult CloPipeline::optimize(QorEvaluator& evaluator,
   rng.set_state(boundary_rng_);
   std::unique_ptr<util::ThreadPool> owned_pool;
   util::ThreadPool* pool = acquire_pool(&owned_pool);
+  nn::kernel::PoolGuard kernel_pool(pool);
+  result.kernel_threads = static_cast<int>(nn::kernel::threads());
 
   // ---- Continuous optimization (lower half of Fig. 1) --------------------
   ContinuousOptimizer optimizer(*surrogate_, *diffusion_, *embedding_,
@@ -461,10 +466,13 @@ obs::Json pipeline_report(const PipelineResult& result,
   report["schema"] = obs::Json(std::string("clo.report.v1"));
   report["run"] = obs::Json(clo::run_id());
   report["status"] = obs::Json(std::string("ok"));
-  // Which nn kernel dispatch target produced these numbers ("avx2" or
-  // "scalar"). Both are bitwise identical by contract; recording the
-  // target lets CI diff a --no-simd run against a default run.
+  // Which nn kernel dispatch target produced these numbers ("avx512",
+  // "avx2", or "scalar") and how many pool workers the tiled GEMM could
+  // fan out over. All targets and thread counts are bitwise identical by
+  // contract; recording them lets CI diff a --no-simd or --threads run
+  // against a default run.
   report["kernel_target"] = obs::Json(std::string(nn::kernel::active_target()));
+  report["kernel_threads"] = obs::Json(result.kernel_threads);
 
   obs::Json resume = obs::Json::object();
   resume["resumed_phases"] = obs::Json(result.resumed_phases);

@@ -93,6 +93,10 @@ struct PipelineResult {
   /// Pretraining phases restored from a checkpoint (0 = fresh run, 3 =
   /// dataset + surrogate + diffusion all resumed).
   int resumed_phases = 0;
+  /// Worker count the kernel layer's tiled GEMM could fan out over during
+  /// optimize (1 = serial). Informational only — bytes are identical at
+  /// any value by the kernel determinism contract.
+  int kernel_threads = 1;
   /// One SAT equivalence check per distinct surviving sequence (--verify).
   struct VerificationCheck {
     opt::Sequence sequence;

@@ -2,18 +2,23 @@
 
 #include <atomic>
 #include <cmath>
+#include <string_view>
 
 #include "clo/nn/kernel_detail.hpp"
+#include "clo/util/thread_pool.hpp"
 
-// Portable blocked scalar kernels + the runtime dispatch layer. The AVX2
-// twins live in kernel_avx2.cpp (compiled only when the toolchain supports
-// -mavx2; CMake then defines CLO_KERNEL_AVX2). Both TUs are built with
-// -ffp-contract=off so no mul+add pair is ever fused into an FMA — fusion
-// would break the bitwise scalar/vector equality the dispatch contract
-// promises (see kernel.hpp).
+// Portable blocked scalar kernels + the runtime dispatch layer + the tile
+// fan-out for the threaded GEMM. The AVX2 twins live in kernel_avx2.cpp
+// (compiled only when the toolchain supports -mavx2; CMake then defines
+// CLO_KERNEL_AVX2) and the AVX-512 twins in kernel_avx512.cpp (-mavx512f,
+// CLO_KERNEL_AVX512 — only ever defined together with CLO_KERNEL_AVX2).
+// All kernel TUs are built with -ffp-contract=off so no mul+add pair is
+// ever fused into an FMA — fusion would break the bitwise scalar/vector
+// equality the dispatch contract promises (see kernel.hpp).
 
 namespace clo::nn::kernel {
 
+using detail::canonical_nan;
 using detail::fold_max8;
 using detail::reduce8;
 
@@ -33,9 +38,34 @@ void div_inplace(float* y, float z, std::size_t n);
 void adam_update(float* p, float* m, float* v, const float* g, std::size_t n,
                  float beta1, float beta2, float lr, float bias_c1,
                  float bias_c2, float eps);
-void matmul(const float* a, const float* b, float* out, int m, int k, int n,
-            bool transpose_b);
+void matmul_ld(const float* a, int lda, const float* b, int ldb, float* out,
+               int ldo, int m, int k, int n, bool transpose_b);
+void matmul_ta_ld(const float* a, int lda, const float* b, int ldb, float* out,
+                  int ldo, int m, int k, int n);
 }  // namespace avx2
+#endif
+
+#ifdef CLO_KERNEL_AVX512
+namespace avx512 {
+float dot(const float* a, const float* b, std::size_t n);
+float sqdist(const float* a, const float* b, std::size_t n);
+float sum(const float* a, std::size_t n);
+float max_value(const float* a, std::size_t n);
+void axpy(float* y, float a, const float* x, std::size_t n);
+void acc(float* y, const float* x, std::size_t n);
+void add(float* out, const float* a, const float* b, std::size_t n);
+void sub(float* out, const float* a, const float* b, std::size_t n);
+void mul(float* out, const float* a, const float* b, std::size_t n);
+void scale(float* out, const float* a, float s, std::size_t n);
+void div_inplace(float* y, float z, std::size_t n);
+void adam_update(float* p, float* m, float* v, const float* g, std::size_t n,
+                 float beta1, float beta2, float lr, float bias_c1,
+                 float bias_c2, float eps);
+void matmul_ld(const float* a, int lda, const float* b, int ldb, float* out,
+               int ldo, int m, int k, int n, bool transpose_b);
+void matmul_ta_ld(const float* a, int lda, const float* b, int ldb, float* out,
+                  int ldo, int m, int k, int n);
+}  // namespace avx512
 #endif
 
 // --- Dispatch state -----------------------------------------------------
@@ -50,33 +80,147 @@ bool cpu_has_avx2_fma() {
 #endif
 }
 
-std::atomic<bool>& simd_flag() {
-  static std::atomic<bool> flag{cpu_has_avx2_fma()};
-  return flag;
-}
-
-}  // namespace
-
-bool simd_compiled() {
-#ifdef CLO_KERNEL_AVX2
-  return true;
+bool cpu_has_avx512f() {
+#if defined(CLO_KERNEL_AVX512) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx512f");
 #else
   return false;
 #endif
 }
 
-bool simd_supported() {
-  static const bool supported = cpu_has_avx2_fma();
-  return supported;
+std::atomic<int>& target_state() {
+  static std::atomic<int> state{static_cast<int>(best_supported_target())};
+  return state;
 }
 
-bool simd_enabled() { return simd_flag().load(std::memory_order_relaxed); }
+std::atomic<clo::util::ThreadPool*>& pool_state() {
+  static std::atomic<clo::util::ThreadPool*> pool{nullptr};
+  return pool;
+}
+
+}  // namespace
+
+bool target_compiled(Target t) {
+  switch (t) {
+    case Target::kScalar:
+      return true;
+    case Target::kAvx2:
+#ifdef CLO_KERNEL_AVX2
+      return true;
+#else
+      return false;
+#endif
+    case Target::kAvx512:
+#ifdef CLO_KERNEL_AVX512
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool target_supported(Target t) {
+  switch (t) {
+    case Target::kScalar:
+      return true;
+    case Target::kAvx2:
+      return cpu_has_avx2_fma();
+    case Target::kAvx512:
+      // The AVX-512 TU also uses 256-bit ops, so AVX2+FMA support is part
+      // of its gate (every AVX-512F CPU has them, but be explicit).
+      return cpu_has_avx512f() && cpu_has_avx2_fma();
+  }
+  return false;
+}
+
+Target best_supported_target() {
+  static const Target best = [] {
+    if (target_supported(Target::kAvx512)) return Target::kAvx512;
+    if (target_supported(Target::kAvx2)) return Target::kAvx2;
+    return Target::kScalar;
+  }();
+  return best;
+}
+
+Target set_target(Target t) {
+  Target actual = Target::kScalar;
+  for (Target c : {Target::kAvx2, Target::kAvx512}) {
+    if (static_cast<int>(c) <= static_cast<int>(t) && target_supported(c)) {
+      actual = c;
+    }
+  }
+  target_state().store(static_cast<int>(actual), std::memory_order_relaxed);
+  return actual;
+}
+
+Target current_target() {
+  return static_cast<Target>(target_state().load(std::memory_order_relaxed));
+}
+
+const char* target_name(Target t) {
+  switch (t) {
+    case Target::kAvx512:
+      return "avx512";
+    case Target::kAvx2:
+      return "avx2";
+    case Target::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+const char* active_target() { return target_name(current_target()); }
+
+bool parse_target(const char* name, Target* out) {
+  const std::string_view s{name == nullptr ? "" : name};
+  if (s == "scalar") {
+    *out = Target::kScalar;
+  } else if (s == "avx2") {
+    *out = Target::kAvx2;
+  } else if (s == "avx512") {
+    *out = Target::kAvx512;
+  } else if (s == "auto") {
+    *out = best_supported_target();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool simd_compiled() {
+  return target_compiled(Target::kAvx2) || target_compiled(Target::kAvx512);
+}
+
+bool simd_supported() { return best_supported_target() != Target::kScalar; }
+
+bool simd_enabled() { return current_target() != Target::kScalar; }
 
 void set_simd_enabled(bool on) {
-  simd_flag().store(on && simd_supported(), std::memory_order_relaxed);
+  set_target(on ? best_supported_target() : Target::kScalar);
 }
 
-const char* active_target() { return simd_enabled() ? "avx2" : "scalar"; }
+// --- Thread-pool registration -------------------------------------------
+
+void set_thread_pool(clo::util::ThreadPool* pool) {
+  pool_state().store(pool, std::memory_order_relaxed);
+}
+
+clo::util::ThreadPool* thread_pool() {
+  return pool_state().load(std::memory_order_relaxed);
+}
+
+std::size_t threads() {
+  const clo::util::ThreadPool* pool = thread_pool();
+  if (pool == nullptr || pool->size() == 0) return 1;
+  return pool->size();
+}
+
+PoolGuard::PoolGuard(clo::util::ThreadPool* pool) : prev_(thread_pool()) {
+  set_thread_pool(pool);
+}
+
+PoolGuard::~PoolGuard() { set_thread_pool(prev_); }
 
 // --- Scalar reference kernels -------------------------------------------
 
@@ -120,20 +264,37 @@ float sum(const float* a, std::size_t n) {
 }
 
 float max_value(const float* a, std::size_t n) {
+  // NaN is detected with a separate accumulator instead of riding on the
+  // max select (which drops a NaN that appears before the running max);
+  // any NaN anywhere pins the result to the canonical quiet NaN.
+  bool has_nan = false;
+  float m;
   if (n < 8) {
-    float m = a[0];
-    for (std::size_t i = 1; i < n; ++i) m = a[i] > m ? a[i] : m;
-    return m;
+    m = a[0];
+    has_nan = a[0] != a[0];
+    for (std::size_t i = 1; i < n; ++i) {
+      has_nan = has_nan || a[i] != a[i];
+      m = a[i] > m ? a[i] : m;
+    }
+  } else {
+    float lanes[8];
+    for (int t = 0; t < 8; ++t) {
+      lanes[t] = a[t];
+      has_nan = has_nan || a[t] != a[t];
+    }
+    std::size_t i = 8;
+    for (; i + 8 <= n; i += 8)
+      for (int t = 0; t < 8; ++t) {
+        has_nan = has_nan || a[i + t] != a[i + t];
+        lanes[t] = a[i + t] > lanes[t] ? a[i + t] : lanes[t];
+      }
+    m = fold_max8(lanes);
+    for (; i < n; ++i) {
+      has_nan = has_nan || a[i] != a[i];
+      m = a[i] > m ? a[i] : m;
+    }
   }
-  float lanes[8];
-  for (int t = 0; t < 8; ++t) lanes[t] = a[t];
-  std::size_t i = 8;
-  for (; i + 8 <= n; i += 8)
-    for (int t = 0; t < 8; ++t)
-      lanes[t] = a[i + t] > lanes[t] ? a[i + t] : lanes[t];
-  float m = fold_max8(lanes);
-  for (; i < n; ++i) m = a[i] > m ? a[i] : m;
-  return m;
+  return has_nan ? canonical_nan() : m;
 }
 
 void axpy(float* y, float a, const float* x, std::size_t n) {
@@ -177,24 +338,47 @@ void adam_update(float* p, float* m, float* v, const float* g, std::size_t n,
   }
 }
 
-void matmul(const float* a, const float* b, float* out, int m, int k, int n,
-            bool transpose_b) {
+/// Strided (leading-dimension) matmul: an [m,n] tile of the output with
+/// row stride ldo, fed by an A tile with row stride lda and a B tile with
+/// row stride ldb. The full matmul is matmul_ld with lda=k, ldb=n|k,
+/// ldo=n; the tiled fan-out slices the same call.
+void matmul_ld(const float* a, int lda, const float* b, int ldb, float* out,
+               int ldo, int m, int k, int n, bool transpose_b) {
   if (!transpose_b) {
     // out[i,j] is a chain over l ascending; the axpy form streams whole
     // rows of B and lets the compiler vectorize across j without touching
     // any per-element order.
     for (int i = 0; i < m; ++i) {
-      const float* arow = a + static_cast<std::size_t>(i) * k;
-      float* orow = out + static_cast<std::size_t>(i) * n;
+      const float* arow = a + static_cast<std::size_t>(i) * lda;
+      float* orow = out + static_cast<std::size_t>(i) * ldo;
       for (int l = 0; l < k; ++l)
-        axpy(orow, arow[l], b + static_cast<std::size_t>(l) * n, n);
+        axpy(orow, arow[l], b + static_cast<std::size_t>(l) * ldb, n);
     }
   } else {
     for (int i = 0; i < m; ++i) {
-      const float* arow = a + static_cast<std::size_t>(i) * k;
-      float* orow = out + static_cast<std::size_t>(i) * n;
+      const float* arow = a + static_cast<std::size_t>(i) * lda;
+      float* orow = out + static_cast<std::size_t>(i) * ldo;
       for (int j = 0; j < n; ++j)
-        orow[j] += dot(arow, b + static_cast<std::size_t>(j) * k, k);
+        orow[j] += dot(arow, b + static_cast<std::size_t>(j) * ldb, k);
+    }
+  }
+}
+
+/// Strided Aᵀ·B: out is a [k,n] tile (row stride ldo) of Aᵀ·B where A has
+/// row stride lda ([m,k] overall; `a` points at the tile's first A
+/// column) and B row stride ldb. Each out element accumulates over the
+/// shared row index i ascending — the dB order the autograd loop pinned
+/// in PR 5.
+void matmul_ta_ld(const float* a, int lda, const float* b, int ldb, float* out,
+                  int ldo, int m, int k, int n) {
+  for (int l = 0; l < k; ++l) {
+    float* orow = out + static_cast<std::size_t>(l) * ldo;
+    for (int j = 0; j < n; ++j) {
+      float o = orow[j];
+      for (int i = 0; i < m; ++i)
+        o += a[static_cast<std::size_t>(i) * lda + l] *
+             b[static_cast<std::size_t>(i) * ldb + j];
+      orow[j] = o;
     }
   }
 }
@@ -204,9 +388,19 @@ void matmul(const float* a, const float* b, float* out, int m, int k, int n,
 
 // --- Public entry points ------------------------------------------------
 
-#ifdef CLO_KERNEL_AVX2
-#define CLO_KERNEL_DISPATCH(call) \
-  if (simd_enabled()) return avx2::call; \
+#if defined(CLO_KERNEL_AVX512)
+#define CLO_KERNEL_DISPATCH(call)       \
+  switch (current_target()) {           \
+    case Target::kAvx512:               \
+      return avx512::call;              \
+    case Target::kAvx2:                 \
+      return avx2::call;                \
+    default:                            \
+      return scalar::call;              \
+  }
+#elif defined(CLO_KERNEL_AVX2)
+#define CLO_KERNEL_DISPATCH(call)                        \
+  if (current_target() != Target::kScalar) return avx2::call; \
   return scalar::call
 #else
 #define CLO_KERNEL_DISPATCH(call) return scalar::call
@@ -261,9 +455,99 @@ void adam_update(float* p, float* m, float* v, const float* g, std::size_t n,
       adam_update(p, m, v, g, n, beta1, beta2, lr, bias_c1, bias_c2, eps));
 }
 
+// --- Tiled GEMM fan-out -------------------------------------------------
+
+namespace {
+
+// Tile geometry is a pure function of the OUTPUT shape — never of the
+// thread count or pool size — so the grid (and with it every per-element
+// accumulation chain, each confined to one tile) is identical no matter
+// how many workers drain it. Row tiles keep a worker on contiguous output
+// rows; column tiles are a multiple of the vector paths' 32-column block.
+constexpr int kTileRows = 16;
+constexpr int kTileCols = 128;
+// Products under ~a quarter-million flops are not worth a fan-out: the
+// pool wake-up costs more than the multiply.
+constexpr long long kMinParallelFlops = 1LL << 18;
+
+void matmul_ld_dispatch(const float* a, int lda, const float* b, int ldb,
+                        float* out, int ldo, int m, int k, int n,
+                        bool transpose_b) {
+  CLO_KERNEL_DISPATCH(
+      matmul_ld(a, lda, b, ldb, out, ldo, m, k, n, transpose_b));
+}
+
+void matmul_ta_ld_dispatch(const float* a, int lda, const float* b, int ldb,
+                           float* out, int ldo, int m, int k, int n) {
+  CLO_KERNEL_DISPATCH(matmul_ta_ld(a, lda, b, ldb, out, ldo, m, k, n));
+}
+
+bool should_fan_out(int out_rows, int out_cols, long long flops,
+                    clo::util::ThreadPool* pool, int* row_tiles,
+                    int* col_tiles) {
+  *row_tiles = (out_rows + kTileRows - 1) / kTileRows;
+  *col_tiles = (out_cols + kTileCols - 1) / kTileCols;
+  if (pool == nullptr || pool->size() < 2) return false;
+  if (flops < kMinParallelFlops) return false;
+  if (static_cast<long long>(*row_tiles) * *col_tiles < 2) return false;
+  // Nested kernels on a pool worker run serially (parallel_tiles would
+  // degrade to serial anyway; skip the tile bookkeeping entirely).
+  if (clo::util::ThreadPool::on_worker_thread()) return false;
+  return true;
+}
+
+}  // namespace
+
 void matmul(const float* a, const float* b, float* out, int m, int k, int n,
             bool transpose_b) {
-  CLO_KERNEL_DISPATCH(matmul(a, b, out, m, k, n, transpose_b));
+  const int ldb = transpose_b ? k : n;
+  clo::util::ThreadPool* pool = thread_pool();
+  int row_tiles = 0, col_tiles = 0;
+  if (!should_fan_out(m, n, 2LL * m * k * n, pool, &row_tiles, &col_tiles)) {
+    matmul_ld_dispatch(a, k, b, ldb, out, n, m, k, n, transpose_b);
+    return;
+  }
+  clo::util::parallel_tiles(
+      pool, static_cast<std::size_t>(row_tiles) * col_tiles,
+      [&](std::size_t t) {
+        const int ti = static_cast<int>(t) / col_tiles;
+        const int tj = static_cast<int>(t) % col_tiles;
+        const int i0 = ti * kTileRows;
+        const int i1 = i0 + kTileRows < m ? i0 + kTileRows : m;
+        const int j0 = tj * kTileCols;
+        const int j1 = j0 + kTileCols < n ? j0 + kTileCols : n;
+        const float* at = a + static_cast<std::size_t>(i0) * k;
+        const float* bt = transpose_b ? b + static_cast<std::size_t>(j0) * k
+                                      : b + j0;
+        float* ot = out + static_cast<std::size_t>(i0) * n + j0;
+        matmul_ld_dispatch(at, k, bt, ldb, ot, n, i1 - i0, k, j1 - j0,
+                           transpose_b);
+      });
+}
+
+void matmul_ta(const float* a, const float* b, float* out, int m, int k,
+               int n) {
+  clo::util::ThreadPool* pool = thread_pool();
+  int row_tiles = 0, col_tiles = 0;
+  if (!should_fan_out(k, n, 2LL * m * k * n, pool, &row_tiles, &col_tiles)) {
+    matmul_ta_ld_dispatch(a, k, b, n, out, n, m, k, n);
+    return;
+  }
+  clo::util::parallel_tiles(
+      pool, static_cast<std::size_t>(row_tiles) * col_tiles,
+      [&](std::size_t t) {
+        const int tl = static_cast<int>(t) / col_tiles;
+        const int tj = static_cast<int>(t) % col_tiles;
+        const int l0 = tl * kTileRows;
+        const int l1 = l0 + kTileRows < k ? l0 + kTileRows : k;
+        const int j0 = tj * kTileCols;
+        const int j1 = j0 + kTileCols < n ? j0 + kTileCols : n;
+        // The tile's out rows l0..l1 read A columns l0..l1: offset a by
+        // the column, keep the full row stride.
+        matmul_ta_ld_dispatch(a + l0, k, b + j0, n,
+                              out + static_cast<std::size_t>(l0) * n + j0, n,
+                              m, l1 - l0, j1 - j0);
+      });
 }
 
 #undef CLO_KERNEL_DISPATCH

@@ -1,12 +1,15 @@
 #pragma once
 // clo::nn::kernel — runtime-dispatched compute kernels for the nn hot path.
 //
-// Two implementations sit behind every entry point: a portable blocked
-// scalar path (always built) and an AVX2/FMA-gated vector path (built when
+// Three implementations sit behind every entry point: a portable blocked
+// scalar path (always built), an AVX2/FMA-gated vector path (built when
 // the compiler supports -mavx2, selected at runtime only when cpuid
-// reports AVX2+FMA). Dispatch is a single relaxed atomic load per call;
-// `--no-simd` (tool flag / `simd off` shell command) forces the scalar
-// path at runtime.
+// reports AVX2+FMA), and an AVX-512 path (built when the compiler
+// supports -mavx512f, selected only when cpuid reports AVX-512F).
+// Dispatch is a single relaxed atomic load per call; `--no-simd` /
+// `--kernel-target` (tool flags) and the `simd` shell command force a
+// lower target at runtime — forcing a target the host cannot run clamps
+// down to the best supported one.
 //
 // Determinism contract: the floating-point result of every kernel is part
 // of its definition, not an implementation detail. Reductions use eight
@@ -14,38 +17,99 @@
 // — folded by the fixed tree in reduce8() with a sequential tail (the
 // layout conv1d's forward has used since PR 3). Elementwise kernels and
 // matmul's non-transposed form are per-element chains in a fixed order.
-// Both targets implement exactly these orders with IEEE-754 single ops and
-// no FMA contraction (the AVX2 TU is compiled with -ffp-contract=off and
-// uses mul+add, not vfmadd; _mm256_sqrt_ps/_mm256_div_ps are correctly
-// rounded like their scalar counterparts), so results are BITWISE
-// IDENTICAL run-to-run and across dispatch targets — `--no-simd` cannot
-// change a retrieved sequence. The documented tolerance is relative to the
-// pre-kernel naive sequential loops: reassociating a length-k sum into 8
-// lanes perturbs it by at most ~k·eps relative, which is why op-level
-// tests compare against double-precision references rather than the old
-// scalar order.
+// All targets implement exactly these orders with IEEE-754 single ops and
+// no FMA contraction (the vector TUs are compiled with -ffp-contract=off
+// and use mul+add, not vfmadd; vector divide/sqrt are correctly rounded
+// like their scalar counterparts). The AVX-512 TU keeps the 8-lane
+// reduction layout by feeding each 16-element load into the SAME eight
+// accumulator lanes as two sequential 8-wide adds, and runs 16-wide only
+// where elements are independent chains (elementwise, adam, matmul column
+// blocks). So results are BITWISE IDENTICAL run-to-run and across
+// dispatch targets — `--no-simd` cannot change a retrieved sequence. The
+// documented tolerance is relative to the pre-kernel naive sequential
+// loops: reassociating a length-k sum into 8 lanes perturbs it by at most
+// ~k·eps relative, which is why op-level tests compare against
+// double-precision references rather than the old scalar order.
+//
+// Threading: matmul/matmul_ta fan output tiles out over a registered
+// clo::util::ThreadPool (set_thread_pool / PoolGuard). The tile grid is a
+// pure function of the output shape — never of the thread count — and
+// every output element's accumulation chain is confined to one tile, so
+// tiling (and which worker computes which tile) cannot change a single
+// operation's order: results stay byte-identical at any thread count,
+// including the serial no-pool path. Small products and calls already on
+// a pool worker run serially.
 //
 // All kernels tolerate unaligned pointers (tensor interiors are sliced at
-// arbitrary offsets); Tensor storage is 32-byte aligned purely as a
+// arbitrary offsets); Tensor storage is 64-byte aligned purely as a
 // performance property.
 
 #include <cstddef>
+
+namespace clo::util {
+class ThreadPool;
+}  // namespace clo::util
 
 namespace clo::nn::kernel {
 
 // --- Runtime dispatch ---------------------------------------------------
 
-/// True when the AVX2 translation unit was compiled into this binary.
-bool simd_compiled();
-/// True when simd_compiled() and the CPU reports AVX2 and FMA.
-bool simd_supported();
-/// True when simd_supported() and not disabled via set_simd_enabled.
-bool simd_enabled();
-/// Enable/disable the vector path at runtime. Enabling on an unsupported
-/// host is a no-op (stays scalar).
-void set_simd_enabled(bool on);
-/// "avx2" or "scalar" — whichever path calls currently dispatch to.
+/// Dispatch targets, in ascending preference order.
+enum class Target { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// True when the TU for `t` was compiled into this binary (kScalar always).
+bool target_compiled(Target t);
+/// True when target_compiled(t) and the CPU can execute it.
+bool target_supported(Target t);
+/// The highest supported target — what dispatch uses by default.
+Target best_supported_target();
+/// Force dispatch to `t`, clamped down to the best supported target not
+/// above it (forcing kAvx512 on an AVX2-only host yields kAvx2). Returns
+/// the target actually active afterwards.
+Target set_target(Target t);
+/// The target calls currently dispatch to.
+Target current_target();
+/// "scalar" / "avx2" / "avx512".
+const char* target_name(Target t);
+/// target_name(current_target()).
 const char* active_target();
+/// Parse a --kernel-target value ("scalar", "avx2", "avx512", or "auto" =
+/// best supported). Returns false for unknown names.
+bool parse_target(const char* name, Target* out);
+
+/// True when any vector TU was compiled into this binary.
+bool simd_compiled();
+/// True when a vector target is supported on this host.
+bool simd_supported();
+/// True when dispatch currently goes to a vector target.
+bool simd_enabled();
+/// on = best supported target, off = scalar (the legacy --no-simd toggle).
+void set_simd_enabled(bool on);
+
+// --- Threading ----------------------------------------------------------
+
+/// Register the pool matmul/matmul_ta fan tile work out on (process-global,
+/// relaxed-atomic). nullptr — the default — keeps every kernel serial.
+/// Registration only affects wall-clock, never bytes (see header note).
+void set_thread_pool(clo::util::ThreadPool* pool);
+/// The currently registered pool (nullptr when serial).
+clo::util::ThreadPool* thread_pool();
+/// Worker count the tiled GEMM can currently fan out over (1 = serial).
+std::size_t threads();
+
+/// RAII registration: sets the kernel pool for the guard's lifetime and
+/// restores the previous registration on destruction. The pipeline/bench
+/// layers wrap their pool acquisition in one of these.
+class PoolGuard {
+ public:
+  explicit PoolGuard(clo::util::ThreadPool* pool);
+  ~PoolGuard();
+  PoolGuard(const PoolGuard&) = delete;
+  PoolGuard& operator=(const PoolGuard&) = delete;
+
+ private:
+  clo::util::ThreadPool* prev_;
+};
 
 // --- Reductions (8-lane fixed-tree order) -------------------------------
 
@@ -55,7 +119,11 @@ float dot(const float* a, const float* b, std::size_t n);
 float sqdist(const float* a, const float* b, std::size_t n);
 /// sum_i a[i]
 float sum(const float* a, std::size_t n);
-/// max_i a[i]; n must be >= 1. NaN elements propagate (x>m ? x : m order).
+/// max_i a[i]; n must be >= 1. Pinned NaN semantics: when ANY element is
+/// NaN the result is the canonical quiet NaN (std::numeric_limits quiet),
+/// regardless of the NaN's position or payload — identical on every
+/// target. (The pre-PR-10 `x > m ? x : m` scan silently dropped a NaN
+/// that appeared before the running max, contradicting this header.)
 float max_value(const float* a, std::size_t n);
 
 // --- Elementwise --------------------------------------------------------
@@ -75,7 +143,7 @@ void div_inplace(float* y, float z, std::size_t n);
 /// One fused Adam step over a parameter slab:
 ///   m = b1*m + (1-b1)*g;  v = b2*v + (1-b2)*g*g;
 ///   p -= lr * (m/bias_c1) / (sqrt(v/bias_c2) + eps)
-/// in exactly that per-element operation order on both targets.
+/// in exactly that per-element operation order on all targets.
 void adam_update(float* p, float* m, float* v, const float* g, std::size_t n,
                  float beta1, float beta2, float lr, float bias_c1,
                  float bias_c2, float eps);
@@ -84,10 +152,18 @@ void adam_update(float* p, float* m, float* v, const float* g, std::size_t n,
 
 /// out[m,n] += A[m,k] · B, where B is [k,n] (or [n,k] when transpose_b).
 /// Non-transposed: each out element is a sequential chain over l ascending
-/// (the AVX2 path blocks columns, which runs many chains in parallel
+/// (the vector paths block columns, which runs many chains in parallel
 /// without reassociating any of them). Transposed: each out element gets
-/// one full 8-lane-tree dot() added to it.
+/// one full 8-lane-tree dot() added to it. Tiled over the registered
+/// thread pool when the product is large enough (see Threading above).
 void matmul(const float* a, const float* b, float* out, int m, int k, int n,
             bool transpose_b);
+
+/// out[k,n] += Aᵀ · B, where A is [m,k] and B is [m,n] — the matmul
+/// backward dB kernel. Each out element is a sequential mul+add chain over
+/// the shared row index i ascending (exactly the accumulation order the
+/// autograd loop has used since PR 5). Tiled like matmul.
+void matmul_ta(const float* a, const float* b, float* out, int m, int k,
+               int n);
 
 }  // namespace clo::nn::kernel

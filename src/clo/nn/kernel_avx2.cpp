@@ -64,21 +64,37 @@ float sum(const float* a, std::size_t n) {
 }
 
 float max_value(const float* a, std::size_t n) {
+  // NaN is tracked in a separate unordered-compare accumulator (the max
+  // select itself drops NaN); any NaN anywhere pins the result to the
+  // canonical quiet NaN, same as the scalar path.
   if (n < 8) {
     float m = a[0];
-    for (std::size_t i = 1; i < n; ++i) m = a[i] > m ? a[i] : m;
-    return m;
+    bool has_nan = a[0] != a[0];
+    for (std::size_t i = 1; i < n; ++i) {
+      has_nan = has_nan || a[i] != a[i];
+      m = a[i] > m ? a[i] : m;
+    }
+    return has_nan ? detail::canonical_nan() : m;
   }
   // _mm256_max_ps(x, acc) = x > acc ? x : acc (acc on unordered) — the
   // same select the scalar lanes use.
   __m256 acc = _mm256_loadu_ps(a);
+  __m256 nan_mask = _mm256_cmp_ps(acc, acc, _CMP_UNORD_Q);
   std::size_t i = 8;
-  for (; i + 8 <= n; i += 8) acc = _mm256_max_ps(_mm256_loadu_ps(a + i), acc);
+  for (; i + 8 <= n; i += 8) {
+    const __m256 x = _mm256_loadu_ps(a + i);
+    nan_mask = _mm256_or_ps(nan_mask, _mm256_cmp_ps(x, x, _CMP_UNORD_Q));
+    acc = _mm256_max_ps(x, acc);
+  }
+  bool has_nan = _mm256_movemask_ps(nan_mask) != 0;
   alignas(32) float lanes[8];
   _mm256_store_ps(lanes, acc);
   float m = fold_max8(lanes);
-  for (; i < n; ++i) m = a[i] > m ? a[i] : m;
-  return m;
+  for (; i < n; ++i) {
+    has_nan = has_nan || a[i] != a[i];
+    m = a[i] > m ? a[i] : m;
+  }
+  return has_nan ? detail::canonical_nan() : m;
 }
 
 void axpy(float* y, float a, const float* x, std::size_t n) {
@@ -209,14 +225,14 @@ inline void dot4(const float* arow, const float* b0, const float* b1,
 
 }  // namespace
 
-void matmul(const float* a, const float* b, float* out, int m, int k, int n,
-            bool transpose_b) {
+void matmul_ld(const float* a, int lda, const float* b, int ldb, float* out,
+               int ldo, int m, int k, int n, bool transpose_b) {
   if (!transpose_b) {
     // Column-blocked axpy form: 4 ymm accumulators cover 32 output
     // columns; the chain over l for each output element is untouched.
     for (int i = 0; i < m; ++i) {
-      const float* arow = a + static_cast<std::size_t>(i) * k;
-      float* orow = out + static_cast<std::size_t>(i) * n;
+      const float* arow = a + static_cast<std::size_t>(i) * lda;
+      float* orow = out + static_cast<std::size_t>(i) * ldo;
       int j = 0;
       for (; j + 32 <= n; j += 32) {
         __m256 c0 = _mm256_loadu_ps(orow + j);
@@ -225,7 +241,7 @@ void matmul(const float* a, const float* b, float* out, int m, int k, int n,
         __m256 c3 = _mm256_loadu_ps(orow + j + 24);
         for (int l = 0; l < k; ++l) {
           const __m256 va = _mm256_set1_ps(arow[l]);
-          const float* brow = b + static_cast<std::size_t>(l) * n + j;
+          const float* brow = b + static_cast<std::size_t>(l) * ldb + j;
           c0 = _mm256_add_ps(c0, _mm256_mul_ps(va, _mm256_loadu_ps(brow)));
           c1 = _mm256_add_ps(c1, _mm256_mul_ps(va, _mm256_loadu_ps(brow + 8)));
           c2 = _mm256_add_ps(c2, _mm256_mul_ps(va, _mm256_loadu_ps(brow + 16)));
@@ -242,7 +258,7 @@ void matmul(const float* a, const float* b, float* out, int m, int k, int n,
           const __m256 va = _mm256_set1_ps(arow[l]);
           c0 = _mm256_add_ps(
               c0, _mm256_mul_ps(
-                      va, _mm256_loadu_ps(b + static_cast<std::size_t>(l) * n +
+                      va, _mm256_loadu_ps(b + static_cast<std::size_t>(l) * ldb +
                                           j)));
         }
         _mm256_storeu_ps(orow + j, c0);
@@ -250,21 +266,73 @@ void matmul(const float* a, const float* b, float* out, int m, int k, int n,
       for (; j < n; ++j) {
         float o = orow[j];
         for (int l = 0; l < k; ++l)
-          o += arow[l] * b[static_cast<std::size_t>(l) * n + j];
+          o += arow[l] * b[static_cast<std::size_t>(l) * ldb + j];
         orow[j] = o;
       }
     }
   } else {
     for (int i = 0; i < m; ++i) {
-      const float* arow = a + static_cast<std::size_t>(i) * k;
-      float* orow = out + static_cast<std::size_t>(i) * n;
+      const float* arow = a + static_cast<std::size_t>(i) * lda;
+      float* orow = out + static_cast<std::size_t>(i) * ldo;
       int j = 0;
       for (; j + 4 <= n; j += 4) {
-        const float* brow = b + static_cast<std::size_t>(j) * k;
-        dot4(arow, brow, brow + k, brow + 2 * k, brow + 3 * k, k, orow + j);
+        const float* brow = b + static_cast<std::size_t>(j) * ldb;
+        dot4(arow, brow, brow + ldb, brow + 2 * static_cast<std::size_t>(ldb),
+             brow + 3 * static_cast<std::size_t>(ldb), k, orow + j);
       }
       for (; j < n; ++j)
-        orow[j] += dot(arow, b + static_cast<std::size_t>(j) * k, k);
+        orow[j] += dot(arow, b + static_cast<std::size_t>(j) * ldb, k);
+    }
+  }
+}
+
+void matmul_ta_ld(const float* a, int lda, const float* b, int ldb, float* out,
+                  int ldo, int m, int k, int n) {
+  // out[l,j] += sum_i a[i,l] * b[i,j], chain over i ascending. One out row
+  // at a time: per 32-column block the i-chains live in 4 ymm accumulators
+  // (each element's chain untouched), broadcasting A's column l down the
+  // rows.
+  for (int l = 0; l < k; ++l) {
+    const float* acol = a + l;
+    float* orow = out + static_cast<std::size_t>(l) * ldo;
+    int j = 0;
+    for (; j + 32 <= n; j += 32) {
+      __m256 c0 = _mm256_loadu_ps(orow + j);
+      __m256 c1 = _mm256_loadu_ps(orow + j + 8);
+      __m256 c2 = _mm256_loadu_ps(orow + j + 16);
+      __m256 c3 = _mm256_loadu_ps(orow + j + 24);
+      for (int i = 0; i < m; ++i) {
+        const __m256 va =
+            _mm256_set1_ps(acol[static_cast<std::size_t>(i) * lda]);
+        const float* brow = b + static_cast<std::size_t>(i) * ldb + j;
+        c0 = _mm256_add_ps(c0, _mm256_mul_ps(va, _mm256_loadu_ps(brow)));
+        c1 = _mm256_add_ps(c1, _mm256_mul_ps(va, _mm256_loadu_ps(brow + 8)));
+        c2 = _mm256_add_ps(c2, _mm256_mul_ps(va, _mm256_loadu_ps(brow + 16)));
+        c3 = _mm256_add_ps(c3, _mm256_mul_ps(va, _mm256_loadu_ps(brow + 24)));
+      }
+      _mm256_storeu_ps(orow + j, c0);
+      _mm256_storeu_ps(orow + j + 8, c1);
+      _mm256_storeu_ps(orow + j + 16, c2);
+      _mm256_storeu_ps(orow + j + 24, c3);
+    }
+    for (; j + 8 <= n; j += 8) {
+      __m256 c0 = _mm256_loadu_ps(orow + j);
+      for (int i = 0; i < m; ++i) {
+        const __m256 va =
+            _mm256_set1_ps(acol[static_cast<std::size_t>(i) * lda]);
+        c0 = _mm256_add_ps(
+            c0, _mm256_mul_ps(
+                    va, _mm256_loadu_ps(b + static_cast<std::size_t>(i) * ldb +
+                                        j)));
+      }
+      _mm256_storeu_ps(orow + j, c0);
+    }
+    for (; j < n; ++j) {
+      float o = orow[j];
+      for (int i = 0; i < m; ++i)
+        o += acol[static_cast<std::size_t>(i) * lda] *
+             b[static_cast<std::size_t>(i) * ldb + j];
+      orow[j] = o;
     }
   }
 }

@@ -1,0 +1,378 @@
+// AVX-512 kernels. This TU is compiled with -mavx512f and
+// -ffp-contract=off and is only ever entered when cpuid reports AVX-512F
+// (kernel.cpp gates the dispatch; every such CPU also has the AVX2+FMA the
+// 256-bit ops here assume). The bitwise contract is the same as the AVX2
+// TU's, and the port strategy is:
+//
+//  - Reductions (dot/sqdist/sum) keep the EIGHT-lane accumulator the
+//    contract pins, so they stay on 256-bit registers (a 16-lane
+//    accumulator would be a different summation order, and gcc 12's
+//    zmm→ymm splits are -Werror-hostile — see the note above dot()).
+//  - max_value stays 8-wide: max is order-insensitive for magnitudes but
+//    the `x > m ? x : m` select's +0/-0 tie-breaking is not, so folding 16
+//    lanes could flip which signed zero survives.
+//  - Elementwise kernels, adam_update, and matmul's column blocks are
+//    per-element independent chains, so they run genuinely 16-wide
+//    (mul+add, never vfmadd; vdivps/vsqrtps are correctly rounded).
+
+#ifdef CLO_KERNEL_AVX512
+
+// gcc 12 expands several AVX-512F intrinsics (_mm512_sqrt_ps, the
+// zmm→ymm casts, ...) through _mm512_undefined_ps-style placeholders that
+// -Wmaybe-uninitialized flags as reads of uninitialized values (gcc
+// PR 105593). The placeholder lanes are never consumed; silence the false
+// positive for this TU only so -Werror stays on.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "clo/nn/kernel_detail.hpp"
+
+namespace clo::nn::kernel::avx512 {
+
+using detail::fold_max8;
+using detail::reduce8;
+
+// The reductions run on 256-bit registers: the 8-lane accumulator IS the
+// contract, a zmm would have to be split into ymm halves every step, and
+// gcc 12's zmm→ymm extract intrinsics (_mm512_castps512_ps256 included)
+// all expand through _mm256_undefined_pd, which -Werror rejects as
+// maybe-uninitialized. The 16-wide wins live in the per-element kernels
+// below, which never split a vector.
+
+float dot(const float* a, const float* b, std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    // Two sequential 8-wide adds = the scalar chain's i then i+8 blocks.
+    acc = _mm256_add_ps(
+        acc, _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_loadu_ps(a + i + 8),
+                                           _mm256_loadu_ps(b + i + 8)));
+  }
+  for (; i + 8 <= n; i += 8)
+    acc = _mm256_add_ps(
+        acc, _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc);
+  float tail = 0.0f;
+  for (; i < n; ++i) tail += a[i] * b[i];
+  return reduce8(lanes, tail);
+}
+
+float sqdist(const float* a, const float* b, std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
+  }
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc);
+  float tail = 0.0f;
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    tail += d * d;
+  }
+  return reduce8(lanes, tail);
+}
+
+float sum(const float* a, std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) acc = _mm256_add_ps(acc, _mm256_loadu_ps(a + i));
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc);
+  float tail = 0.0f;
+  for (; i < n; ++i) tail += a[i];
+  return reduce8(lanes, tail);
+}
+
+float max_value(const float* a, std::size_t n) {
+  // 8-wide on purpose — see the TU header note on signed-zero ties.
+  if (n < 8) {
+    float m = a[0];
+    bool has_nan = a[0] != a[0];
+    for (std::size_t i = 1; i < n; ++i) {
+      has_nan = has_nan || a[i] != a[i];
+      m = a[i] > m ? a[i] : m;
+    }
+    return has_nan ? detail::canonical_nan() : m;
+  }
+  __m256 acc = _mm256_loadu_ps(a);
+  __m256 nan_mask = _mm256_cmp_ps(acc, acc, _CMP_UNORD_Q);
+  std::size_t i = 8;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 x = _mm256_loadu_ps(a + i);
+    nan_mask = _mm256_or_ps(nan_mask, _mm256_cmp_ps(x, x, _CMP_UNORD_Q));
+    acc = _mm256_max_ps(x, acc);
+  }
+  bool has_nan = _mm256_movemask_ps(nan_mask) != 0;
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc);
+  float m = fold_max8(lanes);
+  for (; i < n; ++i) {
+    has_nan = has_nan || a[i] != a[i];
+    m = a[i] > m ? a[i] : m;
+  }
+  return has_nan ? detail::canonical_nan() : m;
+}
+
+void axpy(float* y, float a, const float* x, std::size_t n) {
+  const __m512 va = _mm512_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    _mm512_storeu_ps(
+        y + i, _mm512_add_ps(_mm512_loadu_ps(y + i),
+                             _mm512_mul_ps(va, _mm512_loadu_ps(x + i))));
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void acc(float* y, const float* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    _mm512_storeu_ps(
+        y + i, _mm512_add_ps(_mm512_loadu_ps(y + i), _mm512_loadu_ps(x + i)));
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+void add(float* out, const float* a, const float* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    _mm512_storeu_ps(out + i, _mm512_add_ps(_mm512_loadu_ps(a + i),
+                                            _mm512_loadu_ps(b + i)));
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void sub(float* out, const float* a, const float* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    _mm512_storeu_ps(out + i, _mm512_sub_ps(_mm512_loadu_ps(a + i),
+                                            _mm512_loadu_ps(b + i)));
+  for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void mul(float* out, const float* a, const float* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    _mm512_storeu_ps(out + i, _mm512_mul_ps(_mm512_loadu_ps(a + i),
+                                            _mm512_loadu_ps(b + i)));
+  for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void scale(float* out, const float* a, float s, std::size_t n) {
+  const __m512 vs = _mm512_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    _mm512_storeu_ps(out + i, _mm512_mul_ps(_mm512_loadu_ps(a + i), vs));
+  for (; i < n; ++i) out[i] = a[i] * s;
+}
+
+void div_inplace(float* y, float z, std::size_t n) {
+  const __m512 vz = _mm512_set1_ps(z);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    _mm512_storeu_ps(y + i, _mm512_div_ps(_mm512_loadu_ps(y + i), vz));
+  for (; i < n; ++i) y[i] /= z;
+}
+
+void adam_update(float* p, float* m, float* v, const float* g, std::size_t n,
+                 float beta1, float beta2, float lr, float bias_c1,
+                 float bias_c2, float eps) {
+  const __m512 vb1 = _mm512_set1_ps(beta1);
+  const __m512 vb1c = _mm512_set1_ps(1.0f - beta1);
+  const __m512 vb2 = _mm512_set1_ps(beta2);
+  const __m512 vb2c = _mm512_set1_ps(1.0f - beta2);
+  const __m512 vbc1 = _mm512_set1_ps(bias_c1);
+  const __m512 vbc2 = _mm512_set1_ps(bias_c2);
+  const __m512 vlr = _mm512_set1_ps(lr);
+  const __m512 veps = _mm512_set1_ps(eps);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 gi = _mm512_loadu_ps(g + i);
+    const __m512 vm = _mm512_add_ps(_mm512_mul_ps(vb1, _mm512_loadu_ps(m + i)),
+                                    _mm512_mul_ps(vb1c, gi));
+    const __m512 vv =
+        _mm512_add_ps(_mm512_mul_ps(vb2, _mm512_loadu_ps(v + i)),
+                      _mm512_mul_ps(vb2c, _mm512_mul_ps(gi, gi)));
+    _mm512_storeu_ps(m + i, vm);
+    _mm512_storeu_ps(v + i, vv);
+    const __m512 mhat = _mm512_div_ps(vm, vbc1);
+    const __m512 vhat = _mm512_div_ps(vv, vbc2);
+    const __m512 denom = _mm512_add_ps(_mm512_sqrt_ps(vhat), veps);
+    _mm512_storeu_ps(
+        p + i, _mm512_sub_ps(_mm512_loadu_ps(p + i),
+                             _mm512_div_ps(_mm512_mul_ps(vlr, mhat), denom)));
+  }
+  for (; i < n; ++i) {
+    const float gi = g[i];
+    m[i] = beta1 * m[i] + (1.0f - beta1) * gi;
+    v[i] = beta2 * v[i] + (1.0f - beta2) * (gi * gi);
+    const float mhat = m[i] / bias_c1;
+    const float vhat = v[i] / bias_c2;
+    p[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+namespace {
+
+// out[i,j] += dot(A row i, B row j) for four B rows sharing one pass over
+// the A row. Each accumulator is its own 8-lane chain (256-bit — see the
+// reductions note above), so every output is the exact 8-lane-tree dot().
+inline void dot4(const float* arow, const float* b0, const float* b1,
+                 const float* b2, const float* b3, int k, float* o) {
+  __m256 c0 = _mm256_setzero_ps();
+  __m256 c1 = _mm256_setzero_ps();
+  __m256 c2 = _mm256_setzero_ps();
+  __m256 c3 = _mm256_setzero_ps();
+  int l = 0;
+  for (; l + 8 <= k; l += 8) {
+    const __m256 va = _mm256_loadu_ps(arow + l);
+    c0 = _mm256_add_ps(c0, _mm256_mul_ps(va, _mm256_loadu_ps(b0 + l)));
+    c1 = _mm256_add_ps(c1, _mm256_mul_ps(va, _mm256_loadu_ps(b1 + l)));
+    c2 = _mm256_add_ps(c2, _mm256_mul_ps(va, _mm256_loadu_ps(b2 + l)));
+    c3 = _mm256_add_ps(c3, _mm256_mul_ps(va, _mm256_loadu_ps(b3 + l)));
+  }
+  const __m256 accs[4] = {c0, c1, c2, c3};
+  const float* brows[4] = {b0, b1, b2, b3};
+  for (int t = 0; t < 4; ++t) {
+    alignas(32) float lanes[8];
+    _mm256_store_ps(lanes, accs[t]);
+    float tail = 0.0f;
+    for (int q = l; q < k; ++q) tail += arow[q] * brows[t][q];
+    o[t] += reduce8(lanes, tail);
+  }
+}
+
+}  // namespace
+
+void matmul_ld(const float* a, int lda, const float* b, int ldb, float* out,
+               int ldo, int m, int k, int n, bool transpose_b) {
+  if (!transpose_b) {
+    // Column-blocked axpy form, 16-wide: 4 zmm accumulators cover 64
+    // output columns; each column's chain over l is untouched.
+    for (int i = 0; i < m; ++i) {
+      const float* arow = a + static_cast<std::size_t>(i) * lda;
+      float* orow = out + static_cast<std::size_t>(i) * ldo;
+      int j = 0;
+      for (; j + 64 <= n; j += 64) {
+        __m512 c0 = _mm512_loadu_ps(orow + j);
+        __m512 c1 = _mm512_loadu_ps(orow + j + 16);
+        __m512 c2 = _mm512_loadu_ps(orow + j + 32);
+        __m512 c3 = _mm512_loadu_ps(orow + j + 48);
+        for (int l = 0; l < k; ++l) {
+          const __m512 va = _mm512_set1_ps(arow[l]);
+          const float* brow = b + static_cast<std::size_t>(l) * ldb + j;
+          c0 = _mm512_add_ps(c0, _mm512_mul_ps(va, _mm512_loadu_ps(brow)));
+          c1 = _mm512_add_ps(c1, _mm512_mul_ps(va, _mm512_loadu_ps(brow + 16)));
+          c2 = _mm512_add_ps(c2, _mm512_mul_ps(va, _mm512_loadu_ps(brow + 32)));
+          c3 = _mm512_add_ps(c3, _mm512_mul_ps(va, _mm512_loadu_ps(brow + 48)));
+        }
+        _mm512_storeu_ps(orow + j, c0);
+        _mm512_storeu_ps(orow + j + 16, c1);
+        _mm512_storeu_ps(orow + j + 32, c2);
+        _mm512_storeu_ps(orow + j + 48, c3);
+      }
+      for (; j + 16 <= n; j += 16) {
+        __m512 c0 = _mm512_loadu_ps(orow + j);
+        for (int l = 0; l < k; ++l) {
+          const __m512 va = _mm512_set1_ps(arow[l]);
+          c0 = _mm512_add_ps(
+              c0, _mm512_mul_ps(
+                      va, _mm512_loadu_ps(b + static_cast<std::size_t>(l) * ldb +
+                                          j)));
+        }
+        _mm512_storeu_ps(orow + j, c0);
+      }
+      for (; j + 8 <= n; j += 8) {
+        __m256 c0 = _mm256_loadu_ps(orow + j);
+        for (int l = 0; l < k; ++l) {
+          const __m256 va = _mm256_set1_ps(arow[l]);
+          c0 = _mm256_add_ps(
+              c0, _mm256_mul_ps(
+                      va, _mm256_loadu_ps(b + static_cast<std::size_t>(l) * ldb +
+                                          j)));
+        }
+        _mm256_storeu_ps(orow + j, c0);
+      }
+      for (; j < n; ++j) {
+        float o = orow[j];
+        for (int l = 0; l < k; ++l)
+          o += arow[l] * b[static_cast<std::size_t>(l) * ldb + j];
+        orow[j] = o;
+      }
+    }
+  } else {
+    for (int i = 0; i < m; ++i) {
+      const float* arow = a + static_cast<std::size_t>(i) * lda;
+      float* orow = out + static_cast<std::size_t>(i) * ldo;
+      int j = 0;
+      for (; j + 4 <= n; j += 4) {
+        const float* brow = b + static_cast<std::size_t>(j) * ldb;
+        dot4(arow, brow, brow + ldb, brow + 2 * static_cast<std::size_t>(ldb),
+             brow + 3 * static_cast<std::size_t>(ldb), k, orow + j);
+      }
+      for (; j < n; ++j)
+        orow[j] += dot(arow, b + static_cast<std::size_t>(j) * ldb, k);
+    }
+  }
+}
+
+void matmul_ta_ld(const float* a, int lda, const float* b, int ldb, float* out,
+                  int ldo, int m, int k, int n) {
+  // Same structure as the AVX2 TU, 16-wide: per 64-column block the
+  // i-chains live in 4 zmm accumulators, broadcasting A's column l.
+  for (int l = 0; l < k; ++l) {
+    const float* acol = a + l;
+    float* orow = out + static_cast<std::size_t>(l) * ldo;
+    int j = 0;
+    for (; j + 64 <= n; j += 64) {
+      __m512 c0 = _mm512_loadu_ps(orow + j);
+      __m512 c1 = _mm512_loadu_ps(orow + j + 16);
+      __m512 c2 = _mm512_loadu_ps(orow + j + 32);
+      __m512 c3 = _mm512_loadu_ps(orow + j + 48);
+      for (int i = 0; i < m; ++i) {
+        const __m512 va =
+            _mm512_set1_ps(acol[static_cast<std::size_t>(i) * lda]);
+        const float* brow = b + static_cast<std::size_t>(i) * ldb + j;
+        c0 = _mm512_add_ps(c0, _mm512_mul_ps(va, _mm512_loadu_ps(brow)));
+        c1 = _mm512_add_ps(c1, _mm512_mul_ps(va, _mm512_loadu_ps(brow + 16)));
+        c2 = _mm512_add_ps(c2, _mm512_mul_ps(va, _mm512_loadu_ps(brow + 32)));
+        c3 = _mm512_add_ps(c3, _mm512_mul_ps(va, _mm512_loadu_ps(brow + 48)));
+      }
+      _mm512_storeu_ps(orow + j, c0);
+      _mm512_storeu_ps(orow + j + 16, c1);
+      _mm512_storeu_ps(orow + j + 32, c2);
+      _mm512_storeu_ps(orow + j + 48, c3);
+    }
+    for (; j + 16 <= n; j += 16) {
+      __m512 c0 = _mm512_loadu_ps(orow + j);
+      for (int i = 0; i < m; ++i) {
+        const __m512 va =
+            _mm512_set1_ps(acol[static_cast<std::size_t>(i) * lda]);
+        c0 = _mm512_add_ps(
+            c0, _mm512_mul_ps(
+                    va, _mm512_loadu_ps(b + static_cast<std::size_t>(i) * ldb +
+                                        j)));
+      }
+      _mm512_storeu_ps(orow + j, c0);
+    }
+    for (; j < n; ++j) {
+      float o = orow[j];
+      for (int i = 0; i < m; ++i)
+        o += acol[static_cast<std::size_t>(i) * lda] *
+             b[static_cast<std::size_t>(i) * ldb + j];
+      orow[j] = o;
+    }
+  }
+}
+
+}  // namespace clo::nn::kernel::avx512
+
+#endif  // CLO_KERNEL_AVX512

@@ -1,8 +1,11 @@
 #pragma once
-// Internal to the kernel TUs (kernel.cpp / kernel_avx2.cpp). The folds
-// here ARE the reduction semantics both dispatch targets must implement;
-// sharing one definition keeps them from drifting apart. Pure adds and
-// compares — nothing here is contractible into an FMA.
+// Internal to the kernel TUs (kernel.cpp / kernel_avx2.cpp /
+// kernel_avx512.cpp). The folds here ARE the reduction semantics every
+// dispatch target must implement; sharing one definition keeps them from
+// drifting apart. Pure adds and compares — nothing here is contractible
+// into an FMA.
+
+#include <limits>
 
 namespace clo::nn::kernel::detail {
 
@@ -14,13 +17,22 @@ inline float reduce8(const float lanes[8], float tail) {
   return (s04 + s26) + tail;
 }
 
-/// Fixed fold for 8-lane maxima; the `x > m ? x : m` order means NaN lanes
-/// are dropped by the max itself (softmax still propagates NaN through the
-/// exp that follows).
+/// Fixed fold for 8-lane maxima with the `x > m ? x : m` select. NaN
+/// handling does NOT ride on this fold: max_value detects NaN with a
+/// separate unordered-compare accumulator and returns canonical_nan(), so
+/// the fold itself only ever sees the max-of-non-NaN path. (The AVX-512
+/// target deliberately keeps max_value at 8 lanes: folding 16 lanes down
+/// would reorder the selects and can flip which signed zero survives a
+/// +0.0 / -0.0 tie.)
 inline float fold_max8(const float lanes[8]) {
   float m = lanes[0];
   for (int t = 1; t < 8; ++t) m = lanes[t] > m ? lanes[t] : m;
   return m;
 }
+
+/// The one NaN every target returns from max_value when any input element
+/// is NaN — payload-pinned so "NaN in, NaN out" is still bitwise
+/// deterministic across targets and element positions.
+inline float canonical_nan() { return std::numeric_limits<float>::quiet_NaN(); }
 
 }  // namespace clo::nn::kernel::detail

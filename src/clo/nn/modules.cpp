@@ -98,11 +98,16 @@ Tensor Conv1dLayer::forward(const Tensor& x) {
 Tensor timestep_embedding(const std::vector<int>& t, int dim) {
   const int half = dim / 2;
   Tensor out = Tensor::zeros({static_cast<int>(t.size()), dim});
+  // The frequency table depends only on i — hoist the exp/log out of the
+  // batch loop so an [R]-restart batch doesn't recompute it R times.
+  // Same double-precision expression, so values are unchanged.
+  std::vector<double> freqs(static_cast<std::size_t>(half));
+  for (int i = 0; i < half; ++i) {
+    freqs[i] = std::exp(-std::log(10000.0) * static_cast<double>(i) / half);
+  }
   for (std::size_t b = 0; b < t.size(); ++b) {
     for (int i = 0; i < half; ++i) {
-      const double freq =
-          std::exp(-std::log(10000.0) * static_cast<double>(i) / half);
-      const double arg = static_cast<double>(t[b]) * freq;
+      const double arg = static_cast<double>(t[b]) * freqs[i];
       out.data()[b * dim + i] = static_cast<float>(std::sin(arg));
       out.data()[b * dim + half + i] = static_cast<float>(std::cos(arg));
     }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "clo/nn/kernel.hpp"
+#include "clo/util/thread_pool.hpp"
 
 namespace clo::nn {
 namespace {
@@ -232,26 +233,18 @@ Tensor matmul(const Tensor& a, const Tensor& b, bool transpose_b) {
                          m, n, k, !transpose_b);
         }
         if (gb) {
+          // Both transpose cases are one Aᵀ·B product accumulating over
+          // the shared row index i ascending — exactly the axpy loop
+          // order this used before matmul_ta existed, now vectorized and
+          // tiled over the kernel thread pool.
           if (transpose_b) {
-            // dB[j,:] += gy[i,j] * A[i,:]
-            for (int i = 0; i < m; ++i) {
-              for (int j = 0; j < n; ++j) {
-                kernel::axpy(pb->grad.data() + static_cast<std::size_t>(j) * k,
-                             self.grad[i * n + j],
-                             pa->data.data() + static_cast<std::size_t>(i) * k,
-                             k);
-              }
-            }
+            // dB[j,:] += gy[i,j] * A[i,:]  ⇒  dB = dYᵀ · A
+            kernel::matmul_ta(self.grad.data(), pa->data.data(),
+                              pb->grad.data(), m, n, k);
           } else {
-            // dB[l,:] += A[i,l] * dY[i,:]
-            for (int i = 0; i < m; ++i) {
-              for (int l = 0; l < k; ++l) {
-                kernel::axpy(pb->grad.data() + static_cast<std::size_t>(l) * n,
-                             pa->data[i * k + l],
-                             self.grad.data() + static_cast<std::size_t>(i) * n,
-                             n);
-              }
-            }
+            // dB[l,:] += A[i,l] * dY[i,:]  ⇒  dB = Aᵀ · dY
+            kernel::matmul_ta(pa->data.data(), self.grad.data(),
+                              pb->grad.data(), m, k, n);
           }
         }
       });
@@ -582,11 +575,17 @@ Tensor conv1d(const Tensor& x, const Tensor& weight, const Tensor& bias) {
   // dense dot over Ci*K contiguous floats, shared by all Co filters.
   // kernel::matmul's transposed form computes exactly the 8-lane-tree dot
   // this op used since PR 3 (bias first, then one full tree-reduced dot
-  // added to it), so values are unchanged — and identical on both dispatch
-  // targets.
+  // added to it), so values are unchanged — and identical on every
+  // dispatch target. Batch elements are independent (private patch
+  // buffer, disjoint output slab), so they fan out over the kernel thread
+  // pool; per-element bytes cannot depend on which worker ran them. The
+  // per-batch matmuls then run serially inside their worker (nested
+  // kernels degrade to serial by design).
   const int CK = Ci * K;
-  std::vector<float> patch(static_cast<std::size_t>(L) * CK);
-  for (int b = 0; b < B; ++b) {
+  util::parallel_tiles(kernel::thread_pool(), static_cast<std::size_t>(B),
+                       [&](std::size_t bi) {
+    const int b = static_cast<int>(bi);
+    std::vector<float> patch(static_cast<std::size_t>(L) * CK);
     for (int l = 0; l < L; ++l) {
       float* row = patch.data() + static_cast<std::size_t>(l) * CK;
       for (int ci = 0; ci < Ci; ++ci) {
@@ -605,7 +604,7 @@ Tensor conv1d(const Tensor& x, const Tensor& weight, const Tensor& bias) {
     }
     kernel::matmul(pw->data.data(), patch.data(), ob, Co, CK, L,
                    /*transpose_b=*/true);
-  }
+  });
   return out;
 }
 

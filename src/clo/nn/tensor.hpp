@@ -21,8 +21,8 @@ namespace clo::nn {
 
 class Tensor;
 
-/// Tensor storage: 32-byte-aligned so the SIMD kernels (kernel.hpp) start
-/// every data/grad buffer on a vector boundary.
+/// Tensor storage: 64-byte-aligned so the SIMD kernels (kernel.hpp) start
+/// every data/grad buffer on a full cache line / zmm vector boundary.
 using FloatBuf = util::AlignedFloats;
 
 struct TensorImpl {

@@ -82,6 +82,18 @@ void Shell::set_simd(bool on) { nn::kernel::set_simd_enabled(on); }
 
 bool Shell::simd() const { return nn::kernel::simd_enabled(); }
 
+bool Shell::set_kernel_target(const std::string& name) {
+  nn::kernel::Target t;
+  if (!nn::kernel::parse_target(name.c_str(), &t)) return false;
+  const nn::kernel::Target actual = nn::kernel::set_target(t);
+  if (actual != t && name != "auto") {
+    std::cerr << "note: kernel target " << name
+              << " not supported on this host; using "
+              << nn::kernel::target_name(actual) << "\n";
+  }
+  return true;
+}
+
 void Shell::set_trace_path(std::string path) {
   trace_path_ = std::move(path);
   obs::set_enabled(true);
@@ -432,19 +444,31 @@ void Shell::register_commands() {
        }});
   commands_.push_back(
       {"simd",
-       "simd [on|off] — set/show the nn kernel SIMD dispatch switch",
+       "simd [on|off|scalar|avx2|avx512|auto] — set/show the nn kernel "
+       "dispatch target",
        [](Shell& sh, const auto& args, std::ostream& out) {
          if (args.size() > 1) {
+           nn::kernel::Target t;
            if (args[1] == "on") {
              sh.set_simd(true);
            } else if (args[1] == "off") {
              sh.set_simd(false);
+           } else if (nn::kernel::parse_target(args[1].c_str(), &t)) {
+             const nn::kernel::Target actual = nn::kernel::set_target(t);
+             if (actual != t && args[1] != "auto") {
+               out << "note: " << args[1]
+                   << " not supported on this host; clamped to "
+                   << nn::kernel::target_name(actual) << "\n";
+             }
            } else {
-             throw std::runtime_error("usage: simd [on|off]");
+             throw std::runtime_error(
+                 "usage: simd [on|off|scalar|avx2|avx512|auto]");
            }
          }
          out << "simd = " << (sh.simd() ? "on" : "off") << " (target "
-             << nn::kernel::active_target() << ")\n";
+             << nn::kernel::active_target() << ", best "
+             << nn::kernel::target_name(nn::kernel::best_supported_target())
+             << ")\n";
          return true;
        }});
   commands_.push_back(

@@ -1,9 +1,10 @@
 #pragma once
-// 32-byte-aligned allocator for SIMD-friendly buffers. Tensor data/grad
-// storage uses this so the AVX2 kernels (clo/nn/kernel.hpp) start every
-// buffer on a cache-line-friendly vector boundary; the kernels themselves
-// still use unaligned loads (interior slices of a tensor are not aligned),
-// so alignment is a performance property, never a correctness requirement.
+// Aligned allocator for SIMD-friendly buffers. Tensor data/grad storage
+// uses the 64-byte default so the AVX2/AVX-512 kernels
+// (clo/nn/kernel.hpp) start every buffer on a full cache line (and zmm
+// vector boundary); the kernels themselves still use unaligned loads
+// (interior slices of a tensor are not aligned), so alignment is a
+// performance property, never a correctness requirement.
 
 #include <cstddef>
 #include <new>
@@ -11,7 +12,7 @@
 
 namespace clo::util {
 
-template <typename T, std::size_t Alignment = 32>
+template <typename T, std::size_t Alignment = 64>
 struct AlignedAllocator {
   static_assert((Alignment & (Alignment - 1)) == 0,
                 "Alignment must be a power of two");
@@ -49,7 +50,7 @@ bool operator!=(const AlignedAllocator<T, A>&, const AlignedAllocator<U, A>&) {
   return false;
 }
 
-/// 32-byte-aligned float buffer — the Tensor storage type.
-using AlignedFloats = std::vector<float, AlignedAllocator<float, 32>>;
+/// 64-byte-aligned float buffer — the Tensor storage type.
+using AlignedFloats = std::vector<float, AlignedAllocator<float, 64>>;
 
 }  // namespace clo::util

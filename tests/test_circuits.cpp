@@ -243,6 +243,28 @@ TEST(Generators, Deterministic) {
   }
 }
 
+TEST(Generators, FullWidthVariantsScaleTheArithmeticSuite) {
+  // The paper-scale --full configuration widens the EPFL arithmetic
+  // benchmarks; everything else is identical at either setting.
+  for (const char* name : {"adder", "bar", "div", "hyp", "max",
+                           "multiplier", "sqrt", "square"}) {
+    const aig::Aig small = circuits::make_benchmark(name);
+    const aig::Aig full = circuits::make_benchmark(name, /*full_width=*/true);
+    EXPECT_NO_THROW(full.check()) << name;
+    EXPECT_GT(full.num_ands(), 2 * small.num_ands()) << name;
+    EXPECT_GT(full.num_pis(), small.num_pis()) << name;
+    // Determinism holds at full width too.
+    const aig::Aig again =
+        circuits::make_benchmark(name, /*full_width=*/true);
+    EXPECT_EQ(full.num_ands(), again.num_ands()) << name;
+  }
+  for (const char* name : {"ctrl", "log2", "sin", "c880"}) {
+    const aig::Aig small = circuits::make_benchmark(name);
+    const aig::Aig full = circuits::make_benchmark(name, /*full_width=*/true);
+    EXPECT_EQ(small.num_ands(), full.num_ands()) << name;
+  }
+}
+
 TEST(Generators, AllWellFormedAndNontrivial) {
   for (const auto& info : circuits::benchmark_catalog()) {
     const aig::Aig g = circuits::make_benchmark(info.name);

@@ -1,15 +1,17 @@
 // clo::nn::kernel acceptance tests: the determinism contract (bitwise
-// scalar/AVX2 parity for every kernel across awkward sizes, model-level
-// forward parity, run-to-run stability), numerical accuracy against
-// double-precision references, the 32-byte Tensor storage alignment the
-// kernels assume for performance, and the NaN-propagation regression the
-// old zero-skip fast paths used to mask.
+// parity for every kernel across every dispatch target, thread count, and
+// awkward size; model-level forward parity; run-to-run stability),
+// numerical accuracy against double-precision references, the 64-byte
+// Tensor storage alignment the kernels assume for performance, the pinned
+// NaN semantics of max_value, and the NaN-propagation regression the old
+// zero-skip fast paths used to mask.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "clo/models/diffusion.hpp"
@@ -20,6 +22,7 @@
 #include "clo/nn/tensor.hpp"
 #include "clo/util/aligned.hpp"
 #include "clo/util/rng.hpp"
+#include "clo/util/thread_pool.hpp"
 
 namespace {
 
@@ -32,12 +35,24 @@ class KernelTest : public ::testing::Test {
  protected:
   void TearDown() override { kernel::set_simd_enabled(true); }
 
-  /// Skip (not silently pass) parity tests on hosts without the AVX2 TU.
+  /// Skip (not silently pass) parity tests on hosts without a vector TU.
   static bool RequireBothTargets() {
     if (!kernel::simd_supported()) {
       return false;
     }
     return true;
+  }
+
+  /// Every target this binary can actually run here (scalar always).
+  static std::vector<kernel::Target> SupportedTargets() {
+    std::vector<kernel::Target> targets = {kernel::Target::kScalar};
+    for (kernel::Target t :
+         {kernel::Target::kAvx2, kernel::Target::kAvx512}) {
+      if (kernel::target_compiled(t) && kernel::target_supported(t)) {
+        targets.push_back(t);
+      }
+    }
+    return targets;
   }
 };
 
@@ -216,11 +231,53 @@ TEST_F(KernelTest, MaxValueHandlesSmallAndNegativeInputs) {
   EXPECT_EQ(kernel::max_value(big.data(), big.size()), 42.0f);
 }
 
-TEST_F(KernelTest, TensorStorageIs32ByteAligned) {
+// Regression for the pinned NaN semantics: the old scan `x > m ? x : m`
+// silently discarded a NaN whenever later elements compared false against
+// the running max (every `NaN > m` is false), so a NaN at the head or
+// middle vanished while one at the tail survived — contradicting the
+// header's "NaN elements propagate". The contract is now: ANY NaN element
+// makes max_value return the canonical quiet NaN, bit-identically on
+// every target, no matter where the NaN sits.
+TEST_F(KernelTest, MaxValuePropagatesNaNFromAnyPosition) {
+  const float nan = std::nanf("");
+  const float canonical = std::numeric_limits<float>::quiet_NaN();
+  std::uint32_t canonical_bits;
+  std::memcpy(&canonical_bits, &canonical, sizeof(canonical_bits));
+  Rng rng(11);
+  // Sizes hitting the small-n scalar path, the vector body, and the tail.
+  for (std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{8},
+                        std::size_t{9}, std::size_t{31}, std::size_t{64},
+                        std::size_t{160}, std::size_t{1000}}) {
+    for (std::size_t pos : {std::size_t{0}, n / 2, n - 1}) {
+      auto a = random_buf(n, rng);
+      a[pos] = nan;
+      for (kernel::Target t : SupportedTargets()) {
+        kernel::set_target(t);
+        const float got = kernel::max_value(a.data(), n);
+        std::uint32_t got_bits;
+        std::memcpy(&got_bits, &got, sizeof(got_bits));
+        EXPECT_EQ(got_bits, canonical_bits)
+            << "n=" << n << " pos=" << pos
+            << " target=" << kernel::target_name(t);
+      }
+      kernel::set_simd_enabled(true);
+    }
+  }
+  // NaN-free inputs still return the plain maximum on every target.
+  auto clean = random_buf(100, rng);
+  clean[41] = 1e9f;
+  for (kernel::Target t : SupportedTargets()) {
+    kernel::set_target(t);
+    EXPECT_EQ(kernel::max_value(clean.data(), clean.size()), 1e9f)
+        << kernel::target_name(t);
+  }
+}
+
+TEST_F(KernelTest, TensorStorageIs64ByteAligned) {
   for (int n : {1, 3, 17, 1000}) {
     auto t = nn::Tensor::zeros({n}, /*requires_grad=*/true);
-    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.data().data()) % 32, 0u);
-    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.grad().data()) % 32, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.data().data()) % 64, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.grad().data()) % 64, 0u);
   }
 }
 
@@ -320,7 +377,220 @@ TEST_F(KernelTest, DispatchStateRoundTrips) {
   kernel::set_simd_enabled(true);
   EXPECT_EQ(kernel::simd_enabled(), kernel::simd_supported());
   EXPECT_STREQ(kernel::active_target(),
-               kernel::simd_supported() ? "avx2" : "scalar");
+               kernel::target_name(kernel::best_supported_target()));
+
+  // Forcing each supported target sticks; unsupported requests clamp down.
+  for (kernel::Target t : SupportedTargets()) {
+    EXPECT_EQ(kernel::set_target(t), t);
+    EXPECT_EQ(kernel::current_target(), t);
+  }
+  const kernel::Target clamped = kernel::set_target(kernel::Target::kAvx512);
+  EXPECT_TRUE(kernel::target_supported(clamped));
+  EXPECT_LE(static_cast<int>(clamped),
+            static_cast<int>(kernel::Target::kAvx512));
+
+  // parse_target round-trips every name plus "auto"; rejects junk.
+  kernel::Target parsed;
+  ASSERT_TRUE(kernel::parse_target("scalar", &parsed));
+  EXPECT_EQ(parsed, kernel::Target::kScalar);
+  ASSERT_TRUE(kernel::parse_target("avx2", &parsed));
+  EXPECT_EQ(parsed, kernel::Target::kAvx2);
+  ASSERT_TRUE(kernel::parse_target("avx512", &parsed));
+  EXPECT_EQ(parsed, kernel::Target::kAvx512);
+  ASSERT_TRUE(kernel::parse_target("auto", &parsed));
+  EXPECT_EQ(parsed, kernel::best_supported_target());
+  EXPECT_FALSE(kernel::parse_target("sse9", &parsed));
+}
+
+// --- Tiled GEMM determinism ----------------------------------------------
+//
+// The tile grid is a pure function of the output shape, so any worker
+// count — and any dispatch target — must reproduce the serial scalar
+// bytes exactly. The shapes below are chosen to cross the fan-out
+// threshold with ragged edge tiles (dimensions that are not multiples of
+// the 16x128 tile), and the batched U-Net/surrogate shape the paper-scale
+// run hits (30 restarts over [R, L*d] = [30, 160] activations).
+
+struct GemmShape {
+  int m, k, n;
+};
+const GemmShape kTiledShapes[] = {
+    {33, 47, 129},    // ragged in every dimension
+    {30, 160, 256},   // paper-scale batched restarts
+    {64, 64, 64},     // threshold boundary
+    {16, 3, 300},     // wide and shallow: many column tiles
+    {257, 19, 17},    // tall and narrow: many row tiles
+};
+
+TEST_F(KernelTest, TiledMatmulIsBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(12);
+  util::ThreadPool pool2(2), pool8(8);
+  for (const auto& s : kTiledShapes) {
+    for (bool tb : {false, true}) {
+      const auto a = random_buf(static_cast<std::size_t>(s.m) * s.k, rng);
+      const auto b = random_buf(static_cast<std::size_t>(s.k) * s.n, rng);
+      const auto o0 = random_buf(static_cast<std::size_t>(s.m) * s.n, rng);
+
+      AlignedFloats serial = o0;
+      {
+        kernel::PoolGuard guard(nullptr);
+        kernel::matmul(a.data(), b.data(), serial.data(), s.m, s.k, s.n, tb);
+      }
+      for (util::ThreadPool* pool : {&pool2, &pool8}) {
+        AlignedFloats threaded = o0;
+        kernel::PoolGuard guard(pool);
+        kernel::matmul(a.data(), b.data(), threaded.data(), s.m, s.k, s.n,
+                       tb);
+        EXPECT_TRUE(bitwise_equal(serial, threaded))
+            << s.m << "x" << s.k << "x" << s.n << " tb=" << tb
+            << " workers=" << pool->size();
+      }
+    }
+  }
+}
+
+TEST_F(KernelTest, TiledMatmulTaIsBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(13);
+  util::ThreadPool pool2(2), pool8(8);
+  for (const auto& s : kTiledShapes) {
+    const auto a = random_buf(static_cast<std::size_t>(s.m) * s.k, rng);
+    const auto b = random_buf(static_cast<std::size_t>(s.m) * s.n, rng);
+    const auto o0 = random_buf(static_cast<std::size_t>(s.k) * s.n, rng);
+
+    AlignedFloats serial = o0;
+    {
+      kernel::PoolGuard guard(nullptr);
+      kernel::matmul_ta(a.data(), b.data(), serial.data(), s.m, s.k, s.n);
+    }
+    for (util::ThreadPool* pool : {&pool2, &pool8}) {
+      AlignedFloats threaded = o0;
+      kernel::PoolGuard guard(pool);
+      kernel::matmul_ta(a.data(), b.data(), threaded.data(), s.m, s.k, s.n);
+      EXPECT_TRUE(bitwise_equal(serial, threaded))
+          << s.m << "x" << s.k << "x" << s.n << " workers=" << pool->size();
+    }
+  }
+}
+
+TEST_F(KernelTest, TiledMatmulIsBitwiseIdenticalAcrossAllTargets) {
+  const auto targets = SupportedTargets();
+  if (targets.size() < 2) GTEST_SKIP() << "scalar-only host";
+  Rng rng(14);
+  util::ThreadPool pool(4);
+  for (const auto& s : kTiledShapes) {
+    for (bool tb : {false, true}) {
+      const auto a = random_buf(static_cast<std::size_t>(s.m) * s.k, rng);
+      const auto b = random_buf(static_cast<std::size_t>(s.k) * s.n, rng);
+      const auto o0 = random_buf(static_cast<std::size_t>(s.m) * s.n, rng);
+
+      kernel::set_target(kernel::Target::kScalar);
+      AlignedFloats reference = o0;
+      {
+        kernel::PoolGuard guard(nullptr);
+        kernel::matmul(a.data(), b.data(), reference.data(), s.m, s.k, s.n,
+                       tb);
+      }
+      for (kernel::Target t : targets) {
+        kernel::set_target(t);
+        for (util::ThreadPool* p : {static_cast<util::ThreadPool*>(nullptr),
+                                    &pool}) {
+          AlignedFloats out = o0;
+          kernel::PoolGuard guard(p);
+          kernel::matmul(a.data(), b.data(), out.data(), s.m, s.k, s.n, tb);
+          EXPECT_TRUE(bitwise_equal(reference, out))
+              << s.m << "x" << s.k << "x" << s.n << " tb=" << tb
+              << " target=" << kernel::target_name(t)
+              << " threaded=" << (p != nullptr);
+        }
+      }
+      kernel::set_simd_enabled(true);
+    }
+  }
+}
+
+TEST_F(KernelTest, KernelsTolerateUnalignedTensorInteriorSlices) {
+  // Tensor interiors are sliced at arbitrary element offsets (batch rows,
+  // channel planes), so every kernel must accept pointers off the 64-byte
+  // storage alignment — and still match the aligned bytes exactly.
+  Rng rng(15);
+  const int m = 33, k = 47, n = 129;
+  const auto backing_a =
+      random_buf(static_cast<std::size_t>(m) * k + 1, rng);
+  const auto backing_b =
+      random_buf(static_cast<std::size_t>(k) * n + 1, rng);
+  const float* a = backing_a.data() + 1;  // deliberately 4-byte-misaligned
+  const float* b = backing_b.data() + 1;
+  AlignedFloats aligned_a(a, a + static_cast<std::size_t>(m) * k);
+  AlignedFloats aligned_b(b, b + static_cast<std::size_t>(k) * n);
+
+  util::ThreadPool pool(4);
+  for (kernel::Target t : SupportedTargets()) {
+    kernel::set_target(t);
+    AlignedFloats out_aligned(static_cast<std::size_t>(m) * n, 0.0f);
+    kernel::matmul(aligned_a.data(), aligned_b.data(), out_aligned.data(), m,
+                   k, n, false);
+    for (util::ThreadPool* p :
+         {static_cast<util::ThreadPool*>(nullptr), &pool}) {
+      kernel::PoolGuard guard(p);
+      AlignedFloats out(static_cast<std::size_t>(m) * n, 0.0f);
+      kernel::matmul(a, b, out.data(), m, k, n, false);
+      EXPECT_TRUE(bitwise_equal(out_aligned, out))
+          << "target=" << kernel::target_name(t)
+          << " threaded=" << (p != nullptr);
+    }
+    EXPECT_EQ(kernel::dot(a, b, 100),
+              kernel::dot(aligned_a.data(), aligned_b.data(), 100))
+        << kernel::target_name(t);
+  }
+  kernel::set_simd_enabled(true);
+}
+
+// matmul_ta must reproduce, bit for bit, the accumulation order of the
+// loop it replaced in the autograd backward pass (per out element: a
+// mul+add chain over the shared row index i ascending), and stay close to
+// an fp64 reference.
+TEST_F(KernelTest, MatmulTaMatchesLegacyLoopBitwiseAndDoubleReference) {
+  Rng rng(16);
+  const int m = 21, k = 18, n = 37;
+  const auto a = random_buf(static_cast<std::size_t>(m) * k, rng);
+  const auto b = random_buf(static_cast<std::size_t>(m) * n, rng);
+  const auto o0 = random_buf(static_cast<std::size_t>(k) * n, rng);
+
+  // The pre-PR-10 backward loop: for each sample i, axpy gy-row into every
+  // dB row — per element, adds in i-ascending order.
+  AlignedFloats legacy = o0;
+  for (int i = 0; i < m; ++i) {
+    for (int l = 0; l < k; ++l) {
+      const float av = a[static_cast<std::size_t>(i) * k + l];
+      for (int j = 0; j < n; ++j) {
+        legacy[static_cast<std::size_t>(l) * n + j] +=
+            av * b[static_cast<std::size_t>(i) * n + j];
+      }
+    }
+  }
+
+  for (kernel::Target t : SupportedTargets()) {
+    kernel::set_target(t);
+    AlignedFloats out = o0;
+    kernel::matmul_ta(a.data(), b.data(), out.data(), m, k, n);
+    EXPECT_TRUE(bitwise_equal(legacy, out)) << kernel::target_name(t);
+  }
+  kernel::set_simd_enabled(true);
+
+  AlignedFloats out(static_cast<std::size_t>(k) * n, 0.0f);
+  kernel::matmul_ta(a.data(), b.data(), out.data(), m, k, n);
+  for (int l = 0; l < k; ++l) {
+    for (int j = 0; j < n; ++j) {
+      double ref = 0.0;
+      for (int i = 0; i < m; ++i) {
+        ref += static_cast<double>(a[static_cast<std::size_t>(i) * k + l]) *
+               b[static_cast<std::size_t>(i) * n + j];
+      }
+      EXPECT_NEAR(out[static_cast<std::size_t>(l) * n + j], ref,
+                  1e-4 * (1.0 + std::abs(ref)))
+          << "(" << l << "," << j << ")";
+    }
+  }
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "clo/models/diffusion.hpp"
 #include "clo/models/embedding.hpp"
 #include "clo/models/surrogate.hpp"
+#include "clo/nn/kernel.hpp"
 #include "clo/util/obs.hpp"
 #include "clo/util/thread_pool.hpp"
 
@@ -134,6 +135,51 @@ TEST(ParallelDeterminism, EvaluatorSingleFlightOnOneHotKey) {
   EXPECT_EQ(stats.queries, got.size());
   EXPECT_EQ(stats.unique_runs, 1u);
   EXPECT_EQ(stats.cache_hits, got.size() - 1);
+}
+
+TEST(ParallelDeterminism, KernelPoolDoesNotPerturbOptimizerResults) {
+  // The kernel layer's tiled GEMM fan-out (PR 10) must never change
+  // retrieved bytes: the whole restart loop — U-Net denoise forwards,
+  // surrogate forwards, rounding — run with the kernel pool unset, then
+  // fanned over 2 and 8 workers, must match bit for bit. This is the
+  // model-level closure of the per-op tests in test_kernels.cpp.
+  const auto serial = run_restarts(nullptr);
+  for (std::size_t workers : {std::size_t{2}, std::size_t{8}}) {
+    util::ThreadPool pool(workers);
+    nn::kernel::PoolGuard guard(&pool);
+    const auto fanned = run_restarts(nullptr);
+    ASSERT_EQ(serial.size(), fanned.size());
+    for (std::size_t r = 0; r < serial.size(); ++r) {
+      EXPECT_EQ(serial[r].sequence, fanned[r].sequence)
+          << "restart " << r << " kernel workers " << workers;
+      ASSERT_EQ(serial[r].latent.size(), fanned[r].latent.size());
+      EXPECT_EQ(0, std::memcmp(serial[r].latent.data(),
+                               fanned[r].latent.data(),
+                               serial[r].latent.size() * sizeof(float)))
+          << "restart " << r << " kernel workers " << workers;
+      EXPECT_EQ(serial[r].discrepancy, fanned[r].discrepancy);
+      EXPECT_EQ(serial[r].predicted_objective,
+                fanned[r].predicted_objective);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, KernelPoolComposesWithRestartPool) {
+  // Serve-style nesting: restarts fan out over the same pool the kernel
+  // layer is registered on. parallel_tiles detects calls already on a
+  // worker thread and degrades to serial — bytes must still match.
+  const auto serial = run_restarts(nullptr);
+  util::ThreadPool pool(4);
+  nn::kernel::PoolGuard guard(&pool);
+  const auto nested = run_restarts(&pool);
+  ASSERT_EQ(serial.size(), nested.size());
+  for (std::size_t r = 0; r < serial.size(); ++r) {
+    EXPECT_EQ(serial[r].sequence, nested[r].sequence) << "restart " << r;
+    EXPECT_EQ(0, std::memcmp(serial[r].latent.data(),
+                             nested[r].latent.data(),
+                             serial[r].latent.size() * sizeof(float)))
+        << "restart " << r;
+  }
 }
 
 /// Turns tracing + metrics on for one scope and restores the disabled

@@ -13,6 +13,10 @@
 //                 batched lockstep path (identical sequences, slower)
 //   --no-simd     force the portable scalar nn kernels instead of the
 //                 runtime-dispatched SIMD ones (identical results, slower)
+//   --kernel-target T
+//                 force a specific nn kernel dispatch target
+//                 (scalar|avx2|avx512|auto); unsupported targets clamp
+//                 down to the best the host can run (identical results)
 //   --trace F     write a Chrome trace-event JSON (chrome://tracing,
 //                 Perfetto) of the session to F on exit
 //   --report F    write the machine-readable "clo.report.v1" JSON of the
@@ -237,6 +241,18 @@ int main(int argc, char** argv) {
     }
     if (arg == "--no-simd") {
       shell.set_simd(false);
+      continue;
+    }
+    if (arg == "--kernel-target") {
+      if (i + 1 >= argc) {
+        std::cerr << "--kernel-target needs scalar|avx2|avx512|auto\n";
+        return 1;
+      }
+      if (!shell.set_kernel_target(argv[++i])) {
+        std::cerr << "unknown kernel target '" << argv[i]
+                  << "' (want scalar|avx2|avx512|auto)\n";
+        return 1;
+      }
       continue;
     }
     if (arg == "--trace") {

@@ -5,8 +5,12 @@
 //
 //   clo_bench_diff OLD.json NEW.json [--max-regress PCT]
 //
-// For every case name present in both files the timing is taken from the
-// first of {simd_ns, scalar_ns, ns, seconds} each record carries, and the
+// Entries are keyed on (name, threads, target) — records missing either
+// field default to threads=1 / target="default" — so a threaded AVX-512
+// run is only ever compared against a threaded AVX-512 run of the same
+// case, never against a serial or scalar one. For every key present in
+// both files the timing is taken from the first of {simd_ns, scalar_ns,
+// ns, seconds} each record carries, and the
 // ratio new/old is computed (> 1 = slower). The verdict is on the geomean
 // of those ratios: exit 1 when it exceeds 1 + PCT/100 (default 10%), exit
 // 0 otherwise. Per-case regressions are listed either way so the CI log
@@ -34,7 +38,24 @@ namespace {
 
 using clo::obs::Json;
 
-/// name -> representative time for every entry in the file's results[].
+/// Comparison key: only entries matching on case name AND thread count
+/// AND dispatch target are diffed against each other. Older artifacts
+/// without the threads/target fields key as threads=1 / "default", which
+/// keeps pre-threading baselines comparable with new serial runs.
+std::string entry_key(const Json& entry, const std::string& name) {
+  int threads = 1;
+  std::string target = "default";
+  const Json* t = entry.find("threads");
+  if (t != nullptr && t->is_number()) {
+    threads = static_cast<int>(t->as_double());
+  }
+  const Json* tg = entry.find("target");
+  if (tg != nullptr && tg->is_string()) target = tg->as_string();
+  return name + " [" + target + ",t" + std::to_string(threads) + "]";
+}
+
+/// (name, threads, target) -> representative time for every entry in the
+/// file's results[].
 std::map<std::string, double> load_times(const std::string& path) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("cannot open " + path);
@@ -53,7 +74,7 @@ std::map<std::string, double> load_times(const std::string& path) {
     for (const char* key : {"simd_ns", "scalar_ns", "ns", "seconds"}) {
       const Json* t = entry.find(key);
       if (t != nullptr && t->is_number() && t->as_double() > 0.0) {
-        times[name->as_string()] = t->as_double();
+        times[entry_key(entry, name->as_string())] = t->as_double();
         break;
       }
     }
